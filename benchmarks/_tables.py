@@ -1,0 +1,44 @@
+"""Shared table formatting for the benchmark reports.
+
+Every benchmark prints the rows/series of the paper figure or claim it
+regenerates; EXPERIMENTS.md records the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    note: str = "",
+) -> str:
+    """Render a fixed-width table with a title banner."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(row[i]) for row in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = ["", "=" * 72, title, "=" * 72]
+    lines.append(
+        "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    if note:
+        lines.append(note)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)

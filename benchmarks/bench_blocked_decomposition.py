@@ -1,0 +1,111 @@
+"""Figures 5 and 6: the blocked algorithm's 3^d decomposition (§4.2).
+
+Figure 5 decomposes ``Sum(50:349, 50:349)`` on a 400×400 cube with
+``b = 100`` into nine regions A1..A9 (one internal), each boundary region
+with a block-aligned superblock.  Figure 6's query ``Sum(75:374,
+100:354)`` mixes the direct method and the superblock-complement method.
+The bench prints the decompositions and the per-region method choices
+with their access costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import Box
+from repro.core.blocked import BlockedPrefixSumCube
+from repro.instrumentation import AccessCounter
+from repro.query.naive import naive_range_sum
+from repro.query.workload import make_cube
+
+from benchmarks._tables import format_table
+
+
+@pytest.fixture(scope="module")
+def structure():
+    cube = make_cube((400, 400), np.random.default_rng(61), high=10)
+    return BlockedPrefixSumCube(cube, 100)
+
+
+def test_figure5_regions(structure, report, benchmark):
+    box = Box((50, 50), (349, 349))
+    regions = benchmark.pedantic(
+        lambda: structure.decompose(box), rounds=1, iterations=1
+    )
+    rows = []
+    for i, (region, superblock, internal) in enumerate(regions, start=1):
+        rows.append(
+            [
+                f"A{i}",
+                str(region),
+                str(superblock),
+                "internal" if internal else "boundary",
+                region.volume,
+            ]
+        )
+    report(
+        format_table(
+            "Figure 5 (§4.2): decomposition of Sum(50:349, 50:349), "
+            "b = 100, 400×400 cube",
+            ["region", "extent", "superblock", "kind", "volume"],
+            rows,
+            note="The paper's figure: 9 regions, A5 internal, the rest "
+            "boundary with whole-block superblocks.",
+        )
+    )
+    assert len(regions) == 9
+    assert sum(r[0].volume for r in regions) == box.volume
+    assert sum(1 for r in regions if r[2]) == 1
+
+
+def test_figure6_method_choice(structure, report, benchmark):
+    box = Box((75, 100), (374, 354))
+
+    def compute():
+        regions = structure.decompose(box)
+        rows = []
+        for region, superblock, internal in regions:
+            if internal:
+                rows.append(
+                    [str(region), "internal", "prefix only", 2**2]
+                )
+                continue
+            direct = region.volume
+            complement = superblock.volume - region.volume + 2**2 - 1
+            method = "direct scan" if direct <= complement else "complement"
+            rows.append(
+                [str(region), "boundary", method, min(direct, complement)]
+            )
+        return regions, rows
+
+    regions, rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        format_table(
+            "Figure 6 (§4.2): per-region method choice for "
+            "Sum(75:374, 100:354)",
+            ["region", "kind", "chosen method", "~cost"],
+            rows,
+            note="The paper's figure shades a mix of both methods; the "
+            "wide 300:374 strip flips to the complement method.",
+        )
+    )
+    methods = {row[2] for row in rows}
+    assert "direct scan" in methods and "complement" in methods
+
+    counter = AccessCounter()
+    got = structure.range_sum(box, counter)
+    assert got == naive_range_sum(structure.source, box)
+    assert counter.total < box.volume / 3
+
+
+def test_decomposition_query_speed(structure, benchmark):
+    rng = np.random.default_rng(67)
+    from repro.query.workload import random_box
+
+    boxes = [random_box((400, 400), rng, min_length=50) for _ in range(20)]
+
+    def run():
+        return sum(int(structure.range_sum(b)) for b in boxes)
+
+    benchmark(run)

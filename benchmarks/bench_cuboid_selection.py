@@ -1,0 +1,130 @@
+"""Figure 13: the greedy cuboid/block-size selector end to end (§9.2).
+
+A synthetic query log over a 3-d cube is bucketed by cuboid, the greedy
+algorithm runs under a sweep of space budgets, and the bench reports the
+chosen materializations and the workload-cost reduction — plus the value
+of the fine-tuning pass on a workload engineered to trip plain greedy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optimizer.cuboid_selection import (
+    CuboidSelector,
+    CuboidWorkload,
+    workloads_from_log,
+)
+from repro.query.stats import QueryStatistics
+from repro.query.workload import WorkloadProfile, generate_query_log
+
+from benchmarks._tables import format_table
+
+SHAPE = (200, 100, 25)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    rng = np.random.default_rng(127)
+    profile = WorkloadProfile(
+        range_probability=(0.8, 0.6, 0.15),
+        singleton_probability=0.5,
+        range_lengths=((20, 120), (10, 60), (3, 12)),
+    )
+    log = generate_query_log(SHAPE, profile, 400, rng)
+    return workloads_from_log(log, SHAPE)
+
+
+def test_budget_sweep(workloads, report, benchmark):
+    def compute():
+        rows = []
+        for budget in (500, 5000, 50000, 500000):
+            selector = CuboidSelector(SHAPE, workloads, budget)
+            result = selector.solve()
+            chosen = ", ".join(
+                f"{m.key}@b{m.block_size}" for m in result.chosen
+            ) or "(nothing)"
+            rows.append(
+                [
+                    budget,
+                    int(result.total_space),
+                    f"{result.benefit / result.baseline_cost:.0%}",
+                    chosen,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        format_table(
+            "Figure 13 (§9.2): greedy selection across space budgets, "
+            f"cube {SHAPE}, 400-query log",
+            ["budget (cells)", "space used", "cost cut", "materialized"],
+            rows,
+            note="Bigger budgets buy finer blocks and more cuboids; the "
+            "cost reduction is monotone in the budget.",
+        )
+    )
+    cuts = [float(row[2].rstrip("%")) for row in rows]
+    assert cuts == sorted(cuts)
+    assert cuts[-1] > 50.0
+
+
+def test_fine_tuning_value(report, benchmark):
+    """A workload where dropping an early greedy pick pays off."""
+
+    def compute():
+        workloads = [
+            CuboidWorkload(
+                (0, 1), QueryStatistics.from_lengths([50, 50]), 30
+            ),
+            CuboidWorkload((0,), QueryStatistics.from_lengths([80]), 300),
+            CuboidWorkload((1,), QueryStatistics.from_lengths([80]), 300),
+        ]
+        selector = CuboidSelector((100, 100), workloads, space_limit=260)
+        greedy = selector.solve(fine_tune=False, spend_surplus=False)
+        tuned = selector.solve(fine_tune=True, spend_surplus=False)
+        final = selector.solve(fine_tune=True, spend_surplus=True)
+        return greedy, tuned, final
+
+    greedy, tuned, final = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+    report(
+        format_table(
+            "Figure 13 (§9.2): fine-tuning and surplus-spending passes",
+            ["variant", "final cost", "space used", "chosen"],
+            [
+                [
+                    "greedy only",
+                    int(greedy.final_cost),
+                    int(greedy.total_space),
+                    len(greedy.chosen),
+                ],
+                [
+                    "+ fine-tune",
+                    int(tuned.final_cost),
+                    int(tuned.total_space),
+                    len(tuned.chosen),
+                ],
+                [
+                    "+ surplus",
+                    int(final.final_cost),
+                    int(final.total_space),
+                    len(final.chosen),
+                ],
+            ],
+            note="Each pass may only improve the plan.",
+        )
+    )
+    assert tuned.final_cost <= greedy.final_cost + 1e-9
+    assert final.final_cost <= tuned.final_cost + 1e-9
+
+
+def test_selector_wall_time(workloads, benchmark):
+    benchmark.pedantic(
+        lambda: CuboidSelector(SHAPE, workloads, 50000).solve(),
+        rounds=3,
+        iterations=1,
+    )

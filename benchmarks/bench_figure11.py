@@ -1,0 +1,130 @@
+"""Figure 11: hierarchical-tree cost minus prefix-sum cost (§8).
+
+The paper plots ``Cost(tree) − Cost(prefix sum)`` on a log scale against
+``α`` (the query side in blocks) for ``d ∈ {2, 3, 4}`` and
+``b ∈ {10, 20}``, concluding the prefix sum is clearly faster once
+``α·b`` exceeds the block size.  Two reproductions:
+
+* the **analytic** series from the paper's own closed form
+  ``d·α^{d−1}·b/2 − 2^d``;
+* an **empirical** version on a real 2-d cube: both structures are built
+  with the same block size and the access-count difference is measured.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.blocked import BlockedPrefixSumCube
+from repro.core.tree_sum import TreeSumHierarchy
+from repro.instrumentation import AccessCounter
+from repro.optimizer.cost_model import figure11_difference
+from repro.query.workload import fixed_size_box, make_cube
+
+from benchmarks._tables import format_table
+
+ALPHAS = (1, 5, 10, 15, 20)
+CONFIGS = tuple(
+    (d, b) for d in (2, 3, 4) for b in (10, 20)
+)
+
+
+def test_figure11_analytic_table(report, benchmark):
+    def compute():
+        rows = []
+        for alpha in ALPHAS:
+            row = [alpha]
+            for d, b in CONFIGS:
+                row.append(figure11_difference(alpha, b, d))
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    headers = ["alpha"] + [f"d={d},b={b}" for d, b in CONFIGS]
+    report(
+        format_table(
+            "Figure 11 (analytic): tree cost − prefix cost, "
+            "d·α^{d−1}·b/2 − 2^d",
+            headers,
+            rows,
+            note="Paper's figure: all curves increase with α; ordering "
+            "d=4,b=20 > d=4,b=10 > d=3,b=20 > ...",
+        )
+    )
+    # Shape assertions: monotone in alpha, ordered by (d, b) at alpha=20.
+    last = rows[-1][1:]
+    for column in range(1, len(CONFIGS) + 1):
+        series = [row[column] for row in rows]
+        assert series == sorted(series)
+    by_config = dict(zip(CONFIGS, last))
+    assert (
+        by_config[(4, 20)]
+        > by_config[(4, 10)]
+        > by_config[(3, 20)]
+        > by_config[(3, 10)]
+        > by_config[(2, 20)]
+        > by_config[(2, 10)]
+    )
+
+
+def test_figure11_empirical_2d(report, benchmark):
+    """Measured access difference on a 400×400 cube, b = 10 and 20."""
+    rng = np.random.default_rng(29)
+    cube = make_cube((400, 400), rng, high=50)
+
+    def compute():
+        rows = []
+        for b in (10, 20):
+            tree = TreeSumHierarchy(cube, b)
+            prefix = BlockedPrefixSumCube(cube, b)
+            for alpha in (2, 5, 10, 15):
+                side = alpha * b
+                tree_cost = 0
+                prefix_cost = 0
+                trials = 15
+                for _ in range(trials):
+                    box = fixed_size_box((400, 400), (side, side), rng)
+                    tree_counter = AccessCounter()
+                    prefix_counter = AccessCounter()
+                    expected = tree.range_sum(box, tree_counter)
+                    got = prefix.range_sum(box, prefix_counter)
+                    assert got == expected
+                    tree_cost += tree_counter.total
+                    prefix_cost += prefix_counter.total
+                rows.append(
+                    [
+                        b,
+                        alpha,
+                        tree_cost / trials,
+                        prefix_cost / trials,
+                        (tree_cost - prefix_cost) / trials,
+                        figure11_difference(alpha, b, 2),
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        format_table(
+            "Figure 11 (empirical, d=2): measured accesses, 400×400 cube",
+            [
+                "b",
+                "alpha",
+                "tree avg",
+                "prefix avg",
+                "measured diff",
+                "paper closed form",
+            ],
+            rows,
+            note="The measured difference should be positive and grow "
+            "with α, matching the closed form's shape.",
+        )
+    )
+    for row in rows:
+        if row[1] >= 5:
+            assert row[4] > 0, row  # the tree really costs more
+    # Differences grow with alpha within each b.
+    for b in (10, 20):
+        series = [row[4] for row in rows if row[0] == b]
+        assert series[-1] > series[0]

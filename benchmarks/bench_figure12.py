@@ -1,0 +1,98 @@
+"""Figure 12: the §9.1 dimension-selection heuristic, exactly reproduced.
+
+The paper's worked example: three queries over five attributes, column
+sums ``R = [701, 601, 102, 5, 3]``, threshold ``2m = 6``, chosen subset
+``X' = {1, 2, 3}`` (1-based).  This bench regenerates the table, then
+compares the heuristic against the exact Gray-code optimum on synthetic
+logs to show how often the O(md) shortcut matches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optimizer.dimension_selection import (
+    exact_selection,
+    figure12_example,
+    heuristic_selection,
+    subset_cost,
+)
+
+from benchmarks._tables import format_table
+
+
+def test_figure12_table(report, benchmark):
+    lengths, sums, chosen = benchmark.pedantic(
+        figure12_example, rounds=1, iterations=1
+    )
+    rows = [
+        [f"q{i + 1}"] + [int(v) for v in row]
+        for i, row in enumerate(lengths)
+    ]
+    rows.append(["R_j"] + [int(v) for v in sums])
+    report(
+        format_table(
+            "Figure 12 (§9.1): heuristic dimension selection example",
+            ["query", "attr1", "attr2", "attr3", "attr4", "attr5"],
+            rows,
+            note=f"2m = 6; X' = {{{', '.join(str(j + 1) for j in chosen)}}} "
+            "(1-based) — the paper's {1, 2, 3}.",
+        )
+    )
+    assert [int(v) for v in sums] == [701, 601, 102, 5, 3]
+    assert chosen == [0, 1, 2]
+
+
+def test_heuristic_vs_exact_quality(report, benchmark):
+    """How close the O(md) heuristic gets to the O(m·2^d) optimum."""
+    rng = np.random.default_rng(43)
+
+    def compute():
+        rows = []
+        for d in (3, 5, 8):
+            matches = 0
+            total_ratio = 0.0
+            trials = 40
+            for _ in range(trials):
+                m = int(rng.integers(2, 12))
+                lengths = np.where(
+                    rng.random((m, d)) < 0.5,
+                    1.0,
+                    rng.integers(2, 100, (m, d)).astype(float),
+                )
+                heuristic_chosen, _ = heuristic_selection(lengths)
+                _, exact_cost = exact_selection(lengths)
+                heuristic_cost = subset_cost(lengths, heuristic_chosen)
+                if heuristic_cost <= exact_cost * (1 + 1e-9):
+                    matches += 1
+                total_ratio += heuristic_cost / exact_cost
+            rows.append(
+                [d, trials, matches, total_ratio / trials]
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        format_table(
+            "§9.1: heuristic vs exact Gray-code optimum on random logs",
+            ["d", "trials", "heuristic optimal", "avg cost ratio"],
+            rows,
+            note="Ratio 1.0 = the heuristic found the optimum.",
+        )
+    )
+    for _, trials, matches, ratio in rows:
+        assert matches >= trials * 0.5
+        assert ratio < 3.0
+
+
+def test_gray_code_walk_speed(benchmark):
+    """The O(m·2^d) walk should beat the O(m·d·2^d) naive evaluation."""
+    rng = np.random.default_rng(47)
+    lengths = np.where(
+        rng.random((50, 12)) < 0.5,
+        1.0,
+        rng.integers(2, 100, (50, 12)).astype(float),
+    )
+    chosen, cost = benchmark(lambda: exact_selection(lengths))
+    assert cost <= subset_cost(lengths, []) + 1e-9

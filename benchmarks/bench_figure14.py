@@ -1,0 +1,90 @@
+"""Figure 14: benefit/space against block size (§9.3).
+
+The paper's example (``d = 3``, ``N_Q/N = 1/100``, ``V − 2^d = 1000``,
+``S = 400``) yields a curve that rises, peaks, and hits zero at
+``b = 4(V − 2^d)/S = 10``, with the closed-form maximum at
+``b* = ((V − 2^d)/(S/4)) · d/(d+1) = 7.5``.  The bench regenerates the
+curve, checks the closed form against a brute-force argmax, and runs the
+integer optimizer on matching statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optimizer.block_size import choose_block_size
+from repro.optimizer.cost_model import (
+    benefit_space_ratio,
+    optimal_block_size_real,
+)
+from repro.query.stats import QueryStatistics
+
+from benchmarks._tables import format_table
+
+
+def paper_curve(b: float) -> float:
+    """The figure's curve for the §9.3 example, up to scaling:
+    (1/100)·[1000·b³ − 100·b⁴] = 10·b³ − b⁴."""
+    return 10.0 * b**3 - b**4
+
+
+def test_figure14_curve(report, benchmark):
+    def compute():
+        return [[b, paper_curve(b)] for b in range(1, 12)]
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        format_table(
+            "Figure 14 (§9.3): benefit/space vs block size, paper example "
+            "(d=3, V−2^d=1000, S=400, N_Q/N=1/100)",
+            ["b", "benefit/space"],
+            rows,
+            note="Rises to b* = 7.5, zero at b = 4(V−2^d)/S = 10, "
+            "negative beyond.",
+        )
+    )
+    values = [v for _, v in rows]
+    best_b = rows[int(np.argmax(values))][0]
+    assert best_b in (7, 8)
+    assert abs(values[9]) < 1e-9  # b = 10 → zero benefit
+    assert values[10] < 0
+
+
+def test_closed_form_matches_bruteforce(report, benchmark):
+    """b* = ((V−2^d)/(S/4))·d/(d+1) vs dense argmax, random statistics."""
+    rng = np.random.default_rng(59)
+
+    def compute():
+        rows = []
+        for _ in range(12):
+            d = int(rng.integers(2, 5))
+            lengths = [float(rng.integers(10, 120)) for _ in range(d)]
+            stats = QueryStatistics.from_lengths(lengths)
+            b_star = optimal_block_size_real(stats)
+            if b_star < 2:
+                continue
+            grid = np.arange(1, max(4, int(b_star * 3)))
+            ratios = [
+                benefit_space_ratio(stats, 10, 10**6, int(b))
+                for b in grid
+            ]
+            brute = int(grid[int(np.argmax(ratios))])
+            choice = choose_block_size(stats, 10, 10**6)
+            rows.append(
+                [d, round(b_star, 2), brute, choice.block_size]
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        format_table(
+            "§9.3: closed-form b* vs brute-force argmax vs optimizer",
+            ["d", "b* (real)", "brute-force b", "optimizer b"],
+            rows,
+            note="The optimizer must pick the brute-force integer argmax.",
+        )
+    )
+    for _, b_star, brute, chosen in rows:
+        assert abs(chosen - b_star) <= 1.0
+        assert chosen == brute

@@ -1,0 +1,205 @@
+"""Headline experiment (§1/§11): prefix sums vs naive and extended cubes.
+
+The paper's central claim: a range-sum that costs ``V`` cell accesses
+naively — and a product of range lengths on the extended cube — costs a
+constant ``2^d`` with prefix sums (``2^d + S·b/4`` blocked), *"with the
+advantage increasing as the volume of the circumscribed query sub-cube
+increases."*
+
+Two parts:
+
+* an access-count table on the paper's insurance-sized cube
+  (100 × 10 × 50 × 3), sweeping the query volume;
+* wall-time benchmarks on a 200 × 200 × 50 cube where the naive scan's
+  volume term dominates the per-query constant overheads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import Box
+from repro.core.blocked import BlockedPrefixSumCube
+from repro.core.prefix_sum import PrefixSumCube
+from repro.cube.extended import ExtendedDataCube
+from repro.instrumentation import AccessCounter
+from repro.query.naive import naive_range_sum
+from repro.query.workload import fixed_size_box, make_cube
+
+from benchmarks._tables import format_table
+
+INSURANCE_SHAPE = (100, 10, 50, 3)
+TIMING_SHAPE = (200, 200, 50)
+
+#: Query side scale factors sweeping the volume (fractions of each dim).
+SCALES = (0.1, 0.25, 0.5, 0.75, 0.95)
+
+
+def _query_for_scale(shape, scale: float, rng) -> Box:
+    lengths = [max(1, int(round(n * scale))) for n in shape]
+    return fixed_size_box(shape, lengths, rng)
+
+
+@pytest.fixture(scope="module")
+def insurance():
+    rng = np.random.default_rng(1997)
+    cube = make_cube(INSURANCE_SHAPE, rng, high=1000)
+    return {
+        "cube": cube,
+        "basic": PrefixSumCube(cube),
+        "blocked": BlockedPrefixSumCube(cube, 5),
+        "extended": ExtendedDataCube(cube),
+    }
+
+
+@pytest.fixture(scope="module")
+def timing_cube():
+    rng = np.random.default_rng(2024)
+    cube = make_cube(TIMING_SHAPE, rng, high=1000)
+    return {
+        "cube": cube,
+        "basic": PrefixSumCube(cube),
+        "blocked": BlockedPrefixSumCube(cube, 10),
+    }
+
+
+def _run_method(structures, name: str, box: Box, counter: AccessCounter):
+    if name == "naive":
+        return naive_range_sum(structures["cube"], box, counter)
+    return structures[name].range_sum(box, counter)
+
+
+def test_headline_access_table(insurance, report, rng, benchmark):
+    methods = ("naive", "extended", "basic", "blocked")
+
+    def compute():
+        rows = []
+        for scale in SCALES:
+            counts = dict.fromkeys(methods, 0)
+            volume = 0
+            trials = 10
+            for _ in range(trials):
+                box = _query_for_scale(INSURANCE_SHAPE, scale, rng)
+                volume += box.volume
+                expected = naive_range_sum(insurance["cube"], box)
+                for name in methods:
+                    counter = AccessCounter()
+                    got = _run_method(insurance, name, box, counter)
+                    assert got == expected
+                    counts[name] += counter.total
+            rows.append(
+                [
+                    f"{scale:.2f}",
+                    volume // trials,
+                    counts["naive"] // trials,
+                    counts["extended"] // trials,
+                    counts["basic"] // trials,
+                    counts["blocked"] // trials,
+                    f'{counts["naive"] / max(1, counts["basic"]):.0f}x',
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        format_table(
+            "Headline (§1): element accesses per range-sum, insurance cube "
+            "100×10×50×3",
+            [
+                "scale",
+                "avg volume",
+                "naive",
+                "extended",
+                "basic prefix",
+                "blocked b=5",
+                "naive/basic",
+            ],
+            rows,
+            note=(
+                "Paper: naive cost = V; basic prefix sum = 2^d = 16 "
+                "regardless of V; advantage grows with query volume."
+            ),
+        )
+    )
+    # The shape claims: the basic method is constant, the others grow.
+    assert all(row[4] <= 16 for row in rows)
+    assert rows[-1][2] > 100 * rows[-1][4]
+
+
+@pytest.mark.parametrize("method", ["naive", "basic", "blocked"])
+def test_headline_wall_time(timing_cube, method, benchmark, rng):
+    boxes = [
+        _query_for_scale(TIMING_SHAPE, 0.95, rng) for _ in range(10)
+    ]
+    cube = timing_cube["cube"]
+
+    def run_naive():
+        return sum(int(cube[b.slices()].sum()) for b in boxes)
+
+    def run_basic():
+        return sum(int(timing_cube["basic"].range_sum(b)) for b in boxes)
+
+    def run_blocked():
+        return sum(int(timing_cube["blocked"].range_sum(b)) for b in boxes)
+
+    runner = {
+        "naive": run_naive,
+        "basic": run_basic,
+        "blocked": run_blocked,
+    }[method]
+    assert runner() == run_naive()
+    benchmark(runner)
+
+
+def test_headline_wall_time_report(timing_cube, report, rng, benchmark):
+    """A direct min-over-repeats timing comparison, one row per method."""
+    import time
+
+    boxes = [
+        _query_for_scale(TIMING_SHAPE, 0.95, rng) for _ in range(10)
+    ]
+    cube = timing_cube["cube"]
+
+    def measure(fn):
+        best = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best * 1e3
+
+    def compute():
+        naive_ms = measure(
+            lambda: [int(cube[b.slices()].sum()) for b in boxes]
+        )
+        basic_ms = measure(
+            lambda: [int(timing_cube["basic"].range_sum(b)) for b in boxes]
+        )
+        blocked_ms = measure(
+            lambda: [
+                int(timing_cube["blocked"].range_sum(b)) for b in boxes
+            ]
+        )
+        return naive_ms, basic_ms, blocked_ms
+
+    naive_ms, basic_ms, blocked_ms = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+    report(
+        format_table(
+            "Headline (§1): wall time, 10 large queries on a 200×200×50 "
+            "cube (ms)",
+            ["method", "time (ms)", "speedup vs naive"],
+            [
+                ["naive scan", naive_ms, "1.0x"],
+                ["basic prefix", basic_ms, f"{naive_ms / basic_ms:.1f}x"],
+                [
+                    "blocked b=10",
+                    blocked_ms,
+                    f"{naive_ms / blocked_ms:.1f}x",
+                ],
+            ],
+        )
+    )
+    assert basic_ms < naive_ms

@@ -1,0 +1,107 @@
+"""Theorem 3: the max tree's average-case accesses vs ``b + 7 + 1/b`` (§6).
+
+On random data (all orderings equally likely) the expected number of
+elements accessed by a 1-d range-max query is bounded by ``b + 7 + 1/b``
+— far below the ``O(b·log_b r)`` worst case.  The bench sweeps the fanout
+and the range size, measuring mean accesses over many random ranges on a
+random permutation (distinct values, the theorem's model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import Box
+from repro.core.range_max import RangeMaxTree
+from repro.instrumentation import AccessCounter
+from repro.query.workload import random_box
+
+from benchmarks._tables import format_table
+
+FANOUTS = (2, 3, 5, 8, 13)
+ARRAY_SIZE = 6561  # 3^8: a few complete levels for every fanout
+
+
+def test_theorem3_table(report, benchmark):
+    rng = np.random.default_rng(97)
+    data = rng.permutation(ARRAY_SIZE).astype(np.int64)
+
+    def compute():
+        rows = []
+        for b in FANOUTS:
+            tree = RangeMaxTree(data, b)
+            totals = []
+            for _ in range(600):
+                box = random_box((ARRAY_SIZE,), rng, min_length=2)
+                counter = AccessCounter()
+                tree.max_index(box, counter)
+                totals.append(counter.total)
+            bound = b + 7 + 1 / b
+            rows.append(
+                [
+                    b,
+                    float(np.mean(totals)),
+                    int(np.max(totals)),
+                    round(bound, 2),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        format_table(
+            "Theorem 3 (§6): 1-d average-case accesses vs b + 7 + 1/b, "
+            f"n = {ARRAY_SIZE}, random permutation",
+            ["b", "mean accesses", "max accesses", "bound b+7+1/b"],
+            rows,
+            note="The mean must sit below the bound; the max may exceed "
+            "it (it is an average-case theorem).",
+        )
+    )
+    for b, mean, _max, bound in rows:
+        assert mean <= bound, (b, mean, bound)
+
+
+def test_average_vs_range_size(report, benchmark):
+    """The average is flat in r — unlike the O(b log_b r) worst case."""
+    rng = np.random.default_rng(101)
+    data = rng.permutation(ARRAY_SIZE).astype(np.int64)
+    tree = RangeMaxTree(data, 4)
+
+    def compute():
+        rows = []
+        for r in (4, 16, 64, 256, 1024, 4096):
+            totals = []
+            for _ in range(400):
+                start = int(rng.integers(0, ARRAY_SIZE - r + 1))
+                counter = AccessCounter()
+                tree.max_index(
+                    Box((start,), (start + r - 1,)), counter
+                )
+                totals.append(counter.total)
+            rows.append([r, float(np.mean(totals))])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        format_table(
+            "Theorem 3 (§6): mean accesses vs range size r (b = 4)",
+            ["r", "mean accesses"],
+            rows,
+            note="Flat in r: the branch-and-bound average does not grow "
+            "with the range.",
+        )
+    )
+    means = [m for _, m in rows]
+    assert max(means) <= (4 + 7 + 0.25) * 1.2
+
+
+def test_query_throughput(benchmark):
+    rng = np.random.default_rng(103)
+    data = rng.permutation(ARRAY_SIZE).astype(np.int64)
+    tree = RangeMaxTree(data, 5)
+    boxes = [
+        random_box((ARRAY_SIZE,), rng, min_length=2) for _ in range(100)
+    ]
+    benchmark(lambda: [tree.max_index(b) for b in boxes])

@@ -1,0 +1,108 @@
+"""§6 ablation: what the branch-and-bound pruning is worth.
+
+The range-max tree resolves boundary children in one access when their
+stored max lands inside the query (B_in) and recurses into the rest
+(B_out) *only when their max can beat the incumbent*.  Disabling that
+test forces a full boundary descent.  The bench measures both modes —
+and a naive scan — across dimensionalities and query sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.range_max import RangeMaxTree
+from repro.instrumentation import AccessCounter
+from repro.query.naive import naive_max_value
+from repro.query.workload import make_cube, random_box
+
+from benchmarks._tables import format_table
+
+CASES = (
+    ("1-d n=4096", (4096,), 4),
+    ("2-d 128²", (128, 128), 4),
+    ("3-d 32³", (32, 32, 32), 2),
+)
+
+
+def test_pruning_table(report, benchmark):
+    rng = np.random.default_rng(109)
+
+    def compute():
+        rows = []
+        for label, shape, fanout in CASES:
+            cube = make_cube(shape, rng, high=10**6)
+            tree = RangeMaxTree(cube, fanout)
+            pruned = unpruned = naive = 0
+            trials = 80
+            for _ in range(trials):
+                box = random_box(shape, rng, min_length=2)
+                expected = naive_max_value(cube, box)
+                counter = AccessCounter()
+                assert cube[tree.max_index(box, counter)] == expected
+                pruned += counter.total
+                counter = AccessCounter()
+                assert (
+                    cube[
+                        tree.max_index(
+                            box, counter, use_branch_and_bound=False
+                        )
+                    ]
+                    == expected
+                )
+                unpruned += counter.total
+                naive += box.volume
+            rows.append(
+                [
+                    label,
+                    naive // trials,
+                    unpruned // trials,
+                    pruned // trials,
+                    f"{unpruned / max(1, pruned):.1f}x",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        format_table(
+            "§6 ablation: accesses with and without branch-and-bound",
+            [
+                "cube",
+                "naive scan",
+                "tree, no pruning",
+                "tree + B&B",
+                "pruning gain",
+            ],
+            rows,
+            note="The B&B rule prunes most B_out recursions; the paper's "
+            "average case (Theorem 3) depends on it.",
+        )
+    )
+    for row in rows:
+        assert row[3] <= row[2] <= row[1] * 1.1
+
+
+@pytest.mark.parametrize("mode", ["bnb", "no_bnb", "naive"])
+def test_rangemax_wall_time(mode, benchmark):
+    rng = np.random.default_rng(113)
+    cube = make_cube((256, 256), rng, high=10**6)
+    tree = RangeMaxTree(cube, 4)
+    boxes = [
+        random_box((256, 256), rng, min_length=32) for _ in range(30)
+    ]
+
+    if mode == "naive":
+        benchmark(
+            lambda: [int(cube[b.slices()].max()) for b in boxes]
+        )
+    elif mode == "bnb":
+        benchmark(lambda: [tree.max_index(b) for b in boxes])
+    else:
+        benchmark(
+            lambda: [
+                tree.max_index(b, use_branch_and_bound=False)
+                for b in boxes
+            ]
+        )

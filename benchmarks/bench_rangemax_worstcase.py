@@ -1,0 +1,113 @@
+"""§6.1.3's worst case: O(b·log_b r) accesses, and why the lowest
+covering node matters.
+
+The adversarial scenario from the paper: the query covers all leaves of a
+complete b-ary subtree except the first and last, and those two excluded
+leaves hold the largest values — every level must then be descended on
+both flanks.  The bench builds that instance, measures accesses against
+``b·log_b r``, and demonstrates that starting at the lowest covering node
+(rather than the root) keeps small far-from-origin ranges cheap.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro._util import Box
+from repro.core.range_max import RangeMaxTree
+from repro.instrumentation import AccessCounter
+
+from benchmarks._tables import format_table
+
+
+def adversarial_instance(b: int, levels: int) -> tuple[np.ndarray, Box]:
+    """r + 2 = b^levels with the two flanking cells holding the maxima."""
+    n = b**levels
+    data = np.arange(n, dtype=np.int64)  # increasing left to right
+    rng = np.random.default_rng(0)
+    rng.shuffle(data[1:-1])
+    data[0] = 10**9
+    data[-1] = 10**9 - 1
+    return data, Box((1,), (n - 2,))
+
+
+def test_worstcase_table(report, benchmark):
+    def compute():
+        rows = []
+        for b in (2, 3, 4, 8):
+            for levels in (3, 4, 5):
+                data, box = adversarial_instance(b, levels)
+                tree = RangeMaxTree(data, b)
+                counter = AccessCounter()
+                index = tree.max_index(box, counter)
+                assert box.contains_point(index)
+                r = box.volume
+                bound = b * math.log(r, b)
+                rows.append(
+                    [
+                        b,
+                        r,
+                        counter.total,
+                        round(bound, 1),
+                        round(counter.total / bound, 2),
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        format_table(
+            "§6.1.3 worst case: adversarial flanking maxima, accesses vs "
+            "b·log_b r",
+            ["b", "r", "accesses", "b·log_b r", "ratio"],
+            rows,
+            note="Ratios stay O(1): the measured cost is Θ(b·log_b r).",
+        )
+    )
+    for _, _, accesses, bound, _ in rows:
+        assert accesses <= 4 * bound + 8
+
+
+def test_lowest_covering_node_matters(report, benchmark):
+    """Small ranges far from the origin: accesses track log_b r, not
+    log_b n (§6.1.3's closing remark)."""
+    rng = np.random.default_rng(107)
+    b = 3
+    n = 3**9  # 19683
+    data = rng.permutation(n).astype(np.int64)
+    tree = RangeMaxTree(data, b)
+
+    def compute():
+        rows = []
+        for r in (3, 9, 27):
+            worst = 0
+            for _ in range(300):
+                start = int(rng.integers(0, n - r))
+                counter = AccessCounter()
+                tree.max_index(Box((start,), (start + r - 1,)), counter)
+                worst = max(worst, counter.total)
+            rows.append(
+                [
+                    r,
+                    worst,
+                    round(b * math.log(max(r, 2), b), 1),
+                    round(b * math.log(n, b), 1),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        format_table(
+            "§6.1.2: worst observed accesses for small ranges, n = 19683",
+            ["r", "worst accesses", "b·log_b r", "b·log_b n (root start)"],
+            rows,
+            note="Costs track the r column: the search starts at the "
+            "lowest covering node, not the root.",
+        )
+    )
+    for r, worst, _, _ in rows:
+        assert worst <= 3 * b * (math.log(max(r, 2), b) + 2)

@@ -1,0 +1,111 @@
+"""Theorem 2: batch-update region counts vs the ``∏(k+j)/d!`` bound (§5).
+
+The batch-update algorithm groups the affected cells of ``P`` into
+delta-uniform rectangular regions; Theorem 2 bounds their number by
+``k(k+1)···(k+d−1)/d!``.  The bench sweeps ``k`` and ``d``, reporting the
+measured count (random update locations), the worst case observed, and
+the bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch_update import (
+    PointUpdate,
+    partition_updates,
+    theorem2_region_bound,
+)
+
+from benchmarks._tables import format_table
+
+SHAPES = {1: (4096,), 2: (64, 64), 3: (16, 16, 16)}
+KS = (1, 2, 4, 8, 16)
+
+
+def _random_batch(shape, k, rng):
+    updates = []
+    seen = set()
+    while len(updates) < k:
+        index = tuple(int(rng.integers(0, n)) for n in shape)
+        if index in seen:
+            continue
+        seen.add(index)
+        updates.append(PointUpdate(index, int(rng.integers(1, 10))))
+    return updates
+
+
+def test_theorem2_table(report, benchmark):
+    rng = np.random.default_rng(71)
+
+    def compute():
+        rows = []
+        for d, shape in SHAPES.items():
+            for k in KS:
+                counts = []
+                for _ in range(20):
+                    updates = _random_batch(shape, k, rng)
+                    counts.append(
+                        len(partition_updates(updates, shape))
+                    )
+                bound = theorem2_region_bound(k, d)
+                rows.append(
+                    [
+                        d,
+                        k,
+                        float(np.mean(counts)),
+                        max(counts),
+                        bound,
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        format_table(
+            "Theorem 2 (§5): measured batch-update regions vs the bound",
+            ["d", "k", "avg regions", "max regions", "bound ∏(k+j)/d!"],
+            rows,
+            note="Every measured count must stay at or below the bound; "
+            "the 1-d case meets it exactly.",
+        )
+    )
+    for d, k, _avg, worst, bound in rows:
+        assert worst <= bound
+        if d == 1:
+            assert worst == bound  # k distinct indices → exactly k regions
+
+
+def test_adversarial_diagonal_meets_bound(report, benchmark):
+    """A strictly 'staircase' batch realizes the bound in 2-d."""
+
+    def compute():
+        rows = []
+        for k in KS:
+            shape = (k + 2, k + 2)
+            updates = [
+                PointUpdate((i, k - i), 1) for i in range(k)
+            ]
+            regions = partition_updates(updates, shape)
+            rows.append([k, len(regions), theorem2_region_bound(k, 2)])
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report(
+        format_table(
+            "Theorem 2 (§5): anti-diagonal updates achieve the 2-d bound",
+            ["k", "regions", "bound k(k+1)/2"],
+            rows,
+        )
+    )
+    for _, measured, bound in rows:
+        assert measured == bound
+
+
+def test_partition_throughput(benchmark):
+    rng = np.random.default_rng(73)
+    shape = (64, 64, 64)
+    updates = _random_batch(shape, 32, rng)
+    regions = benchmark(lambda: partition_updates(updates, shape))
+    assert len(regions) <= theorem2_region_bound(32, 3)

@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator so benchmark workloads are reproducible."""
+    return np.random.default_rng(1997)
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a report table to the real terminal, bypassing capture."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+
+    return _emit

@@ -1,0 +1,121 @@
+"""ASCII renditions of the paper's two analytic figures.
+
+Figure 11 (tree-sum cost minus prefix-sum cost on a log scale, against
+the query side α in blocks) and Figure 14 (the benefit/space curve whose
+maximum picks the block size) are pure functions of the §8/§9.3 cost
+model — so this example re-plots them in the terminal straight from
+:mod:`repro.optimizer.cost_model`, no plotting library required.
+
+Run:
+    python examples/paper_figures.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.optimizer.cost_model import (
+    benefit_space_ratio,
+    figure11_difference,
+    optimal_block_size_real,
+)
+from repro.query.stats import QueryStatistics
+
+
+def ascii_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    log_y: bool = False,
+) -> str:
+    """A minimal scatter chart: one marker character per series."""
+    markers = "ox+*#@%&"
+    points = [
+        (x, y, markers[i % len(markers)])
+        for i, values in enumerate(series.values())
+        for x, y in values
+    ]
+    ys = [math.log10(y) if log_y else y for _, y, _ in points if y > 0 or not log_y]
+    xs = [x for x, _, _ in points]
+    y_lo, y_hi = min(ys), max(ys)
+    x_lo, x_hi = min(xs), max(xs)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        if log_y:
+            if y <= 0:
+                continue
+            y = math.log10(y)
+        col = round((x - x_lo) / (x_hi - x_lo or 1) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo or 1) * (height - 1))
+        grid[height - 1 - row][col] = marker
+    lines = []
+    top = f"1e{y_hi:.1f}" if log_y else f"{y_hi:.0f}"
+    bottom = f"1e{y_lo:.1f}" if log_y else f"{y_lo:.0f}"
+    lines.append(f"{top:>8} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " │" + "".join(row))
+    lines.append(f"{bottom:>8} ┤" + "".join(grid[-1]))
+    lines.append(
+        " " * 8 + " └" + "─" * width
+    )
+    lines.append(f"{'':8}   {x_lo:<8.0f}{'':{max(0, width - 16)}}{x_hi:>8.0f}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} = {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def figure11() -> None:
+    print("Figure 11 — Cost(hierarchical tree) − Cost(prefix sum), log y")
+    print("(d, b) curves against the query side alpha in blocks\n")
+    alphas = list(range(1, 21))
+    series = {}
+    for d, b in (
+        (4, 20),
+        (4, 10),
+        (3, 20),
+        (3, 10),
+        (2, 20),
+        (2, 10),
+    ):
+        series[f"d={d},b={b}"] = [
+            (a, max(figure11_difference(a, b, d), 0.1)) for a in alphas
+        ]
+    print(ascii_chart(series, log_y=True))
+    print()
+
+
+def figure14() -> None:
+    print("Figure 14 — benefit/space against block size")
+    print("(paper example: d=3, N_Q/N=1/100, V−2^d=1000, S=400)\n")
+    curve = [
+        (b, 10.0 * b**3 - b**4) for b in range(1, 11)
+    ]
+    print(ascii_chart({"benefit/space": curve}))
+    print()
+    print("closed-form maximum: b* = (V−2^d)/(S/4) · d/(d+1) = 7.5")
+    print("zero crossing:       b  = 4(V−2^d)/S        = 10")
+
+
+def block_size_sweep() -> None:
+    print("\nBonus: the same curve for a live query profile")
+    stats = QueryStatistics.from_lengths([60, 45, 50])
+    b_star = optimal_block_size_real(stats)
+    curve = [
+        (b, benefit_space_ratio(stats, 10, 10**6, b))
+        for b in range(1, int(b_star * 2))
+    ]
+    print(ascii_chart({"benefit/space": curve}, height=12))
+    print(f"closed form puts the maximum at b* = {b_star:.2f}")
+
+
+def main() -> None:
+    figure11()
+    figure14()
+    block_size_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""Nightly batch loads: keeping the precomputed structures fresh (§5, §7).
+
+OLAP cubes absorb updates in periodic batches ("performed together ... at
+midnight every day", §5).  This example simulates a week of trading days:
+each night a batch of point updates lands on the cube, the prefix-sum
+array is repaired with the §5 region partition (plus Theorem 2's bound on
+the work), the max tree with the §7 tag propagation — and morning queries
+stay exact and fast.  Progressive bounds (§11) give the analyst an
+instant approximation before the exact number.
+
+Run:
+    python examples/streaming_updates.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AccessCounter,
+    BlockedPrefixSumCube,
+    Box,
+    MaxAssignment,
+    PointUpdate,
+    PrefixSumCube,
+    RangeMaxTree,
+    apply_max_updates,
+    progressive_bounds,
+)
+from repro.core.batch_update import theorem2_region_bound
+
+SHAPE = (90, 60)  # trading-day × instrument
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    positions = rng.integers(100, 1000, SHAPE).astype(np.int64)
+
+    prefix = PrefixSumCube(positions)
+    blocked = BlockedPrefixSumCube(positions, 10)
+    max_tree = RangeMaxTree(positions, 4)
+    mirror = positions.copy()
+
+    window = Box((30, 10), (59, 39))  # the desk's standing dashboard
+
+    for day in range(1, 8):
+        # Overnight: a batch of position changes arrives.
+        batch_size = int(rng.integers(10, 40))
+        deltas = []
+        assignments = []
+        seen = set()
+        while len(deltas) < batch_size:
+            cell = (
+                int(rng.integers(0, SHAPE[0])),
+                int(rng.integers(0, SHAPE[1])),
+            )
+            if cell in seen:
+                continue
+            seen.add(cell)
+            change = int(rng.integers(-200, 300))
+            deltas.append(PointUpdate(cell, change))
+            assignments.append(
+                MaxAssignment(cell, int(mirror[cell]) + change)
+            )
+            mirror[cell] += change
+
+        regions = prefix.apply_updates(deltas)
+        blocked.apply_updates(deltas)
+        stats = apply_max_updates(max_tree, assignments)
+        bound = theorem2_region_bound(batch_size, 2)
+        print(
+            f"night {day}: {batch_size:>2} updates → "
+            f"{regions:>3} prefix regions (Theorem 2 bound {bound}), "
+            f"max-tree phases {stats.items_per_phase}, "
+            f"rescans {stats.rescans}"
+        )
+
+        # Morning: the dashboard refreshes.
+        counter = AccessCounter()
+        bounds = progressive_bounds(blocked, window, counter)
+        exact = prefix.range_sum(window)
+        assert int(bounds.lower) <= int(exact) <= int(bounds.upper)
+        assert exact == mirror[window.slices()].sum()
+        peak = max_tree.max_index(window)
+        assert max_tree.source[peak] == mirror[window.slices()].max()
+        print(
+            f"  morning query: instant bounds "
+            f"[{int(bounds.lower)}, {int(bounds.upper)}] "
+            f"({counter.total} reads) → exact {int(exact)}; "
+            f"peak {max_tree.source[peak]} at {peak}"
+        )
+
+    print("\nall structures stayed exact across the week — no rebuilds.")
+
+
+if __name__ == "__main__":
+    main()

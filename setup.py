@@ -1,0 +1,10 @@
+"""Setuptools shim so editable installs work without network access.
+
+All project metadata lives in ``pyproject.toml``; this file only exists to
+enable ``pip install -e .`` on environments whose pip lacks the ``wheel``
+package required by the PEP 660 editable path.
+"""
+
+from setuptools import setup
+
+setup()

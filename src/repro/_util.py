@@ -1,0 +1,160 @@
+"""Shared geometric helpers for d-dimensional integer boxes.
+
+Every structure in this library reasons about axis-aligned boxes of integer
+cells (the paper's ``Region(l1:h1, ..., ld:hd)`` notation, bounds inclusive).
+This module centralizes the box arithmetic so the query-path code in
+:mod:`repro.core` reads like the paper's pseudocode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class Box:
+    """A closed axis-aligned box of integer cells: ``lo[j] <= i_j <= hi[j]``.
+
+    A box is *empty* when ``hi[j] < lo[j]`` in any dimension.  Empty boxes
+    are legal values (several paper constructions produce them naturally,
+    e.g. degenerate members of the ``3^d`` blocked decomposition) and have
+    volume zero.
+    """
+
+    lo: tuple[int, ...]
+    hi: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise ValueError(
+                f"lo has {len(self.lo)} dims but hi has {len(self.hi)}"
+            )
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions of the box."""
+        return len(self.lo)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the box contains no integer cells."""
+        return any(h < l for l, h in zip(self.lo, self.hi))
+
+    @property
+    def volume(self) -> int:
+        """Number of integer cells inside the box (0 when empty)."""
+        vol = 1
+        for l, h in zip(self.lo, self.hi):
+            if h < l:
+                return 0
+            vol *= h - l + 1
+        return vol
+
+    @property
+    def lengths(self) -> tuple[int, ...]:
+        """Per-dimension cell counts, clamped at zero for empty extents."""
+        return tuple(max(0, h - l + 1) for l, h in zip(self.lo, self.hi))
+
+    def slices(self) -> tuple[slice, ...]:
+        """Numpy-style slices selecting exactly this box from an array."""
+        return tuple(slice(l, h + 1) for l, h in zip(self.lo, self.hi))
+
+    def contains_point(self, point: Sequence[int]) -> bool:
+        """True when ``point`` lies inside the box."""
+        return all(
+            l <= p <= h for l, p, h in zip(self.lo, point, self.hi)
+        )
+
+    def contains_box(self, other: "Box") -> bool:
+        """True when ``other`` is entirely inside this box.
+
+        An empty ``other`` is contained in every box.
+        """
+        if other.is_empty:
+            return True
+        return all(
+            sl <= ol and oh <= sh
+            for sl, ol, oh, sh in zip(self.lo, other.lo, other.hi, self.hi)
+        )
+
+    def intersect(self, other: "Box") -> "Box":
+        """The (possibly empty) intersection of two boxes."""
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        return Box(lo, hi)
+
+    def intersects(self, other: "Box") -> bool:
+        """True when the two boxes share at least one cell."""
+        return not self.intersect(other).is_empty
+
+    def iter_points(self) -> Iterator[tuple[int, ...]]:
+        """Yield every integer point of the box in row-major order."""
+        if self.is_empty:
+            return
+        point = list(self.lo)
+        ndim = self.ndim
+        while True:
+            yield tuple(point)
+            axis = ndim - 1
+            while axis >= 0:
+                point[axis] += 1
+                if point[axis] <= self.hi[axis]:
+                    break
+                point[axis] = self.lo[axis]
+                axis -= 1
+            if axis < 0:
+                return
+
+    def __str__(self) -> str:
+        ranges = ", ".join(
+            f"{l}:{h}" for l, h in zip(self.lo, self.hi)
+        )
+        return f"Box({ranges})"
+
+
+def full_box(shape: Sequence[int]) -> Box:
+    """The box covering an entire array of the given shape."""
+    return Box(tuple(0 for _ in shape), tuple(n - 1 for n in shape))
+
+
+def box_difference(outer: Box, inner: Box) -> list[Box]:
+    """Decompose ``outer − inner`` into at most ``2·d`` disjoint boxes.
+
+    ``inner`` must be contained in ``outer``.  The decomposition peels two
+    slabs per axis (below and above ``inner``), shrinking the working box to
+    the inner extent along each processed axis, which yields pairwise
+    disjoint boxes whose union is exactly the set difference.
+
+    This is how a blocked range-sum query *actually evaluates* the
+    complement of a boundary region (paper §4.2): the complement region is
+    generally L-shaped, so it is materialized as disjoint rectangles and
+    each rectangle is scanned from ``A``.
+    """
+    if inner.is_empty:
+        return [] if outer.is_empty else [outer]
+    if not outer.contains_box(inner):
+        raise ValueError(f"{inner} is not contained in {outer}")
+    pieces: list[Box] = []
+    lo = list(outer.lo)
+    hi = list(outer.hi)
+    for axis in range(outer.ndim):
+        if lo[axis] < inner.lo[axis]:
+            piece_hi = list(hi)
+            piece_hi[axis] = inner.lo[axis] - 1
+            pieces.append(Box(tuple(lo), tuple(piece_hi)))
+        if inner.hi[axis] < hi[axis]:
+            piece_lo = list(lo)
+            piece_lo[axis] = inner.hi[axis] + 1
+            pieces.append(Box(tuple(piece_lo), tuple(hi)))
+        lo[axis] = inner.lo[axis]
+        hi[axis] = inner.hi[axis]
+    return [p for p in pieces if not p.is_empty]
+
+
+def validate_range(lo: int, hi: int, size: int, name: str = "range") -> None:
+    """Raise ``ValueError`` unless ``0 <= lo <= hi < size``."""
+    if not 0 <= lo <= hi < size:
+        raise ValueError(
+            f"invalid {name} {lo}:{hi} for dimension of size {size}"
+        )

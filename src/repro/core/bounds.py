@@ -1,0 +1,170 @@
+"""Progressive range-sum and range-max bounds (paper §11).
+
+*"one can implement the range-sum algorithm so that an upper bound and a
+lower bound on the range-sum are returned to users first, followed by a
+real sum when the final computation is completed.  This is because each
+bound can be derived in at most 2^d − 1 computation steps."*
+
+For a cube of non-negative measures (revenue, counts, ... — the normal
+OLAP case) the blocked structure yields both bounds from ``P`` alone:
+
+* **lower bound** — the sum of the query's block-aligned *internal*
+  region (a subset of the query);
+* **upper bound** — the sum of the query's block-aligned *enclosing*
+  region ``l''_j : h''_j − 1`` (a superset of the query).
+
+Each is one Theorem 1 evaluation on the blocked prefix array, i.e. at most
+``2^d`` reads and ``2^d − 1`` combining steps, after which the exact answer
+can be streamed in.  Bound tightness improves as the block size shrinks
+(measured in ``benchmarks/bench_progressive_bounds.py``).
+
+§11 closes with *"The same approximation approach can be applied to the
+range-max queries using the tree algorithm"*: one level of the max tree
+below the lowest covering node yields both bounds in at most ``b^d``
+accesses —
+
+* **upper bound** — the max of every non-external child's stored value
+  (their covers jointly contain the query);
+* **lower bound** — the best value already *known* to lie inside the
+  query: stored maxima of internal and ``B_in`` children, else a seed
+  cell of the region.
+
+:func:`progressive_max_bounds` implements that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro._util import Box
+from repro.core.blocked import BlockedPrefixSumCube
+from repro.core.range_max import RangeMaxTree
+from repro.instrumentation import NULL_COUNTER, AccessCounter
+
+
+@dataclass(frozen=True)
+class ProgressiveBounds:
+    """The early answer: ``lower <= exact <= upper`` (non-negative cubes)."""
+
+    lower: object
+    upper: object
+    inner_region: Box | None
+    outer_region: Box
+
+    def width(self) -> object:
+        """Absolute slack between the two bounds."""
+        return self.upper - self.lower
+
+
+def progressive_bounds(
+    structure: BlockedPrefixSumCube,
+    box: Box,
+    counter: AccessCounter = NULL_COUNTER,
+) -> ProgressiveBounds:
+    """Constant-time lower/upper bounds for ``Sum(box)`` (§11).
+
+    Args:
+        structure: A blocked prefix-sum cube over *non-negative* measures
+            (the bounds are not valid for mixed-sign cubes).
+        box: The query region.
+        counter: Charged for the ``<= 2·2^d`` prefix reads.
+
+    Returns:
+        The pair of bounds plus the aligned regions they were read from.
+    """
+    structure._check_box(box)
+    b = structure.block_size
+    inner_lo = []
+    inner_hi = []
+    outer_lo = []
+    outer_hi = []
+    for lo, hi, n in zip(box.lo, box.hi, structure.shape):
+        # Tightest aligned region inside the query: lo rounded up to a
+        # block start, hi+1 rounded down to a block end.  (The query
+        # algorithm's l'/h' of §4 are looser on aligned tails; bounds
+        # benefit from the tight variant.)
+        inner_lo.append(b * math.ceil(lo / b))
+        inner_hi.append(b * ((hi + 1) // b) - 1)
+        # Tightest aligned region containing the query.
+        outer_lo.append(b * (lo // b))
+        outer_hi.append(min(b * (hi // b + 1), n) - 1)
+    outer = Box(tuple(outer_lo), tuple(outer_hi))
+    upper = structure._aligned_region_sum(outer, counter)
+    inner: Box | None = Box(tuple(inner_lo), tuple(inner_hi))
+    if inner.is_empty:
+        inner = None
+        lower = structure.operator.identity
+    else:
+        lower = structure._aligned_region_sum(inner, counter)
+    return ProgressiveBounds(
+        lower=lower, upper=upper, inner_region=inner, outer_region=outer
+    )
+
+
+@dataclass(frozen=True)
+class MaxBounds:
+    """The early range-max answer: ``lower <= Max(R) <= upper``."""
+
+    lower: object
+    upper: object
+
+    def width(self) -> object:
+        """Absolute slack between the two bounds."""
+        return self.upper - self.lower
+
+
+def progressive_max_bounds(
+    tree: RangeMaxTree,
+    box: Box,
+    counter: AccessCounter = NULL_COUNTER,
+) -> MaxBounds:
+    """Constant-time lower/upper bounds for ``Max(box)`` (§11's remark).
+
+    One level of the tree below the lowest covering node is inspected:
+    every child whose cover meets the query contributes its stored max to
+    the **upper** bound; children resolvable in one access (internal, or
+    boundary with the stored index inside the query) contribute to the
+    **lower** bound, seeded by one raw cell so the lower bound always
+    exists.  Cost is at most ``b^d`` child reads plus one cell read.
+
+    Args:
+        tree: A built :class:`RangeMaxTree`.
+        box: The query region.
+        counter: Charged per node/cell read.
+
+    Returns:
+        The bounds pair; ``lower == upper`` means the max is exact.
+    """
+    tree._check_box(box)
+    counter.count_cube(1)
+    seed = tree.source[box.lo]
+    level, node = tree._lowest_covering_node(box)
+    if level == 0:
+        return MaxBounds(seed, seed)
+    counter.count_tree(1)
+    stored = tree._node_point(level, node)
+    node_value = tree.values[level][node]
+    if box.contains_point(stored):
+        return MaxBounds(node_value, node_value)
+    if level == 1:
+        # Children are raw cells; the cover's max lies outside the query,
+        # so the stored value is only an upper bound.
+        return MaxBounds(seed, node_value)
+    lower = seed
+    upper = None
+    child_values = tree.values[level - 1]
+    for child in tree._iter_children(level, node):
+        cover = tree.node_region(level - 1, child)
+        overlap = cover.intersect(box)
+        if overlap.is_empty:
+            continue
+        counter.count_tree(1)
+        value = child_values[child]
+        upper = value if upper is None else max(upper, value)
+        child_point = tree._node_point(level - 1, child)
+        if box.contains_box(cover) or box.contains_point(child_point):
+            if value > lower:
+                lower = value
+    assert upper is not None  # the node covers the query
+    return MaxBounds(lower, upper)

@@ -1,0 +1,116 @@
+"""Invertible aggregation operators for prefix-"sum" structures.
+
+Section 1 of the paper: *"Techniques described for range-sum queries can be
+applied to any binary operator ⊕ for which there exists an inverse binary
+operator ⊖ such that a ⊕ b ⊖ b = a."*  The paper's examples are
+
+* ``(+, −)`` — SUM (and COUNT, and AVERAGE via (sum, count) pairs),
+* ``(xor, xor)`` — bitwise exclusive or, which is its own inverse,
+* ``(×, ÷)`` — multiplication over a zero-free domain.
+
+:class:`InvertibleOperator` packages one such pair along with the numpy
+ufuncs needed to build the prefix array with vectorized sweeps.  The SUM
+operator is the default everywhere; the others make the generality claim
+executable and testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class InvertibleOperator:
+    """A binary operator ``apply`` with inverse ``invert``.
+
+    Attributes:
+        name: Human-readable operator name.
+        apply: The aggregation ``⊕`` (a numpy ufunc or compatible callable).
+        invert: The inverse ``⊖`` satisfying ``invert(apply(a, b), b) == a``.
+        identity: The neutral element ``e`` with ``apply(e, a) == a``.
+        accumulate: Cumulative application along one axis of an ndarray,
+            used by the d-phase prefix construction (paper §3.3).
+    """
+
+    name: str
+    apply: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    invert: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    identity: object
+    accumulate: Callable[[np.ndarray, int], np.ndarray]
+
+    def reduce_box(self, values: np.ndarray) -> object:
+        """Aggregate every element of ``values`` with ``⊕``.
+
+        Used by query paths that scan raw cube cells (boundary regions of
+        the blocked algorithm, naive baselines).
+        """
+        flat = np.asarray(values).ravel()
+        if flat.size == 0:
+            return self.identity
+        if isinstance(self.apply, np.ufunc):
+            return self.apply.reduce(flat)
+        result = flat[0]
+        for value in flat[1:]:
+            result = self.apply(result, value)
+        return result
+
+    def __repr__(self) -> str:
+        return f"InvertibleOperator({self.name!r})"
+
+
+def _checked_divide(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Division that refuses zero divisors (the paper excludes 0)."""
+    if np.any(np.asarray(b) == 0):
+        raise ZeroDivisionError(
+            "the (multiply, divide) operator requires a zero-free domain"
+        )
+    return np.divide(a, b)
+
+
+#: The paper's headline operator pair ``(+, −)``.
+SUM = InvertibleOperator(
+    name="sum",
+    apply=np.add,
+    invert=np.subtract,
+    identity=0,
+    accumulate=lambda arr, axis: np.cumsum(arr, axis=axis),
+)
+
+#: ``(xor, xor)`` — self-inverse, integer domains only.
+XOR = InvertibleOperator(
+    name="xor",
+    apply=np.bitwise_xor,
+    invert=np.bitwise_xor,
+    identity=0,
+    accumulate=lambda arr, axis: np.bitwise_xor.accumulate(arr, axis=axis),
+)
+
+#: ``(×, ÷)`` over a domain excluding zero.
+PRODUCT = InvertibleOperator(
+    name="product",
+    apply=np.multiply,
+    invert=_checked_divide,
+    identity=1,
+    accumulate=lambda arr, axis: np.multiply.accumulate(arr, axis=axis),
+)
+
+#: Registry keyed by name for config-style lookups.
+OPERATORS: dict[str, InvertibleOperator] = {
+    op.name: op for op in (SUM, XOR, PRODUCT)
+}
+
+
+def get_operator(name: str) -> InvertibleOperator:
+    """Look up a registered operator by name.
+
+    Raises:
+        KeyError: If ``name`` is not one of ``sum``, ``xor``, ``product``.
+    """
+    try:
+        return OPERATORS[name]
+    except KeyError:
+        known = ", ".join(sorted(OPERATORS))
+        raise KeyError(f"unknown operator {name!r}; known: {known}") from None

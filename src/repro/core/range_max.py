@@ -1,0 +1,337 @@
+"""The tree-based range-max method with branch and bound (paper §6).
+
+The structure is a generalized quad-tree: a balanced tree of fanout
+``B = b^d`` built bottom-up over the cube.  A node at level ``i`` covers a
+``b^i × ... × b^i`` region of leaves (the last node per level and dimension
+may cover less) and stores the **index** of the maximum value inside the
+region it covers — one integer per node, values being recoverable from
+``A`` itself.
+
+A range-max query ``Max_index(R)``:
+
+1. finds the *lowest-level* node ``x`` whose cover contains ``R`` (via the
+   base-``b`` digit prefix shared by ``l`` and ``h``; this, not the root,
+   bounds the 1-d worst case by ``O(b log_b r)`` instead of
+   ``O(b log_b n)``);
+2. if the precomputed ``Max_index(C(x))`` already falls inside ``R``, that
+   is the answer;
+3. otherwise it walks down, classifying each child as **internal**
+   (``C(y) ⊆ R``), **external** (disjoint — never touched), or
+   **boundary**; boundary children whose stored max index falls inside
+   ``R`` (the set ``B_in``) resolve in one access, and the remaining
+   boundary children (``B_out``) are recursed into **only when their
+   precomputed max exceeds the best value found so far** — the
+   branch-and-bound rule, sound because
+   ``∃ i ∈ S₂ : i ≥ max(S₁) ⇒ max(S₂) = max(S₂ − S₁)``.
+
+Theorem 3: with random data the expected number of accesses in 1-d is at
+most ``b + 7 + 1/b`` — far below the worst case (validated empirically in
+``benchmarks/bench_rangemax_average.py``).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Sequence
+
+import numpy as np
+
+from repro._util import Box, full_box
+from repro.instrumentation import NULL_COUNTER, AccessCounter
+
+
+def _sentinel_for(dtype: np.dtype) -> object:
+    """The smallest representable value, used to pad partial blocks."""
+    if np.issubdtype(dtype, np.floating):
+        return -np.inf
+    if np.issubdtype(dtype, np.integer):
+        return np.iinfo(dtype).min
+    raise TypeError(f"range-max requires numeric cubes, got dtype {dtype}")
+
+
+def _contract_argmax(
+    values: np.ndarray, positions: np.ndarray, fanout: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """One bottom-up level step: per-block argmax of ``values``.
+
+    Args:
+        values: Current level's max values (level 0: the cube itself).
+        positions: Matching flat indices into the original cube.
+        fanout: Per-dimension fanout ``b``.
+
+    Returns:
+        ``(values, positions)`` of the next level, one entry per block of
+        ``b^d`` children (partial blocks padded with the dtype's minimum).
+    """
+    ndim = values.ndim
+    pad_widths = []
+    for n in values.shape:
+        remainder = (-n) % fanout
+        pad_widths.append((0, remainder))
+    padded_vals = np.pad(
+        values,
+        pad_widths,
+        constant_values=_sentinel_for(values.dtype),
+    )
+    padded_pos = np.pad(positions, pad_widths, constant_values=-1)
+    block_shape = tuple(n // fanout for n in padded_vals.shape)
+    interleaved = []
+    for n_blocks in block_shape:
+        interleaved.extend((n_blocks, fanout))
+    vals = padded_vals.reshape(interleaved)
+    pos = padded_pos.reshape(interleaved)
+    order = list(range(0, 2 * ndim, 2)) + list(range(1, 2 * ndim, 2))
+    vals = vals.transpose(order).reshape(block_shape + (fanout**ndim,))
+    pos = pos.transpose(order).reshape(block_shape + (fanout**ndim,))
+    winners = np.argmax(vals, axis=-1)
+    next_vals = np.take_along_axis(
+        vals, winners[..., None], axis=-1
+    ).squeeze(-1)
+    next_pos = np.take_along_axis(
+        pos, winners[..., None], axis=-1
+    ).squeeze(-1)
+    return next_vals, next_pos
+
+
+class RangeMaxTree:
+    """Precomputed max indices over a balanced ``b^d``-ary tree (§6).
+
+    Args:
+        cube: The raw data cube ``A`` (numeric).  A copy is retained —
+            the tree stores indices, so values must stay addressable.
+        fanout: Per-dimension fanout ``b >= 2``.
+    """
+
+    def __init__(self, cube: np.ndarray, fanout: int) -> None:
+        if fanout < 2:
+            raise ValueError(f"fanout must be >= 2, got {fanout}")
+        if cube.ndim == 0:
+            raise ValueError("the data cube must have at least one dimension")
+        _sentinel_for(cube.dtype)  # fail fast on unsupported dtypes
+        self.fanout = int(fanout)
+        self.source = np.array(cube, copy=True)
+        self.shape = tuple(int(n) for n in cube.shape)
+        self.ndim = cube.ndim
+        # Level arrays; index 0 is a placeholder so self.values[i] is the
+        # contracted array A_i of the paper for i >= 1.
+        self.values: list[np.ndarray | None] = [None]
+        self.positions: list[np.ndarray | None] = [None]
+        vals = self.source
+        pos = np.arange(self.source.size, dtype=np.int64).reshape(self.shape)
+        while any(n > 1 for n in vals.shape):
+            vals, pos = _contract_argmax(vals, pos, self.fanout)
+            self.values.append(vals)
+            self.positions.append(pos)
+        self.height = len(self.values) - 1
+
+    @property
+    def node_count(self) -> int:
+        """Total number of non-leaf nodes stored."""
+        return sum(v.size for v in self.values[1:] if v is not None)
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+
+    def max_index(
+        self,
+        box: Box,
+        counter: AccessCounter = NULL_COUNTER,
+        use_branch_and_bound: bool = True,
+    ) -> tuple[int, ...]:
+        """Index of a maximum cell inside ``box`` (``Max_index(R)``, §6.1.3).
+
+        Args:
+            box: Inclusive query region.
+            counter: Charged per tree node and per raw cell read.
+            use_branch_and_bound: Disable to measure the pruning's value
+                (every boundary child is then recursed into).
+
+        Returns:
+            A d-tuple index of one cell attaining the maximum.
+        """
+        self._check_box(box)
+        level, node = self._lowest_covering_node(box)
+        if level == 0:
+            counter.count_cube(1)
+            return box.lo
+        counter.count_tree(1)
+        stored = self._node_point(level, node)
+        if box.contains_point(stored):
+            return stored
+        counter.count_cube(1)  # read A[l] to seed current_max_index
+        return self._get_max_index(
+            level, node, box, box.lo, counter, use_branch_and_bound
+        )
+
+    def max_value(
+        self,
+        box: Box,
+        counter: AccessCounter = NULL_COUNTER,
+        use_branch_and_bound: bool = True,
+    ) -> object:
+        """The maximum value inside ``box``."""
+        index = self.max_index(box, counter, use_branch_and_bound)
+        return self.source[index]
+
+    def max_range(
+        self,
+        bounds: Sequence[tuple[int, int]],
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> tuple[int, ...]:
+        """Convenience wrapper taking ``(lo, hi)`` pairs per dimension."""
+        return self.max_index(
+            Box(tuple(lo for lo, _ in bounds), tuple(hi for _, hi in bounds)),
+            counter,
+        )
+
+    def global_max_index(
+        self, counter: AccessCounter = NULL_COUNTER
+    ) -> tuple[int, ...]:
+        """Index of the maximum of the whole cube (one root access)."""
+        return self.max_index(full_box(self.shape), counter)
+
+    # ------------------------------------------------------------------
+    # Structure navigation (shared with the batch updater)
+    # ------------------------------------------------------------------
+
+    def level_shape(self, level: int) -> tuple[int, ...]:
+        """Shape of the contracted array ``A_level``."""
+        if level == 0:
+            return self.shape
+        vals = self.values[level]
+        assert vals is not None
+        return vals.shape
+
+    def node_region(self, level: int, node: tuple[int, ...]) -> Box:
+        """The leaf region ``C(x)`` covered by a node."""
+        span = self.fanout**level
+        lo = tuple(c * span for c in node)
+        hi = tuple(
+            min((c + 1) * span, n) - 1 for c, n in zip(node, self.shape)
+        )
+        return Box(lo, hi)
+
+    def _node_point(self, level: int, node: tuple[int, ...]) -> tuple[int, ...]:
+        """Stored max index of a node, as a d-tuple into ``A``."""
+        pos_arr = self.positions[level]
+        assert pos_arr is not None
+        flat = int(pos_arr[node])
+        return tuple(int(i) for i in np.unravel_index(flat, self.shape))
+
+    def _lowest_covering_node(self, box: Box) -> tuple[int, tuple[int, ...]]:
+        """Lowest-level node whose cover contains ``box`` (§6.1.2).
+
+        In base-``b`` digits this is the longest common prefix of ``l``
+        and ``h``; computed here as the smallest ``i`` with
+        ``l_j // b^i == h_j // b^i`` in every dimension.
+        """
+        level = 0
+        span = 1
+        while level < self.height:
+            if all(
+                lo // span == hi // span
+                for lo, hi in zip(box.lo, box.hi)
+            ):
+                break
+            level += 1
+            span *= self.fanout
+        node = tuple(lo // span for lo in box.lo)
+        return level, node
+
+    def _iter_children(
+        self, level: int, node: tuple[int, ...]
+    ) -> "product":
+        """Child node indices (at ``level − 1``) of a node at ``level``."""
+        child_shape = self.level_shape(level - 1)
+        ranges = []
+        for c, n in zip(node, child_shape):
+            lo = c * self.fanout
+            hi = min((c + 1) * self.fanout, n)
+            ranges.append(range(lo, hi))
+        return product(*ranges)
+
+    # ------------------------------------------------------------------
+    # Search recursion
+    # ------------------------------------------------------------------
+
+    def _get_max_index(
+        self,
+        level: int,
+        node: tuple[int, ...],
+        region: Box,
+        current: tuple[int, ...],
+        counter: AccessCounter,
+        use_bnb: bool,
+    ) -> tuple[int, ...]:
+        """``get_max_index(x, R, current_max_index)`` of §6.1.3."""
+        if level == 1:
+            return self._scan_leaves(node, region, current, counter)
+        vals = self.values[level - 1]
+        assert vals is not None
+        deferred: list[tuple[tuple[int, ...], object]] = []
+        for child in self._iter_children(level, node):
+            cover = self.node_region(level - 1, child)
+            overlap = cover.intersect(region)
+            if overlap.is_empty:
+                continue  # external: never accessed
+            counter.count_tree(1)
+            child_value = vals[child]
+            stored = self._node_point(level - 1, child)
+            is_internal = region.contains_box(cover)
+            if is_internal or region.contains_point(stored):
+                # I(x, R) ∪ B_in(x, R): one access resolves the child.
+                if child_value > self.source[current]:
+                    current = stored
+            else:
+                deferred.append((child, child_value))
+        for child, child_value in deferred:
+            if use_bnb and child_value <= self.source[current]:
+                continue  # branch-and-bound prune
+            cover = self.node_region(level - 1, child)
+            current = self._get_max_index(
+                level - 1,
+                child,
+                region.intersect(cover),
+                current,
+                counter,
+                use_bnb,
+            )
+        return current
+
+    def _scan_leaves(
+        self,
+        node: tuple[int, ...],
+        region: Box,
+        current: tuple[int, ...],
+        counter: AccessCounter,
+    ) -> tuple[int, ...]:
+        """Level-1 recursion base: leaf children are raw cube cells.
+
+        Every leaf is either internal (inside ``R``) or external, so the
+        in-region cells of the node's cover are scanned directly.
+        """
+        scan = self.node_region(1, node).intersect(region)
+        if scan.is_empty:
+            return current
+        counter.count_cube(scan.volume)
+        window = self.source[scan.slices()]
+        local_flat = int(np.argmax(window))
+        local = np.unravel_index(local_flat, window.shape)
+        candidate = tuple(l + o for l, o in zip(scan.lo, local))
+        if self.source[candidate] > self.source[current]:
+            return candidate
+        return current
+
+    def _check_box(self, box: Box) -> None:
+        if box.ndim != self.ndim:
+            raise ValueError(
+                f"query has {box.ndim} dims, cube has {self.ndim}"
+            )
+        if box.is_empty:
+            raise ValueError(f"empty query region {box}")
+        for j, (lo, hi, n) in enumerate(zip(box.lo, box.hi, self.shape)):
+            if not 0 <= lo <= hi < n:
+                raise ValueError(
+                    f"range {lo}:{hi} outside dimension {j} of size {n}"
+                )

@@ -1,0 +1,51 @@
+"""Data-cube substrate: dimensions, record ingest, the extended cube."""
+
+from repro.cube.builder import build_measure_array
+from repro.cube.cuboid import (
+    Cuboid,
+    CuboidKey,
+    all_cuboids,
+    ancestors_within,
+    is_ancestor,
+    is_descendant,
+    normalize_key,
+    proper_descendants,
+)
+from repro.cube.datacube import DataCube
+from repro.cube.dimensions import (
+    CategoricalDimension,
+    DateDimension,
+    Dimension,
+    IntegerDimension,
+    dimension_shape,
+)
+from repro.cube.extended import ExtendedDataCube
+from repro.cube.hierarchy import (
+    HierarchicalDimension,
+    LevelValue,
+    month_hierarchy,
+)
+from repro.cube.measures import MeasureSet
+
+__all__ = [
+    "CategoricalDimension",
+    "Cuboid",
+    "CuboidKey",
+    "DataCube",
+    "DateDimension",
+    "Dimension",
+    "ExtendedDataCube",
+    "HierarchicalDimension",
+    "IntegerDimension",
+    "LevelValue",
+    "MeasureSet",
+    "all_cuboids",
+    "month_hierarchy",
+    "ancestors_within",
+    "build_measure_array",
+    "dimension_shape",
+    "is_ancestor",
+    "is_descendant",
+    "normalize_key",
+    "proper_descendants",
+]

@@ -1,0 +1,104 @@
+"""The cuboid lattice (paper §9).
+
+*"Given a cube on d dimensions, a cuboid on k dimensions
+{d_i1, ..., d_ik} is defined as a group-by on [those] dimensions ... the
+slice of the cube where the remaining d − k dimensions have the value
+all."*  A cuboid whose dimension set is a subset of another's is its
+**descendant**; the superset is an **ancestor**.  Prefix sums materialized
+on a cuboid benefit the cuboid and all its descendants (an ancestor's
+prefix sum answers a descendant's queries with the extra dimensions fixed
+at full range), which drives the greedy selection of §9.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterator, Sequence
+
+#: A cuboid is identified by the sorted tuple of its dimension indices.
+CuboidKey = tuple[int, ...]
+
+
+def normalize_key(dims: Sequence[int]) -> CuboidKey:
+    """Canonical (sorted, deduplicated) form of a cuboid key."""
+    key = tuple(sorted(set(int(j) for j in dims)))
+    if any(j < 0 for j in key):
+        raise ValueError(f"negative dimension index in {dims}")
+    return key
+
+
+def all_cuboids(ndim: int, include_empty: bool = False) -> list[CuboidKey]:
+    """Every cuboid of a d-dimensional cube (2^d − 1 non-empty ones)."""
+    keys: list[CuboidKey] = []
+    start = 0 if include_empty else 1
+    for k in range(start, ndim + 1):
+        keys.extend(combinations(range(ndim), k))
+    return keys
+
+
+def is_ancestor(ancestor: CuboidKey, descendant: CuboidKey) -> bool:
+    """True when ``ancestor``'s dimensions are a superset of the other's.
+
+    Per the paper a cuboid is both ancestor and descendant of itself.
+    """
+    return set(descendant) <= set(ancestor)
+
+
+def is_descendant(descendant: CuboidKey, ancestor: CuboidKey) -> bool:
+    """Converse of :func:`is_ancestor`."""
+    return is_ancestor(ancestor, descendant)
+
+
+def proper_descendants(key: CuboidKey) -> Iterator[CuboidKey]:
+    """All strict subsets of a cuboid's dimensions (non-empty)."""
+    for k in range(1, len(key)):
+        yield from combinations(key, k)
+
+
+def ancestors_within(
+    key: CuboidKey, universe: Sequence[CuboidKey]
+) -> list[CuboidKey]:
+    """Cuboids of ``universe`` that are ancestors of ``key`` (inclusive)."""
+    return [other for other in universe if is_ancestor(other, key)]
+
+
+@dataclass(frozen=True)
+class Cuboid:
+    """A cuboid with the shape information the optimizer needs.
+
+    Attributes:
+        key: Sorted dimension indices of the group-by.
+        sizes: Rank-domain sizes of those dimensions.
+    """
+
+    key: CuboidKey
+    sizes: tuple[int, ...]
+
+    @classmethod
+    def from_shape(
+        cls, key: Sequence[int], cube_shape: Sequence[int]
+    ) -> "Cuboid":
+        """Build a cuboid record from the parent cube's shape."""
+        normalized = normalize_key(key)
+        if normalized and normalized[-1] >= len(cube_shape):
+            raise ValueError(
+                f"cuboid {normalized} exceeds a {len(cube_shape)}-d cube"
+            )
+        return cls(
+            normalized,
+            tuple(int(cube_shape[j]) for j in normalized),
+        )
+
+    @property
+    def ndim(self) -> int:
+        """Number of group-by dimensions k."""
+        return len(self.key)
+
+    @property
+    def cells(self) -> int:
+        """Number of cells N of the cuboid's dense array."""
+        total = 1
+        for n in self.sizes:
+            total *= n
+        return total

@@ -1,0 +1,137 @@
+"""Dimension encoders: attribute domains → dense rank domains.
+
+Section 2 of the paper: *"each dimension of A is the rank domain of a
+corresponding attribute of the data cube ... it is desirable that there
+exists a simple function mapping the attribute domain to the rank domain.
+If such function does not exist, then additional storage and time overhead
+for lookup tables or hash tables may be required."*
+
+Three encoders cover the paper's examples (age, year, state, insurance
+type):
+
+* :class:`IntegerDimension` — the "simple function" case: a contiguous
+  integer domain mapped by subtraction (age 1..100, year 1987..1996).
+* :class:`CategoricalDimension` — the lookup-table case: an ordered value
+  list with a hash-table rank lookup (states, insurance types).
+* :class:`DateDimension` — calendar days mapped by day offset.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Hashable, Iterable, Sequence
+
+
+class Dimension:
+    """Abstract mapping between an attribute domain and ranks ``0..n−1``."""
+
+    name: str
+    size: int
+
+    def encode(self, value: object) -> int:
+        """Rank of an attribute value.
+
+        Raises:
+            KeyError: If the value is outside the dimension's domain.
+        """
+        raise NotImplementedError
+
+    def decode(self, rank: int) -> object:
+        """Attribute value at a rank."""
+        raise NotImplementedError
+
+    def encode_range(self, lo: object, hi: object) -> tuple[int, int]:
+        """Inclusive rank bounds of an attribute-value range."""
+        lo_rank = self.encode(lo)
+        hi_rank = self.encode(hi)
+        if lo_rank > hi_rank:
+            raise ValueError(f"empty range {lo!r}..{hi!r} on {self.name}")
+        return lo_rank, hi_rank
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise KeyError(
+                f"rank {rank} outside dimension {self.name!r} "
+                f"of size {self.size}"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, size={self.size})"
+
+
+class IntegerDimension(Dimension):
+    """A contiguous integer domain ``lo..hi`` mapped by subtraction."""
+
+    def __init__(self, name: str, lo: int, hi: int) -> None:
+        if lo > hi:
+            raise ValueError(f"empty integer domain {lo}..{hi}")
+        self.name = name
+        self.lo = int(lo)
+        self.hi = int(hi)
+        self.size = self.hi - self.lo + 1
+
+    def encode(self, value: object) -> int:
+        rank = int(value) - self.lo  # type: ignore[arg-type]
+        self._check_rank(rank)
+        return rank
+
+    def decode(self, rank: int) -> int:
+        self._check_rank(rank)
+        return self.lo + rank
+
+
+class CategoricalDimension(Dimension):
+    """An explicitly ordered finite domain with a hash-table lookup.
+
+    The ordering given at construction defines the rank order, hence what
+    "contiguous range" means for range queries on this attribute.
+    """
+
+    def __init__(self, name: str, values: Iterable[Hashable]) -> None:
+        self.name = name
+        self.values: tuple[Hashable, ...] = tuple(values)
+        if not self.values:
+            raise ValueError(f"dimension {name!r} has an empty domain")
+        self._ranks = {value: i for i, value in enumerate(self.values)}
+        if len(self._ranks) != len(self.values):
+            raise ValueError(f"dimension {name!r} has duplicate values")
+        self.size = len(self.values)
+
+    def encode(self, value: object) -> int:
+        try:
+            return self._ranks[value]
+        except (KeyError, TypeError):
+            raise KeyError(
+                f"{value!r} is not in dimension {self.name!r}"
+            ) from None
+
+    def decode(self, rank: int) -> Hashable:
+        self._check_rank(rank)
+        return self.values[rank]
+
+
+class DateDimension(Dimension):
+    """Calendar days from ``start`` for ``size`` days, ranked by offset."""
+
+    def __init__(self, name: str, start: datetime.date, size: int) -> None:
+        if size < 1:
+            raise ValueError("a date dimension needs at least one day")
+        self.name = name
+        self.start = start
+        self.size = int(size)
+
+    def encode(self, value: object) -> int:
+        if not isinstance(value, datetime.date):
+            raise KeyError(f"{value!r} is not a date")
+        rank = (value - self.start).days
+        self._check_rank(rank)
+        return rank
+
+    def decode(self, rank: int) -> datetime.date:
+        self._check_rank(rank)
+        return self.start + datetime.timedelta(days=rank)
+
+
+def dimension_shape(dimensions: Sequence[Dimension]) -> tuple[int, ...]:
+    """The array shape induced by a dimension list."""
+    return tuple(dim.size for dim in dimensions)

@@ -1,0 +1,178 @@
+"""Hierarchical dimensions: drill-down levels as contiguous rank ranges.
+
+OLAP dimensions with *"natural semantics in ordering, such as age, time,
+salary"* (§1) usually carry hierarchies — day ⊂ month ⊂ quarter ⊂ year.
+When each coarser value covers a **contiguous run of leaf ranks** (true
+for any ordered hierarchy), a query at any level is exactly the paper's
+contiguous range query, so the whole §3/§4 machinery applies unchanged —
+and a §4 block size matching a level's fan-out makes queries at that
+level block-aligned, i.e. answerable from ``P`` alone.
+
+:class:`HierarchicalDimension` encodes leaves like a
+:class:`~repro.cube.dimensions.CategoricalDimension` and adds named
+levels of labeled, contiguous groups.  :class:`LevelValue` is the query
+handle: ``cube.sum(day=LevelValue("month", "2024-03"))`` resolves to the
+month's leaf-rank range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.cube.dimensions import Dimension
+
+
+@dataclass(frozen=True)
+class LevelValue:
+    """A query condition at a hierarchy level: one label or a label run.
+
+    ``LevelValue("quarter", "Q2")`` selects one group;
+    ``LevelValue("quarter", "Q2", "Q4")`` selects the contiguous span
+    from the first group's start to the last group's end.
+    """
+
+    level: str
+    label: Hashable
+    end_label: Hashable | None = None
+
+
+class HierarchicalDimension(Dimension):
+    """An ordered leaf domain with named roll-up levels.
+
+    Args:
+        name: Dimension name.
+        leaves: Ordered leaf values (the rank domain).
+        levels: Mapping from level name to its ordered groups, each group
+            a ``(label, leaf_count)`` pair; counts must sum to the leaf
+            total so every level tiles the dimension contiguously.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        leaves: Iterable[Hashable],
+        levels: Mapping[str, Sequence[tuple[Hashable, int]]],
+    ) -> None:
+        self.name = name
+        self.values: tuple[Hashable, ...] = tuple(leaves)
+        if not self.values:
+            raise ValueError(f"dimension {name!r} has an empty domain")
+        self._ranks = {value: i for i, value in enumerate(self.values)}
+        if len(self._ranks) != len(self.values):
+            raise ValueError(f"dimension {name!r} has duplicate leaves")
+        self.size = len(self.values)
+        self._levels: dict[str, dict[Hashable, tuple[int, int]]] = {}
+        self._level_order: dict[str, tuple[Hashable, ...]] = {}
+        for level_name, groups in levels.items():
+            ranges: dict[Hashable, tuple[int, int]] = {}
+            cursor = 0
+            for label, count in groups:
+                if count < 1:
+                    raise ValueError(
+                        f"level {level_name!r} group {label!r} has "
+                        f"non-positive size {count}"
+                    )
+                if label in ranges:
+                    raise ValueError(
+                        f"level {level_name!r} repeats label {label!r}"
+                    )
+                ranges[label] = (cursor, cursor + count - 1)
+                cursor += count
+            if cursor != self.size:
+                raise ValueError(
+                    f"level {level_name!r} covers {cursor} leaves of "
+                    f"{self.size}"
+                )
+            self._levels[level_name] = ranges
+            self._level_order[level_name] = tuple(
+                label for label, _ in groups
+            )
+
+    # -- Dimension protocol --------------------------------------------
+
+    def encode(self, value: object) -> int:
+        try:
+            return self._ranks[value]
+        except (KeyError, TypeError):
+            raise KeyError(
+                f"{value!r} is not a leaf of dimension {self.name!r}"
+            ) from None
+
+    def decode(self, rank: int) -> Hashable:
+        self._check_rank(rank)
+        return self.values[rank]
+
+    # -- Hierarchy surface -----------------------------------------------
+
+    @property
+    def level_names(self) -> tuple[str, ...]:
+        """Names of the roll-up levels."""
+        return tuple(self._levels)
+
+    def labels(self, level: str) -> tuple[Hashable, ...]:
+        """The ordered group labels of one level."""
+        self._check_level(level)
+        return self._level_order[level]
+
+    def level_range(self, level: str, label: Hashable) -> tuple[int, int]:
+        """Inclusive leaf-rank bounds of one group."""
+        self._check_level(level)
+        try:
+            return self._levels[level][label]
+        except (KeyError, TypeError):
+            raise KeyError(
+                f"{label!r} is not a group of level {level!r} on "
+                f"{self.name!r}"
+            ) from None
+
+    def resolve_level_value(self, value: LevelValue) -> tuple[int, int]:
+        """Leaf-rank bounds of a :class:`LevelValue` condition."""
+        lo, hi = self.level_range(value.level, value.label)
+        if value.end_label is not None:
+            _, hi = self.level_range(value.level, value.end_label)
+            if hi < lo:
+                raise ValueError(
+                    f"level span {value.label!r}..{value.end_label!r} "
+                    f"is reversed"
+                )
+        return lo, hi
+
+    def rollup_sizes(self, level: str) -> tuple[int, ...]:
+        """Leaf counts per group — a hint for picking the §4 block size
+        (uniform counts equal to ``b`` make the level block-aligned)."""
+        self._check_level(level)
+        return tuple(
+            hi - lo + 1 for lo, hi in self._levels[level].values()
+        )
+
+    def _check_level(self, level: str) -> None:
+        if level not in self._levels:
+            known = ", ".join(self._levels)
+            raise KeyError(
+                f"dimension {self.name!r} has no level {level!r}; "
+                f"known: {known}"
+            )
+
+
+def month_hierarchy(
+    name: str, years: Sequence[int]
+) -> HierarchicalDimension:
+    """A ready-made month leaf domain with quarter and year levels.
+
+    Leaves are ``"YYYY-MM"`` strings in chronological order; levels are
+    ``"quarter"`` (``"YYYY-Qn"``, 3 leaves each) and ``"year"``
+    (``"YYYY"``, 12 leaves each).
+    """
+    if not years:
+        raise ValueError("at least one year is required")
+    leaves = [
+        f"{year}-{month:02d}" for year in years for month in range(1, 13)
+    ]
+    quarters = [
+        (f"{year}-Q{q}", 3) for year in years for q in range(1, 5)
+    ]
+    year_groups = [(str(year), 12) for year in years]
+    return HierarchicalDimension(
+        name, leaves, {"quarter": quarters, "year": year_groups}
+    )

@@ -1,0 +1,169 @@
+"""Multiple measure attributes over one set of dimensions.
+
+Section 1 of the paper: *"Some of these attributes are chosen as metrics
+of interest and are referred to as the **measure attributes**"* — plural.
+A warehouse fact table typically carries several (revenue, cost, units,
+...), all sharing the functional attributes.  :class:`MeasureSet` holds
+one :class:`~repro.cube.datacube.DataCube` per measure over shared
+dimension encoders and a shared record-count cube, so AVERAGE works for
+every measure from a single count structure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.cube.datacube import DataCube
+from repro.cube.dimensions import Dimension, dimension_shape
+from repro.instrumentation import NULL_COUNTER, AccessCounter
+
+
+class MeasureSet:
+    """Named measure cubes over shared dimensions.
+
+    Args:
+        dimensions: Ordered dimension encoders shared by every measure.
+        measures: Mapping from measure name to its dense array.
+        counts: Shared per-cell record counts (enables AVERAGE).
+    """
+
+    def __init__(
+        self,
+        dimensions: Sequence[Dimension],
+        measures: Mapping[str, np.ndarray],
+        counts: np.ndarray | None = None,
+    ) -> None:
+        if not measures:
+            raise ValueError("a MeasureSet needs at least one measure")
+        self.dimensions = tuple(dimensions)
+        expected = dimension_shape(self.dimensions)
+        self._cubes: dict[str, DataCube] = {}
+        for name, array in measures.items():
+            if tuple(array.shape) != expected:
+                raise ValueError(
+                    f"measure {name!r} has shape {array.shape}, "
+                    f"expected {expected}"
+                )
+            self._cubes[name] = DataCube(self.dimensions, array, counts)
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[Mapping[str, object]],
+        dimensions: Sequence[Dimension],
+        measures: Sequence[str],
+        dtype: np.dtype | type = np.int64,
+    ) -> "MeasureSet":
+        """Aggregate raw records into one cube per measure attribute."""
+        if not measures:
+            raise ValueError("at least one measure name is required")
+        shape = dimension_shape(dimensions)
+        arrays = {
+            name: np.zeros(shape, dtype=dtype) for name in measures
+        }
+        counts = np.zeros(shape, dtype=np.int64)
+        for record in records:
+            index = tuple(
+                dim.encode(record[dim.name]) for dim in dimensions
+            )
+            for name in measures:
+                arrays[name][index] += record[name]
+            counts[index] += 1
+        return cls(dimensions, arrays, counts)
+
+    @property
+    def measure_names(self) -> tuple[str, ...]:
+        """Names of the held measures."""
+        return tuple(self._cubes)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Rank-domain shape shared by every measure."""
+        return dimension_shape(self.dimensions)
+
+    def cube(self, measure: str) -> DataCube:
+        """The :class:`DataCube` of one measure.
+
+        Raises:
+            KeyError: For an unknown measure name.
+        """
+        try:
+            return self._cubes[measure]
+        except KeyError:
+            known = ", ".join(sorted(self._cubes))
+            raise KeyError(
+                f"unknown measure {measure!r}; known: {known}"
+            ) from None
+
+    def build_indexes(
+        self, block_size: int = 1, max_fanout: int | None = 4
+    ) -> None:
+        """Precompute query structures for every measure at once."""
+        for cube in self._cubes.values():
+            cube.build_index(block_size=block_size, max_fanout=max_fanout)
+
+    # Convenience pass-throughs -----------------------------------------
+
+    def sum(
+        self,
+        measure: str,
+        counter: AccessCounter = NULL_COUNTER,
+        **conditions: object,
+    ) -> object:
+        """Range-SUM of one measure."""
+        return self.cube(measure).sum(counter, **conditions)
+
+    def average(
+        self,
+        measure: str,
+        counter: AccessCounter = NULL_COUNTER,
+        **conditions: object,
+    ) -> float:
+        """Range-AVERAGE of one measure (shared count cube)."""
+        return self.cube(measure).average(counter, **conditions)
+
+    def max(
+        self,
+        measure: str,
+        counter: AccessCounter = NULL_COUNTER,
+        **conditions: object,
+    ) -> tuple[dict[str, object], object]:
+        """Range-MAX of one measure."""
+        return self.cube(measure).max(counter, **conditions)
+
+    def min(
+        self,
+        measure: str,
+        counter: AccessCounter = NULL_COUNTER,
+        **conditions: object,
+    ) -> tuple[dict[str, object], object]:
+        """Range-MIN of one measure."""
+        return self.cube(measure).min(counter, **conditions)
+
+    def count(
+        self,
+        counter: AccessCounter = NULL_COUNTER,
+        **conditions: object,
+    ) -> object:
+        """Range-COUNT of records (measure-independent)."""
+        first = next(iter(self._cubes.values()))
+        return first.count(counter, **conditions)
+
+    def ratio(
+        self,
+        numerator: str,
+        denominator: str,
+        counter: AccessCounter = NULL_COUNTER,
+        **conditions: object,
+    ) -> float:
+        """Ratio of two measures' range-sums (e.g. margin = profit /
+        revenue) — two constant-time queries."""
+        num = self.sum(numerator, counter, **conditions)
+        den = self.sum(denominator, counter, **conditions)
+        if den == 0:
+            raise ZeroDivisionError(
+                f"range-sum of {denominator!r} is zero on this region"
+            )
+        return float(num) / float(den)

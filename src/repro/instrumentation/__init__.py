@@ -1,0 +1,5 @@
+"""Access-count instrumentation (the paper's response-time proxy)."""
+
+from repro.instrumentation.counters import AccessCounter, NULL_COUNTER
+
+__all__ = ["AccessCounter", "NULL_COUNTER"]

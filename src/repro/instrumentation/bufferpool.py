@@ -1,0 +1,112 @@
+"""A simulated buffer pool: page faults under an LRU cache.
+
+:mod:`repro.instrumentation.paging` counts *distinct* pages per
+operation; this module simulates the storage layer the paper's §3.3
+reasoning is about — a buffer pool of ``capacity`` pages with LRU
+eviction over a row-major array of ``page_size``-cell pages.  Query
+benchmarks replay their access patterns through a pool to measure actual
+faults: constant for prefix-sum queries, volume-bound for scans, and
+thrash-prone for cross-stride sweeps.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+from repro._util import Box
+from repro.instrumentation.paging import flat_index
+
+
+class BufferPool:
+    """An LRU page cache with fault accounting.
+
+    Args:
+        page_size: Cells per page.
+        capacity: Pages held simultaneously (``None`` = unbounded).
+    """
+
+    def __init__(self, page_size: int, capacity: int | None = None) -> None:
+        if page_size < 1:
+            raise ValueError(f"page size must be >= 1, got {page_size}")
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.page_size = int(page_size)
+        self.capacity = capacity
+        self.faults = 0
+        self.hits = 0
+        self._pages: OrderedDict[int, None] = OrderedDict()
+
+    @property
+    def resident_pages(self) -> int:
+        """Pages currently cached."""
+        return len(self._pages)
+
+    @property
+    def accesses(self) -> int:
+        """Total page requests served."""
+        return self.faults + self.hits
+
+    def reset(self) -> None:
+        """Clear statistics and evict everything."""
+        self.faults = 0
+        self.hits = 0
+        self._pages.clear()
+
+    def touch_page(self, page: int) -> bool:
+        """Request one page; returns True on a fault (page load)."""
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.hits += 1
+            return False
+        self.faults += 1
+        self._pages[page] = None
+        if self.capacity is not None and len(self._pages) > self.capacity:
+            self._pages.popitem(last=False)
+        return True
+
+    def touch_cell(self, flat: int) -> bool:
+        """Request the page holding one flat cell offset."""
+        return self.touch_page(flat // self.page_size)
+
+    def touch_index(
+        self, index: Sequence[int], shape: Sequence[int]
+    ) -> bool:
+        """Request the page holding one d-dimensional cell."""
+        return self.touch_cell(flat_index(index, shape))
+
+    def scan_box(self, box: Box, shape: Sequence[int]) -> int:
+        """Replay a row-major scan of ``box``; returns faults incurred.
+
+        The scan walks contiguous runs (fixed leading coordinates, full
+        extent in the last dimension) in flat order — the order numpy
+        reads a sliced sum.
+        """
+        if box.is_empty:
+            return 0
+        before = self.faults
+        run_length = box.hi[-1] - box.lo[-1] + 1
+        leading = Box(box.lo[:-1], box.hi[:-1])
+        prefixes = leading.iter_points() if leading.ndim else iter([()])
+        for prefix in prefixes:
+            start = flat_index(prefix + (box.lo[-1],), shape)
+            first_page = start // self.page_size
+            last_page = (start + run_length - 1) // self.page_size
+            for page in range(first_page, last_page + 1):
+                self.touch_page(page)
+        return self.faults - before
+
+    def theorem1_corners(self, box: Box, shape: Sequence[int]) -> int:
+        """Replay a Theorem 1 corner read; returns faults incurred."""
+        from itertools import product
+
+        before = self.faults
+        for choice in product((False, True), repeat=box.ndim):
+            index = tuple(
+                box.hi[j] if take_hi else box.lo[j] - 1
+                for j, take_hi in enumerate(choice)
+            )
+            if any(x < 0 for x in index):
+                continue
+            self.touch_index(index, shape)
+        return self.faults - before

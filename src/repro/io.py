@@ -1,0 +1,143 @@
+"""Saving and loading precomputed structures.
+
+Prefix-sum arrays and max trees are *precomputations*: in production they
+are built once (or repaired by the §5/§7 batch updaters) and served for
+days.  This module persists them as numpy ``.npz`` archives so a server
+restart does not force an ``O(dN)`` rebuild.
+
+The archive format stores the defining arrays plus the scalar parameters
+needed to reconstruct the object; loading re-wraps the arrays without
+recomputation.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import BinaryIO
+
+import numpy as np
+
+from repro.core.blocked import BlockedPrefixSumCube
+from repro.core.operators import get_operator
+from repro.core.prefix_sum import PrefixSumCube
+from repro.core.range_max import RangeMaxTree
+
+#: Archive format identifier and version, checked on load.
+_FORMAT_KEY = "repro_format"
+_FORMATS = {
+    "prefix_sum": 1,
+    "blocked_prefix_sum": 1,
+    "range_max_tree": 1,
+}
+
+
+def _check_format(archive, expected: str) -> None:
+    if _FORMAT_KEY not in archive:
+        raise ValueError("not a repro structure archive")
+    kind, version = str(archive[_FORMAT_KEY]).split(":")
+    if kind != expected:
+        raise ValueError(
+            f"archive holds a {kind!r} structure, expected {expected!r}"
+        )
+    if int(version) > _FORMATS[expected]:
+        raise ValueError(f"unsupported {kind} archive version {version}")
+
+
+def save_prefix_sum(
+    structure: PrefixSumCube, path: str | os.PathLike | BinaryIO
+) -> None:
+    """Persist a :class:`PrefixSumCube` (source included when kept)."""
+    payload = {
+        _FORMAT_KEY: f"prefix_sum:{_FORMATS['prefix_sum']}",
+        "operator": structure.operator.name,
+        "prefix": structure.prefix,
+    }
+    if structure.source is not None:
+        payload["source"] = structure.source
+    np.savez_compressed(path, **payload)
+
+
+def load_prefix_sum(path: str | os.PathLike | BinaryIO) -> PrefixSumCube:
+    """Load a :class:`PrefixSumCube` without recomputing the prefix."""
+    with np.load(path, allow_pickle=False) as archive:
+        _check_format(archive, "prefix_sum")
+        operator = get_operator(str(archive["operator"]))
+        structure = PrefixSumCube.__new__(PrefixSumCube)
+        structure.operator = operator
+        structure.prefix = archive["prefix"]
+        structure.shape = tuple(int(n) for n in structure.prefix.shape)
+        structure.ndim = structure.prefix.ndim
+        structure.source = (
+            archive["source"] if "source" in archive else None
+        )
+    return structure
+
+
+def save_blocked(
+    structure: BlockedPrefixSumCube, path: str | os.PathLike | BinaryIO
+) -> None:
+    """Persist a :class:`BlockedPrefixSumCube` (raw cube included —
+    the blocked method cannot run without it)."""
+    np.savez_compressed(
+        path,
+        **{
+            _FORMAT_KEY: (
+                f"blocked_prefix_sum:{_FORMATS['blocked_prefix_sum']}"
+            ),
+            "operator": structure.operator.name,
+            "block_size": np.int64(structure.block_size),
+            "source": structure.source,
+            "blocked_prefix": structure.blocked_prefix,
+        },
+    )
+
+
+def load_blocked(
+    path: str | os.PathLike | BinaryIO,
+) -> BlockedPrefixSumCube:
+    """Load a :class:`BlockedPrefixSumCube` without recomputation."""
+    with np.load(path, allow_pickle=False) as archive:
+        _check_format(archive, "blocked_prefix_sum")
+        structure = BlockedPrefixSumCube.__new__(BlockedPrefixSumCube)
+        structure.operator = get_operator(str(archive["operator"]))
+        structure.block_size = int(archive["block_size"])
+        structure.source = archive["source"]
+        structure.blocked_prefix = archive["blocked_prefix"]
+        structure.shape = tuple(int(n) for n in structure.source.shape)
+        structure.ndim = structure.source.ndim
+        structure.block_shape = structure.blocked_prefix.shape
+    return structure
+
+
+def save_max_tree(
+    tree: RangeMaxTree, path: str | os.PathLike | BinaryIO
+) -> None:
+    """Persist a :class:`RangeMaxTree` (all levels plus the cube)."""
+    payload: dict[str, object] = {
+        _FORMAT_KEY: f"range_max_tree:{_FORMATS['range_max_tree']}",
+        "fanout": np.int64(tree.fanout),
+        "height": np.int64(tree.height),
+        "source": tree.source,
+    }
+    for level in range(1, tree.height + 1):
+        payload[f"values_{level}"] = tree.values[level]
+        payload[f"positions_{level}"] = tree.positions[level]
+    np.savez_compressed(path, **payload)
+
+
+def load_max_tree(path: str | os.PathLike | BinaryIO) -> RangeMaxTree:
+    """Load a :class:`RangeMaxTree` without rebuilding its levels."""
+    with np.load(path, allow_pickle=False) as archive:
+        _check_format(archive, "range_max_tree")
+        tree = RangeMaxTree.__new__(RangeMaxTree)
+        tree.fanout = int(archive["fanout"])
+        tree.height = int(archive["height"])
+        tree.source = archive["source"]
+        tree.shape = tuple(int(n) for n in tree.source.shape)
+        tree.ndim = tree.source.ndim
+        tree.values = [None]
+        tree.positions = [None]
+        for level in range(1, tree.height + 1):
+            tree.values.append(archive[f"values_{level}"])
+            tree.positions.append(archive[f"positions_{level}"])
+    return tree

@@ -1,0 +1,65 @@
+"""Physical-design algorithms: cost model, dimension/cuboid/block choices."""
+
+from repro.optimizer.advisor import PhysicalDesign, advise
+from repro.optimizer.block_size import BlockSizeChoice, choose_block_size
+from repro.optimizer.cost_model import (
+    ancestor_constrained_optimum,
+    benefit_space_ratio,
+    boundary_cells_per_surface,
+    figure11_difference,
+    materialization_benefit,
+    materialization_space,
+    naive_cost,
+    optimal_block_size_real,
+    prefix_sum_cost,
+    tree_sum_cost,
+)
+from repro.optimizer.cuboid_selection import (
+    CuboidSelector,
+    CuboidWorkload,
+    Materialization,
+    SelectionResult,
+    workloads_from_log,
+)
+from repro.optimizer.materialize import (
+    MaterializedCuboid,
+    MaterializedCuboidSet,
+)
+from repro.optimizer.dimension_selection import (
+    active_range_lengths,
+    brute_force_selection,
+    exact_selection,
+    figure12_example,
+    heuristic_selection,
+    subset_cost,
+)
+
+__all__ = [
+    "BlockSizeChoice",
+    "CuboidSelector",
+    "CuboidWorkload",
+    "Materialization",
+    "MaterializedCuboid",
+    "MaterializedCuboidSet",
+    "PhysicalDesign",
+    "SelectionResult",
+    "advise",
+    "active_range_lengths",
+    "ancestor_constrained_optimum",
+    "benefit_space_ratio",
+    "boundary_cells_per_surface",
+    "brute_force_selection",
+    "choose_block_size",
+    "exact_selection",
+    "figure11_difference",
+    "figure12_example",
+    "heuristic_selection",
+    "materialization_benefit",
+    "materialization_space",
+    "naive_cost",
+    "optimal_block_size_real",
+    "prefix_sum_cost",
+    "subset_cost",
+    "tree_sum_cost",
+    "workloads_from_log",
+]

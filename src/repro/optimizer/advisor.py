@@ -1,0 +1,182 @@
+"""The physical-design advisor: §9 end to end behind one call.
+
+Section 9 describes three coupled decisions — which dimensions deserve
+prefix sums, which cuboids to materialize, and with what block sizes.
+:func:`advise` runs the whole pipeline from a query log and a space
+budget and returns a :class:`PhysicalDesign`: the chosen plan, the §9.1
+dimension diagnosis, a human-readable report, and a one-call
+:meth:`PhysicalDesign.build` that materializes everything into a
+servable :class:`~repro.optimizer.materialize.MaterializedCuboidSet`.
+
+Typical use::
+
+    design = advise(cube.shape, log.queries, space_budget=50_000)
+    print(design.report())
+    served = design.build(cube_array)
+    served.range_sum(query)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.optimizer.cuboid_selection import (
+    CuboidSelector,
+    SelectionResult,
+    workloads_from_log,
+)
+from repro.optimizer.dimension_selection import (
+    active_range_lengths,
+    exact_selection,
+    heuristic_selection,
+)
+from repro.optimizer.materialize import MaterializedCuboidSet
+from repro.query.ranges import RangeQuery
+
+
+@dataclass(frozen=True)
+class PhysicalDesign:
+    """The advisor's output: diagnosis + plan + builder."""
+
+    shape: tuple[int, ...]
+    query_count: int
+    range_heavy_dims: tuple[int, ...]  # §9.1 heuristic choice
+    optimal_dims: tuple[int, ...]  # §9.1 exact choice
+    column_sums: tuple[float, ...]  # the R_j row of Figure 12
+    selection: SelectionResult  # §9.2/§9.3 plan
+
+    @property
+    def plan(self):
+        """The chosen ``(cuboid, block size)`` materializations."""
+        return self.selection.chosen
+
+    def build(self, cube: np.ndarray) -> MaterializedCuboidSet:
+        """Materialize the plan over a concrete cube."""
+        if tuple(cube.shape) != self.shape:
+            raise ValueError(
+                f"cube shape {cube.shape} does not match the advised "
+                f"shape {self.shape}"
+            )
+        return MaterializedCuboidSet(cube, self.plan)
+
+    def report(self, dim_names: Sequence[str] | None = None) -> str:
+        """A human-readable summary of every decision."""
+        names = (
+            [f"d{j}" for j in range(len(self.shape))]
+            if dim_names is None
+            else list(dim_names)
+        )
+        lines = [
+            f"Physical design for a {'×'.join(map(str, self.shape))} cube "
+            f"({self.query_count} logged queries)",
+            "",
+            "Dimension diagnosis (§9.1):",
+        ]
+        threshold = 2 * self.query_count
+        for j, total in enumerate(self.column_sums):
+            verdict = "range-heavy" if total >= threshold else "passive"
+            lines.append(
+                f"  {names[j]:<14} R_j = {total:>10.0f}  ({verdict})"
+            )
+        lines.append(
+            "  heuristic X' = {"
+            + ", ".join(names[j] for j in self.range_heavy_dims)
+            + "}; exact X' = {"
+            + ", ".join(names[j] for j in self.optimal_dims)
+            + "}"
+        )
+        lines.append("")
+        lines.append("Materializations (§9.2–§9.3):")
+        if not self.plan:
+            lines.append("  (nothing pays off under this budget)")
+        for chosen in self.plan:
+            label = ", ".join(names[j] for j in chosen.key)
+            lines.append(
+                f"  prefix sums on ({label}) with b = "
+                f"{chosen.block_size}  [{chosen.space:.0f} cells]"
+            )
+        lines.append("")
+        baseline = self.selection.baseline_cost
+        reduction = (
+            self.selection.benefit / baseline if baseline > 0 else 0.0
+        )
+        lines.append(
+            f"Space used: {self.selection.total_space:.0f} cells; "
+            f"modeled workload cost cut: {reduction:.0%}"
+        )
+        return "\n".join(lines)
+
+
+def advise(
+    shape: Sequence[int],
+    queries: Sequence[RangeQuery],
+    space_budget: float,
+    max_block: int = 128,
+    restrict_prefix_dims: bool = False,
+) -> PhysicalDesign:
+    """Run the full §9 pipeline over a query log.
+
+    Args:
+        shape: Rank-domain shape of the base cube.
+        queries: The logged queries (e.g. ``QueryLog.queries``).
+        space_budget: Auxiliary cells allowed for all prefix structures.
+        max_block: Largest block size the selector considers.
+        restrict_prefix_dims: Apply the §9.1 heuristic *per chosen
+            cuboid*: dimensions the log never ranges over keep raw (the
+            paper's "even for cuboids that include dimension d3, the
+            prefix sum would only be computed on other dimensions").
+
+    Returns:
+        The complete design; call :meth:`PhysicalDesign.build` to
+        materialize it.
+    """
+    shape = tuple(int(n) for n in shape)
+    if not queries:
+        raise ValueError("the advisor needs at least one logged query")
+    lengths = active_range_lengths(queries, shape)
+    heuristic_chosen, column_sums = heuristic_selection(lengths)
+    exact_chosen, _ = exact_selection(lengths)
+    workloads = workloads_from_log(queries, shape)
+    selector = CuboidSelector(
+        shape, workloads, space_budget, max_block=max_block
+    )
+    selection = selector.solve()
+    if restrict_prefix_dims:
+        selection = _restrict_plan_dims(selection, lengths, len(queries))
+    return PhysicalDesign(
+        shape=shape,
+        query_count=len(queries),
+        range_heavy_dims=tuple(heuristic_chosen),
+        optimal_dims=tuple(exact_chosen),
+        column_sums=tuple(float(v) for v in column_sums),
+        selection=selection,
+    )
+
+
+def _restrict_plan_dims(
+    selection: SelectionResult, lengths, query_count: int
+) -> SelectionResult:
+    """Annotate each materialization with its §9.1 dimension subset.
+
+    Within a cuboid, a dimension keeps prefix accumulation only when the
+    log's heuristic column sum reaches ``2m`` (Figure 12's threshold);
+    cuboids whose every dimension is range-light keep full accumulation
+    (an all-raw structure would degenerate to a scan).
+    """
+    from dataclasses import replace
+
+    column_sums = lengths.sum(axis=0)
+    threshold = 2 * query_count
+    annotated = []
+    for chosen in selection.chosen:
+        subset = tuple(
+            j for j in chosen.key if column_sums[j] >= threshold
+        )
+        if subset and subset != chosen.key:
+            annotated.append(replace(chosen, prefix_dims=subset))
+        else:
+            annotated.append(chosen)
+    return replace(selection, chosen=tuple(annotated))

@@ -1,0 +1,148 @@
+"""Choosing the block size that maximizes benefit/space (paper §9.3).
+
+For a cuboid with ``N`` cells, ``N_Q`` queries of average statistics
+``(V, S)``, the benefit of a blocked prefix sum with block ``b`` is
+``N_Q (V − 2^d − S·b/4)``, the space ``N/b^d``, and the ratio is maximized
+at ``b* = ((V − 2^d)/(S/4)) · d/(d+1)`` — unless:
+
+* ``V − 2^d <= 0`` — no benefit with or without blocking;
+* ``V − 2^d <= S/4`` — blocking never pays; only ``b = 1`` can help;
+* an **ancestor** cuboid already carries a prefix sum with block ``b'`` —
+  then only ``b < b'`` helps, with benefit ``N_Q (S/4)(b' − b)`` and the
+  constrained maximum at ``b = b'·d/(d+1)``;
+* a **descendant** carries one — the benefit function is then piecewise
+  linear in ``b`` with one breakpoint per constrained descendant, so each
+  piece's maximum is evaluated separately.
+
+``b*`` is generally not an integer; per §9.3 the two bounding integers are
+compared and the better one kept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.optimizer.cost_model import (
+    ancestor_constrained_optimum,
+    materialization_space,
+    optimal_block_size_real,
+)
+from repro.query.stats import QueryStatistics
+
+
+@dataclass(frozen=True)
+class BlockSizeChoice:
+    """Outcome of the block-size optimization for one cuboid."""
+
+    block_size: int
+    benefit: float
+    space: float
+
+    @property
+    def ratio(self) -> float:
+        """Benefit per cell of auxiliary space."""
+        return self.benefit / self.space if self.space > 0 else 0.0
+
+
+def _best_integer_around(
+    candidates: Sequence[float],
+    benefit_fn: Callable[[int], float],
+    cells: int,
+    ndim: int,
+    upper: int,
+) -> BlockSizeChoice | None:
+    """Evaluate each candidate's two bounding integers; keep the best."""
+    seen: set[int] = set()
+    best: BlockSizeChoice | None = None
+    for real_b in candidates:
+        for b in {int(real_b), int(real_b) + 1}:
+            if b < 1 or b > upper or b in seen:
+                continue
+            seen.add(b)
+            benefit = benefit_fn(b)
+            if benefit <= 0:
+                continue
+            space = materialization_space(cells, ndim, b)
+            choice = BlockSizeChoice(b, benefit, space)
+            if best is None or choice.ratio > best.ratio:
+                best = choice
+    return best
+
+
+def choose_block_size(
+    stats: QueryStatistics,
+    query_count: float,
+    cells: int,
+    ancestor_block: int | None = None,
+    descendant_benefits: Sequence[Callable[[int], float]] = (),
+    max_block: int = 4096,
+) -> BlockSizeChoice | None:
+    """The §9.3 optimizer for one cuboid.
+
+    Args:
+        stats: Average query statistics of the queries this prefix sum
+            would serve.
+        query_count: ``N_Q`` — how many such queries.
+        cells: ``N`` — cells of the cuboid's dense array.
+        ancestor_block: Block size ``b'`` of the best prefix sum already
+            materialized on an ancestor cuboid, if any.
+        descendant_benefits: Extra benefit functions ``g(b)`` contributed
+            by descendant cuboids (each piecewise linear with its own
+            breakpoint); added to the cuboid's own benefit.
+        max_block: Safety cap on considered block sizes.
+
+    Returns:
+        The best choice, or ``None`` when no block size yields positive
+        benefit (the cuboid should not be materialized).
+    """
+    d = stats.ndim
+    if d == 0 or cells <= 0:
+        return None
+    headroom = stats.volume - 2.0**d
+
+    def own_benefit(b: int) -> float:
+        f_b = 0.0 if b == 1 else b / 4.0
+        gain = headroom - stats.surface * f_b
+        if ancestor_block is not None:
+            # Current cost is the ancestor's 2^d + S b'/4, not the naive V;
+            # and b >= b' cannot improve on the ancestor at all.
+            if b >= ancestor_block:
+                return 0.0
+            ancestor_f = (
+                0.0 if ancestor_block == 1 else ancestor_block / 4.0
+            )
+            gain = stats.surface * (ancestor_f - f_b)
+        return max(0.0, query_count * gain)
+
+    def total_benefit(b: int) -> float:
+        total = own_benefit(b)
+        for extra in descendant_benefits:
+            total += max(0.0, extra(b))
+        return total
+
+    candidates: list[float] = [1.0]
+    if ancestor_block is None:
+        if headroom > stats.surface / 4.0:
+            candidates.append(optimal_block_size_real(stats))
+    else:
+        candidates.append(
+            ancestor_constrained_optimum(ancestor_block, d)
+        )
+    # Each descendant's piecewise benefit adds a breakpoint b0; the maxima
+    # of a piecewise-linear-times-b^d function on each segment is at the
+    # segment's own stationary point b0·d/(d+1) or at the breakpoint.
+    for extra in descendant_benefits:
+        lo, hi = 1, max_block
+        while lo < hi:  # find the breakpoint where the benefit vanishes
+            mid = (lo + hi) // 2
+            if extra(mid) > 0:
+                lo = mid + 1
+            else:
+                hi = mid
+        breakpoint_b = lo
+        candidates.append(float(breakpoint_b))
+        candidates.append(breakpoint_b * d / (d + 1.0))
+    return _best_integer_around(
+        candidates, total_benefit, cells, d, max_block
+    )

@@ -1,0 +1,168 @@
+"""The analytic cost model of paper §8 and §9.3.
+
+All costs are element accesses (the paper's response-time proxy) for a
+query with Table 1 statistics ``(V, x_i, S)``:
+
+* ``F(b)`` — expected boundary cells per unit of query surface:
+  ``b/4`` for even ``b``, ``b/4 − 1/(4b)`` for odd ``b`` (so ``F(1) = 0``);
+  the ``/4`` rather than ``/2`` reflects the complement trick.
+* blocked prefix sum: ``cost ≈ 2^d + S·F(b)`` (Equation 3);
+* tree hierarchy: ``cost ≈ F(b) · Σ_{k=0}^{t−1} S / b^{k(d−1)}`` — the
+  surface shrinks by ``b^{d−1}`` per level;
+* naive scan: ``V``;
+* benefit of materializing with block ``b``:
+  ``N_Q (V − 2^d − S·b/4)``; space ``N / b^d``; their ratio
+  ``(N_Q/N)[(V − 2^d) b^d − (S/4) b^{d+1}]`` is the §9.3 objective whose
+  maximum sits at ``b* = ((V − 2^d)/(S/4)) · d/(d+1)``.
+
+Figure 11 plots the tree-minus-prefix cost difference for queries of side
+``α·b``; the paper's closed form ``d·α^{d−1}·b/2 − 2^d`` keeps only the
+dominant ``k = 1`` term, and :func:`figure11_difference` offers both the
+closed form and the full series.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.query.stats import QueryStatistics
+
+
+def boundary_cells_per_surface(block_size: int) -> float:
+    """``F(b)`` of §8 — average boundary cells per surface unit."""
+    if block_size < 1:
+        raise ValueError(f"block size must be >= 1, got {block_size}")
+    b = float(block_size)
+    if block_size % 2 == 0:
+        return b / 4.0
+    return b / 4.0 - 1.0 / (4.0 * b)
+
+
+def naive_cost(stats: QueryStatistics) -> float:
+    """Access cost of a full scan: the query volume ``V``."""
+    return stats.volume
+
+
+def prefix_sum_cost(stats: QueryStatistics, block_size: int) -> float:
+    """Equation 3: blocked prefix-sum cost ``2^d + S·F(b)``.
+
+    ``b = 1`` gives the basic method's constant ``2^d`` since ``F(1) = 0``.
+    """
+    return 2.0**stats.ndim + stats.surface * boundary_cells_per_surface(
+        block_size
+    )
+
+
+def tree_sum_cost(
+    stats: QueryStatistics, block_size: int, depth: int | None = None
+) -> float:
+    """Hierarchical-tree range-sum cost, ``F(b)·Σ_k S / b^{k(d−1)}`` (§8).
+
+    Args:
+        stats: Query statistics.
+        block_size: The tree fanout per dimension ``b``.
+        depth: Tree depth ``t``; defaults to the depth of a tree whose
+            root covers the query (``⌈log_b max_i x_i⌉``).
+    """
+    if block_size < 2:
+        raise ValueError("the tree model needs a fanout b >= 2")
+    d = stats.ndim
+    if depth is None:
+        longest = max(stats.lengths)
+        depth = max(1, math.ceil(math.log(max(longest, 2), block_size)))
+    f_b = boundary_cells_per_surface(block_size)
+    shrink = float(block_size) ** (d - 1)
+    total = 0.0
+    term = stats.surface
+    for _ in range(depth):
+        total += term
+        if shrink <= 1.0:
+            # d = 1: the surface does not shrink with height; every level
+            # costs the same, which is why the series is summed literally.
+            continue
+        term /= shrink
+    return f_b * total
+
+
+def figure11_difference(
+    alpha: float,
+    block_size: int,
+    ndim: int,
+    depth: int | None = None,
+    closed_form: bool = True,
+) -> float:
+    """Tree cost minus prefix cost for queries of side ``α·b`` (Figure 11).
+
+    Args:
+        alpha: Query side length in blocks.
+        block_size: Shared block size / fanout ``b``.
+        ndim: Dimensionality ``d``.
+        depth: Series depth for the exact variant.
+        closed_form: Use the paper's dominant-term closed form
+            ``d·α^{d−1}·b/2 − 2^d``; otherwise evaluate both cost models
+            and subtract.
+    """
+    if closed_form:
+        return (
+            ndim * alpha ** (ndim - 1) * block_size / 2.0 - 2.0**ndim
+        )
+    stats = QueryStatistics.from_lengths(
+        [alpha * block_size] * ndim
+    )
+    return tree_sum_cost(stats, block_size, depth) - prefix_sum_cost(
+        stats, block_size
+    )
+
+
+def materialization_benefit(
+    stats: QueryStatistics, query_count: float, block_size: int
+) -> float:
+    """§9.3 benefit: ``N_Q (V − 2^d − S·b/4)`` (clamped at zero).
+
+    Uses the paper's ``F(b) ≈ b/4`` approximation for ``b > 1`` and the
+    exact ``F(1) = 0`` for the unblocked case.
+    """
+    f_b = 0.0 if block_size == 1 else block_size / 4.0
+    gain = query_count * (
+        stats.volume - 2.0**stats.ndim - stats.surface * f_b
+    )
+    return max(0.0, gain)
+
+
+def materialization_space(cells: int, ndim: int, block_size: int) -> float:
+    """§9.3 space: ``N / b^d`` cells for the packed blocked array."""
+    return cells / float(block_size) ** ndim
+
+
+def benefit_space_ratio(
+    stats: QueryStatistics,
+    query_count: float,
+    cells: int,
+    block_size: int,
+) -> float:
+    """The §9.3 objective ``(N_Q/N)[(V−2^d)b^d − (S/4)b^{d+1}]``."""
+    benefit = materialization_benefit(stats, query_count, block_size)
+    space = materialization_space(cells, stats.ndim, block_size)
+    return benefit / space
+
+
+def optimal_block_size_real(stats: QueryStatistics) -> float:
+    """The §9.3 closed-form maximum ``b* = ((V−2^d)/(S/4)) · d/(d+1)``.
+
+    Returns a real number (callers round to the better integer neighbour);
+    values at or below 1 mean blocking cannot pay off.
+    """
+    d = stats.ndim
+    headroom = stats.volume - 2.0**d
+    if headroom <= 0 or stats.surface <= 0:
+        return 0.0
+    return headroom / (stats.surface / 4.0) * d / (d + 1.0)
+
+
+def ancestor_constrained_optimum(ancestor_block: int, ndim: int) -> float:
+    """§9.3 with an ancestor already blocked at ``b'``: the benefit is
+    ``N_Q (S/4)(b' − b)`` for ``b < b'`` and the ratio's maximum sits at
+    ``b = b'·d/(d+1)``."""
+    if ancestor_block < 1:
+        raise ValueError("ancestor block size must be >= 1")
+    return ancestor_block * ndim / (ndim + 1.0)

@@ -1,0 +1,312 @@
+"""Greedy cuboid + block-size selection under a space budget (paper §9.2).
+
+Given a query log bucketed by cuboid (each query belongs to the cuboid of
+the dimensions it constrains), a space limit, and the cost model of §8,
+pick the set of (cuboid, block size) prefix sums maximizing the benefit —
+the reduction in total query cost.  The problem is NP-complete (reduction
+from Set-Cover), so the paper's Figure 13 gives a greedy algorithm plus a
+fine-tuning pass:
+
+* **greedy**: repeatedly add the not-yet-chosen cuboid whose best block
+  size yields the highest benefit/space ratio, until the budget is spent
+  or no addition helps;
+* **fine-tuning**: repeatedly try dropping one chosen cuboid and
+  re-running the greedy fill — a drop can free space for a better
+  combination (e.g. once ⟨d1⟩ gets its own prefix sum, the one on
+  ⟨d1, d2⟩ may stop paying its way).
+
+A materialized cuboid serves itself and every descendant cuboid: a query
+on ⟨d1⟩ is answered by the prefix sum on ⟨d1, d2⟩ with ``d2`` spanning its
+full (block-aligned) range, at that structure's ``2^{d_c} + S·F(b)``
+cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cube.cuboid import CuboidKey, all_cuboids, is_ancestor
+from repro.optimizer.cost_model import (
+    boundary_cells_per_surface,
+    materialization_space,
+)
+from repro.query.ranges import RangeQuery
+from repro.query.stats import QueryStatistics
+
+
+@dataclass(frozen=True)
+class CuboidWorkload:
+    """Aggregated query statistics for one cuboid of the log (§9)."""
+
+    key: CuboidKey
+    stats: QueryStatistics  # average lengths over the cuboid's dimensions
+    query_count: int
+
+
+@dataclass(frozen=True)
+class Materialization:
+    """One chosen prefix sum: a cuboid, its block size, and (optionally)
+    the §9.1 restriction of the prefix accumulation to a subset of the
+    cuboid's dimensions (``None`` = accumulate along all of them)."""
+
+    key: CuboidKey
+    block_size: int
+    space: float
+    prefix_dims: CuboidKey | None = None
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Everything the selector decided, with its cost accounting."""
+
+    chosen: tuple[Materialization, ...]
+    total_space: float
+    baseline_cost: float
+    final_cost: float
+
+    @property
+    def benefit(self) -> float:
+        """Total query-cost reduction achieved."""
+        return self.baseline_cost - self.final_cost
+
+
+def workloads_from_log(
+    queries: Sequence[RangeQuery], shape: Sequence[int]
+) -> list[CuboidWorkload]:
+    """Bucket a query log by cuboid and average each bucket's statistics.
+
+    *"Queries with ranges on dimensions d1 and d2 and all on dimension d3
+    will be assigned to the cuboid <d1, d2>"* (§9).
+    """
+    shape = tuple(int(n) for n in shape)
+    buckets: dict[CuboidKey, list[QueryStatistics]] = {}
+    for query in queries:
+        key = query.cuboid_key(shape)
+        if not key:
+            continue  # the all-cells singleton query needs no prefix sums
+        lengths = tuple(
+            float(query.specs[j].length(shape[j])) for j in key
+        )
+        buckets.setdefault(key, []).append(
+            QueryStatistics.from_lengths(lengths)
+        )
+    workloads = []
+    for key, stats_list in sorted(buckets.items()):
+        mean = tuple(
+            sum(s.lengths[i] for s in stats_list) / len(stats_list)
+            for i in range(len(key))
+        )
+        workloads.append(
+            CuboidWorkload(
+                key, QueryStatistics.from_lengths(mean), len(stats_list)
+            )
+        )
+    return workloads
+
+
+class CuboidSelector:
+    """The Figure 13 algorithm over a workload and a space budget.
+
+    Args:
+        cube_shape: Rank-domain shape of the base cube.
+        workloads: Per-cuboid averaged query statistics.
+        space_limit: Budget in auxiliary cells.
+        max_block: Largest block size considered in the per-cuboid scan.
+        universe: Candidate cuboids; defaults to every non-empty cuboid.
+    """
+
+    def __init__(
+        self,
+        cube_shape: Sequence[int],
+        workloads: Sequence[CuboidWorkload],
+        space_limit: float,
+        max_block: int = 128,
+        universe: Sequence[CuboidKey] | None = None,
+    ) -> None:
+        self.shape = tuple(int(n) for n in cube_shape)
+        self.workloads = tuple(workloads)
+        self.space_limit = float(space_limit)
+        self.max_block = int(max_block)
+        if universe is None:
+            universe = all_cuboids(len(self.shape))
+        # Only ancestors of some workload cuboid can ever help.
+        self.universe = [
+            key
+            for key in universe
+            if any(is_ancestor(key, w.key) for w in self.workloads)
+        ]
+
+    # -- cost accounting ------------------------------------------------
+
+    def cuboid_cells(self, key: CuboidKey) -> int:
+        """Dense cell count N of a cuboid."""
+        cells = 1
+        for j in key:
+            cells *= self.shape[j]
+        return cells
+
+    def _serve_cost(
+        self, workload: CuboidWorkload, key: CuboidKey, block_size: int
+    ) -> float:
+        """Cost of one of the workload's queries via a materialized
+        ancestor: ``2^{d_c} + S·F(b)`` with the query's own surface."""
+        f_b = boundary_cells_per_surface(block_size)
+        return 2.0 ** len(key) + workload.stats.surface * f_b
+
+    def _query_cost(
+        self,
+        workload: CuboidWorkload,
+        solution: Sequence[Materialization],
+    ) -> float:
+        """Best per-query cost for a workload under a solution set."""
+        cost = workload.stats.volume  # the naive fallback
+        for chosen in solution:
+            if is_ancestor(chosen.key, workload.key):
+                cost = min(
+                    cost,
+                    self._serve_cost(
+                        workload, chosen.key, chosen.block_size
+                    ),
+                )
+        return cost
+
+    def total_cost(self, solution: Sequence[Materialization]) -> float:
+        """Total workload cost under a solution set."""
+        return sum(
+            w.query_count * self._query_cost(w, solution)
+            for w in self.workloads
+        )
+
+    # -- the greedy core -------------------------------------------------
+
+    def _best_for_cuboid(
+        self,
+        key: CuboidKey,
+        solution: Sequence[Materialization],
+        remaining_space: float,
+        current_cost: float,
+    ) -> tuple[Materialization, float] | None:
+        """Best block size for one candidate cuboid given the solution.
+
+        Returns the materialization and its benefit, or ``None`` when no
+        block size fits the remaining budget with positive benefit.
+        """
+        ndim = len(key)
+        best: tuple[Materialization, float] | None = None
+        block = 1
+        while block <= self.max_block:
+            space = materialization_space(
+                self.cuboid_cells(key), ndim, block
+            )
+            if space <= remaining_space:
+                trial = list(solution) + [
+                    Materialization(key, block, space)
+                ]
+                benefit = current_cost - self.total_cost(trial)
+                if benefit > 0:
+                    ratio = benefit / space
+                    if best is None or ratio > best[1] / best[0].space:
+                        best = (Materialization(key, block, space), benefit)
+            block += 1
+        return best
+
+    def _greedy_fill(
+        self, solution: list[Materialization]
+    ) -> list[Materialization]:
+        """Add best-ratio cuboids until the budget or the benefit runs out."""
+        solution = list(solution)
+        while True:
+            used = sum(m.space for m in solution)
+            remaining = self.space_limit - used
+            if remaining <= 0:
+                break
+            current_cost = self.total_cost(solution)
+            taken = {m.key for m in solution}
+            best: tuple[Materialization, float] | None = None
+            for key in self.universe:
+                if key in taken:
+                    continue
+                candidate = self._best_for_cuboid(
+                    key, solution, remaining, current_cost
+                )
+                if candidate is None:
+                    continue
+                if (
+                    best is None
+                    or candidate[1] / candidate[0].space
+                    > best[1] / best[0].space
+                ):
+                    best = candidate
+            if best is None:
+                break
+            solution.append(best[0])
+        return solution
+
+    def _spend_surplus(
+        self, solution: list[Materialization]
+    ) -> list[Materialization]:
+        """Shrink chosen block sizes while budget remains (an extension).
+
+        Figure 13's greedy maximizes benefit/*space*, so with an abundant
+        budget it happily leaves most of it unspent on coarse blocks.
+        This pass re-invests the surplus: each chosen cuboid's block size
+        is lowered as long as the finer structure still fits and strictly
+        reduces the total cost.
+        """
+        solution = list(solution)
+        changed = True
+        while changed:
+            changed = False
+            used = sum(m.space for m in solution)
+            current_cost = self.total_cost(solution)
+            for i, chosen in enumerate(solution):
+                for block in range(chosen.block_size - 1, 0, -1):
+                    space = materialization_space(
+                        self.cuboid_cells(chosen.key), len(chosen.key), block
+                    )
+                    if used - chosen.space + space > self.space_limit:
+                        continue
+                    trial = list(solution)
+                    trial[i] = Materialization(chosen.key, block, space)
+                    if self.total_cost(trial) < current_cost - 1e-9:
+                        solution = trial
+                        changed = True
+                        break
+                if changed:
+                    break
+        return solution
+
+    def solve(
+        self, fine_tune: bool = True, spend_surplus: bool = True
+    ) -> SelectionResult:
+        """Run greedy selection, the Figure 13 fine-tuning loop, and the
+        surplus-spending refinement.
+
+        Args:
+            fine_tune: Run the drop-and-refill loop of Figure 13.
+            spend_surplus: Re-invest leftover budget into finer blocks
+                (set ``False`` for the paper-literal algorithm).
+        """
+        baseline = self.total_cost([])
+        solution = self._greedy_fill([])
+        if fine_tune:
+            improved = True
+            while improved:
+                improved = False
+                current_cost = self.total_cost(solution)
+                for victim in list(solution):
+                    trimmed = [m for m in solution if m is not victim]
+                    trial = self._greedy_fill(trimmed)
+                    if self.total_cost(trial) < current_cost - 1e-9:
+                        solution = trial
+                        improved = True
+                        break
+        if spend_surplus:
+            solution = self._spend_surplus(solution)
+        return SelectionResult(
+            chosen=tuple(solution),
+            total_space=sum(m.space for m in solution),
+            baseline_cost=baseline,
+            final_cost=self.total_cost(solution),
+        )

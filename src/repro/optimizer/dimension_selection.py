@@ -1,0 +1,148 @@
+"""Choosing the dimensions to prefix-sum over (paper §9.1).
+
+Not every dimension deserves prefix sums: if queries never put ranges on
+attribute ``d_j``, including ``d_j`` in the prefix structure doubles every
+query's term count for nothing.  Given a query log, the cost model is
+multiplicative: query ``q_i``'s time-complexity factor from attribute
+``d_j`` is ``2`` when ``d_j`` is prefix-summed and ``r_ij`` otherwise,
+where ``r_ij`` is the range length when the attribute is *active* in
+``q_i`` and ``1`` when passive (singleton or ``all``).
+
+Three algorithms, exactly as surveyed in §9.1:
+
+* :func:`heuristic_selection` — the ``O(md)`` heuristic: pick
+  ``X' = {d_j | R_j >= 2m}`` with ``R_j = Σ_i r_ij`` (Figure 12);
+* :func:`exact_selection` — the ``O(m·2^d)`` optimum: walk the ``2^d``
+  subsets in binary-reflected Gray-code order so each step flips one
+  attribute and every per-query cost is updated by one multiply;
+* :func:`brute_force_selection` — the naive ``O(m·d·2^d)`` evaluation
+  (kept as the test oracle for the Gray-code walk).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+import numpy as np
+
+from repro.query.ranges import RangeQuery
+
+
+def active_range_lengths(
+    queries: Sequence[RangeQuery], shape: Sequence[int]
+) -> np.ndarray:
+    """The ``r_ij`` matrix: range length if active, else 1 (§9.1)."""
+    shape = tuple(int(n) for n in shape)
+    matrix = np.ones((len(queries), len(shape)), dtype=np.float64)
+    for i, query in enumerate(queries):
+        if query.ndim != len(shape):
+            raise ValueError("query dimensionality does not match the shape")
+        for j, (spec, n) in enumerate(zip(query.specs, shape)):
+            if spec.is_active(n):
+                matrix[i, j] = spec.length(n)
+    return matrix
+
+
+def subset_cost(lengths: np.ndarray, chosen: Sequence[int]) -> float:
+    """Total workload cost of prefix-summing the ``chosen`` attributes.
+
+    ``Σ_i Π_j f_ij`` with ``f_ij = 2`` for chosen ``j`` and ``r_ij``
+    otherwise — the multiplicative model of §9.1.
+    """
+    factors = lengths.copy()
+    for j in chosen:
+        factors[:, j] = 2.0
+    return float(factors.prod(axis=1).sum())
+
+
+def heuristic_selection(
+    lengths: np.ndarray,
+) -> tuple[list[int], np.ndarray]:
+    """The ``O(md)`` heuristic of §9.1 (Figure 12).
+
+    Args:
+        lengths: The ``r_ij`` matrix from :func:`active_range_lengths`.
+
+    Returns:
+        ``(chosen_dimensions, column_sums)`` where
+        ``chosen = {j | R_j >= 2m}`` and ``column_sums`` is the ``R_j``
+        row shown in Figure 12.
+    """
+    m = lengths.shape[0]
+    column_sums = lengths.sum(axis=0)
+    chosen = [int(j) for j in np.nonzero(column_sums >= 2 * m)[0]]
+    return chosen, column_sums
+
+
+def _gray_flip_sequence(ndim: int) -> list[int]:
+    """Bit flipped at each step of the binary-reflected Gray code."""
+    flips: list[int] = []
+    for step in range(1, 2**ndim):
+        flips.append((step & -step).bit_length() - 1)
+    return flips
+
+
+def exact_selection(lengths: np.ndarray) -> tuple[list[int], float]:
+    """The optimal subset by an ``O(m·2^d)`` Gray-code walk (§9.1).
+
+    Adjacent subsets in binary-reflected Gray-code order differ in one
+    attribute, so each per-query cost is repaired with a single multiply
+    (``× 2/r_ij`` on insert, ``× r_ij/2`` on removal) instead of being
+    recomputed from scratch.
+
+    Returns:
+        ``(chosen_dimensions, total_cost)`` of the minimum-cost subset.
+    """
+    m, d = lengths.shape
+    if m == 0:
+        return [], 0.0
+    costs = lengths.prod(axis=1)  # subset = {} to start
+    best_cost = float(costs.sum())
+    best_mask = 0
+    mask = 0
+    for j in _gray_flip_sequence(d):
+        bit = 1 << j
+        if mask & bit:
+            costs *= lengths[:, j] / 2.0
+        else:
+            costs *= 2.0 / lengths[:, j]
+        mask ^= bit
+        total = float(costs.sum())
+        if total < best_cost:
+            best_cost = total
+            best_mask = mask
+    chosen = [j for j in range(d) if best_mask & (1 << j)]
+    return chosen, best_cost
+
+
+def brute_force_selection(lengths: np.ndarray) -> tuple[list[int], float]:
+    """The naive ``O(m·d·2^d)`` optimum — the test oracle for the walk."""
+    _, d = lengths.shape
+    best: tuple[list[int], float] | None = None
+    for k in range(d + 1):
+        for subset in combinations(range(d), k):
+            cost = subset_cost(lengths, subset)
+            if best is None or cost < best[1]:
+                best = (list(subset), cost)
+    assert best is not None
+    return best
+
+
+def figure12_example() -> tuple[np.ndarray, np.ndarray, list[int]]:
+    """The worked example of Figure 12.
+
+    Three queries over five attributes; the heuristic sums each column
+    (``R = [701, 601, 102, 5, 3]``) and keeps attributes with
+    ``R_j >= 2m = 6``, i.e. ``X' = {1, 2, 3}`` in the paper's 1-based
+    numbering (``{0, 1, 2}`` zero-based).
+    """
+    lengths = np.array(
+        [
+            [1.0, 100.0, 1.0, 3.0, 1.0],
+            [200.0, 1.0, 100.0, 1.0, 1.0],
+            [500.0, 500.0, 1.0, 1.0, 1.0],
+        ]
+    )
+    chosen, sums = heuristic_selection(lengths)
+    return lengths, sums, chosen

@@ -1,0 +1,208 @@
+"""Executing a §9 physical-design plan: materialized cuboid prefix sums.
+
+:mod:`repro.optimizer.cuboid_selection` *chooses* a set of
+``(cuboid, block size)`` prefix sums; this module *builds and serves*
+them.  Each chosen cuboid's group-by array is computed from the base cube
+(summing out the dimensions fixed at ``all``), a blocked prefix-sum
+structure is built over it, and incoming range queries are routed to the
+cheapest materialized ancestor — falling back to a scan of the base cube
+when no ancestor is materialized.
+
+This closes the §9 loop: the selector's cost model can be validated
+against real access counts (``benchmarks/bench_materialized_plan.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro._util import Box
+from repro.core.blocked import BlockedPrefixSumCube
+from repro.core.blocked_partial import BlockedPartialPrefixSumCube
+from repro.cube.cuboid import CuboidKey, is_ancestor
+from repro.instrumentation import NULL_COUNTER, AccessCounter
+from repro.optimizer.cost_model import boundary_cells_per_surface
+from repro.optimizer.cuboid_selection import Materialization
+from repro.query.ranges import RangeQuery, SpecKind
+
+
+@dataclass
+class MaterializedCuboid:
+    """One built cuboid: its key and the prefix structure over it."""
+
+    key: CuboidKey
+    structure: "BlockedPrefixSumCube | BlockedPartialPrefixSumCube"
+
+    @property
+    def block_size(self) -> int:
+        """Block size the structure was built with."""
+        return self.structure.block_size
+
+
+class MaterializedCuboidSet:
+    """A servable set of cuboid prefix sums (the executed §9 plan).
+
+    Args:
+        cube: The base measure cube ``A`` (retained for fallback scans).
+        plan: Materializations to build, e.g. ``SelectionResult.chosen``.
+    """
+
+    def __init__(
+        self, cube: np.ndarray, plan: Sequence[Materialization]
+    ) -> None:
+        self.base = np.array(cube, copy=True)
+        self.shape = tuple(int(n) for n in cube.shape)
+        self.ndim = cube.ndim
+        self.cuboids: list[MaterializedCuboid] = []
+        for chosen in plan:
+            if not chosen.key:
+                raise ValueError("cannot materialize the empty cuboid")
+            if chosen.key[-1] >= self.ndim:
+                raise ValueError(
+                    f"cuboid {chosen.key} exceeds a {self.ndim}-d cube"
+                )
+            dropped = tuple(
+                j for j in range(self.ndim) if j not in set(chosen.key)
+            )
+            group_by = (
+                self.base.sum(axis=dropped) if dropped else self.base
+            )
+            if chosen.prefix_dims is None:
+                structure: (
+                    BlockedPrefixSumCube | BlockedPartialPrefixSumCube
+                ) = BlockedPrefixSumCube(group_by, chosen.block_size)
+            else:
+                # §9.1 within §9.2: accumulate only along the subset,
+                # expressed in the cuboid's own axis positions.
+                invalid = set(chosen.prefix_dims) - set(chosen.key)
+                if invalid:
+                    raise ValueError(
+                        f"prefix dims {sorted(invalid)} are not part of "
+                        f"cuboid {chosen.key}"
+                    )
+                positions = [
+                    chosen.key.index(j) for j in chosen.prefix_dims
+                ]
+                structure = BlockedPartialPrefixSumCube(
+                    group_by, positions, chosen.block_size
+                )
+            self.cuboids.append(
+                MaterializedCuboid(chosen.key, structure)
+            )
+
+    @property
+    def storage_cells(self) -> int:
+        """Auxiliary cells held across every materialized structure."""
+        return sum(c.structure.storage_cells for c in self.cuboids)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def route(self, query: RangeQuery) -> MaterializedCuboid | None:
+        """The cheapest materialized ancestor for a query, if any.
+
+        Candidates are cuboids whose dimension set covers every dimension
+        the query constrains; the model cost ``2^{d_c} + S·F(b_c)`` (with
+        the query's own surface) picks among them — the same rule the
+        selector's cost accounting uses.
+        """
+        key = query.cuboid_key(self.shape)
+        best: tuple[float, MaterializedCuboid] | None = None
+        surface = self._query_surface(query)
+        for cuboid in self.cuboids:
+            if not is_ancestor(cuboid.key, key):
+                continue
+            cost = 2.0 ** len(cuboid.key) + surface * (
+                boundary_cells_per_surface(cuboid.block_size)
+            )
+            if best is None or cost < best[0]:
+                best = (cost, cuboid)
+        return None if best is None else best[1]
+
+    def _query_surface(self, query: RangeQuery) -> float:
+        lengths = [
+            float(spec.length(n))
+            for spec, n in zip(query.specs, self.shape)
+            if spec.kind is not SpecKind.ALL
+        ]
+        if not lengths:
+            return 0.0
+        volume = 1.0
+        for x in lengths:
+            volume *= x
+        return sum(2.0 * volume / x for x in lengths)
+
+    def _project_query(
+        self, query: RangeQuery, cuboid: MaterializedCuboid
+    ) -> Box:
+        """The query's box in a cuboid's own (reduced) coordinates.
+
+        Dimensions of the cuboid the query leaves at ``all`` span their
+        full extent; dimensions the query constrains carry their resolved
+        bounds.  Dimensions *outside* the cuboid were summed out during
+        materialization, which is exactly what ``all`` means.
+        """
+        lo = []
+        hi = []
+        for position, j in enumerate(cuboid.key):
+            bounds = query.specs[j].resolve(self.shape[j])
+            size = cuboid.structure.shape[position]
+            assert size == self.shape[j]
+            lo.append(bounds[0])
+            hi.append(bounds[1])
+        return Box(tuple(lo), tuple(hi))
+
+    def range_sum(
+        self,
+        query: RangeQuery,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> object:
+        """Answer a range-sum via the routed cuboid (or a base scan)."""
+        if query.ndim != self.ndim:
+            raise ValueError(
+                f"query has {query.ndim} dims, cube has {self.ndim}"
+            )
+        cuboid = self.route(query)
+        if cuboid is None:
+            box = query.to_box(self.shape)
+            counter.count_cube(box.volume)
+            return self.base[box.slices()].sum()
+        return cuboid.structure.range_sum(
+            self._project_query(query, cuboid), counter
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def apply_updates(self, updates: Sequence["PointUpdate"]) -> None:
+        """Propagate a batch of base-cube point updates to every
+        materialized cuboid (§5 run per structure).
+
+        Each update's index projects onto a cuboid by dropping the
+        summed-out coordinates; deltas colliding on the same projected
+        cell merge before the per-structure batch update runs.
+        """
+        from repro.core.batch_update import (
+            PointUpdate,
+            combine_duplicate_updates,
+        )
+
+        for update in updates:
+            self.base[update.index] += update.delta
+        for cuboid in self.cuboids:
+            projected = [
+                PointUpdate(
+                    tuple(update.index[j] for j in cuboid.key),
+                    update.delta,
+                )
+                for update in updates
+            ]
+            merged = combine_duplicate_updates(
+                projected, cuboid.structure.operator
+            )
+            cuboid.structure.apply_updates(merged)

@@ -1,0 +1,42 @@
+"""Query model, statistics, baselines, workloads and the engine facade."""
+
+from repro.query.engine import RangeQueryEngine
+from repro.query.logbook import QueryLog
+from repro.query.naive import (
+    naive_max_index,
+    naive_max_value,
+    naive_range_sum,
+    naive_sum_range,
+)
+from repro.query.ranges import RangeQuery, RangeSpec, SpecKind
+from repro.query.stats import QueryStatistics, average_statistics
+from repro.query.workload import (
+    WorkloadProfile,
+    clustered_points,
+    fixed_size_box,
+    generate_query_log,
+    make_cube,
+    make_float_cube,
+    random_box,
+)
+
+__all__ = [
+    "QueryLog",
+    "QueryStatistics",
+    "RangeQuery",
+    "RangeQueryEngine",
+    "RangeSpec",
+    "SpecKind",
+    "WorkloadProfile",
+    "average_statistics",
+    "clustered_points",
+    "fixed_size_box",
+    "generate_query_log",
+    "make_cube",
+    "make_float_cube",
+    "naive_max_index",
+    "naive_max_value",
+    "naive_range_sum",
+    "naive_sum_range",
+    "random_box",
+]

@@ -1,0 +1,247 @@
+"""High-level query engine tying the structures to the query model.
+
+:class:`RangeQueryEngine` is the facade a downstream user talks to: it
+builds the chosen precomputed structures over a raw cube once and then
+answers :class:`~repro.query.ranges.RangeQuery` objects.
+
+It also derives the aggregate family the paper reduces to SUM and MAX:
+
+* ``COUNT`` is a SUM over a 0/1 (or record-count) cube;
+* ``AVERAGE`` keeps the (sum, count) pair — one prefix structure each;
+* ``MIN`` is a MAX over the negated cube;
+* ``ROLLING SUM`` / ``ROLLING AVERAGE`` are range-sum/average specials
+  (a window sliding along one dimension).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro._util import Box
+from repro.core.blocked import BlockedPrefixSumCube
+from repro.core.partial_prefix import PartialPrefixSumCube
+from repro.core.prefix_sum import PrefixSumCube
+from repro.core.range_max import RangeMaxTree
+from repro.instrumentation import NULL_COUNTER, AccessCounter
+from repro.query.ranges import RangeQuery
+
+
+class RangeQueryEngine:
+    """Answer range SUM / COUNT / AVERAGE / MAX / MIN queries over a cube.
+
+    Args:
+        cube: The raw measure cube ``A``.
+        block_size: ``1`` builds the basic prefix-sum array (§3);
+            ``b > 1`` builds the blocked structure (§4).
+        max_fanout: Fanout of the range-max (and range-min) trees; pass
+            ``None`` to skip building them.
+        counts: Optional cube of record counts per cell.  When given,
+            ``count`` and ``average`` queries are answered from its own
+            prefix structure (the paper's (sum, count) 2-tuple).
+        prefix_dims: Restrict prefix sums to a dimension subset (§9.1) —
+            typically the output of
+            :func:`repro.optimizer.heuristic_selection`.  Mutually
+            exclusive with ``block_size > 1``.
+    """
+
+    def __init__(
+        self,
+        cube: np.ndarray,
+        block_size: int = 1,
+        max_fanout: int | None = 4,
+        counts: np.ndarray | None = None,
+        prefix_dims: "Sequence[int] | None" = None,
+    ) -> None:
+        cube = np.asarray(cube)
+        self.shape = tuple(int(n) for n in cube.shape)
+        self.block_size = int(block_size)
+        if prefix_dims is not None and block_size != 1:
+            raise ValueError(
+                "prefix_dims and block_size > 1 cannot combine; pick the "
+                "§9.1 subset design or the §4 blocked design"
+            )
+        self._sum_index: (
+            PrefixSumCube | BlockedPrefixSumCube | PartialPrefixSumCube
+        )
+        if prefix_dims is not None:
+            self._sum_index = PartialPrefixSumCube(cube, prefix_dims)
+        elif block_size == 1:
+            self._sum_index = PrefixSumCube(cube)
+        else:
+            self._sum_index = BlockedPrefixSumCube(cube, block_size)
+        self._count_index: (
+            PrefixSumCube
+            | BlockedPrefixSumCube
+            | PartialPrefixSumCube
+            | None
+        ) = None
+        if counts is not None:
+            if counts.shape != cube.shape:
+                raise ValueError("counts cube must match the measure cube")
+            if prefix_dims is not None:
+                self._count_index = PartialPrefixSumCube(
+                    counts, prefix_dims
+                )
+            elif block_size == 1:
+                self._count_index = PrefixSumCube(counts)
+            else:
+                self._count_index = BlockedPrefixSumCube(counts, block_size)
+        self._max_tree: RangeMaxTree | None = None
+        self._min_tree: RangeMaxTree | None = None
+        if max_fanout is not None:
+            self._max_tree = RangeMaxTree(cube, max_fanout)
+            self._min_tree = RangeMaxTree(-cube, max_fanout)
+
+    def _resolve(self, query: RangeQuery | Box) -> Box:
+        if isinstance(query, Box):
+            return query
+        return query.to_box(self.shape)
+
+    def sum(
+        self,
+        query: RangeQuery | Box,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> object:
+        """Range-sum of the measure."""
+        return self._sum_index.range_sum(self._resolve(query), counter)
+
+    def count(
+        self,
+        query: RangeQuery | Box,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> object:
+        """Range-count: record counts if provided, else cell count."""
+        box = self._resolve(query)
+        if self._count_index is None:
+            return box.volume
+        return self._count_index.range_sum(box, counter)
+
+    def average(
+        self,
+        query: RangeQuery | Box,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> float:
+        """Range-average from the (sum, count) pair (§1)."""
+        box = self._resolve(query)
+        total = self.sum(box, counter)
+        denominator = self.count(box, counter)
+        if denominator == 0:
+            raise ZeroDivisionError("average over a region with no records")
+        return float(total) / float(denominator)
+
+    def max(
+        self,
+        query: RangeQuery | Box,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> tuple[tuple[int, ...], object]:
+        """Range-max: ``(index, value)`` of a maximum cell."""
+        if self._max_tree is None:
+            raise RuntimeError("engine was built without max trees")
+        box = self._resolve(query)
+        index = self._max_tree.max_index(box, counter)
+        return index, self._max_tree.source[index]
+
+    def min(
+        self,
+        query: RangeQuery | Box,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> tuple[tuple[int, ...], object]:
+        """Range-min via MAX over the negated cube (§1)."""
+        if self._min_tree is None:
+            raise RuntimeError("engine was built without max trees")
+        box = self._resolve(query)
+        index = self._min_tree.max_index(box, counter)
+        return index, -self._min_tree.source[index]
+
+    def apply_updates(
+        self,
+        updates: "Sequence[PointUpdate]",
+        count_updates: "Sequence[PointUpdate] | None" = None,
+    ) -> None:
+        """Absorb a batch of measure deltas into every built structure.
+
+        The sum index takes the §5 batch path; the max/min trees convert
+        each delta into the §7 assignment it implies (new value = current
+        value ± delta).  Duplicate cells are merged first so the
+        conversion reads each cell's pre-batch value exactly once.
+
+        Args:
+            updates: Measure deltas per cell.
+            count_updates: Optional record-count deltas (needed when the
+                engine was built with a counts cube and AVERAGE must stay
+                exact).
+        """
+        from repro.core.batch_update import combine_duplicate_updates
+        from repro.core.max_update import (
+            MaxAssignment,
+            apply_max_updates,
+        )
+
+        merged = combine_duplicate_updates(updates)
+        self._sum_index.apply_updates(merged)
+        if count_updates is not None:
+            if self._count_index is None:
+                raise ValueError(
+                    "engine was built without a counts cube"
+                )
+            self._count_index.apply_updates(
+                combine_duplicate_updates(count_updates)
+            )
+        if self._max_tree is not None:
+            apply_max_updates(
+                self._max_tree,
+                [
+                    MaxAssignment(
+                        u.index, self._max_tree.source[u.index] + u.delta
+                    )
+                    for u in merged
+                ],
+            )
+        if self._min_tree is not None:
+            apply_max_updates(
+                self._min_tree,
+                [
+                    MaxAssignment(
+                        u.index, self._min_tree.source[u.index] - u.delta
+                    )
+                    for u in merged
+                ],
+            )
+
+    def rolling_sum(
+        self,
+        axis: int,
+        window: int,
+        fixed: Sequence[tuple[int, int]] | None = None,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> Iterator[tuple[int, object]]:
+        """ROLLING SUM along one dimension (§1: a range-sum special case).
+
+        Args:
+            axis: Dimension the window slides along.
+            window: Window length in ranks.
+            fixed: Optional ``(lo, hi)`` bounds for the other dimensions
+                (defaults to their full extent).
+
+        Yields:
+            ``(start_rank, window_sum)`` per window position.
+        """
+        if not 0 <= axis < len(self.shape):
+            raise ValueError(f"axis {axis} out of range")
+        if not 1 <= window <= self.shape[axis]:
+            raise ValueError(f"window {window} invalid for axis {axis}")
+        bounds = (
+            [(0, n - 1) for n in self.shape]
+            if fixed is None
+            else [list(pair) for pair in fixed]
+        )
+        for start in range(self.shape[axis] - window + 1):
+            window_bounds = [tuple(pair) for pair in bounds]
+            window_bounds[axis] = (start, start + window - 1)
+            box = Box(
+                tuple(lo for lo, _ in window_bounds),
+                tuple(hi for _, hi in window_bounds),
+            )
+            yield start, self._sum_index.range_sum(box, counter)

@@ -1,0 +1,126 @@
+"""Query-log recording — feeding the §9 optimizers from live traffic.
+
+Section 9 assumes *"we are given either a query log, or statistics which
+capture the average query statistics for each cuboid as well as the
+number of queries"*.  :class:`QueryLog` produces that input from served
+traffic: wrap an engine's queries with :meth:`record`, then hand
+:meth:`workloads` to :class:`~repro.optimizer.CuboidSelector` or
+:meth:`length_matrix` to the §9.1 dimension-selection algorithms — the
+self-tuning loop *serve → log → re-tune → re-materialize*.
+
+Logs serialize to plain JSON so tuning can run offline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Sequence
+
+from repro.query.ranges import RangeQuery, RangeSpec, SpecKind
+
+
+class QueryLog:
+    """An append-only log of range queries over one cube shape.
+
+    Args:
+        shape: Rank-domain shape of the cube the queries target.
+    """
+
+    def __init__(self, shape: Sequence[int]) -> None:
+        self.shape = tuple(int(n) for n in shape)
+        self._queries: list[RangeQuery] = []
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def record(self, query: RangeQuery) -> RangeQuery:
+        """Append one query (validated against the shape); returns it so
+        call sites can log and execute in one expression."""
+        if query.ndim != len(self.shape):
+            raise ValueError(
+                f"query has {query.ndim} dims, log expects "
+                f"{len(self.shape)}"
+            )
+        query.to_box(self.shape)  # validates every spec's bounds
+        self._queries.append(query)
+        return query
+
+    @property
+    def queries(self) -> tuple[RangeQuery, ...]:
+        """The recorded queries, oldest first."""
+        return tuple(self._queries)
+
+    def workloads(self):
+        """Per-cuboid averaged statistics for the §9.2 selector."""
+        from repro.optimizer.cuboid_selection import workloads_from_log
+
+        return workloads_from_log(self._queries, self.shape)
+
+    def length_matrix(self):
+        """The §9.1 ``r_ij`` matrix for dimension selection."""
+        from repro.optimizer.dimension_selection import (
+            active_range_lengths,
+        )
+
+        return active_range_lengths(self._queries, self.shape)
+
+    def clear(self) -> None:
+        """Forget all recorded queries (e.g. after a re-tuning cycle)."""
+        self._queries.clear()
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the log (shape + per-query specs) to JSON."""
+        payload = {
+            "shape": list(self.shape),
+            "queries": [
+                [_spec_to_json(spec) for spec in query.specs]
+                for query in self._queries
+            ],
+        }
+        return json.dumps(payload)
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the JSON serialization to a file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def from_json(cls, text: str) -> "QueryLog":
+        """Rebuild a log from :meth:`to_json` output."""
+        payload = json.loads(text)
+        log = cls(payload["shape"])
+        for specs in payload["queries"]:
+            log.record(
+                RangeQuery(tuple(_spec_from_json(s) for s in specs))
+            )
+        return log
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "QueryLog":
+        """Read a log previously written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+
+def _spec_to_json(spec: RangeSpec) -> list:
+    if spec.kind is SpecKind.ALL:
+        return ["all"]
+    if spec.kind is SpecKind.SINGLETON:
+        return ["at", spec.lo]
+    return ["between", spec.lo, spec.hi]
+
+
+def _spec_from_json(data: Sequence) -> RangeSpec:
+    kind = data[0]
+    if kind == "all":
+        return RangeSpec.all()
+    if kind == "at":
+        return RangeSpec.at(int(data[1]))
+    if kind == "between":
+        return RangeSpec.between(int(data[1]), int(data[2]))
+    raise ValueError(f"unknown spec kind {kind!r}")

@@ -1,0 +1,73 @@
+"""Naive range-query baselines (no precomputation).
+
+The paper's point of departure (§1): without auxiliary information a
+range-sum or range-max must touch every cell of the query region — a cost
+equal to the query's volume, versus the prefix-sum method's constant
+``2^d``.  These scanners are the control arm of every benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._util import Box
+from repro.core.operators import SUM, InvertibleOperator
+from repro.instrumentation import NULL_COUNTER, AccessCounter
+
+
+def naive_range_sum(
+    cube: np.ndarray,
+    box: Box,
+    counter: AccessCounter = NULL_COUNTER,
+    operator: InvertibleOperator = SUM,
+) -> object:
+    """Aggregate every cell of ``box`` directly from the cube."""
+    _check(cube, box)
+    counter.count_cube(box.volume)
+    return operator.reduce_box(cube[box.slices()])
+
+
+def naive_max_index(
+    cube: np.ndarray, box: Box, counter: AccessCounter = NULL_COUNTER
+) -> tuple[int, ...]:
+    """Index of a maximum cell of ``box`` by full scan."""
+    _check(cube, box)
+    counter.count_cube(box.volume)
+    window = cube[box.slices()]
+    local = np.unravel_index(int(np.argmax(window)), window.shape)
+    return tuple(l + o for l, o in zip(box.lo, local))
+
+
+def naive_max_value(
+    cube: np.ndarray, box: Box, counter: AccessCounter = NULL_COUNTER
+) -> object:
+    """Maximum value of ``box`` by full scan."""
+    return cube[naive_max_index(cube, box, counter)]
+
+
+def naive_sum_range(
+    cube: np.ndarray,
+    bounds: Sequence[tuple[int, int]],
+    counter: AccessCounter = NULL_COUNTER,
+) -> object:
+    """Convenience wrapper taking ``(lo, hi)`` pairs per dimension."""
+    box = Box(
+        tuple(lo for lo, _ in bounds), tuple(hi for _, hi in bounds)
+    )
+    return naive_range_sum(cube, box, counter)
+
+
+def _check(cube: np.ndarray, box: Box) -> None:
+    if box.ndim != cube.ndim:
+        raise ValueError(
+            f"query has {box.ndim} dims, cube has {cube.ndim}"
+        )
+    if box.is_empty:
+        raise ValueError(f"empty query region {box}")
+    for j, (lo, hi, n) in enumerate(zip(box.lo, box.hi, cube.shape)):
+        if not 0 <= lo <= hi < n:
+            raise ValueError(
+                f"range {lo}:{hi} outside dimension {j} of size {n}"
+            )

@@ -1,0 +1,142 @@
+"""Range-query specification model.
+
+The paper (§2) describes a range query over a d-dimensional array by one
+contiguous range ``l_j : h_j`` per dimension.  At the user level (§9.1) each
+dimension of a query is one of
+
+* **all** — the full domain (the query does not constrain the dimension);
+* a **singleton** — a single value;
+* an **active range** — a contiguous range that is neither a singleton nor
+  the full domain.
+
+The all/singleton/active distinction drives the physical-design algorithms
+in :mod:`repro.optimizer`, so :class:`RangeSpec` keeps it explicit instead
+of collapsing everything to ``(lo, hi)`` pairs immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+from repro._util import Box, validate_range
+
+
+class SpecKind(Enum):
+    """How a query constrains one dimension."""
+
+    ALL = "all"
+    SINGLETON = "singleton"
+    RANGE = "range"
+
+
+@dataclass(frozen=True)
+class RangeSpec:
+    """Constraint on a single dimension of a range query.
+
+    Use the factory classmethods :meth:`all`, :meth:`at`, :meth:`between`
+    rather than the constructor.
+    """
+
+    kind: SpecKind
+    lo: int | None = None
+    hi: int | None = None
+
+    @classmethod
+    def all(cls) -> "RangeSpec":
+        """The dimension is unconstrained (the paper's ``all`` value)."""
+        return cls(SpecKind.ALL)
+
+    @classmethod
+    def at(cls, value: int) -> "RangeSpec":
+        """The dimension is pinned to a single rank ``value``."""
+        return cls(SpecKind.SINGLETON, value, value)
+
+    @classmethod
+    def between(cls, lo: int, hi: int) -> "RangeSpec":
+        """The dimension is constrained to ``lo <= i <= hi`` (inclusive)."""
+        if lo > hi:
+            raise ValueError(f"empty range {lo}:{hi}")
+        if lo == hi:
+            return cls.at(lo)
+        return cls(SpecKind.RANGE, lo, hi)
+
+    def resolve(self, size: int) -> tuple[int, int]:
+        """Concrete inclusive bounds for a dimension of ``size`` ranks."""
+        if self.kind is SpecKind.ALL:
+            return 0, size - 1
+        assert self.lo is not None and self.hi is not None
+        validate_range(self.lo, self.hi, size)
+        return self.lo, self.hi
+
+    def is_active(self, size: int) -> bool:
+        """Paper §9.1: active = contiguous range, neither singleton nor all.
+
+        A RANGE spec that happens to cover the full domain counts as
+        passive, matching the paper's definition.
+        """
+        if self.kind is not SpecKind.RANGE:
+            return False
+        return not (self.lo == 0 and self.hi == size - 1)
+
+    def length(self, size: int) -> int:
+        """Number of ranks selected in a dimension of ``size`` ranks."""
+        lo, hi = self.resolve(size)
+        return hi - lo + 1
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """A complete range query: one :class:`RangeSpec` per dimension."""
+
+    specs: tuple[RangeSpec, ...]
+
+    @classmethod
+    def from_bounds(cls, bounds: Sequence[tuple[int, int]]) -> "RangeQuery":
+        """Build a query from explicit ``(lo, hi)`` pairs."""
+        return cls(tuple(RangeSpec.between(lo, hi) for lo, hi in bounds))
+
+    @classmethod
+    def full(cls, ndim: int) -> "RangeQuery":
+        """The query selecting the entire cube."""
+        return cls(tuple(RangeSpec.all() for _ in range(ndim)))
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions the query addresses."""
+        return len(self.specs)
+
+    def to_box(self, shape: Sequence[int]) -> Box:
+        """Resolve against a concrete array shape to an inclusive box."""
+        if len(shape) != self.ndim:
+            raise ValueError(
+                f"query has {self.ndim} dims but array has {len(shape)}"
+            )
+        bounds = [
+            spec.resolve(size) for spec, size in zip(self.specs, shape)
+        ]
+        return Box(
+            tuple(lo for lo, _ in bounds), tuple(hi for _, hi in bounds)
+        )
+
+    def active_dimensions(self, shape: Sequence[int]) -> tuple[int, ...]:
+        """Indices of the dimensions that are active per paper §9.1."""
+        return tuple(
+            j
+            for j, (spec, size) in enumerate(zip(self.specs, shape))
+            if spec.is_active(size)
+        )
+
+    def cuboid_key(self, shape: Sequence[int]) -> tuple[int, ...]:
+        """The cuboid a query is assigned to (paper §9).
+
+        *"Queries with ranges on dimensions d1 and d2 and all on dimension
+        d3 will be assigned to the cuboid <d1, d2>"* — i.e. the set of
+        dimensions that the query constrains at all (singleton or range).
+        """
+        return tuple(
+            j
+            for j, spec in enumerate(self.specs)
+            if spec.kind is not SpecKind.ALL
+        )

@@ -1,0 +1,91 @@
+"""Query statistics from Table 1 of the paper.
+
+Table 1 defines, for a single query (and §9 reuses the same symbols for
+per-cuboid averages over a query log):
+
+* ``V`` — the volume of the query (product of per-dimension lengths);
+* ``x_i`` — the length of the query in dimension ``i``;
+* ``S`` — the total surface area of the query, ``S = Σ_i 2·V / x_i``.
+
+These feed every cost formula in §8 and §9 (``2^d + S·F(b)`` for the
+blocked prefix sum, the tree-sum series, and the benefit/space function
+whose maxima picks block sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.query.ranges import RangeQuery
+
+
+@dataclass(frozen=True)
+class QueryStatistics:
+    """The (V, x_i, S) triple of Table 1 for one query or a log average."""
+
+    lengths: tuple[float, ...]
+
+    @classmethod
+    def from_query(
+        cls, query: RangeQuery, shape: Sequence[int]
+    ) -> "QueryStatistics":
+        """Statistics of a concrete query against a concrete cube shape."""
+        return cls(
+            tuple(
+                float(spec.length(size))
+                for spec, size in zip(query.specs, shape)
+            )
+        )
+
+    @classmethod
+    def from_lengths(cls, lengths: Iterable[float]) -> "QueryStatistics":
+        """Statistics from per-dimension side lengths directly."""
+        sides = tuple(float(x) for x in lengths)
+        if any(x <= 0 for x in sides):
+            raise ValueError(f"query lengths must be positive, got {sides}")
+        return cls(sides)
+
+    @property
+    def ndim(self) -> int:
+        """Dimensionality d of the query."""
+        return len(self.lengths)
+
+    @property
+    def volume(self) -> float:
+        """``V`` — product of the per-dimension lengths."""
+        vol = 1.0
+        for x in self.lengths:
+            vol *= x
+        return vol
+
+    @property
+    def surface(self) -> float:
+        """``S = Σ_i 2·V / x_i`` — total surface area (Table 1)."""
+        vol = self.volume
+        return sum(2.0 * vol / x for x in self.lengths)
+
+    def scaled(self, factor: float) -> "QueryStatistics":
+        """Statistics of the same query shape scaled by ``factor``."""
+        return QueryStatistics(tuple(x * factor for x in self.lengths))
+
+
+def average_statistics(
+    stats: Sequence[QueryStatistics],
+) -> QueryStatistics:
+    """Average per-dimension lengths across a set of query statistics.
+
+    Section 9: *"we use the notation in Table 1 to denote the average rather
+    than the numbers for a single query."*  Averaging the side lengths (and
+    deriving V and S from the averages) keeps the cost formulas well defined
+    for a log of heterogeneous queries.
+    """
+    if not stats:
+        raise ValueError("cannot average an empty list of statistics")
+    ndim = stats[0].ndim
+    if any(s.ndim != ndim for s in stats):
+        raise ValueError("all statistics must share the same dimensionality")
+    mean_lengths = tuple(
+        sum(s.lengths[j] for s in stats) / len(stats) for j in range(ndim)
+    )
+    return QueryStatistics(mean_lengths)

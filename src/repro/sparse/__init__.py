@@ -1,0 +1,25 @@
+"""Sparse-cube engines: B+-tree, R*-tree, dense regions, sum/max (§10)."""
+
+from repro.sparse.btree import BPlusTree
+from repro.sparse.dense_regions import (
+    DenseRegionConfig,
+    DenseRegionResult,
+    find_dense_regions,
+)
+from repro.sparse.rtree import Rect, RStarTree
+from repro.sparse.sparse_cube import SparseCube
+from repro.sparse.sparse_max import SparseRangeMaxEngine
+from repro.sparse.sparse_sum import SparseRangeSum1D, SparseRangeSumEngine
+
+__all__ = [
+    "BPlusTree",
+    "DenseRegionConfig",
+    "DenseRegionResult",
+    "Rect",
+    "RStarTree",
+    "SparseCube",
+    "SparseRangeMaxEngine",
+    "SparseRangeSum1D",
+    "SparseRangeSumEngine",
+    "find_dense_regions",
+]

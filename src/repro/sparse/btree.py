@@ -1,0 +1,254 @@
+"""A B+-tree built from scratch (paper §10.1's index substrate).
+
+Section 10.1: for a sparse one-dimensional cube with ``b = 1`` the prefix
+array ``P`` inherits the cube's sparse structure, and a range query
+``(l : h)`` needs the last stored prefix at or before ``h`` and the last
+stored prefix strictly before ``l`` — predecessor searches, *"we can build
+a B-tree index on P"*.  This module provides that index: an order-``m``
+B+-tree over integer keys with predecessor/successor search, range scans
+and access counting (every node visited charges ``index_nodes``).
+
+The tree is deliberately general (any ordered key) so the R*-tree engines
+and tests can reuse it for oracles.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator
+
+from repro.instrumentation import NULL_COUNTER, AccessCounter
+
+
+class _Node:
+    """One B+-tree node; leaves carry values and a right-sibling link."""
+
+    __slots__ = ("leaf", "keys", "children", "values", "next")
+
+    def __init__(self, leaf: bool) -> None:
+        self.leaf = leaf
+        self.keys: list = []
+        self.children: list[_Node] = []
+        self.values: list = []
+        self.next: _Node | None = None
+
+
+class BPlusTree:
+    """An order-``m`` B+-tree mapping keys to values.
+
+    Args:
+        order: Maximum number of children per internal node (>= 3).
+            Leaves hold at most ``order − 1`` entries.
+    """
+
+    def __init__(self, order: int = 32) -> None:
+        if order < 3:
+            raise ValueError(f"order must be >= 3, got {order}")
+        self.order = int(order)
+        self._root = _Node(leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Levels from root to leaves (a lone leaf root has height 1)."""
+        levels = 1
+        node = self._root
+        while not node.leaf:
+            levels += 1
+            node = node.children[0]
+        return levels
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, key, value) -> None:
+        """Insert or overwrite one key."""
+        result = self._insert(self._root, key, value)
+        if result is not None:
+            separator, right = result
+            new_root = _Node(leaf=False)
+            new_root.keys = [separator]
+            new_root.children = [self._root, right]
+            self._root = new_root
+
+    def _insert(self, node: _Node, key, value):
+        """Recursive insert; returns ``(separator, new_right)`` on split."""
+        if node.leaf:
+            slot = bisect.bisect_left(node.keys, key)
+            if slot < len(node.keys) and node.keys[slot] == key:
+                node.values[slot] = value
+                return None
+            node.keys.insert(slot, key)
+            node.values.insert(slot, value)
+            self._size += 1
+            if len(node.keys) < self.order:
+                return None
+            return self._split_leaf(node)
+        slot = bisect.bisect_right(node.keys, key)
+        result = self._insert(node.children[slot], key, value)
+        if result is None:
+            return None
+        separator, right = result
+        node.keys.insert(slot, separator)
+        node.children.insert(slot + 1, right)
+        if len(node.children) <= self.order:
+            return None
+        return self._split_internal(node)
+
+    def _split_leaf(self, node: _Node):
+        mid = len(node.keys) // 2
+        right = _Node(leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next = node.next
+        node.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node):
+        mid = len(node.keys) // 2
+        separator = node.keys[mid]
+        right = _Node(leaf=False)
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return separator, right
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def _descend_to_leaf(
+        self, key, counter: AccessCounter
+    ) -> _Node:
+        node = self._root
+        counter.count_index(1)
+        while not node.leaf:
+            slot = bisect.bisect_right(node.keys, key)
+            node = node.children[slot]
+            counter.count_index(1)
+        return node
+
+    def get(self, key, default=None, counter: AccessCounter = NULL_COUNTER):
+        """Exact-key lookup."""
+        leaf = self._descend_to_leaf(key, counter)
+        slot = bisect.bisect_left(leaf.keys, key)
+        if slot < len(leaf.keys) and leaf.keys[slot] == key:
+            return leaf.values[slot]
+        return default
+
+    def find_le(self, key, counter: AccessCounter = NULL_COUNTER):
+        """Largest ``(k, v)`` with ``k <= key``, or ``None``.
+
+        This is the predecessor search §10.1 needs: the last stored
+        prefix sum at or before a range endpoint.  During the descent the
+        nearest left-sibling subtree is remembered; if the target leaf
+        holds nothing at or below ``key``, the predecessor is that
+        subtree's maximum.
+        """
+        node = self._root
+        counter.count_index(1)
+        last_left: _Node | None = None
+        while not node.leaf:
+            slot = bisect.bisect_right(node.keys, key)
+            if slot > 0:
+                last_left = node.children[slot - 1]
+            node = node.children[slot]
+            counter.count_index(1)
+        slot = bisect.bisect_right(node.keys, key) - 1
+        if slot >= 0:
+            return node.keys[slot], node.values[slot]
+        if last_left is None:
+            return None
+        node = last_left
+        counter.count_index(1)
+        while not node.leaf:
+            node = node.children[-1]
+            counter.count_index(1)
+        return node.keys[-1], node.values[-1]
+
+    def find_ge(self, key, counter: AccessCounter = NULL_COUNTER):
+        """Smallest ``(k, v)`` with ``k >= key``, or ``None``."""
+        leaf = self._descend_to_leaf(key, counter)
+        slot = bisect.bisect_left(leaf.keys, key)
+        while leaf is not None:
+            if slot < len(leaf.keys):
+                return leaf.keys[slot], leaf.values[slot]
+            leaf = leaf.next
+            slot = 0
+            if leaf is not None:
+                counter.count_index(1)
+        return None
+
+    def items(
+        self,
+        lo=None,
+        hi=None,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> Iterator[tuple]:
+        """Yield ``(key, value)`` pairs with ``lo <= key <= hi``, in order."""
+        if lo is None:
+            leaf = self._root
+            counter.count_index(1)
+            while not leaf.leaf:
+                leaf = leaf.children[0]
+                counter.count_index(1)
+            slot = 0
+        else:
+            leaf = self._descend_to_leaf(lo, counter)
+            slot = bisect.bisect_left(leaf.keys, lo)
+        while leaf is not None:
+            while slot < len(leaf.keys):
+                key = leaf.keys[slot]
+                if hi is not None and key > hi:
+                    return
+                yield key, leaf.values[slot]
+                slot += 1
+            leaf = leaf.next
+            slot = 0
+            if leaf is not None:
+                counter.count_index(1)
+
+    def keys(self) -> Iterator:
+        """All keys in ascending order."""
+        for key, _ in self.items():
+            yield key
+
+    def check_invariants(self) -> None:
+        """Validate structural invariants (used by the test suite).
+
+        Raises:
+            AssertionError: On any violated invariant.
+        """
+        size = self._check_node(self._root, None, None, is_root=True)
+        assert size == self._size, f"size mismatch {size} != {self._size}"
+        keys = list(self.keys())
+        assert keys == sorted(keys), "leaf chain out of order"
+        assert len(keys) == self._size
+
+    def _check_node(self, node: _Node, lo, hi, is_root: bool) -> int:
+        for key in node.keys:
+            assert lo is None or key >= lo, "key below subtree bound"
+            assert hi is None or key < hi, "key above subtree bound"
+        assert node.keys == sorted(node.keys)
+        if node.leaf:
+            assert len(node.keys) == len(node.values)
+            assert len(node.keys) <= self.order - 1 or is_root
+            return len(node.keys)
+        assert len(node.children) == len(node.keys) + 1
+        assert len(node.children) <= self.order
+        if not is_root:
+            assert len(node.children) >= 2, "underfull internal node"
+        total = 0
+        bounds = [lo] + list(node.keys) + [hi]
+        for i, child in enumerate(node.children):
+            total += self._check_node(
+                child, bounds[i], bounds[i + 1], is_root=False
+            )
+        return total

@@ -1,0 +1,495 @@
+"""An R*-tree built from scratch (Beckmann et al., cited by paper §10.2).
+
+Section 10 uses the R*-tree twice:
+
+* **range-sum** (§10.2): the boundaries of the discovered dense regions —
+  and every outlier point outside them — go into an R*-tree; a query
+  finds the intersecting dense regions and the in-range outliers;
+* **range-max** (§10.3): the static ``b^d``-ary tree is replaced by the
+  R*-tree, each node annotated with the max value beneath it, searched
+  with the same branch-and-bound pruning (starting from the root, since a
+  dynamic tree has no constant-time lowest covering node).
+
+The implementation follows the R*-tree paper: ChooseSubtree by least
+overlap enlargement at the leaf level and least area enlargement above,
+the margin-driven split-axis choice, the overlap-driven split-distribution
+choice, and forced reinsertion of the 30% farthest entries on first
+overflow per level per insertion.
+
+Rectangles are closed-open boxes ``[min, max)``; integer cells embed as
+unit boxes via :meth:`Rect.from_cell`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro._util import Box
+from repro.instrumentation import NULL_COUNTER, AccessCounter
+
+#: Fraction of entries evicted by forced reinsertion (the R*-tree's p=30%).
+REINSERT_FRACTION = 0.3
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned closed-open rectangle ``[mins, maxs)``."""
+
+    mins: tuple[float, ...]
+    maxs: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.mins) != len(self.maxs):
+            raise ValueError("mins and maxs must have the same length")
+        if any(a > b for a, b in zip(self.mins, self.maxs)):
+            raise ValueError(f"inverted rectangle {self.mins}..{self.maxs}")
+
+    @classmethod
+    def from_cell(cls, index: Sequence[int]) -> "Rect":
+        """The unit box of one integer cell."""
+        return cls(
+            tuple(float(i) for i in index),
+            tuple(float(i) + 1.0 for i in index),
+        )
+
+    @classmethod
+    def from_box(cls, box: Box) -> "Rect":
+        """The closed-open rectangle covering an inclusive integer box."""
+        return cls(
+            tuple(float(l) for l in box.lo),
+            tuple(float(h) + 1.0 for h in box.hi),
+        )
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return len(self.mins)
+
+    @property
+    def area(self) -> float:
+        """Product of the extents (volume)."""
+        area = 1.0
+        for a, b in zip(self.mins, self.maxs):
+            area *= b - a
+        return area
+
+    @property
+    def margin(self) -> float:
+        """Sum of the extents (the R*-tree's split-axis criterion)."""
+        return sum(b - a for a, b in zip(self.mins, self.maxs))
+
+    @property
+    def center(self) -> tuple[float, ...]:
+        """Geometric center."""
+        return tuple(
+            (a + b) / 2.0 for a, b in zip(self.mins, self.maxs)
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest rectangle containing both."""
+        return Rect(
+            tuple(min(a, b) for a, b in zip(self.mins, other.mins)),
+            tuple(max(a, b) for a, b in zip(self.maxs, other.maxs)),
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the interiors share any point."""
+        return all(
+            a < d and c < b
+            for a, b, c, d in zip(
+                self.mins, self.maxs, other.mins, other.maxs
+            )
+        )
+
+    def contains(self, other: "Rect") -> bool:
+        """True when ``other`` lies entirely inside this rectangle."""
+        return all(
+            a <= c and d <= b
+            for a, b, c, d in zip(
+                self.mins, self.maxs, other.mins, other.maxs
+            )
+        )
+
+    def overlap_area(self, other: "Rect") -> float:
+        """Volume of the intersection."""
+        area = 1.0
+        for a, b, c, d in zip(self.mins, self.maxs, other.mins, other.maxs):
+            extent = min(b, d) - max(a, c)
+            if extent <= 0:
+                return 0.0
+            area *= extent
+        return area
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area growth needed to absorb ``other``."""
+        return self.union(other).area - self.area
+
+    def center_distance_sq(self, other: "Rect") -> float:
+        """Squared distance between centers (reinsertion ordering)."""
+        return sum(
+            (a - b) ** 2 for a, b in zip(self.center, other.center)
+        )
+
+
+class _REntry:
+    """A node slot: a rectangle plus either a child node or a payload."""
+
+    __slots__ = ("rect", "child", "payload", "value")
+
+    def __init__(self, rect: Rect, child=None, payload=None, value=None):
+        self.rect = rect
+        self.child: _RNode | None = child
+        self.payload = payload
+        self.value = value  # max of the subtree for child entries
+
+
+class _RNode:
+    """One R*-tree node."""
+
+    __slots__ = ("leaf", "entries", "level")
+
+    def __init__(self, leaf: bool, level: int) -> None:
+        self.leaf = leaf
+        self.entries: list[_REntry] = []
+        self.level = level
+
+    def mbr(self) -> Rect:
+        rect = self.entries[0].rect
+        for entry in self.entries[1:]:
+            rect = rect.union(entry.rect)
+        return rect
+
+    def max_value(self):
+        values = [e.value for e in self.entries if e.value is not None]
+        return max(values) if values else None
+
+
+class RStarTree:
+    """An R*-tree over rectangles with optional max-value augmentation.
+
+    Args:
+        max_entries: Node capacity ``M`` (>= 4).
+        min_entries: Minimum fill ``m``; defaults to ``0.4·M`` per the
+            R*-tree paper.
+    """
+
+    def __init__(
+        self, max_entries: int = 16, min_entries: int | None = None
+    ) -> None:
+        if max_entries < 4:
+            raise ValueError(f"max_entries must be >= 4, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self.min_entries = (
+            max(2, int(round(0.4 * max_entries)))
+            if min_entries is None
+            else int(min_entries)
+        )
+        if not 2 <= self.min_entries <= self.max_entries // 2:
+            raise ValueError(
+                f"min_entries {self.min_entries} invalid for "
+                f"max_entries {self.max_entries}"
+            )
+        self._root = _RNode(leaf=True, level=0)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Levels from root to leaves."""
+        return self._root.level + 1
+
+    @property
+    def node_count(self) -> int:
+        """Total nodes in the tree."""
+        return sum(1 for _ in self._iter_nodes(self._root))
+
+    def _iter_nodes(self, node: _RNode) -> Iterator[_RNode]:
+        yield node
+        if not node.leaf:
+            for entry in node.entries:
+                assert entry.child is not None
+                yield from self._iter_nodes(entry.child)
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, rect: Rect, payload, value=None) -> None:
+        """Insert one rectangle with a payload and optional max value."""
+        entry = _REntry(rect, payload=payload, value=value)
+        self._insert_entry(entry, level=0, overflowed=set())
+        self._size += 1
+
+    def insert_cell(self, index: Sequence[int], payload, value=None) -> None:
+        """Insert one integer cell as its unit box."""
+        self.insert(Rect.from_cell(index), payload, value)
+
+    def _insert_entry(
+        self, entry: _REntry, level: int, overflowed: set[int]
+    ) -> None:
+        path = self._choose_path(entry.rect, level)
+        node = path[-1]
+        node.entries.append(entry)
+        self._refresh_path(path)
+        if len(node.entries) > self.max_entries:
+            self._handle_overflow(path, overflowed)
+
+    def _choose_path(self, rect: Rect, level: int) -> list[_RNode]:
+        """Descend by the R* ChooseSubtree rule down to ``level``."""
+        path = [self._root]
+        node = self._root
+        while node.level > level:
+            children_are_leaves = node.level == 1
+            if children_are_leaves:
+                best = min(
+                    node.entries,
+                    key=lambda e: (
+                        self._overlap_enlargement(node, e, rect),
+                        e.rect.enlargement(rect),
+                        e.rect.area,
+                    ),
+                )
+            else:
+                best = min(
+                    node.entries,
+                    key=lambda e: (e.rect.enlargement(rect), e.rect.area),
+                )
+            assert best.child is not None
+            node = best.child
+            path.append(node)
+        return path
+
+    @staticmethod
+    def _overlap_enlargement(
+        node: _RNode, entry: _REntry, rect: Rect
+    ) -> float:
+        grown = entry.rect.union(rect)
+        before = 0.0
+        after = 0.0
+        for other in node.entries:
+            if other is entry:
+                continue
+            before += entry.rect.overlap_area(other.rect)
+            after += grown.overlap_area(other.rect)
+        return after - before
+
+    def _refresh_path(self, path: list[_RNode]) -> None:
+        """Recompute MBRs and max values bottom-up along an insert path."""
+        for parent, child in zip(reversed(path[:-1]), reversed(path[1:])):
+            for entry in parent.entries:
+                if entry.child is child:
+                    entry.rect = child.mbr()
+                    entry.value = child.max_value()
+                    break
+
+    def _handle_overflow(
+        self, path: list[_RNode], overflowed: set[int]
+    ) -> None:
+        node = path[-1]
+        if node is not self._root and node.level not in overflowed:
+            overflowed.add(node.level)
+            self._reinsert(path, overflowed)
+        else:
+            self._split(path, overflowed)
+
+    def _reinsert(self, path: list[_RNode], overflowed: set[int]) -> None:
+        """Forced reinsertion: evict the 30% of entries farthest from the
+        node's center and insert them again from the top."""
+        node = path[-1]
+        center_rect = node.mbr()
+        node.entries.sort(
+            key=lambda e: e.rect.center_distance_sq(center_rect),
+            reverse=True,
+        )
+        evict_count = max(1, int(REINSERT_FRACTION * len(node.entries)))
+        evicted = node.entries[:evict_count]
+        node.entries = node.entries[evict_count:]
+        self._refresh_path(path)
+        for entry in evicted:
+            self._insert_entry(entry, node.level, overflowed)
+
+    def _split(self, path: list[_RNode], overflowed: set[int]) -> None:
+        node = path[-1]
+        group_a, group_b = self._choose_split(node.entries)
+        node.entries = group_a
+        sibling = _RNode(leaf=node.leaf, level=node.level)
+        sibling.entries = group_b
+        if node is self._root:
+            new_root = _RNode(leaf=False, level=node.level + 1)
+            for part in (node, sibling):
+                new_root.entries.append(
+                    _REntry(
+                        part.mbr(), child=part, value=part.max_value()
+                    )
+                )
+            self._root = new_root
+            return
+        parent = path[-2]
+        self._refresh_path(path)
+        parent.entries.append(
+            _REntry(sibling.mbr(), child=sibling, value=sibling.max_value())
+        )
+        self._refresh_path(path[:-1])
+        if len(parent.entries) > self.max_entries:
+            self._handle_overflow(path[:-1], overflowed)
+
+    def _choose_split(
+        self, entries: list[_REntry]
+    ) -> tuple[list[_REntry], list[_REntry]]:
+        """R* split: margin-minimal axis, then overlap-minimal distribution."""
+        ndim = entries[0].rect.ndim
+        m = self.min_entries
+        best_axis = None
+        best_axis_margin = None
+        for axis in range(ndim):
+            margin_total = 0.0
+            for sort_key in (
+                lambda e: (e.rect.mins[axis], e.rect.maxs[axis]),
+                lambda e: (e.rect.maxs[axis], e.rect.mins[axis]),
+            ):
+                ordered = sorted(entries, key=sort_key)
+                for k in range(m, len(ordered) - m + 1):
+                    left = _union_of(ordered[:k])
+                    right = _union_of(ordered[k:])
+                    margin_total += left.margin + right.margin
+            if best_axis_margin is None or margin_total < best_axis_margin:
+                best_axis_margin = margin_total
+                best_axis = axis
+        assert best_axis is not None
+        best_groups = None
+        best_score = None
+        for sort_key in (
+            lambda e: (e.rect.mins[best_axis], e.rect.maxs[best_axis]),
+            lambda e: (e.rect.maxs[best_axis], e.rect.mins[best_axis]),
+        ):
+            ordered = sorted(entries, key=sort_key)
+            for k in range(m, len(ordered) - m + 1):
+                left = _union_of(ordered[:k])
+                right = _union_of(ordered[k:])
+                score = (
+                    left.overlap_area(right),
+                    left.area + right.area,
+                )
+                if best_score is None or score < best_score:
+                    best_score = score
+                    best_groups = (list(ordered[:k]), list(ordered[k:]))
+        assert best_groups is not None
+        return best_groups
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+
+    def search(
+        self, rect: Rect, counter: AccessCounter = NULL_COUNTER
+    ) -> list[tuple[Rect, object]]:
+        """All ``(rect, payload)`` whose rectangles intersect ``rect``."""
+        results: list[tuple[Rect, object]] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            counter.count_index(1)
+            for entry in node.entries:
+                if not entry.rect.intersects(rect):
+                    continue
+                if node.leaf:
+                    results.append((entry.rect, entry.payload))
+                else:
+                    assert entry.child is not None
+                    stack.append(entry.child)
+        return results
+
+    def payloads_in(
+        self, rect: Rect, counter: AccessCounter = NULL_COUNTER
+    ) -> list[object]:
+        """Payloads of all entries intersecting ``rect``."""
+        return [payload for _, payload in self.search(rect, counter)]
+
+    def max_in_region(
+        self, rect: Rect, counter: AccessCounter = NULL_COUNTER
+    ) -> tuple[Rect, object, object] | None:
+        """Branch-and-bound max over entries intersecting ``rect`` (§10.3).
+
+        Nodes are expanded best-first by their annotated max value;
+        subtrees whose max cannot beat the current best are pruned —
+        exactly the §6 pruning rule, transplanted onto a dynamic tree
+        rooted at the top (no constant-time lowest covering node here).
+
+        Returns:
+            ``(rect, payload, value)`` of the best entry, or ``None`` when
+            nothing intersects.
+        """
+        tiebreak = itertools.count()
+        heap: list[tuple[float, int, _RNode]] = []
+        root_max = self._root.max_value()
+        if root_max is None and self._size == 0:
+            return None
+        heapq.heappush(
+            heap,
+            (-(root_max if root_max is not None else 0), next(tiebreak),
+             self._root),
+        )
+        best: tuple[Rect, object, object] | None = None
+        while heap:
+            neg_bound, _, node = heapq.heappop(heap)
+            if best is not None and -neg_bound <= best[2]:
+                break  # nothing left can beat the incumbent
+            counter.count_index(1)
+            for entry in node.entries:
+                if not entry.rect.intersects(rect):
+                    continue
+                if node.leaf:
+                    if best is None or (
+                        entry.value is not None and entry.value > best[2]
+                    ):
+                        best = (entry.rect, entry.payload, entry.value)
+                else:
+                    assert entry.child is not None
+                    if entry.value is None:
+                        continue
+                    if best is None or entry.value > best[2]:
+                        heapq.heappush(
+                            heap,
+                            (-entry.value, next(tiebreak), entry.child),
+                        )
+        return best
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Validate MBR containment, fill factors and max annotations."""
+        count = self._check_node(self._root, is_root=True)
+        assert count == self._size, f"size mismatch {count} != {self._size}"
+
+    def _check_node(self, node: _RNode, is_root: bool) -> int:
+        if not is_root:
+            assert len(node.entries) >= self.min_entries, "underfull node"
+        assert len(node.entries) <= self.max_entries, "overfull node"
+        if node.leaf:
+            assert node.level == 0
+            return len(node.entries)
+        total = 0
+        for entry in node.entries:
+            child = entry.child
+            assert child is not None
+            assert child.level == node.level - 1, "broken level chain"
+            assert entry.rect.contains(child.mbr()), "MBR does not cover"
+            child_max = child.max_value()
+            if child_max is not None or entry.value is not None:
+                assert entry.value == child_max, "stale max annotation"
+            total += self._check_node(child, is_root=False)
+        return total
+
+
+def _union_of(entries: Sequence[_REntry]) -> Rect:
+    rect = entries[0].rect
+    for entry in entries[1:]:
+        rect = rect.union(entry.rect)
+    return rect

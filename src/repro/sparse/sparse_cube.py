@@ -1,0 +1,117 @@
+"""A coordinate-format sparse data cube (the §10 substrate).
+
+OLAP cubes are canonically ~20% dense with dense sub-clusters (§1, citing
+Colliat).  :class:`SparseCube` stores only the non-empty cells as a
+coordinate map and offers the densification primitives the sparse engines
+need: extracting a dense sub-array for one region, and iterating points.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro._util import Box, full_box
+
+
+class SparseCube:
+    """A sparse d-dimensional cube of non-empty cells.
+
+    Args:
+        shape: Full (virtual) shape of the cube.
+        cells: Mapping from cell index to (non-zero) value.
+    """
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        cells: Mapping[tuple[int, ...], object],
+    ) -> None:
+        self.shape = tuple(int(n) for n in shape)
+        if any(n < 1 for n in self.shape):
+            raise ValueError(f"invalid shape {self.shape}")
+        bounds = full_box(self.shape)
+        self.cells: dict[tuple[int, ...], object] = {}
+        for index, value in cells.items():
+            key = tuple(int(i) for i in index)
+            if len(key) != len(self.shape) or not bounds.contains_point(key):
+                raise ValueError(f"cell {index} outside shape {self.shape}")
+            self.cells[key] = value
+
+    @classmethod
+    def from_dense(cls, cube: np.ndarray) -> "SparseCube":
+        """Extract the non-zero cells of a dense array."""
+        cells = {}
+        for index in zip(*np.nonzero(cube)):
+            key = tuple(int(i) for i in index)
+            cells[key] = cube[key]
+        return cls(cube.shape, cells)
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions."""
+        return len(self.shape)
+
+    @property
+    def nnz(self) -> int:
+        """Number of non-empty cells."""
+        return len(self.cells)
+
+    @property
+    def density(self) -> float:
+        """Fraction of cells that are non-empty."""
+        total = 1
+        for n in self.shape:
+            total *= n
+        return self.nnz / total
+
+    @property
+    def volume(self) -> int:
+        """Total (virtual) cell count of the cube."""
+        total = 1
+        for n in self.shape:
+            total *= n
+        return total
+
+    def points(self) -> Iterator[tuple[int, ...]]:
+        """Iterate the indices of the non-empty cells."""
+        return iter(self.cells)
+
+    def items(self) -> Iterable[tuple[tuple[int, ...], object]]:
+        """Iterate ``(index, value)`` pairs of the non-empty cells."""
+        return self.cells.items()
+
+    def densify(self, box: Box, dtype=np.int64) -> np.ndarray:
+        """Materialize the dense sub-array of one region.
+
+        Used per dense region by the sparse range-sum engine; the full
+        cube is never materialized.
+        """
+        array = np.zeros(box.lengths, dtype=dtype)
+        for index, value in self.cells.items():
+            if box.contains_point(index):
+                offset = tuple(i - l for i, l in zip(index, box.lo))
+                array[offset] = value
+        return array
+
+    def to_dense(self, dtype=np.int64) -> np.ndarray:
+        """Materialize the entire cube (test oracles only)."""
+        return self.densify(full_box(self.shape), dtype)
+
+    def naive_range_sum(self, box: Box) -> object:
+        """Sum over a region by scanning the coordinate map (baseline)."""
+        total = 0
+        for index, value in self.cells.items():
+            if box.contains_point(index):
+                total = total + value
+        return total
+
+    def naive_max(self, box: Box) -> tuple[tuple[int, ...], object] | None:
+        """Max over a region's *non-empty* cells, or ``None`` if none."""
+        best: tuple[tuple[int, ...], object] | None = None
+        for index, value in self.cells.items():
+            if box.contains_point(index):
+                if best is None or value > best[1]:
+                    best = (index, value)
+        return best

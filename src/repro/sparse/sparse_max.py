@@ -1,0 +1,54 @@
+"""Sparse range-max via a max-augmented R*-tree (paper §10.3).
+
+*"For range-max queries, we can replace the static fixed-fanout tree
+structure by any other tree structure without affecting the correctness
+of the algorithm ... Thus, the R* tree is a good data structure in the
+sparse data cube.  Note that in this case where a dynamic tree is used,
+one needs to traverse starting from the root because the lowest-level
+node covering the query region cannot be located in constant time."*
+
+Every non-empty cell is inserted into an R*-tree whose nodes carry the
+maximum value beneath them; a query runs the §6 branch-and-bound pruning
+best-first from the root (see :meth:`RStarTree.max_in_region`).
+"""
+
+from __future__ import annotations
+
+from repro._util import Box
+from repro.instrumentation import NULL_COUNTER, AccessCounter
+from repro.sparse.rtree import Rect, RStarTree
+from repro.sparse.sparse_cube import SparseCube
+
+
+class SparseRangeMaxEngine:
+    """Range-max over a sparse cube's non-empty cells.
+
+    Args:
+        cube: The sparse cube.
+        rtree_max_entries: R*-tree node capacity.
+    """
+
+    def __init__(
+        self, cube: SparseCube, rtree_max_entries: int = 16
+    ) -> None:
+        self.cube = cube
+        self.rtree = RStarTree(max_entries=rtree_max_entries)
+        for point, value in cube.items():
+            self.rtree.insert(Rect.from_cell(point), payload=point,
+                              value=value)
+
+    def max_index(
+        self, box: Box, counter: AccessCounter = NULL_COUNTER
+    ) -> tuple[tuple[int, ...], object] | None:
+        """``(index, value)`` of the max non-empty cell in ``box``.
+
+        Returns ``None`` when the region holds no non-empty cell (an
+        all-empty region has no defined max index in a sparse cube).
+        """
+        if box.ndim != self.cube.ndim:
+            raise ValueError("query dimensionality mismatch")
+        hit = self.rtree.max_in_region(Rect.from_box(box), counter)
+        if hit is None:
+            return None
+        _, point, value = hit
+        return point, value

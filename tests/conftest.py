@@ -1,0 +1,59 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro._util import Box
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+def shapes(max_ndim: int = 3, max_side: int = 12) -> st.SearchStrategy:
+    """Strategy: small cube shapes."""
+    return st.lists(
+        st.integers(min_value=1, max_value=max_side),
+        min_size=1,
+        max_size=max_ndim,
+    ).map(tuple)
+
+
+@st.composite
+def cube_and_box(
+    draw,
+    max_ndim: int = 3,
+    max_side: int = 10,
+    min_value: int = -50,
+    max_value: int = 50,
+):
+    """Strategy: a random integer cube plus a valid query box inside it."""
+    shape = draw(shapes(max_ndim, max_side))
+    flat = draw(
+        st.lists(
+            st.integers(min_value=min_value, max_value=max_value),
+            min_size=int(np.prod(shape)),
+            max_size=int(np.prod(shape)),
+        )
+    )
+    cube = np.array(flat, dtype=np.int64).reshape(shape)
+    lo = []
+    hi = []
+    for n in shape:
+        a = draw(st.integers(min_value=0, max_value=n - 1))
+        b = draw(st.integers(min_value=a, max_value=n - 1))
+        lo.append(a)
+        hi.append(b)
+    return cube, Box(tuple(lo), tuple(hi))
+
+
+def random_boxes_in(shape, rng: np.random.Generator, count: int):
+    """Plain-random boxes for non-hypothesis sweeps."""
+    from repro.query.workload import random_box
+
+    return [random_box(shape, rng) for _ in range(count)]

@@ -1,0 +1,235 @@
+"""Tests for the batch-update algorithm (paper §5, Theorem 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import Box
+from repro.core.batch_update import (
+    PointUpdate,
+    apply_batch_to_prefix,
+    apply_updates_naive,
+    combine_duplicate_updates,
+    contract_updates_to_blocks,
+    delta_for_assignment,
+    partition_updates,
+    theorem2_region_bound,
+)
+from repro.core.operators import SUM, XOR
+from repro.core.prefix_sum import compute_prefix_array
+from repro.query.workload import make_cube
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+@st.composite
+def update_batches(draw, max_ndim=3, max_side=8, max_updates=10):
+    shape = tuple(
+        draw(
+            st.lists(
+                st.integers(min_value=1, max_value=max_side),
+                min_size=1,
+                max_size=max_ndim,
+            )
+        )
+    )
+    count = draw(st.integers(min_value=0, max_value=max_updates))
+    updates = []
+    for _ in range(count):
+        index = tuple(
+            draw(st.integers(min_value=0, max_value=n - 1)) for n in shape
+        )
+        delta = draw(st.integers(min_value=-20, max_value=20))
+        updates.append(PointUpdate(index, delta))
+    return shape, updates
+
+
+class TestTheorem2Bound:
+    def test_known_closed_forms(self):
+        """NR(k,2)=k(k+1)/2 and NR(k,3)=k(k+1)(k+2)/6 (paper's examples)."""
+        for k in range(1, 10):
+            assert theorem2_region_bound(k, 1) == k
+            assert theorem2_region_bound(k, 2) == k * (k + 1) // 2
+            assert (
+                theorem2_region_bound(k, 3)
+                == k * (k + 1) * (k + 2) // 6
+            )
+
+    def test_zero_updates(self):
+        assert theorem2_region_bound(0, 3) == 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            theorem2_region_bound(-1, 2)
+        with pytest.raises(ValueError):
+            theorem2_region_bound(3, 0)
+
+    @given(update_batches())
+    @settings(max_examples=100, deadline=None)
+    def test_partition_respects_bound(self, data):
+        shape, updates = data
+        regions = partition_updates(updates, shape)
+        distinct = len({u.index for u in updates})
+        assert len(regions) <= theorem2_region_bound(
+            max(distinct, 1), len(shape)
+        )
+
+
+class TestPartitionProperties:
+    @given(update_batches())
+    @settings(max_examples=100, deadline=None)
+    def test_regions_disjoint_and_cover_affected_cells(self, data):
+        shape, updates = data
+        regions = partition_updates(updates, shape)
+        covered = np.zeros(shape, dtype=np.int64)
+        for box, _ in regions:
+            covered[box.slices()] += 1
+        assert covered.max() <= 1, "regions overlap"
+        affected = np.zeros(shape, dtype=bool)
+        for update in updates:
+            affected[tuple(slice(x, None) for x in update.index)] = True
+        assert np.array_equal(covered.astype(bool), affected)
+
+    @given(update_batches())
+    @settings(max_examples=100, deadline=None)
+    def test_region_deltas_are_exact(self, data):
+        """Each affected cell of P receives exactly its combined delta."""
+        shape, updates = data
+        regions = partition_updates(updates, shape)
+        applied = np.zeros(shape, dtype=np.int64)
+        for box, delta in regions:
+            applied[box.slices()] += delta
+        expected = np.zeros(shape, dtype=np.int64)
+        for update in updates:
+            expected[tuple(slice(x, None) for x in update.index)] += (
+                update.delta
+            )
+        assert np.array_equal(applied, expected)
+
+    def test_paper_figure7_combining(self):
+        """Figure 7: two 2-d updates partition into 3 update-classes."""
+        shape = (6, 6)
+        updates = [PointUpdate((1, 3), 10), PointUpdate((3, 1), 100)]
+        regions = partition_updates(updates, shape)
+        deltas = sorted(delta for _, delta in regions)
+        assert deltas == [10, 100, 110]
+
+    def test_figure8_region_count(self):
+        """k=3 diagonal updates in 2-d partition into 6 regions (Fig. 8)."""
+        shape = (8, 8)
+        updates = [
+            PointUpdate((1, 5), 1),
+            PointUpdate((3, 3), 2),
+            PointUpdate((5, 1), 3),
+        ]
+        regions = partition_updates(updates, shape)
+        assert len(regions) == 6 == theorem2_region_bound(3, 2)
+
+
+class TestApplication:
+    @given(update_batches())
+    @settings(max_examples=80, deadline=None)
+    def test_batch_equals_recomputation(self, data):
+        shape, updates = data
+        rng = np.random.default_rng(5)
+        cube = rng.integers(0, 50, shape).astype(np.int64)
+        prefix = compute_prefix_array(cube)
+        apply_batch_to_prefix(prefix, updates)
+        for update in updates:
+            cube[update.index] += update.delta
+        assert np.array_equal(prefix, compute_prefix_array(cube))
+
+    @given(update_batches())
+    @settings(max_examples=60, deadline=None)
+    def test_batch_equals_naive_suffix_updates(self, data):
+        shape, updates = data
+        rng = np.random.default_rng(6)
+        cube = rng.integers(0, 50, shape).astype(np.int64)
+        batch = compute_prefix_array(cube)
+        naive = batch.copy()
+        apply_batch_to_prefix(batch, updates)
+        apply_updates_naive(naive, updates)
+        assert np.array_equal(batch, naive)
+
+    def test_batch_writes_each_cell_once(self, rng):
+        """The batch algorithm's point: disjoint regions → ≤ N writes."""
+        shape = (10, 10)
+        cube = make_cube(shape, rng).astype(np.int64)
+        prefix = compute_prefix_array(cube)
+        updates = [
+            PointUpdate((0, 0), 1),
+            PointUpdate((0, 1), 2),
+            PointUpdate((1, 0), 3),
+        ]
+        naive_cells = apply_updates_naive(prefix.copy(), updates)
+        regions = partition_updates(updates, shape)
+        batch_cells = sum(box.volume for box, _ in regions)
+        assert batch_cells <= 100
+        assert naive_cells > batch_cells  # overlapping suffixes re-written
+
+    def test_empty_batch(self, rng):
+        prefix = compute_prefix_array(make_cube((4, 4), rng))
+        before = prefix.copy()
+        assert apply_batch_to_prefix(prefix, []) == 0
+        assert np.array_equal(prefix, before)
+
+
+class TestHelpers:
+    def test_delta_for_assignment(self):
+        assert delta_for_assignment(10, 17) == 7
+        assert delta_for_assignment(10, 17, XOR) == 10 ^ 17
+
+    def test_combine_duplicates(self):
+        updates = [
+            PointUpdate((1, 1), 5),
+            PointUpdate((1, 1), 3),
+            PointUpdate((2, 2), 1),
+        ]
+        merged = combine_duplicate_updates(updates)
+        as_dict = {u.index: u.delta for u in merged}
+        assert as_dict == {(1, 1): 8, (2, 2): 1}
+
+    def test_contract_to_blocks(self):
+        updates = [
+            PointUpdate((0, 1), 5),
+            PointUpdate((1, 0), 3),
+            PointUpdate((4, 4), 2),
+        ]
+        contracted = contract_updates_to_blocks(updates, 2)
+        as_dict = {u.index: u.delta for u in contracted}
+        assert as_dict == {(0, 0): 8, (2, 2): 2}
+
+    def test_contract_invalid_block(self):
+        with pytest.raises(ValueError):
+            contract_updates_to_blocks([], 0)
+
+    def test_out_of_bounds_update_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            partition_updates([PointUpdate((5,), 1)], (4,))
+
+    def test_wrong_dimensionality_rejected(self):
+        with pytest.raises(ValueError, match="dimensionality"):
+            partition_updates([PointUpdate((1, 2), 1)], (4,))
+
+
+class TestOperatorGenerality:
+    def test_xor_batch(self, rng):
+        shape = (5, 5)
+        cube = rng.integers(0, 64, shape).astype(np.int64)
+        prefix = compute_prefix_array(cube, XOR)
+        updates = [PointUpdate((1, 2), 33), PointUpdate((0, 0), 7)]
+        apply_batch_to_prefix(prefix, updates, XOR)
+        for update in updates:
+            cube[update.index] ^= update.delta
+        assert np.array_equal(prefix, compute_prefix_array(cube, XOR))
+
+    def test_sum_is_default(self):
+        assert combine_duplicate_updates(
+            [PointUpdate((0,), 1), PointUpdate((0,), 2)], SUM
+        ) == [PointUpdate((0,), 3)]

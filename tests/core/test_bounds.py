@@ -1,0 +1,103 @@
+"""Tests for progressive range-sum bounds (paper §11)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import Box
+from repro.core.blocked import BlockedPrefixSumCube
+from repro.core.bounds import progressive_bounds
+from repro.instrumentation import AccessCounter
+from repro.query.naive import naive_range_sum
+from repro.query.workload import make_cube, random_box
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(53)
+
+
+@st.composite
+def nonneg_cube_query(draw):
+    n1 = draw(st.integers(min_value=4, max_value=20))
+    n2 = draw(st.integers(min_value=4, max_value=20))
+    seed = draw(st.integers(min_value=0, max_value=10**6))
+    block = draw(st.integers(min_value=1, max_value=6))
+    local = np.random.default_rng(seed)
+    cube = local.integers(0, 50, (n1, n2)).astype(np.int64)
+    lo = tuple(int(local.integers(0, n)) for n in (n1, n2))
+    hi = tuple(
+        int(local.integers(l, n)) for l, n in zip(lo, (n1, n2))
+    )
+    return cube, block, Box(lo, hi)
+
+
+class TestSandwichProperty:
+    @given(nonneg_cube_query())
+    @settings(max_examples=100, deadline=None)
+    def test_lower_exact_upper(self, data):
+        cube, block, box = data
+        structure = BlockedPrefixSumCube(cube, block)
+        bounds = progressive_bounds(structure, box)
+        exact = naive_range_sum(cube, box)
+        assert bounds.lower <= exact <= bounds.upper
+        assert bounds.width() >= 0
+
+    def test_aligned_query_is_exact_both_ways(self, rng):
+        cube = make_cube((40, 40), rng)
+        structure = BlockedPrefixSumCube(cube, 10)
+        box = Box((10, 20), (29, 39))
+        bounds = progressive_bounds(structure, box)
+        exact = naive_range_sum(cube, box)
+        assert bounds.lower == exact == bounds.upper
+
+    def test_thin_query_has_identity_lower_bound(self, rng):
+        """A query spanning no full block has an empty internal region."""
+        cube = make_cube((40, 40), rng)
+        structure = BlockedPrefixSumCube(cube, 10)
+        bounds = progressive_bounds(structure, Box((12, 3), (15, 36)))
+        assert bounds.inner_region is None
+        assert bounds.lower == 0
+
+
+class TestBoundQuality:
+    def test_width_shrinks_with_block_size(self, rng):
+        cube = make_cube((120, 120), rng)
+        box = Box((7, 7), (106, 106))
+        widths = []
+        for block in (40, 20, 10, 5):
+            structure = BlockedPrefixSumCube(cube, block)
+            widths.append(progressive_bounds(structure, box).width())
+        assert widths == sorted(widths, reverse=True)
+        assert widths[-1] < widths[0]
+
+    def test_constant_access_cost(self, rng):
+        """Each bound costs at most 2^d prefix reads — never cube scans."""
+        cube = make_cube((100, 100), rng)
+        structure = BlockedPrefixSumCube(cube, 10)
+        counter = AccessCounter()
+        progressive_bounds(structure, Box((13, 17), (88, 91)), counter)
+        assert counter.cube_cells == 0
+        assert counter.prefix_cells <= 2 * 4
+
+    def test_outer_region_covers_query(self, rng):
+        cube = make_cube((60, 60), rng)
+        structure = BlockedPrefixSumCube(cube, 8)
+        for _ in range(30):
+            box = random_box((60, 60), rng)
+            bounds = progressive_bounds(structure, box)
+            assert bounds.outer_region.contains_box(box)
+            if bounds.inner_region is not None:
+                assert box.contains_box(bounds.inner_region)
+
+    def test_three_dimensional(self, rng):
+        cube = make_cube((24, 24, 24), rng)
+        structure = BlockedPrefixSumCube(cube, 6)
+        for _ in range(30):
+            box = random_box((24, 24, 24), rng)
+            bounds = progressive_bounds(structure, box)
+            exact = naive_range_sum(cube, box)
+            assert bounds.lower <= exact <= bounds.upper

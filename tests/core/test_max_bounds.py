@@ -1,0 +1,106 @@
+"""Tests for progressive range-max bounds (§11's closing remark)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import Box
+from repro.core.bounds import progressive_max_bounds
+from repro.core.range_max import RangeMaxTree
+from repro.instrumentation import AccessCounter
+from repro.query.naive import naive_max_value
+from repro.query.workload import make_cube, random_box
+from tests.conftest import cube_and_box
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(191)
+
+
+class TestSandwichProperty:
+    @given(
+        cube_and_box(max_ndim=3, max_side=14),
+        st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_lower_exact_upper(self, data, fanout):
+        cube, box = data
+        tree = RangeMaxTree(cube, fanout)
+        bounds = progressive_max_bounds(tree, box)
+        exact = naive_max_value(cube, box)
+        assert bounds.lower <= exact <= bounds.upper
+        assert bounds.width() >= 0
+
+    def test_stored_index_inside_query_is_exact(self, rng):
+        """When the covering node's max lands in R, the bounds collapse."""
+        cube = np.zeros((27,), dtype=np.int64)
+        cube[13] = 100  # the global max is mid-array
+        tree = RangeMaxTree(cube, 3)
+        bounds = progressive_max_bounds(tree, Box((9,), (17,)))
+        assert bounds.lower == bounds.upper == 100
+
+    def test_single_cell_query(self, rng):
+        cube = make_cube((10, 10), rng)
+        tree = RangeMaxTree(cube, 2)
+        bounds = progressive_max_bounds(tree, Box((4, 7), (4, 7)))
+        assert bounds.lower == bounds.upper == cube[4, 7]
+
+
+class TestCost:
+    def test_constant_access_cost(self, rng):
+        """At most b^d child reads + 2 regardless of the query volume."""
+        cube = make_cube((243, 243), rng, high=10**6)
+        tree = RangeMaxTree(cube, 3)
+        for _ in range(40):
+            box = random_box((243, 243), rng, min_length=20)
+            counter = AccessCounter()
+            progressive_max_bounds(tree, box, counter)
+            assert counter.total <= 3 * 3 + 2
+
+    def test_worst_case_below_exact_searchs_worst_case(self, rng):
+        """Exact B&B search is cheap *on average* (Theorem 3) but its
+        worst case is O(b·log_b r); the bounds' worst case is the flat
+        b^d + 2."""
+        cube = make_cube((4096,), rng, high=10**6)
+        tree = RangeMaxTree(cube, 4)
+        worst_bound = 0
+        worst_exact = 0
+        for _ in range(300):
+            box = random_box((4096,), rng, min_length=8)
+            counter = AccessCounter()
+            progressive_max_bounds(tree, box, counter)
+            worst_bound = max(worst_bound, counter.total)
+            counter = AccessCounter()
+            tree.max_index(box, counter)
+            worst_exact = max(worst_exact, counter.total)
+        assert worst_bound <= 4 + 2
+        assert worst_bound <= worst_exact
+
+
+class TestTightness:
+    def test_bounds_often_exact_on_random_data(self, rng):
+        """The stored max frequently falls inside big queries, giving an
+        immediately exact answer — the §11 interactivity story."""
+        cube = make_cube((81, 81), rng, high=10**6)
+        tree = RangeMaxTree(cube, 3)
+        exact_hits = 0
+        trials = 100
+        for _ in range(trials):
+            box = random_box((81, 81), rng, min_length=40)
+            bounds = progressive_max_bounds(tree, box)
+            if bounds.lower == bounds.upper:
+                exact_hits += 1
+        assert exact_hits >= trials // 4
+
+    def test_upper_bound_is_covering_node_max(self, rng):
+        cube = make_cube((64,), rng, high=10**6)
+        tree = RangeMaxTree(cube, 4)
+        box = Box((5, ), (58,))
+        bounds = progressive_max_bounds(tree, box)
+        level, node = tree._lowest_covering_node(box)
+        cover_max = tree.values[level][node]
+        assert bounds.upper <= cover_max

@@ -1,0 +1,76 @@
+"""Tests for the cuboid lattice (paper §9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cube.cuboid import (
+    Cuboid,
+    all_cuboids,
+    ancestors_within,
+    is_ancestor,
+    is_descendant,
+    normalize_key,
+    proper_descendants,
+)
+
+
+class TestKeys:
+    def test_normalize_sorts_and_dedupes(self):
+        assert normalize_key([2, 0, 2]) == (0, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_key([-1])
+
+    def test_all_cuboids_count(self):
+        """A 3-d cube has 2^3 − 1 = 7 non-empty cuboids (§9's example)."""
+        assert len(all_cuboids(3)) == 7
+        assert len(all_cuboids(3, include_empty=True)) == 8
+
+    def test_all_cuboids_content(self):
+        keys = set(all_cuboids(2))
+        assert keys == {(0,), (1,), (0, 1)}
+
+
+class TestRelations:
+    def test_paper_example(self):
+        """§9: <d1, d3> is a descendant of <d1, d2, d3> and an ancestor
+        of <d3>."""
+        assert is_descendant((0, 2), (0, 1, 2))
+        assert is_ancestor((0, 2), (2,))
+
+    def test_self_relation(self):
+        assert is_ancestor((0, 1), (0, 1))
+        assert is_descendant((0, 1), (0, 1))
+
+    def test_unrelated(self):
+        assert not is_ancestor((0,), (1,))
+        assert not is_descendant((0,), (1,))
+
+    def test_proper_descendants(self):
+        assert set(proper_descendants((0, 1, 2))) == {
+            (0,),
+            (1,),
+            (2,),
+            (0, 1),
+            (0, 2),
+            (1, 2),
+        }
+
+    def test_ancestors_within(self):
+        universe = [(0,), (0, 1), (1, 2), (0, 1, 2)]
+        assert ancestors_within((0,), universe) == [(0,), (0, 1), (0, 1, 2)]
+
+
+class TestCuboidRecord:
+    def test_from_shape(self):
+        cuboid = Cuboid.from_shape((2, 0), (10, 20, 30))
+        assert cuboid.key == (0, 2)
+        assert cuboid.sizes == (10, 30)
+        assert cuboid.cells == 300
+        assert cuboid.ndim == 2
+
+    def test_out_of_range_dimension(self):
+        with pytest.raises(ValueError):
+            Cuboid.from_shape((3,), (10, 20))

@@ -1,0 +1,122 @@
+"""Tests for the dimension encoders (paper §2's rank-domain mapping)."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.cube.dimensions import (
+    CategoricalDimension,
+    DateDimension,
+    IntegerDimension,
+    dimension_shape,
+)
+
+
+class TestIntegerDimension:
+    def test_encode_decode_roundtrip(self):
+        dim = IntegerDimension("age", 1, 100)
+        assert dim.size == 100
+        for value in (1, 37, 100):
+            assert dim.decode(dim.encode(value)) == value
+
+    def test_paper_year_domain(self):
+        dim = IntegerDimension("year", 1987, 1996)
+        assert dim.size == 10
+        assert dim.encode(1987) == 0
+        assert dim.encode(1996) == 9
+
+    def test_out_of_domain(self):
+        dim = IntegerDimension("age", 1, 100)
+        with pytest.raises(KeyError):
+            dim.encode(0)
+        with pytest.raises(KeyError):
+            dim.encode(101)
+
+    def test_decode_out_of_range(self):
+        dim = IntegerDimension("age", 1, 10)
+        with pytest.raises(KeyError):
+            dim.decode(10)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            IntegerDimension("x", 5, 4)
+
+    def test_encode_range(self):
+        dim = IntegerDimension("age", 1, 100)
+        assert dim.encode_range(37, 52) == (36, 51)
+
+    def test_empty_range_rejected(self):
+        dim = IntegerDimension("age", 1, 100)
+        with pytest.raises(ValueError):
+            dim.encode_range(52, 37)
+
+
+class TestCategoricalDimension:
+    def test_rank_order_is_construction_order(self):
+        dim = CategoricalDimension("type", ["home", "auto", "health"])
+        assert dim.encode("home") == 0
+        assert dim.encode("health") == 2
+        assert dim.decode(1) == "auto"
+
+    def test_unknown_value(self):
+        dim = CategoricalDimension("type", ["a", "b"])
+        with pytest.raises(KeyError):
+            dim.encode("c")
+
+    def test_unhashable_value(self):
+        dim = CategoricalDimension("type", ["a"])
+        with pytest.raises(KeyError):
+            dim.encode(["not", "hashable"])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalDimension("x", ["a", "a"])
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalDimension("x", [])
+
+    def test_range_follows_declared_order(self):
+        dim = CategoricalDimension("grade", ["low", "mid", "high"])
+        assert dim.encode_range("low", "mid") == (0, 1)
+
+
+class TestDateDimension:
+    def test_day_offsets(self):
+        start = datetime.date(2020, 1, 1)
+        dim = DateDimension("day", start, 366)
+        assert dim.encode(start) == 0
+        assert dim.encode(datetime.date(2020, 3, 1)) == 60
+        assert dim.decode(60) == datetime.date(2020, 3, 1)
+
+    def test_non_date_rejected(self):
+        dim = DateDimension("day", datetime.date(2020, 1, 1), 10)
+        with pytest.raises(KeyError):
+            dim.encode("2020-01-01")
+
+    def test_out_of_window(self):
+        dim = DateDimension("day", datetime.date(2020, 1, 1), 10)
+        with pytest.raises(KeyError):
+            dim.encode(datetime.date(2020, 1, 11))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            DateDimension("day", datetime.date(2020, 1, 1), 0)
+
+
+def test_dimension_shape():
+    dims = [
+        IntegerDimension("age", 1, 100),
+        IntegerDimension("year", 1987, 1996),
+        CategoricalDimension("state", [f"s{i}" for i in range(50)]),
+        CategoricalDimension("type", ["home", "auto", "health"]),
+    ]
+    # The paper's insurance example: a 100 × 10 × 50 × 3 cube.
+    assert dimension_shape(dims) == (100, 10, 50, 3)
+
+
+def test_repr_mentions_name_and_size():
+    dim = IntegerDimension("age", 1, 100)
+    assert "age" in repr(dim) and "100" in repr(dim)

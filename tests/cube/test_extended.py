@@ -1,0 +1,145 @@
+"""Tests for the extended ("all"-augmented) cube baseline (paper §1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import Box
+from repro.cube.extended import ExtendedDataCube
+from repro.instrumentation import AccessCounter
+from repro.query.ranges import RangeQuery, RangeSpec
+from repro.query.workload import make_cube, random_box
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(71)
+
+
+class TestConstruction:
+    def test_shape_grows_by_one_per_dimension(self, rng):
+        cube = make_cube((5, 6, 7), rng)
+        extended = ExtendedDataCube(cube)
+        assert extended.cells.shape == (6, 7, 8)
+        assert extended.storage_cells == 6 * 7 * 8
+
+    def test_all_slots_hold_group_bys(self, rng):
+        cube = make_cube((4, 5), rng)
+        extended = ExtendedDataCube(cube)
+        assert np.array_equal(extended.cells[4, :5], cube.sum(axis=0))
+        assert np.array_equal(extended.cells[:4, 5], cube.sum(axis=1))
+        assert extended.cells[4, 5] == cube.sum()
+
+    def test_base_cells_preserved(self, rng):
+        cube = make_cube((4, 4), rng)
+        extended = ExtendedDataCube(cube)
+        assert np.array_equal(extended.cells[:4, :4], cube)
+
+
+class TestSingletonQueries:
+    def test_single_access_guarantee(self, rng):
+        cube = make_cube((6, 7, 3), rng)
+        extended = ExtendedDataCube(cube)
+        counter = AccessCounter()
+        value = extended.singleton((2, None, 1), counter)
+        assert value == cube[2, :, 1].sum()
+        assert counter.cube_cells == 1
+
+    def test_all_all_all(self, rng):
+        cube = make_cube((3, 3), rng)
+        extended = ExtendedDataCube(cube)
+        assert extended.singleton((None, None)) == cube.sum()
+
+    def test_wrong_arity(self, rng):
+        extended = ExtendedDataCube(make_cube((3, 3), rng))
+        with pytest.raises(ValueError):
+            extended.singleton((1,))
+
+
+class TestRangeQueries:
+    def test_matches_direct_sum(self, rng):
+        cube = make_cube((8, 9, 4), rng)
+        extended = ExtendedDataCube(cube)
+        for _ in range(40):
+            box = random_box(cube.shape, rng)
+            assert extended.range_sum(box) == cube[box.slices()].sum()
+
+    def test_insurance_example_cost(self, rng):
+        """§1: 16 age values × 9 years × all × one type = 144 accesses."""
+        cube = make_cube((100, 10, 50, 3), rng, high=5)
+        extended = ExtendedDataCube(cube)
+        query = RangeQuery(
+            (
+                RangeSpec.between(36, 51),
+                RangeSpec.between(1, 9),
+                RangeSpec.all(),
+                RangeSpec.at(1),
+            )
+        )
+        counter = AccessCounter()
+        value = extended.range_sum(query, counter)
+        assert counter.cube_cells == 16 * 9 * 1 * 1
+        assert value == cube[36:52, 1:10, :, 1].sum()
+
+    def test_full_range_collapses_to_all_slot(self, rng):
+        """A RANGE spec covering the whole domain costs one slot, like all."""
+        cube = make_cube((5, 6), rng)
+        extended = ExtendedDataCube(cube)
+        counter = AccessCounter()
+        extended.range_sum(Box((0, 2), (4, 4)), counter)
+        assert counter.cube_cells == 3  # dim0 full → all slot; dim1: 3 cells
+
+    def test_range_query_object(self, rng):
+        cube = make_cube((6, 6), rng)
+        extended = ExtendedDataCube(cube)
+        query = RangeQuery((RangeSpec.between(1, 3), RangeSpec.all()))
+        assert extended.range_sum(query) == cube[1:4].sum()
+
+    def test_dimension_mismatch(self, rng):
+        extended = ExtendedDataCube(make_cube((4, 4), rng))
+        with pytest.raises(ValueError):
+            extended.range_sum(Box((0,), (1,)))
+
+
+class TestMaintenance:
+    """Updating the extended cube: 2^d slots per base-cell change."""
+
+    def test_update_touches_2_to_the_d_cells(self, rng):
+        cube = make_cube((5, 6, 3), rng)
+        extended = ExtendedDataCube(cube)
+        writes = extended.apply_update((2, 4, 1), 10)
+        assert writes == 8
+
+    def test_update_keeps_every_aggregate_consistent(self, rng):
+        cube = make_cube((5, 6, 3), rng).astype(np.int64)
+        extended = ExtendedDataCube(cube)
+        mirror = cube.copy()
+        for _ in range(10):
+            index = tuple(int(rng.integers(0, n)) for n in cube.shape)
+            delta = int(rng.integers(-10, 20))
+            extended.apply_update(index, delta)
+            mirror[index] += delta
+        rebuilt = ExtendedDataCube(mirror)
+        assert np.array_equal(extended.cells, rebuilt.cells)
+
+    def test_queries_exact_after_updates(self, rng):
+        cube = make_cube((8, 8), rng).astype(np.int64)
+        extended = ExtendedDataCube(cube)
+        extended.apply_update((3, 3), 100)
+        mirror = cube.copy()
+        mirror[3, 3] += 100
+        for _ in range(20):
+            box = random_box((8, 8), rng)
+            assert extended.range_sum(box) == mirror[box.slices()].sum()
+        assert extended.singleton((None, 3)) == mirror[:, 3].sum()
+
+    def test_out_of_bounds_rejected(self, rng):
+        extended = ExtendedDataCube(make_cube((4, 4), rng))
+        with pytest.raises(ValueError):
+            extended.apply_update((4, 0), 1)
+
+    def test_wrong_arity_rejected(self, rng):
+        extended = ExtendedDataCube(make_cube((4, 4), rng))
+        with pytest.raises(ValueError):
+            extended.apply_update((1,), 1)

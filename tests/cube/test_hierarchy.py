@@ -1,0 +1,156 @@
+"""Tests for hierarchical dimensions (drill-down as contiguous ranges)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cube.datacube import DataCube
+from repro.cube.dimensions import CategoricalDimension
+from repro.cube.hierarchy import (
+    HierarchicalDimension,
+    LevelValue,
+    month_hierarchy,
+)
+from repro.instrumentation import AccessCounter
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(277)
+
+
+def size_hierarchy():
+    """A small hand-built hierarchy: 8 sizes → 3 tiers."""
+    return HierarchicalDimension(
+        "size",
+        ["xs", "s", "m", "l", "xl", "2xl", "3xl", "4xl"],
+        {
+            "tier": [("small", 2), ("regular", 3), ("big", 3)],
+        },
+    )
+
+
+class TestConstruction:
+    def test_leaf_encoding(self):
+        dim = size_hierarchy()
+        assert dim.encode("m") == 2
+        assert dim.decode(5) == "2xl"
+        assert dim.size == 8
+
+    def test_level_ranges_tile_the_domain(self):
+        dim = size_hierarchy()
+        assert dim.level_range("tier", "small") == (0, 1)
+        assert dim.level_range("tier", "regular") == (2, 4)
+        assert dim.level_range("tier", "big") == (5, 7)
+        assert dim.labels("tier") == ("small", "regular", "big")
+
+    def test_incomplete_level_rejected(self):
+        with pytest.raises(ValueError, match="covers"):
+            HierarchicalDimension(
+                "x", ["a", "b", "c"], {"lv": [("g", 2)]}
+            )
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            HierarchicalDimension(
+                "x", ["a", "b"], {"lv": [("g", 1), ("g", 1)]}
+            )
+
+    def test_zero_size_group_rejected(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            HierarchicalDimension(
+                "x", ["a", "b"], {"lv": [("g", 0), ("h", 2)]}
+            )
+
+    def test_unknown_level_and_label(self):
+        dim = size_hierarchy()
+        with pytest.raises(KeyError, match="no level"):
+            dim.level_range("family", "small")
+        with pytest.raises(KeyError, match="not a group"):
+            dim.level_range("tier", "huge")
+
+    def test_rollup_sizes(self):
+        assert size_hierarchy().rollup_sizes("tier") == (2, 3, 3)
+
+
+class TestMonthHierarchy:
+    def test_shape(self):
+        dim = month_hierarchy("month", [2023, 2024])
+        assert dim.size == 24
+        assert dim.level_range("year", "2024") == (12, 23)
+        assert dim.level_range("quarter", "2023-Q4") == (9, 11)
+        assert dim.rollup_sizes("quarter") == (3,) * 8
+
+    def test_empty_years_rejected(self):
+        with pytest.raises(ValueError):
+            month_hierarchy("m", [])
+
+
+class TestLevelValueResolution:
+    def test_single_group(self):
+        dim = size_hierarchy()
+        assert dim.resolve_level_value(
+            LevelValue("tier", "regular")
+        ) == (2, 4)
+
+    def test_label_span(self):
+        dim = size_hierarchy()
+        assert dim.resolve_level_value(
+            LevelValue("tier", "small", "regular")
+        ) == (0, 4)
+
+    def test_reversed_span_rejected(self):
+        dim = size_hierarchy()
+        with pytest.raises(ValueError, match="reversed"):
+            dim.resolve_level_value(
+                LevelValue("tier", "big", "small")
+            )
+
+
+class TestThroughDataCube:
+    @pytest.fixture
+    def cube(self, rng):
+        month = month_hierarchy("month", [2023, 2024])
+        region = CategoricalDimension("region", ["n", "s"])
+        measures = rng.integers(0, 100, (24, 2)).astype(np.int64)
+        cube = DataCube([month, region], measures)
+        cube.build_index(block_size=3, max_fanout=4)  # b = quarter size
+        return cube
+
+    def test_quarter_query(self, cube):
+        got = cube.sum(month=LevelValue("quarter", "2024-Q2"))
+        assert got == int(cube.measures[15:18].sum())
+
+    def test_year_query(self, cube):
+        got = cube.sum(month=LevelValue("year", "2023"))
+        assert got == int(cube.measures[:12].sum())
+
+    def test_quarter_span(self, cube):
+        got = cube.sum(
+            month=LevelValue("quarter", "2023-Q3", "2024-Q1"),
+            region="n",
+        )
+        assert got == int(cube.measures[6:15, 0].sum())
+
+    def test_leaf_queries_still_work(self, cube):
+        got = cube.sum(month=("2023-02", "2023-05"))
+        assert got == int(cube.measures[1:5].sum())
+        assert cube.sum(month="2024-12") == int(cube.measures[23].sum())
+
+    def test_level_value_on_flat_dimension_rejected(self, cube):
+        with pytest.raises(TypeError, match="no hierarchy"):
+            cube.sum(region=LevelValue("tier", "n"))
+
+    def test_block_aligned_level_queries_avoid_raw_scans(self, cube):
+        """With b = 3 (the quarter fan-out), quarter and year queries are
+        block-aligned and resolve from P alone — the §4 alignment story."""
+        for label in ("2023-Q1", "2023-Q3", "2024-Q4"):
+            counter = AccessCounter()
+            cube.sum(month=LevelValue("quarter", label), counter=counter)
+            assert counter.cube_cells == 0, label
+
+    def test_max_at_a_level(self, cube):
+        where, value = cube.max(month=LevelValue("year", "2024"))
+        assert value == int(cube.measures[12:].max())
+        assert where["month"].startswith("2024")

@@ -1,0 +1,117 @@
+"""Tests for multi-measure cubes (the paper's plural measure attributes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cube.dimensions import CategoricalDimension, IntegerDimension
+from repro.cube.measures import MeasureSet
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(233)
+
+
+def dims():
+    return [
+        IntegerDimension("month", 1, 12),
+        CategoricalDimension("region", ["n", "s"]),
+    ]
+
+
+def sample_records(rng, count=800):
+    return [
+        {
+            "month": int(rng.integers(1, 13)),
+            "region": ["n", "s"][int(rng.integers(0, 2))],
+            "revenue": int(rng.integers(100, 1000)),
+            "cost": int(rng.integers(50, 500)),
+        }
+        for _ in range(count)
+    ]
+
+
+class TestConstruction:
+    def test_from_records_builds_every_measure(self, rng):
+        records = sample_records(rng)
+        ms = MeasureSet.from_records(records, dims(), ["revenue", "cost"])
+        assert set(ms.measure_names) == {"revenue", "cost"}
+        assert ms.shape == (12, 2)
+        assert ms.cube("revenue").measures.sum() == sum(
+            r["revenue"] for r in records
+        )
+        assert ms.cube("cost").measures.sum() == sum(
+            r["cost"] for r in records
+        )
+
+    def test_empty_measures_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MeasureSet.from_records([], dims(), [])
+        with pytest.raises(ValueError):
+            MeasureSet(dims(), {})
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            MeasureSet(dims(), {"x": np.zeros((3, 2))})
+
+    def test_unknown_measure(self, rng):
+        ms = MeasureSet.from_records(
+            sample_records(rng, 50), dims(), ["revenue"]
+        )
+        with pytest.raises(KeyError, match="unknown measure"):
+            ms.cube("profit")
+
+
+class TestQueries:
+    @pytest.fixture
+    def measure_set(self, rng):
+        self.records = sample_records(rng)
+        ms = MeasureSet.from_records(
+            self.records, dims(), ["revenue", "cost"]
+        )
+        ms.build_indexes(block_size=1, max_fanout=3)
+        return ms
+
+    def test_per_measure_sums(self, measure_set):
+        got = measure_set.sum("revenue", month=(3, 8), region="n")
+        want = sum(
+            r["revenue"]
+            for r in self.records
+            if 3 <= r["month"] <= 8 and r["region"] == "n"
+        )
+        assert got == want
+
+    def test_shared_counts(self, measure_set):
+        want = sum(1 for r in self.records if r["month"] == 6)
+        assert measure_set.count(month=6) == want
+
+    def test_average_each_measure(self, measure_set):
+        rows = [r for r in self.records if r["region"] == "s"]
+        assert measure_set.average("cost", region="s") == pytest.approx(
+            sum(r["cost"] for r in rows) / len(rows)
+        )
+
+    def test_max_and_min(self, measure_set):
+        _, top = measure_set.max("revenue")
+        assert top == measure_set.cube("revenue").measures.max()
+        _, bottom = measure_set.min("cost", month=(1, 6))
+        assert bottom == measure_set.cube("cost").measures[:6].min()
+
+    def test_ratio(self, measure_set):
+        margin = measure_set.ratio("cost", "revenue", month=(1, 12))
+        total_cost = sum(r["cost"] for r in self.records)
+        total_revenue = sum(r["revenue"] for r in self.records)
+        assert margin == pytest.approx(total_cost / total_revenue)
+
+    def test_ratio_zero_denominator(self, rng):
+        ms = MeasureSet(
+            dims(),
+            {
+                "a": np.ones((12, 2), dtype=np.int64),
+                "b": np.zeros((12, 2), dtype=np.int64),
+            },
+        )
+        with pytest.raises(ZeroDivisionError):
+            ms.ratio("a", "b", month=(1, 3))

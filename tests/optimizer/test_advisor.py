@@ -1,0 +1,124 @@
+"""Tests for the §9 end-to-end physical-design advisor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.instrumentation import AccessCounter
+from repro.optimizer.advisor import advise
+from repro.query.workload import (
+    WorkloadProfile,
+    generate_query_log,
+    make_cube,
+)
+
+SHAPE = (60, 40, 10)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(251)
+
+
+@pytest.fixture
+def log(rng):
+    profile = WorkloadProfile(
+        range_probability=(0.85, 0.55, 0.05),
+        singleton_probability=0.5,
+        range_lengths=((6, 40), (4, 25), (2, 4)),
+    )
+    return generate_query_log(SHAPE, profile, 200, rng)
+
+
+class TestAdvise:
+    def test_diagnosis_flags_range_heavy_dims(self, log):
+        design = advise(SHAPE, log, space_budget=5000)
+        assert 0 in design.range_heavy_dims
+        assert 2 not in design.range_heavy_dims
+        assert len(design.column_sums) == 3
+        assert design.query_count == 200
+
+    def test_budget_respected(self, log):
+        design = advise(SHAPE, log, space_budget=1500)
+        assert design.selection.total_space <= 1500
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(ValueError):
+            advise(SHAPE, [], space_budget=100)
+
+    def test_report_mentions_everything(self, log):
+        design = advise(SHAPE, log, space_budget=5000)
+        report = design.report(dim_names=["day", "store", "channel"])
+        assert "day" in report and "store" in report
+        assert "range-heavy" in report and "passive" in report
+        assert "cost cut" in report
+        for chosen in design.plan:
+            assert f"b = {chosen.block_size}" in report
+
+    def test_report_with_default_names(self, log):
+        design = advise(SHAPE, log, space_budget=5000)
+        assert "d0" in design.report()
+
+    def test_zero_budget_report(self, log):
+        design = advise(SHAPE, log, space_budget=0)
+        assert "nothing pays off" in design.report()
+
+
+class TestBuild:
+    def test_build_serves_the_log(self, log, rng):
+        cube = make_cube(SHAPE, rng, high=100)
+        design = advise(SHAPE, log, space_budget=8000)
+        served = design.build(cube)
+        total_tuned = 0
+        total_naive = 0
+        for query in log[:80]:
+            box = query.to_box(SHAPE)
+            counter = AccessCounter()
+            assert served.range_sum(query, counter) == int(
+                cube[box.slices()].sum()
+            )
+            total_tuned += counter.total
+            total_naive += box.volume
+        assert total_tuned < total_naive
+
+    def test_build_shape_mismatch(self, log, rng):
+        design = advise(SHAPE, log, space_budget=8000)
+        with pytest.raises(ValueError, match="shape"):
+            design.build(make_cube((10, 10), rng))
+
+
+class TestPrefixDimRestriction:
+    """§9.1 applied per chosen cuboid (the paper's d3 narrative)."""
+
+    def test_restriction_drops_range_light_dims(self, log):
+        design = advise(
+            SHAPE, log, space_budget=8000, restrict_prefix_dims=True
+        )
+        restricted = [
+            m for m in design.plan if m.prefix_dims is not None
+        ]
+        # Dimension 2 is almost never ranged, so any chosen cuboid
+        # containing it (plus a range-heavy dim) gets a restriction.
+        for chosen in restricted:
+            assert set(chosen.prefix_dims) < set(chosen.key)
+            assert 2 not in chosen.prefix_dims
+        assert any(
+            2 in m.key for m in design.plan
+        ), "workload should materialize something covering dim 2"
+
+    def test_restricted_plan_builds_and_serves(self, log, rng):
+        cube = make_cube(SHAPE, rng, high=100)
+        design = advise(
+            SHAPE, log, space_budget=8000, restrict_prefix_dims=True
+        )
+        served = design.build(cube)
+        for query in log[:60]:
+            box = query.to_box(SHAPE)
+            assert served.range_sum(query) == int(
+                cube[box.slices()].sum()
+            )
+
+    def test_unrestricted_by_default(self, log):
+        design = advise(SHAPE, log, space_budget=8000)
+        assert all(m.prefix_dims is None for m in design.plan)

@@ -1,0 +1,113 @@
+"""Tests for the §9.3 block-size optimizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optimizer.block_size import BlockSizeChoice, choose_block_size
+from repro.optimizer.cost_model import (
+    benefit_space_ratio,
+    optimal_block_size_real,
+)
+from repro.query.stats import QueryStatistics
+
+
+class TestUnconstrained:
+    def test_picks_integer_near_closed_form(self):
+        stats = QueryStatistics.from_lengths([50, 40, 30])
+        b_star = optimal_block_size_real(stats)
+        choice = choose_block_size(stats, query_count=100, cells=10**6)
+        assert choice is not None
+        assert abs(choice.block_size - b_star) <= 1.0
+
+    def test_chosen_ratio_beats_neighbours(self):
+        stats = QueryStatistics.from_lengths([80, 60])
+        choice = choose_block_size(stats, query_count=10, cells=10**6)
+        assert choice is not None
+        for b in range(2, 80):
+            assert (
+                benefit_space_ratio(stats, 10, 10**6, b)
+                <= choice.ratio + 1e-9
+            )
+
+    def test_no_benefit_when_volume_small(self):
+        """V ≤ 2^d: no benefit with or without blocking (§9.3)."""
+        stats = QueryStatistics.from_lengths([2, 2])
+        assert choose_block_size(stats, 100, 10**6) is None
+
+    def test_blocking_never_pays_for_thin_queries(self):
+        """V − 2^d ≤ S/4: only b = 1 can help (§9.3)."""
+        stats = QueryStatistics.from_lengths([3, 3])
+        choice = choose_block_size(stats, 100, 10**6)
+        assert choice is not None
+        assert choice.block_size == 1
+
+    def test_ratio_property(self):
+        choice = BlockSizeChoice(block_size=4, benefit=800.0, space=100.0)
+        assert choice.ratio == 8.0
+
+
+class TestAncestorConstraint:
+    def test_only_smaller_blocks_help(self):
+        stats = QueryStatistics.from_lengths([50, 50])
+        choice = choose_block_size(
+            stats, query_count=100, cells=10**6, ancestor_block=8
+        )
+        assert choice is not None
+        assert choice.block_size < 8
+
+    def test_constrained_optimum_formula(self):
+        """The maxima under an ancestor at b' is b'·d/(d+1) (§9.3)."""
+        stats = QueryStatistics.from_lengths([100, 100, 100])
+        choice = choose_block_size(
+            stats, query_count=100, cells=10**6, ancestor_block=16
+        )
+        assert choice is not None
+        assert abs(choice.block_size - 16 * 3 / 4) <= 1.0
+
+    def test_tiny_ancestor_blocks_everything(self):
+        stats = QueryStatistics.from_lengths([50, 50])
+        choice = choose_block_size(
+            stats, query_count=100, cells=10**6, ancestor_block=1
+        )
+        assert choice is None  # cannot improve on an unblocked ancestor
+
+
+class TestDescendantBenefits:
+    def test_extra_benefit_shifts_choice(self):
+        """A descendant benefiting only from small blocks pulls b down."""
+        stats = QueryStatistics.from_lengths([100, 100])
+        base = choose_block_size(stats, query_count=10, cells=10**6)
+        assert base is not None
+
+        def descendant(b: int) -> float:
+            return 5000.0 * max(0, 6 - b)  # benefit vanishes at b >= 6
+
+        shifted = choose_block_size(
+            stats,
+            query_count=10,
+            cells=10**6,
+            descendant_benefits=[descendant],
+        )
+        assert shifted is not None
+        assert shifted.block_size <= base.block_size
+
+    def test_dominant_descendant_benefit_sets_the_breakpoint(self):
+        """When a descendant's benefit dwarfs the cuboid's own, the
+        chosen block must stay below the descendant's breakpoint."""
+        stats = QueryStatistics.from_lengths([40, 40])
+        choice = choose_block_size(
+            stats,
+            query_count=10,
+            cells=10**6,
+            descendant_benefits=[lambda b: 1e9 * max(0, 6 - b)],
+        )
+        assert choice is not None
+        assert choice.block_size <= 6
+        assert choice.benefit >= 1e9  # the descendant term is included
+
+
+class TestDegenerate:
+    def test_zero_cells(self):
+        stats = QueryStatistics.from_lengths([10, 10])
+        assert choose_block_size(stats, 10, 0) is None

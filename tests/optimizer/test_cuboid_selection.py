@@ -1,0 +1,150 @@
+"""Tests for the §9.2 greedy cuboid selector (Figure 13)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optimizer.cuboid_selection import (
+    CuboidSelector,
+    CuboidWorkload,
+    workloads_from_log,
+)
+from repro.query.ranges import RangeQuery, RangeSpec
+from repro.query.stats import QueryStatistics
+from repro.query.workload import WorkloadProfile, generate_query_log
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(113)
+
+
+def simple_workloads():
+    return [
+        CuboidWorkload(
+            (0, 1), QueryStatistics.from_lengths([40, 40]), 100
+        ),
+        CuboidWorkload((0,), QueryStatistics.from_lengths([60]), 50),
+    ]
+
+
+class TestWorkloadBucketing:
+    def test_assignment_rule(self):
+        """Queries bucket by the dimensions they constrain (§9)."""
+        shape = (100, 50, 20)
+        queries = [
+            RangeQuery(
+                (
+                    RangeSpec.between(0, 9),
+                    RangeSpec.between(5, 14),
+                    RangeSpec.all(),
+                )
+            ),
+            RangeQuery(
+                (
+                    RangeSpec.between(0, 19),
+                    RangeSpec.all(),
+                    RangeSpec.all(),
+                )
+            ),
+            RangeQuery(
+                (RangeSpec.all(), RangeSpec.all(), RangeSpec.at(3))
+            ),
+        ]
+        workloads = workloads_from_log(queries, shape)
+        keys = {w.key: w for w in workloads}
+        assert set(keys) == {(0, 1), (0,), (2,)}
+        assert keys[(0, 1)].stats.lengths == (10.0, 10.0)
+        assert keys[(2,)].stats.lengths == (1.0,)
+
+    def test_all_all_queries_dropped(self):
+        queries = [RangeQuery.full(2)]
+        assert workloads_from_log(queries, (10, 10)) == []
+
+    def test_averaging_within_bucket(self):
+        shape = (100,)
+        queries = [
+            RangeQuery((RangeSpec.between(0, 9),)),
+            RangeQuery((RangeSpec.between(0, 29),)),
+        ]
+        workloads = workloads_from_log(queries, shape)
+        assert workloads[0].stats.lengths == (20.0,)
+        assert workloads[0].query_count == 2
+
+
+class TestSelector:
+    def test_budget_respected(self):
+        selector = CuboidSelector(
+            (100, 100), simple_workloads(), space_limit=500
+        )
+        result = selector.solve()
+        assert result.total_space <= 500
+
+    def test_benefit_nonnegative(self):
+        selector = CuboidSelector(
+            (100, 100), simple_workloads(), space_limit=20000
+        )
+        result = selector.solve()
+        assert result.benefit >= 0
+        assert result.final_cost <= result.baseline_cost
+
+    def test_large_budget_materializes_usefully(self):
+        selector = CuboidSelector(
+            (100, 100), simple_workloads(), space_limit=10**6
+        )
+        result = selector.solve()
+        assert result.chosen, "a huge budget should pick something"
+        # With unbounded space the base cuboid gets an unblocked prefix
+        # sum: query cost collapses to 2^d per query.
+        assert result.final_cost <= (
+            100 * (4 + 1e-9) + 50 * (4 + 1e-9)
+        )
+
+    def test_zero_budget_chooses_nothing(self):
+        selector = CuboidSelector(
+            (100, 100), simple_workloads(), space_limit=0
+        )
+        result = selector.solve()
+        assert result.chosen == ()
+        assert result.final_cost == result.baseline_cost
+
+    def test_ancestor_serves_descendant(self):
+        """A prefix sum on (0, 1) must reduce the (0,) workload's cost."""
+        workloads = [
+            CuboidWorkload((0,), QueryStatistics.from_lengths([60]), 10)
+        ]
+        selector = CuboidSelector((100, 100), workloads, space_limit=10**9)
+        from repro.optimizer.cuboid_selection import Materialization
+
+        with_parent = selector.total_cost(
+            [Materialization((0, 1), 1, 10**4)]
+        )
+        assert with_parent < selector.total_cost([])
+
+    def test_fine_tune_never_worse(self, rng):
+        shape = (60, 40, 20)
+        profile = WorkloadProfile(
+            range_probability=(0.7, 0.5, 0.2),
+            singleton_probability=0.5,
+            range_lengths=((5, 30), (4, 20), (2, 8)),
+        )
+        log = generate_query_log(shape, profile, 120, rng)
+        workloads = workloads_from_log(log, shape)
+        selector = CuboidSelector(shape, workloads, space_limit=5000)
+        greedy_only = selector.solve(fine_tune=False)
+        tuned = selector.solve(fine_tune=True)
+        assert tuned.final_cost <= greedy_only.final_cost + 1e-9
+
+    def test_universe_restricted_to_useful_ancestors(self):
+        workloads = [
+            CuboidWorkload((0,), QueryStatistics.from_lengths([30]), 5)
+        ]
+        selector = CuboidSelector((10, 10, 10), workloads, space_limit=100)
+        assert (1, 2) not in selector.universe
+        assert (0,) in selector.universe
+        assert (0, 1) in selector.universe
+
+    def test_cuboid_cells(self):
+        selector = CuboidSelector((10, 20, 30), [], space_limit=0)
+        assert selector.cuboid_cells((0, 2)) == 300

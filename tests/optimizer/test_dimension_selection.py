@@ -1,0 +1,132 @@
+"""Tests for §9.1 dimension selection (heuristic + exact Gray-code)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimizer.dimension_selection import (
+    active_range_lengths,
+    brute_force_selection,
+    exact_selection,
+    figure12_example,
+    heuristic_selection,
+    subset_cost,
+)
+from repro.query.ranges import RangeQuery, RangeSpec
+
+
+@st.composite
+def length_matrices(draw):
+    m = draw(st.integers(min_value=1, max_value=6))
+    d = draw(st.integers(min_value=1, max_value=5))
+    rows = []
+    for _ in range(m):
+        row = [
+            draw(
+                st.one_of(
+                    st.just(1.0),
+                    st.integers(min_value=2, max_value=60).map(float),
+                )
+            )
+            for _ in range(d)
+        ]
+        rows.append(row)
+    return np.array(rows)
+
+
+class TestFigure12:
+    def test_paper_example(self):
+        lengths, sums, chosen = figure12_example()
+        assert lengths.shape == (3, 5)
+        assert list(sums) == [701.0, 601.0, 102.0, 5.0, 3.0]
+        assert chosen == [0, 1, 2]  # the paper's X' = {1, 2, 3}, 1-based
+
+    def test_threshold_is_2m(self):
+        """R_j = 2m sits exactly on the inclusion boundary."""
+        lengths = np.array([[6.0, 5.0], [1.0, 1.0], [1.0, 1.0]])
+        chosen, sums = heuristic_selection(lengths)
+        assert sums[0] == 8.0 and sums[1] == 7.0
+        assert chosen == [0, 1]  # both >= 2m = 6
+        lengths = np.array([[3.0, 2.0], [1.0, 1.0], [1.0, 1.0]])
+        chosen, _ = heuristic_selection(lengths)
+        assert chosen == []
+
+
+class TestCostModel:
+    def test_subset_cost_multiplicative(self):
+        lengths = np.array([[10.0, 4.0]])
+        assert subset_cost(lengths, []) == 40.0
+        assert subset_cost(lengths, [0]) == 8.0
+        assert subset_cost(lengths, [0, 1]) == 4.0
+
+    def test_choosing_a_passive_dimension_hurts(self):
+        """Prefix-summing a never-ranged attribute doubles each query."""
+        lengths = np.ones((4, 1))
+        assert subset_cost(lengths, [0]) == 8.0
+        assert subset_cost(lengths, []) == 4.0
+
+
+class TestExactSelection:
+    @given(length_matrices())
+    @settings(max_examples=80, deadline=None)
+    def test_gray_walk_matches_brute_force(self, lengths):
+        chosen_fast, cost_fast = exact_selection(lengths)
+        _, cost_slow = brute_force_selection(lengths)
+        assert cost_fast == pytest.approx(cost_slow, rel=1e-9)
+        assert subset_cost(lengths, chosen_fast) == pytest.approx(
+            cost_fast, rel=1e-9
+        )
+
+    def test_empty_log(self):
+        chosen, cost = exact_selection(np.empty((0, 3)))
+        assert chosen == [] and cost == 0.0
+
+    def test_obvious_choice(self):
+        lengths = np.array([[50.0, 1.0], [60.0, 1.0]])
+        chosen, _ = exact_selection(lengths)
+        assert chosen == [0]
+
+    @given(length_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_heuristic_never_beats_exact(self, lengths):
+        heuristic_chosen, _ = heuristic_selection(lengths)
+        _, exact_cost = exact_selection(lengths)
+        assert (
+            subset_cost(lengths, heuristic_chosen) >= exact_cost - 1e-9
+        )
+
+
+class TestActiveRangeLengths:
+    def test_matrix_from_queries(self):
+        shape = (100, 10, 3)
+        queries = [
+            RangeQuery(
+                (
+                    RangeSpec.between(10, 29),
+                    RangeSpec.at(3),
+                    RangeSpec.all(),
+                )
+            ),
+            RangeQuery(
+                (
+                    RangeSpec.all(),
+                    RangeSpec.between(2, 5),
+                    RangeSpec.between(0, 1),
+                )
+            ),
+        ]
+        matrix = active_range_lengths(queries, shape)
+        assert matrix.tolist() == [[20, 1, 1], [1, 4, 2]]
+
+    def test_full_domain_range_counts_passive(self):
+        shape = (10,)
+        queries = [RangeQuery((RangeSpec.between(0, 9),))]
+        matrix = active_range_lengths(queries, shape)
+        assert matrix.tolist() == [[1.0]]
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            active_range_lengths([RangeQuery.full(2)], (10,))

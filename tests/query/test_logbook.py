@@ -1,0 +1,130 @@
+"""Tests for the query logbook (the §9 tuning loop's input)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.query.logbook import QueryLog
+from repro.query.ranges import RangeQuery, RangeSpec
+from repro.query.workload import WorkloadProfile, generate_query_log
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(211)
+
+
+def sample_query():
+    return RangeQuery(
+        (RangeSpec.between(2, 9), RangeSpec.all(), RangeSpec.at(1))
+    )
+
+
+class TestRecording:
+    def test_record_returns_query(self):
+        log = QueryLog((20, 10, 5))
+        query = sample_query()
+        assert log.record(query) is query
+        assert len(log) == 1
+        assert log.queries == (query,)
+
+    def test_dimension_mismatch_rejected(self):
+        log = QueryLog((20, 10))
+        with pytest.raises(ValueError):
+            log.record(sample_query())
+
+    def test_out_of_bounds_query_rejected(self):
+        log = QueryLog((5, 10, 5))
+        with pytest.raises(ValueError):
+            log.record(sample_query())  # 2..9 exceeds size 5
+
+    def test_clear(self):
+        log = QueryLog((20, 10, 5))
+        log.record(sample_query())
+        log.clear()
+        assert len(log) == 0
+
+
+class TestOptimizerBridges:
+    def test_workloads_bucket_by_cuboid(self):
+        log = QueryLog((20, 10, 5))
+        log.record(sample_query())
+        log.record(
+            RangeQuery(
+                (RangeSpec.all(), RangeSpec.between(0, 4), RangeSpec.all())
+            )
+        )
+        workloads = log.workloads()
+        assert {w.key for w in workloads} == {(0, 2), (1,)}
+
+    def test_length_matrix_matches_direct_call(self, rng):
+        from repro.optimizer.dimension_selection import (
+            active_range_lengths,
+        )
+
+        shape = (30, 20, 8)
+        profile = WorkloadProfile(
+            range_probability=(0.7, 0.4, 0.1),
+            singleton_probability=0.5,
+            range_lengths=((3, 15), (2, 10), (2, 4)),
+        )
+        queries = generate_query_log(shape, profile, 50, rng)
+        log = QueryLog(shape)
+        for query in queries:
+            log.record(query)
+        assert np.array_equal(
+            log.length_matrix(), active_range_lengths(queries, shape)
+        )
+
+    def test_end_to_end_retuning_cycle(self, rng):
+        """serve → log → select → materialize, from the logbook alone."""
+        from repro.optimizer.cuboid_selection import CuboidSelector
+        from repro.optimizer.materialize import MaterializedCuboidSet
+        from repro.query.workload import make_cube
+
+        shape = (30, 20, 8)
+        cube = make_cube(shape, rng, high=50)
+        log = QueryLog(shape)
+        profile = WorkloadProfile(
+            range_probability=(0.8, 0.5, 0.1),
+            singleton_probability=0.5,
+            range_lengths=((4, 20), (3, 12), (2, 4)),
+        )
+        for query in generate_query_log(shape, profile, 80, rng):
+            log.record(query)
+        plan = CuboidSelector(shape, log.workloads(), 2000).solve()
+        served = MaterializedCuboidSet(cube, plan.chosen)
+        for query in log.queries[:40]:
+            expected = int(cube[query.to_box(shape).slices()].sum())
+            assert served.range_sum(query) == expected
+
+
+class TestPersistence:
+    def test_json_roundtrip(self, rng):
+        shape = (30, 20, 8)
+        profile = WorkloadProfile(
+            range_probability=(0.6, 0.5, 0.3),
+            singleton_probability=0.4,
+            range_lengths=((3, 15), (2, 10), (2, 4)),
+        )
+        log = QueryLog(shape)
+        for query in generate_query_log(shape, profile, 40, rng):
+            log.record(query)
+        restored = QueryLog.from_json(log.to_json())
+        assert restored.shape == log.shape
+        assert restored.queries == log.queries
+
+    def test_file_roundtrip(self, tmp_path):
+        log = QueryLog((20, 10, 5))
+        log.record(sample_query())
+        path = tmp_path / "log.json"
+        log.save(path)
+        restored = QueryLog.load(path)
+        assert restored.queries == log.queries
+
+    def test_bad_spec_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown spec kind"):
+            QueryLog.from_json(
+                '{"shape": [4], "queries": [[["median", 1]]]}'
+            )

@@ -1,0 +1,71 @@
+"""Tests for the naive scan baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import Box
+from repro.instrumentation import AccessCounter
+from repro.query.naive import (
+    naive_max_index,
+    naive_max_value,
+    naive_range_sum,
+    naive_sum_range,
+)
+from repro.query.workload import make_cube
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(91)
+
+
+class TestNaiveSum:
+    def test_matches_numpy(self, rng):
+        cube = make_cube((6, 7), rng)
+        box = Box((1, 2), (4, 5))
+        assert naive_range_sum(cube, box) == cube[1:5, 2:6].sum()
+
+    def test_cost_is_volume(self, rng):
+        cube = make_cube((10, 10), rng)
+        counter = AccessCounter()
+        naive_range_sum(cube, Box((2, 3), (7, 8)), counter)
+        assert counter.cube_cells == 36
+
+    def test_bounds_wrapper(self, rng):
+        cube = make_cube((5, 5), rng)
+        assert naive_sum_range(cube, [(0, 4), (2, 2)]) == cube[:, 2].sum()
+
+
+class TestNaiveMax:
+    def test_index_and_value_agree(self, rng):
+        cube = make_cube((9, 9), rng, high=10**6)
+        box = Box((2, 1), (8, 6))
+        index = naive_max_index(cube, box)
+        assert box.contains_point(index)
+        assert cube[index] == naive_max_value(cube, box)
+        assert cube[index] == cube[2:9, 1:7].max()
+
+    def test_cost_is_volume(self, rng):
+        cube = make_cube((10, 10), rng)
+        counter = AccessCounter()
+        naive_max_index(cube, Box((0, 0), (9, 9)), counter)
+        assert counter.cube_cells == 100
+
+
+class TestValidation:
+    def test_out_of_bounds(self, rng):
+        cube = make_cube((4, 4), rng)
+        with pytest.raises(ValueError):
+            naive_range_sum(cube, Box((0, 0), (4, 3)))
+
+    def test_dimension_mismatch(self, rng):
+        cube = make_cube((4, 4), rng)
+        with pytest.raises(ValueError):
+            naive_range_sum(cube, Box((0,), (3,)))
+
+    def test_empty_region(self, rng):
+        cube = make_cube((4, 4), rng)
+        with pytest.raises(ValueError):
+            naive_range_sum(cube, Box((2, 0), (1, 3)))

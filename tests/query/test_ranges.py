@@ -1,0 +1,98 @@
+"""Tests for the range-query model (paper §2 and §9.1 definitions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._util import Box
+from repro.query.ranges import RangeQuery, RangeSpec, SpecKind
+
+
+class TestRangeSpec:
+    def test_all(self):
+        spec = RangeSpec.all()
+        assert spec.kind is SpecKind.ALL
+        assert spec.resolve(10) == (0, 9)
+        assert spec.length(10) == 10
+
+    def test_singleton(self):
+        spec = RangeSpec.at(3)
+        assert spec.kind is SpecKind.SINGLETON
+        assert spec.resolve(10) == (3, 3)
+        assert spec.length(10) == 1
+
+    def test_range(self):
+        spec = RangeSpec.between(2, 7)
+        assert spec.kind is SpecKind.RANGE
+        assert spec.resolve(10) == (2, 7)
+        assert spec.length(10) == 6
+
+    def test_degenerate_range_becomes_singleton(self):
+        assert RangeSpec.between(4, 4).kind is SpecKind.SINGLETON
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError):
+            RangeSpec.between(5, 2)
+
+    def test_resolve_out_of_bounds(self):
+        with pytest.raises(ValueError):
+            RangeSpec.between(2, 12).resolve(10)
+
+
+class TestActivity:
+    """§9.1: active = contiguous range, neither singleton nor all."""
+
+    def test_proper_range_is_active(self):
+        assert RangeSpec.between(2, 7).is_active(10)
+
+    def test_singleton_is_passive(self):
+        assert not RangeSpec.at(3).is_active(10)
+
+    def test_all_is_passive(self):
+        assert not RangeSpec.all().is_active(10)
+
+    def test_full_domain_range_is_passive(self):
+        assert not RangeSpec.between(0, 9).is_active(10)
+
+    def test_full_range_in_larger_domain_is_active(self):
+        assert RangeSpec.between(0, 9).is_active(20)
+
+
+class TestRangeQuery:
+    def test_to_box(self):
+        query = RangeQuery(
+            (RangeSpec.between(1, 3), RangeSpec.all(), RangeSpec.at(2))
+        )
+        assert query.to_box((5, 6, 4)) == Box((1, 0, 2), (3, 5, 2))
+
+    def test_from_bounds(self):
+        query = RangeQuery.from_bounds([(0, 2), (1, 1)])
+        assert query.specs[0].kind is SpecKind.RANGE
+        assert query.specs[1].kind is SpecKind.SINGLETON
+
+    def test_full(self):
+        query = RangeQuery.full(3)
+        assert all(s.kind is SpecKind.ALL for s in query.specs)
+
+    def test_dimension_mismatch(self):
+        query = RangeQuery.full(2)
+        with pytest.raises(ValueError):
+            query.to_box((4, 4, 4))
+
+    def test_active_dimensions(self):
+        query = RangeQuery(
+            (
+                RangeSpec.between(1, 3),
+                RangeSpec.at(0),
+                RangeSpec.all(),
+                RangeSpec.between(0, 7),
+            )
+        )
+        assert query.active_dimensions((10, 10, 10, 8)) == (0,)
+
+    def test_cuboid_key(self):
+        """§9's assignment rule: constrained dims define the cuboid."""
+        query = RangeQuery(
+            (RangeSpec.between(1, 3), RangeSpec.all(), RangeSpec.at(2))
+        )
+        assert query.cuboid_key((10, 10, 10)) == (0, 2)

@@ -1,0 +1,77 @@
+"""Tests for the Table 1 query statistics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.query.ranges import RangeQuery, RangeSpec
+from repro.query.stats import QueryStatistics, average_statistics
+
+
+class TestFormulas:
+    def test_volume_is_length_product(self):
+        stats = QueryStatistics.from_lengths([3, 4, 5])
+        assert stats.volume == 60
+
+    def test_surface_formula(self):
+        """S = Σ 2V/x_i: a 3×4 rectangle has S = 2·12/3 + 2·12/4 = 14."""
+        stats = QueryStatistics.from_lengths([3, 4])
+        assert stats.surface == pytest.approx(14.0)
+
+    def test_cube_surface(self):
+        """For an x^d hypercube: S = 2·d·x^{d−1}."""
+        stats = QueryStatistics.from_lengths([10, 10, 10])
+        assert stats.surface == pytest.approx(2 * 3 * 100)
+
+    @given(
+        st.lists(
+            st.floats(min_value=1.0, max_value=100.0),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_surface_definition_holds(self, lengths):
+        stats = QueryStatistics.from_lengths(lengths)
+        expected = sum(2 * stats.volume / x for x in lengths)
+        assert stats.surface == pytest.approx(expected)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            QueryStatistics.from_lengths([3, 0])
+
+
+class TestFromQuery:
+    def test_lengths_from_specs(self):
+        query = RangeQuery(
+            (RangeSpec.between(2, 7), RangeSpec.all(), RangeSpec.at(1))
+        )
+        stats = QueryStatistics.from_query(query, (10, 20, 5))
+        assert stats.lengths == (6.0, 20.0, 1.0)
+
+    def test_scaled(self):
+        stats = QueryStatistics.from_lengths([2, 4]).scaled(3)
+        assert stats.lengths == (6.0, 12.0)
+
+
+class TestAveraging:
+    def test_mean_lengths(self):
+        a = QueryStatistics.from_lengths([2, 10])
+        b = QueryStatistics.from_lengths([4, 20])
+        mean = average_statistics([a, b])
+        assert mean.lengths == (3.0, 15.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_statistics([])
+
+    def test_mixed_dimensionality_rejected(self):
+        with pytest.raises(ValueError):
+            average_statistics(
+                [
+                    QueryStatistics.from_lengths([2]),
+                    QueryStatistics.from_lengths([2, 3]),
+                ]
+            )

@@ -1,0 +1,116 @@
+"""Tests for the workload/query-log generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import Box, full_box
+from repro.query.ranges import SpecKind
+from repro.query.workload import (
+    WorkloadProfile,
+    clustered_points,
+    fixed_size_box,
+    generate_query_log,
+    make_cube,
+    make_float_cube,
+    random_box,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(101)
+
+
+class TestCubeGenerators:
+    def test_make_cube_bounds(self, rng):
+        cube = make_cube((5, 5), rng, low=3, high=9)
+        assert cube.min() >= 3 and cube.max() < 9
+        assert cube.dtype == np.int64
+
+    def test_make_float_cube(self, rng):
+        cube = make_float_cube((4, 4), rng)
+        assert cube.shape == (4, 4) and cube.dtype == np.float64
+
+    def test_reproducibility(self):
+        a = make_cube((6, 6), np.random.default_rng(5))
+        b = make_cube((6, 6), np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+
+class TestBoxGenerators:
+    def test_random_box_within_bounds(self, rng):
+        bounds = full_box((10, 20, 5))
+        for _ in range(100):
+            box = random_box((10, 20, 5), rng)
+            assert bounds.contains_box(box)
+            assert not box.is_empty
+
+    def test_random_box_length_caps(self, rng):
+        for _ in range(50):
+            box = random_box((50,), rng, min_length=5, max_length=9)
+            assert 5 <= box.volume <= 9
+
+    def test_fixed_size_box(self, rng):
+        for _ in range(50):
+            box = fixed_size_box((30, 30), (7, 11), rng)
+            assert box.lengths == (7, 11)
+            assert full_box((30, 30)).contains_box(box)
+
+    def test_fixed_size_invalid_length(self, rng):
+        with pytest.raises(ValueError):
+            fixed_size_box((5,), (6,), rng)
+
+
+class TestQueryLogGenerator:
+    def test_profile_shapes_the_log(self, rng):
+        profile = WorkloadProfile(
+            range_probability=(1.0, 0.0),
+            singleton_probability=1.0,
+            range_lengths=((3, 8), (2, 2)),
+        )
+        log = generate_query_log((50, 50), profile, 100, rng)
+        assert len(log) == 100
+        for query in log:
+            assert query.specs[0].kind is SpecKind.RANGE
+            assert 3 <= query.specs[0].length(50) <= 8
+            assert query.specs[1].kind is SpecKind.SINGLETON
+
+    def test_all_dimension(self, rng):
+        profile = WorkloadProfile(
+            range_probability=(0.0,),
+            singleton_probability=0.0,
+            range_lengths=((2, 3),),
+        )
+        log = generate_query_log((10,), profile, 20, rng)
+        assert all(q.specs[0].kind is SpecKind.ALL for q in log)
+
+    def test_dimension_mismatch(self, rng):
+        profile = WorkloadProfile(
+            range_probability=(0.5,),
+            singleton_probability=0.5,
+            range_lengths=((2, 3),),
+        )
+        with pytest.raises(ValueError):
+            generate_query_log((10, 10), profile, 5, rng)
+
+
+class TestClusteredPoints:
+    def test_clusters_are_dense(self, rng):
+        box = Box((10, 10), (19, 19))
+        points = clustered_points((40, 40), [box], 0.9, 0, rng)
+        inside = [p for p in points if box.contains_point(p)]
+        assert len(inside) >= 0.7 * box.volume
+
+    def test_noise_outside_clusters_exists(self, rng):
+        box = Box((0, 0), (4, 4))
+        points = clustered_points((100, 100), [box], 1.0, 200, rng)
+        outside = [p for p in points if not box.contains_point(p)]
+        assert len(outside) > 100
+
+    def test_values_positive(self, rng):
+        points = clustered_points(
+            (20, 20), [Box((0, 0), (5, 5))], 1.0, 10, rng, low=1, high=50
+        )
+        assert all(1 <= v < 50 for v in points.values())

@@ -1,0 +1,196 @@
+"""Tests for the from-scratch B+-tree (paper §10.1 substrate)."""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.instrumentation import AccessCounter
+from repro.sparse.btree import BPlusTree
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(127)
+
+
+def reference_find_le(keys, values, probe):
+    i = bisect.bisect_right(keys, probe) - 1
+    return None if i < 0 else (keys[i], values[keys[i]])
+
+
+def reference_find_ge(keys, values, probe):
+    i = bisect.bisect_left(keys, probe)
+    return None if i >= len(keys) else (keys[i], values[keys[i]])
+
+
+class TestStructure:
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.get(5) is None
+        assert tree.find_le(5) is None
+        assert tree.find_ge(5) is None
+        assert list(tree.items()) == []
+
+    def test_height_grows_logarithmically(self):
+        tree = BPlusTree(order=4)
+        for key in range(200):
+            tree.insert(key, key)
+        tree.check_invariants()
+        assert 4 <= tree.height <= 9
+
+    def test_overwrite_keeps_size(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert len(tree) == 1
+        assert tree.get(1) == "b"
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=10**6),
+            unique=True,
+            max_size=300,
+        ),
+        st.integers(min_value=3, max_value=16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_under_random_inserts(self, keys, order):
+        tree = BPlusTree(order=order)
+        for key in keys:
+            tree.insert(key, key * 2)
+        tree.check_invariants()
+        assert list(tree.keys()) == sorted(keys)
+
+
+class TestSearch:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=1000),
+            unique=True,
+            max_size=200,
+        ),
+        st.lists(
+            st.integers(min_value=-10, max_value=1010),
+            min_size=1,
+            max_size=30,
+        ),
+        st.integers(min_value=3, max_value=9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_predecessor_successor_oracle(self, keys, probes, order):
+        tree = BPlusTree(order=order)
+        values = {}
+        for key in keys:
+            tree.insert(key, key * 3)
+            values[key] = key * 3
+        ordered = sorted(keys)
+        for probe in probes:
+            assert tree.find_le(probe) == reference_find_le(
+                ordered, values, probe
+            )
+            assert tree.find_ge(probe) == reference_find_ge(
+                ordered, values, probe
+            )
+
+    def test_exact_get(self, rng):
+        tree = BPlusTree(order=6)
+        keys = rng.choice(5000, size=400, replace=False)
+        for key in keys:
+            tree.insert(int(key), int(key) + 1)
+        for key in keys[:100]:
+            assert tree.get(int(key)) == int(key) + 1
+        assert tree.get(-1, default="missing") == "missing"
+
+    def test_range_items(self, rng):
+        tree = BPlusTree(order=5)
+        keys = sorted(rng.choice(1000, size=150, replace=False).tolist())
+        for key in keys:
+            tree.insert(int(key), None)
+        got = [k for k, _ in tree.items(lo=200, hi=700)]
+        assert got == [k for k in keys if 200 <= k <= 700]
+
+    def test_items_unbounded(self, rng):
+        tree = BPlusTree(order=5)
+        for key in (5, 1, 9):
+            tree.insert(key, key)
+        assert [k for k, _ in tree.items()] == [1, 5, 9]
+
+    def test_access_counting(self):
+        tree = BPlusTree(order=4)
+        for key in range(100):
+            tree.insert(key, key)
+        counter = AccessCounter()
+        tree.find_le(57, counter)
+        assert 1 <= counter.index_nodes <= tree.height + 3
+
+    def test_search_cost_logarithmic(self):
+        tree = BPlusTree(order=8)
+        for key in range(5000):
+            tree.insert(key, key)
+        counter = AccessCounter()
+        tree.get(4321, counter=counter)
+        assert counter.index_nodes <= 6
+
+
+class TestEdgeCases:
+    def test_sequential_ascending_inserts(self):
+        tree = BPlusTree(order=4)
+        for key in range(1000):
+            tree.insert(key, key)
+        tree.check_invariants()
+        assert tree.find_le(999) == (999, 999)
+        assert tree.find_ge(0) == (0, 0)
+
+    def test_sequential_descending_inserts(self):
+        tree = BPlusTree(order=4)
+        for key in reversed(range(1000)):
+            tree.insert(key, key)
+        tree.check_invariants()
+        assert list(tree.keys()) == list(range(1000))
+
+    def test_interleaved_overwrites(self, rng):
+        tree = BPlusTree(order=5)
+        reference = {}
+        for _ in range(2000):
+            key = int(rng.integers(0, 200))
+            value = int(rng.integers(0, 10**6))
+            tree.insert(key, value)
+            reference[key] = value
+        tree.check_invariants()
+        assert len(tree) == len(reference)
+        for key, value in reference.items():
+            assert tree.get(key) == value
+
+    def test_string_keys(self):
+        tree = BPlusTree(order=4)
+        words = ["delta", "alpha", "echo", "bravo", "charlie"]
+        for word in words:
+            tree.insert(word, word.upper())
+        assert list(tree.keys()) == sorted(words)
+        assert tree.find_le("d") == ("charlie", "CHARLIE")
+        assert tree.find_ge("d") == ("delta", "DELTA")
+
+    def test_large_order_single_leaf_root(self):
+        tree = BPlusTree(order=128)
+        for key in range(100):
+            tree.insert(key, None)
+        assert tree.height == 1
+        tree.check_invariants()
+
+    def test_minimum_order(self):
+        tree = BPlusTree(order=3)
+        for key in range(64):
+            tree.insert(key, key * 7)
+        tree.check_invariants()
+        for key in range(64):
+            assert tree.get(key) == key * 7

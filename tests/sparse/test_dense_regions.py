@@ -1,0 +1,117 @@
+"""Tests for the dense-region finder (paper §10.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import Box
+from repro.query.workload import clustered_points
+from repro.sparse.dense_regions import (
+    DenseRegionConfig,
+    find_dense_regions,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(137)
+
+
+class TestBasicBehaviour:
+    def test_empty_input(self):
+        result = find_dense_regions([], (10, 10))
+        assert result.regions == () and result.outliers == ()
+
+    def test_wrong_dimensionality(self):
+        with pytest.raises(ValueError):
+            find_dense_regions([(1, 2, 3)], (10, 10))
+
+    def test_single_solid_cluster(self):
+        points = [(x, y) for x in range(5, 10) for y in range(5, 10)]
+        result = find_dense_regions(points, (30, 30))
+        assert len(result.regions) == 1
+        assert result.regions[0] == Box((5, 5), (9, 9))
+        assert result.outliers == ()
+
+    def test_two_separated_clusters(self):
+        points = [(x, y) for x in range(0, 5) for y in range(0, 5)]
+        points += [(x, y) for x in range(20, 25) for y in range(20, 25)]
+        result = find_dense_regions(points, (30, 30))
+        assert len(result.regions) == 2
+        found = sorted(result.regions, key=lambda b: b.lo)
+        assert found[0] == Box((0, 0), (4, 4))
+        assert found[1] == Box((20, 20), (24, 24))
+
+    def test_sparse_noise_becomes_outliers(self, rng):
+        points = [
+            (int(rng.integers(0, 100)), int(rng.integers(0, 100)))
+            for _ in range(20)
+        ]
+        config = DenseRegionConfig(density_threshold=0.5, min_points=8)
+        result = find_dense_regions(set(points), (100, 100), config)
+        total = sum(
+            sum(1 for p in set(points) if box.contains_point(p))
+            for box in result.regions
+        ) + len(result.outliers)
+        assert total == len(set(points))
+
+
+class TestPartitionProperties:
+    def test_regions_disjoint(self, rng):
+        boxes = [Box((0, 0), (15, 15)), Box((30, 5), (45, 25))]
+        cells = clustered_points((64, 64), boxes, 0.9, 60, rng)
+        result = find_dense_regions(list(cells), (64, 64))
+        for i, a in enumerate(result.regions):
+            for b in result.regions[i + 1 :]:
+                assert not a.intersects(b)
+
+    def test_every_point_accounted_once(self, rng):
+        boxes = [Box((2, 2), (12, 12))]
+        cells = clustered_points((40, 40), boxes, 0.85, 25, rng)
+        result = find_dense_regions(list(cells), (40, 40))
+        outliers = set(result.outliers)
+        for point in cells:
+            in_regions = sum(
+                1 for box in result.regions if box.contains_point(point)
+            )
+            assert in_regions + (point in outliers) == 1, point
+
+    def test_regions_meet_density_threshold(self, rng):
+        boxes = [Box((5, 5), (20, 20)), Box((40, 40), (55, 55))]
+        cells = clustered_points((64, 64), boxes, 0.9, 40, rng)
+        config = DenseRegionConfig(density_threshold=0.4)
+        result = find_dense_regions(list(cells), (64, 64), config)
+        assert result.regions, "clusters this solid must be found"
+        for box in result.regions:
+            inside = sum(1 for p in cells if box.contains_point(p))
+            assert inside / box.volume >= config.density_threshold
+
+
+class TestConfig:
+    def test_min_points_pushes_to_outliers(self):
+        points = [(x, 0) for x in range(5)]
+        config = DenseRegionConfig(min_points=10)
+        result = find_dense_regions(points, (20, 5), config)
+        assert result.regions == ()
+        assert len(result.outliers) == 5
+
+    def test_max_depth_caps_recursion(self, rng):
+        points = [
+            (int(rng.integers(0, 200)), int(rng.integers(0, 200)))
+            for _ in range(300)
+        ]
+        config = DenseRegionConfig(
+            density_threshold=0.95, min_points=2, max_depth=2
+        )
+        result = find_dense_regions(set(points), (200, 200), config)
+        # With almost no recursion allowed, most points become outliers.
+        assert len(result.outliers) >= len(set(points)) * 0.5
+
+    def test_three_dimensional(self, rng):
+        box = Box((2, 2, 2), (7, 7, 7))
+        cells = clustered_points((16, 16, 16), [box], 0.95, 10, rng)
+        result = find_dense_regions(list(cells), (16, 16, 16))
+        assert any(
+            region.volume >= 0.5 * box.volume for region in result.regions
+        )

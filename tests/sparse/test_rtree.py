@@ -1,0 +1,287 @@
+"""Tests for the from-scratch R*-tree (paper §10.2–10.3 substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import Box
+from repro.instrumentation import AccessCounter
+from repro.query.workload import random_box
+from repro.sparse.rtree import Rect, RStarTree
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(131)
+
+
+class TestRect:
+    def test_from_cell_is_unit_box(self):
+        rect = Rect.from_cell((3, 5))
+        assert rect.mins == (3.0, 5.0)
+        assert rect.maxs == (4.0, 6.0)
+        assert rect.area == 1.0
+
+    def test_from_box_inclusive_semantics(self):
+        rect = Rect.from_box(Box((1, 2), (3, 4)))
+        assert rect.mins == (1.0, 2.0)
+        assert rect.maxs == (4.0, 5.0)
+        assert rect.area == 9.0
+
+    def test_union_and_margin(self):
+        a = Rect((0.0, 0.0), (2.0, 2.0))
+        b = Rect((3.0, 1.0), (5.0, 4.0))
+        u = a.union(b)
+        assert u == Rect((0.0, 0.0), (5.0, 4.0))
+        assert u.margin == 9.0
+
+    def test_intersection_predicates(self):
+        a = Rect((0.0, 0.0), (2.0, 2.0))
+        assert a.intersects(Rect((1.0, 1.0), (3.0, 3.0)))
+        assert not a.intersects(Rect((2.0, 0.0), (3.0, 1.0)))  # touching
+        assert a.contains(Rect((0.5, 0.5), (1.5, 1.5)))
+        assert not a.contains(Rect((0.5, 0.5), (2.5, 1.5)))
+
+    def test_overlap_area(self):
+        a = Rect((0.0, 0.0), (4.0, 4.0))
+        b = Rect((2.0, 2.0), (6.0, 6.0))
+        assert a.overlap_area(b) == 4.0
+        assert a.overlap_area(Rect((4.0, 0.0), (5.0, 1.0))) == 0.0
+
+    def test_enlargement(self):
+        a = Rect((0.0, 0.0), (2.0, 2.0))
+        assert a.enlargement(Rect((3.0, 0.0), (4.0, 2.0))) == 4.0
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            Rect((2.0,), (1.0,))
+
+
+class TestTreeStructure:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            RStarTree(max_entries=3)
+        with pytest.raises(ValueError):
+            RStarTree(max_entries=8, min_entries=5)
+
+    def test_invariants_after_bulk_insert(self, rng):
+        tree = RStarTree(max_entries=6)
+        for _ in range(400):
+            point = (int(rng.integers(0, 100)), int(rng.integers(0, 100)))
+            tree.insert_cell(point, payload=point, value=float(rng.random()))
+        tree.check_invariants()
+        assert len(tree) == 400
+        assert tree.height >= 3
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=30),
+                st.integers(min_value=0, max_value=30),
+            ),
+            min_size=1,
+            max_size=150,
+        ),
+        st.integers(min_value=4, max_value=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_hold_for_any_input(self, points, max_entries):
+        tree = RStarTree(max_entries=max_entries)
+        for i, point in enumerate(points):
+            tree.insert_cell(point, payload=i, value=float(i))
+        tree.check_invariants()
+
+
+class TestSearch:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=25),
+                st.integers(min_value=0, max_value=25),
+            ),
+            unique=True,
+            min_size=1,
+            max_size=120,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_range_search_oracle(self, points):
+        tree = RStarTree(max_entries=5)
+        for point in points:
+            tree.insert_cell(point, payload=point)
+        box = Box((5, 5), (18, 20))
+        expected = sorted(p for p in points if box.contains_point(p))
+        got = sorted(tree.payloads_in(Rect.from_box(box)))
+        assert got == expected
+
+    def test_search_prunes_nodes(self, rng):
+        tree = RStarTree(max_entries=8)
+        for _ in range(600):
+            point = (int(rng.integers(0, 200)), int(rng.integers(0, 200)))
+            tree.insert_cell(point, payload=point)
+        counter = AccessCounter()
+        tree.search(Rect.from_box(Box((0, 0), (10, 10))), counter)
+        assert counter.index_nodes < tree.node_count
+
+    def test_rectangle_payloads(self):
+        """Region boundaries (not just points) index correctly (§10.2)."""
+        tree = RStarTree(max_entries=4)
+        regions = [Box((0, 0), (9, 9)), Box((20, 20), (29, 29))]
+        for i, region in enumerate(regions):
+            tree.insert(Rect.from_box(region), payload=i)
+        hits = tree.payloads_in(Rect.from_box(Box((5, 5), (24, 24))))
+        assert sorted(hits) == [0, 1]
+        hits = tree.payloads_in(Rect.from_box(Box((12, 12), (18, 18))))
+        assert hits == []
+
+
+class TestMaxInRegion:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=0, max_value=20),
+                st.integers(min_value=-100, max_value=100),
+            ),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_linear_scan(self, rows):
+        values = {}
+        for x, y, v in rows:
+            values[(x, y)] = v  # duplicates: last wins
+        tree = RStarTree(max_entries=5)
+        for point, value in values.items():
+            tree.insert_cell(point, payload=point, value=value)
+        box = Box((3, 3), (15, 17))
+        inside = {p: v for p, v in values.items() if box.contains_point(p)}
+        got = tree.max_in_region(Rect.from_box(box))
+        if not inside:
+            assert got is None
+        else:
+            assert got is not None
+            assert got[2] == max(inside.values())
+
+    def test_branch_and_bound_prunes(self, rng):
+        tree = RStarTree(max_entries=8)
+        points = {}
+        for _ in range(800):
+            point = (int(rng.integers(0, 100)), int(rng.integers(0, 100)))
+            if point in points:
+                continue
+            value = int(rng.integers(0, 10**6))
+            points[point] = value
+            tree.insert_cell(point, payload=point, value=value)
+        counter = AccessCounter()
+        result = tree.max_in_region(
+            Rect.from_box(Box((0, 0), (99, 99))), counter
+        )
+        assert result is not None
+        assert result[2] == max(points.values())
+        assert counter.index_nodes < tree.node_count / 2
+
+    def test_empty_tree(self):
+        tree = RStarTree()
+        assert tree.max_in_region(Rect.from_cell((0,))) is None
+
+
+class TestEdgeCases:
+    def test_single_entry(self):
+        tree = RStarTree(max_entries=4)
+        tree.insert_cell((5, 5), payload="only", value=1.0)
+        assert tree.payloads_in(Rect.from_cell((5, 5))) == ["only"]
+        assert tree.payloads_in(Rect.from_cell((6, 6))) == []
+        tree.check_invariants()
+
+    def test_many_duplicated_locations(self, rng):
+        """Hundreds of rectangles at one spot force splits with zero
+        spatial separation — the split code must still terminate."""
+        tree = RStarTree(max_entries=5)
+        for i in range(200):
+            tree.insert_cell((3, 3), payload=i, value=float(i))
+        tree.check_invariants()
+        hits = tree.payloads_in(Rect.from_cell((3, 3)))
+        assert sorted(hits) == list(range(200))
+        best = tree.max_in_region(Rect.from_cell((3, 3)))
+        assert best is not None and best[2] == 199.0
+
+    def test_one_dimensional_rects(self, rng):
+        tree = RStarTree(max_entries=6)
+        points = sorted(rng.choice(1000, 150, replace=False).tolist())
+        for p in points:
+            tree.insert_cell((int(p),), payload=int(p))
+        tree.check_invariants()
+        got = sorted(
+            tree.payloads_in(Rect.from_box(Box((100,), (600,))))
+        )
+        assert got == [p for p in points if 100 <= p <= 600]
+
+    def test_three_dimensional(self, rng):
+        tree = RStarTree(max_entries=8)
+        pts = set()
+        while len(pts) < 300:
+            pts.add(tuple(int(rng.integers(0, 20)) for _ in range(3)))
+        for p in pts:
+            tree.insert_cell(p, payload=p)
+        tree.check_invariants()
+        box = Box((5, 5, 5), (14, 14, 14))
+        got = sorted(tree.payloads_in(Rect.from_box(box)))
+        assert got == sorted(p for p in pts if box.contains_point(p))
+
+    def test_mixed_points_and_regions(self, rng):
+        """§10.2's real content: region boundaries and outlier points in
+        one tree."""
+        tree = RStarTree(max_entries=5)
+        regions = [Box((0, 0), (9, 9)), Box((30, 30), (49, 49))]
+        for i, region in enumerate(regions):
+            tree.insert(Rect.from_box(region), payload=("region", i))
+        pts = {(15, 15), (25, 40), (50, 5), (12, 48)}
+        for p in pts:
+            tree.insert_cell(p, payload=("point", p))
+        tree.check_invariants()
+        hits = tree.payloads_in(Rect.from_box(Box((8, 8), (26, 45))))
+        kinds = {h[0] for h in hits}
+        assert kinds == {"region", "point"}
+
+    def test_forced_reinsert_occurs(self, rng):
+        """The R* forced-reinsert path must actually trigger on clustered
+        inserts (evicting 30% of an overflowing node)."""
+        import repro.sparse.rtree as rtree_module
+
+        calls = {"n": 0}
+        original = rtree_module.RStarTree._reinsert
+
+        def counting(self, path, overflowed):
+            calls["n"] += 1
+            return original(self, path, overflowed)
+
+        rtree_module.RStarTree._reinsert = counting
+        try:
+            tree = RStarTree(max_entries=6)
+            for _ in range(120):
+                tree.insert_cell(
+                    (int(rng.integers(0, 12)), int(rng.integers(0, 12))),
+                    payload=None,
+                )
+        finally:
+            rtree_module.RStarTree._reinsert = original
+        assert calls["n"] > 0
+        tree.check_invariants()
+
+    def test_height_grows_with_size(self, rng):
+        tree = RStarTree(max_entries=4)
+        heights = []
+        pts = set()
+        while len(pts) < 300:
+            pts.add((int(rng.integers(0, 500)), int(rng.integers(0, 500))))
+        for i, p in enumerate(sorted(pts)):
+            tree.insert_cell(p, payload=None)
+            if i in (10, 100, 299):
+                heights.append(tree.height)
+        assert heights == sorted(heights)
+        assert heights[-1] >= 3

@@ -1,0 +1,79 @@
+"""Tests for the sparse range-max engine (paper §10.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import Box
+from repro.instrumentation import AccessCounter
+from repro.query.workload import clustered_points, random_box
+from repro.sparse.sparse_cube import SparseCube
+from repro.sparse.sparse_max import SparseRangeMaxEngine
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(149)
+
+
+@pytest.fixture
+def clustered_cube(rng):
+    boxes = [Box((5, 5), (20, 20)), Box((40, 35), (58, 55))]
+    cells = clustered_points((64, 64), boxes, 0.8, 60, rng, low=1, high=10**6)
+    return SparseCube((64, 64), cells)
+
+
+class TestCorrectness:
+    def test_matches_scan_oracle(self, clustered_cube, rng):
+        engine = SparseRangeMaxEngine(clustered_cube)
+        for _ in range(80):
+            box = random_box((64, 64), rng)
+            expected = clustered_cube.naive_max(box)
+            got = engine.max_index(box)
+            if expected is None:
+                assert got is None
+            else:
+                assert got is not None
+                assert got[1] == expected[1]
+                assert box.contains_point(got[0])
+                assert clustered_cube.cells[got[0]] == got[1]
+
+    def test_empty_region_returns_none(self, rng):
+        cube = SparseCube((40, 40), {(0, 0): 5})
+        engine = SparseRangeMaxEngine(cube)
+        assert engine.max_index(Box((10, 10), (20, 20))) is None
+
+    def test_one_dimensional(self, rng):
+        cells = {
+            (int(k),): int(v)
+            for k, v in zip(
+                rng.choice(1000, 80, replace=False),
+                rng.integers(1, 10**6, 80),
+            )
+        }
+        cube = SparseCube((1000,), cells)
+        engine = SparseRangeMaxEngine(cube)
+        for _ in range(60):
+            box = random_box((1000,), rng)
+            expected = cube.naive_max(box)
+            got = engine.max_index(box)
+            assert (got is None) == (expected is None)
+            if got is not None:
+                assert got[1] == expected[1]
+
+    def test_dimension_mismatch(self, clustered_cube):
+        engine = SparseRangeMaxEngine(clustered_cube)
+        with pytest.raises(ValueError):
+            engine.max_index(Box((0,), (5,)))
+
+
+class TestBranchAndBound:
+    def test_prunes_most_of_the_tree(self, clustered_cube):
+        """§10.3 transplants the §6 pruning: the whole-cube max must be
+        found without visiting most nodes."""
+        engine = SparseRangeMaxEngine(clustered_cube)
+        counter = AccessCounter()
+        result = engine.max_index(Box((0, 0), (63, 63)), counter)
+        assert result is not None
+        assert counter.index_nodes < engine.rtree.node_count / 2

@@ -1,0 +1,106 @@
+"""Tests for the simulated LRU buffer pool."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import Box
+from repro.instrumentation.bufferpool import BufferPool
+from repro.instrumentation.paging import pages_for_box
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(271)
+
+
+class TestLRU:
+    def test_hit_after_fault(self):
+        pool = BufferPool(page_size=4, capacity=2)
+        assert pool.touch_cell(0) is True
+        assert pool.touch_cell(3) is False  # same page
+        assert pool.faults == 1 and pool.hits == 1
+
+    def test_eviction_order_is_lru(self):
+        pool = BufferPool(page_size=1, capacity=2)
+        pool.touch_page(1)
+        pool.touch_page(2)
+        pool.touch_page(1)  # refresh page 1
+        pool.touch_page(3)  # evicts page 2 (least recent)
+        assert pool.touch_page(1) is False
+        assert pool.touch_page(2) is True
+
+    def test_capacity_respected(self):
+        pool = BufferPool(page_size=1, capacity=3)
+        for page in range(10):
+            pool.touch_page(page)
+        assert pool.resident_pages == 3
+
+    def test_unbounded_pool_never_refaults(self):
+        pool = BufferPool(page_size=1)
+        for page in [5, 6, 5, 6, 5]:
+            pool.touch_page(page)
+        assert pool.faults == 2 and pool.hits == 3
+
+    def test_reset(self):
+        pool = BufferPool(page_size=1, capacity=2)
+        pool.touch_page(0)
+        pool.reset()
+        assert pool.faults == 0 and pool.resident_pages == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BufferPool(page_size=0)
+        with pytest.raises(ValueError):
+            BufferPool(page_size=4, capacity=0)
+
+
+class TestAccessPatterns:
+    def test_cold_scan_faults_equal_distinct_pages(self, rng):
+        shape = (20, 30)
+        for _ in range(30):
+            lo = tuple(int(rng.integers(0, n)) for n in shape)
+            hi = tuple(
+                int(rng.integers(l, n)) for l, n in zip(lo, shape)
+            )
+            box = Box(lo, hi)
+            pool = BufferPool(page_size=7)
+            faults = pool.scan_box(box, shape)
+            assert faults == pages_for_box(box, shape, 7)
+
+    def test_warm_rescan_is_free_with_enough_buffer(self):
+        shape = (16, 16)
+        box = Box((2, 2), (13, 13))
+        pool = BufferPool(page_size=8, capacity=64)
+        first = pool.scan_box(box, shape)
+        second = pool.scan_box(box, shape)
+        assert first > 0 and second == 0
+
+    def test_tiny_buffer_thrashes_on_column_order(self):
+        """Touching cells down a column of a row-major array with a
+        one-page buffer faults on every access — §3.3's bad schedule."""
+        shape = (64, 64)
+        pool = BufferPool(page_size=64, capacity=1)
+        for row in range(64):
+            pool.touch_index((row, 0), shape)
+        assert pool.faults == 64
+
+    def test_theorem1_constant_faults(self, rng):
+        shape = (100, 100)
+        pool = BufferPool(page_size=128, capacity=4)
+        worst = 0
+        for _ in range(50):
+            lo = tuple(int(rng.integers(0, n)) for n in shape)
+            hi = tuple(
+                int(rng.integers(l, n)) for l, n in zip(lo, shape)
+            )
+            pool.reset()
+            worst = max(
+                worst, pool.theorem1_corners(Box(lo, hi), shape)
+            )
+        assert worst <= 4  # ≤ 2^d pages, any query volume
+
+    def test_empty_box_scan(self):
+        pool = BufferPool(page_size=4)
+        assert pool.scan_box(Box((2,), (1,)), (10,)) == 0

@@ -1,0 +1,53 @@
+"""Tests for the access-count instrumentation."""
+
+from __future__ import annotations
+
+from repro.instrumentation import NULL_COUNTER, AccessCounter
+
+
+class TestAccessCounter:
+    def test_counts_accumulate(self):
+        counter = AccessCounter()
+        counter.count_cube(3)
+        counter.count_prefix()
+        counter.count_tree(2)
+        counter.count_index(4)
+        assert counter.cube_cells == 3
+        assert counter.prefix_cells == 1
+        assert counter.tree_nodes == 2
+        assert counter.index_nodes == 4
+        assert counter.total == 10
+
+    def test_reset(self):
+        counter = AccessCounter()
+        counter.count_cube(5)
+        counter.reset()
+        assert counter.total == 0
+
+    def test_snapshot(self):
+        counter = AccessCounter()
+        counter.count_prefix(2)
+        snap = counter.snapshot()
+        assert snap == {
+            "cube_cells": 0,
+            "prefix_cells": 2,
+            "tree_nodes": 0,
+            "index_nodes": 0,
+            "total": 2,
+        }
+        counter.count_prefix()
+        assert snap["prefix_cells"] == 2  # snapshots are detached
+
+    def test_disabled_counter(self):
+        counter = AccessCounter(enabled=False)
+        counter.count_cube(100)
+        assert counter.total == 0
+
+
+class TestNullCounter:
+    def test_ignores_everything(self):
+        NULL_COUNTER.count_cube(10)
+        NULL_COUNTER.count_prefix(10)
+        NULL_COUNTER.count_tree(10)
+        NULL_COUNTER.count_index(10)
+        assert NULL_COUNTER.total == 0

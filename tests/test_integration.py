@@ -1,0 +1,198 @@
+"""End-to-end integration tests across subsystems.
+
+These exercise the flows a downstream user would run: the paper's
+insurance scenario through the public API, agreement of every range-sum
+implementation on one cube, update-then-query pipelines, and the sparse
+engines against the dense ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AccessCounter,
+    BlockedPrefixSumCube,
+    Box,
+    CategoricalDimension,
+    DataCube,
+    ExtendedDataCube,
+    IntegerDimension,
+    MaxAssignment,
+    PointUpdate,
+    PrefixSumCube,
+    RangeMaxTree,
+    SparseCube,
+    SparseRangeMaxEngine,
+    SparseRangeSumEngine,
+    TreeSumHierarchy,
+    apply_max_updates,
+)
+from repro.query.naive import naive_max_value, naive_range_sum
+from repro.query.workload import clustered_points, make_cube, random_box
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0xBEEF)
+
+
+class TestInsuranceScenario:
+    """The paper's running example (§1), full size: 100 × 10 × 50 × 3."""
+
+    @pytest.fixture(scope="class")
+    def cube(self):
+        rng = np.random.default_rng(1997)
+        dims = [
+            IntegerDimension("age", 1, 100),
+            IntegerDimension("year", 1987, 1996),
+            CategoricalDimension("state", [f"S{i:02d}" for i in range(50)]),
+            CategoricalDimension("type", ["home", "auto", "health"]),
+        ]
+        measures = rng.integers(0, 1000, (100, 10, 50, 3)).astype(np.int64)
+        cube = DataCube(dims, measures)
+        cube.build_index(block_size=5, max_fanout=4)
+        return cube
+
+    def test_paper_intro_range_query(self, cube):
+        """Revenue for ages 37–52, years 1988–1996, all US, auto."""
+        got = cube.sum(age=(37, 52), year=(1988, 1996), type="auto")
+        want = int(cube.measures[36:52, 1:10, :, 1].sum())
+        assert got == want
+
+    def test_singleton_query_all_state(self, cube):
+        """The (all, 1995, all, auto) singleton query of §1."""
+        got = cube.sum(year=1995, type="auto")
+        assert got == int(cube.measures[:, 8, :, 1].sum())
+
+    def test_prefix_beats_extended_cube_on_ranges(self, cube):
+        """§1's motivation: 144 accesses for the extended cube vs a
+        constant number for the prefix-sum method."""
+        extended = ExtendedDataCube(cube.measures)
+        query = cube.parse_query(
+            {"age": (37, 52), "year": (1988, 1996), "type": "auto"}
+        )
+        ext_counter = AccessCounter()
+        ext_value = extended.range_sum(query, ext_counter)
+        basic = PrefixSumCube(cube.measures)
+        prefix_counter = AccessCounter()
+        prefix_value = basic.range_sum(
+            query.to_box(cube.shape), prefix_counter
+        )
+        assert ext_value == prefix_value
+        assert ext_counter.total == 144
+        assert prefix_counter.total <= 2**4
+
+    def test_max_over_region(self, cube):
+        where, value = cube.max(age=(30, 60), year=(1990, 1994))
+        assert 30 <= where["age"] <= 60
+        assert 1990 <= where["year"] <= 1994
+        assert value == int(cube.measures[29:60, 3:8].max())
+
+
+class TestAllSumMethodsAgree:
+    def test_four_way_agreement(self, rng):
+        cube = make_cube((48, 36), rng)
+        basic = PrefixSumCube(cube)
+        blocked = BlockedPrefixSumCube(cube, 6)
+        tree = TreeSumHierarchy(cube, 4)
+        extended = ExtendedDataCube(cube)
+        for _ in range(50):
+            box = random_box(cube.shape, rng)
+            want = naive_range_sum(cube, box)
+            assert basic.range_sum(box) == want
+            assert blocked.range_sum(box) == want
+            assert tree.range_sum(box) == want
+            assert extended.range_sum(box) == want
+
+    def test_max_methods_agree(self, rng):
+        cube = make_cube((50, 40), rng, high=10**6)
+        tree = RangeMaxTree(cube, 3)
+        sparse = SparseRangeMaxEngine(SparseCube.from_dense(cube + 1))
+        for _ in range(40):
+            box = random_box(cube.shape, rng)
+            want = naive_max_value(cube, box)
+            assert cube[tree.max_index(box)] == want
+            hit = sparse.max_index(box)
+            assert hit is not None and hit[1] == want + 1
+
+
+class TestUpdateThenQuery:
+    def test_sum_pipeline(self, rng):
+        cube = make_cube((32, 32), rng).astype(np.int64)
+        basic = PrefixSumCube(cube)
+        blocked = BlockedPrefixSumCube(cube, 4)
+        mirror = cube.copy()
+        for _ in range(5):
+            batch = [
+                PointUpdate(
+                    (int(rng.integers(0, 32)), int(rng.integers(0, 32))),
+                    int(rng.integers(-20, 30)),
+                )
+                for _ in range(12)
+            ]
+            basic.apply_updates(batch)
+            blocked.apply_updates(batch)
+            for update in batch:
+                mirror[update.index] += update.delta
+            for _ in range(10):
+                box = random_box((32, 32), rng)
+                want = naive_range_sum(mirror, box)
+                assert basic.range_sum(box) == want
+                assert blocked.range_sum(box) == want
+
+    def test_max_pipeline(self, rng):
+        cube = make_cube((27, 27), rng, high=1000).astype(np.int64)
+        tree = RangeMaxTree(cube, 3)
+        mirror = cube.copy()
+        for _ in range(5):
+            batch = [
+                MaxAssignment(
+                    (int(rng.integers(0, 27)), int(rng.integers(0, 27))),
+                    int(rng.integers(0, 3000)),
+                )
+                for _ in range(15)
+            ]
+            apply_max_updates(tree, batch)
+            for assignment in batch:
+                mirror[assignment.index] = assignment.value
+            assert np.array_equal(tree.source, mirror)
+            for _ in range(10):
+                box = random_box((27, 27), rng)
+                assert tree.source[tree.max_index(box)] == naive_max_value(
+                    mirror, box
+                )
+
+
+class TestSparseVersusDense:
+    def test_sparse_engines_match_dense_structures(self, rng):
+        shape = (48, 48)
+        boxes = [Box((4, 4), (18, 18)), Box((28, 26), (43, 44))]
+        cells = clustered_points(shape, boxes, 0.85, 40, rng)
+        sparse = SparseCube(shape, cells)
+        dense = sparse.to_dense()
+        dense_index = PrefixSumCube(dense)
+        sparse_sum = SparseRangeSumEngine(sparse, block_size=2)
+        sparse_max = SparseRangeMaxEngine(sparse)
+        tree = RangeMaxTree(dense, 4)
+        for _ in range(50):
+            box = random_box(shape, rng)
+            assert sparse_sum.range_sum(box) == dense_index.range_sum(box)
+            dense_max = naive_max_value(dense, box)
+            hit = sparse_max.max_index(box)
+            if hit is None:
+                assert dense_max == 0  # region holds only empty cells
+            else:
+                assert hit[1] == dense_max == dense[tree.max_index(box)]
+
+    def test_sparse_storage_advantage(self, rng):
+        """§10: auxiliary storage scales with the data, not the domain."""
+        shape = (256, 256)
+        cells = clustered_points(
+            shape, [Box((10, 10), (41, 41))], 0.9, 50, rng
+        )
+        sparse = SparseCube(shape, cells)
+        engine = SparseRangeSumEngine(sparse)
+        assert engine.storage_cells() < 4 * sparse.nnz
+        assert engine.storage_cells() < sparse.volume / 10

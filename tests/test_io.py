@@ -1,0 +1,130 @@
+"""Tests for structure persistence (save/load of precomputations)."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.blocked import BlockedPrefixSumCube
+from repro.core.operators import XOR
+from repro.core.prefix_sum import PrefixSumCube
+from repro.core.range_max import RangeMaxTree
+from repro.io import (
+    load_blocked,
+    load_max_tree,
+    load_prefix_sum,
+    save_blocked,
+    save_max_tree,
+    save_prefix_sum,
+)
+from repro.query.naive import naive_max_value, naive_range_sum
+from repro.query.workload import make_cube, random_box
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(179)
+
+
+class TestPrefixSumRoundtrip:
+    def test_roundtrip_via_file(self, rng, tmp_path):
+        cube = make_cube((12, 9), rng)
+        original = PrefixSumCube(cube)
+        path = tmp_path / "prefix.npz"
+        save_prefix_sum(original, path)
+        restored = load_prefix_sum(path)
+        assert np.array_equal(restored.prefix, original.prefix)
+        assert np.array_equal(restored.source, cube)
+        for _ in range(20):
+            box = random_box(cube.shape, rng)
+            assert restored.range_sum(box) == naive_range_sum(cube, box)
+
+    def test_discarded_source_stays_discarded(self, rng, tmp_path):
+        cube = make_cube((6, 6), rng)
+        original = PrefixSumCube(cube, keep_source=False)
+        path = tmp_path / "p.npz"
+        save_prefix_sum(original, path)
+        restored = load_prefix_sum(path)
+        assert restored.source is None
+        assert restored.cell((2, 3)) == cube[2, 3]
+
+    def test_operator_preserved(self, rng, tmp_path):
+        cube = rng.integers(0, 64, (6, 6), dtype=np.int64)
+        original = PrefixSumCube(cube, XOR)
+        path = tmp_path / "x.npz"
+        save_prefix_sum(original, path)
+        restored = load_prefix_sum(path)
+        assert restored.operator.name == "xor"
+        box = random_box(cube.shape, rng)
+        assert restored.range_sum(box) == original.range_sum(box)
+
+    def test_in_memory_buffer(self, rng):
+        cube = make_cube((5, 5), rng)
+        original = PrefixSumCube(cube)
+        buffer = io.BytesIO()
+        save_prefix_sum(original, buffer)
+        buffer.seek(0)
+        restored = load_prefix_sum(buffer)
+        assert np.array_equal(restored.prefix, original.prefix)
+
+
+class TestBlockedRoundtrip:
+    def test_roundtrip(self, rng, tmp_path):
+        cube = make_cube((30, 22), rng)
+        original = BlockedPrefixSumCube(cube, 7)
+        path = tmp_path / "blocked.npz"
+        save_blocked(original, path)
+        restored = load_blocked(path)
+        assert restored.block_size == 7
+        assert np.array_equal(
+            restored.blocked_prefix, original.blocked_prefix
+        )
+        for _ in range(20):
+            box = random_box(cube.shape, rng)
+            assert restored.range_sum(box) == naive_range_sum(cube, box)
+
+
+class TestMaxTreeRoundtrip:
+    def test_roundtrip(self, rng, tmp_path):
+        cube = make_cube((25, 18), rng, high=10**6)
+        original = RangeMaxTree(cube, 3)
+        path = tmp_path / "tree.npz"
+        save_max_tree(original, path)
+        restored = load_max_tree(path)
+        assert restored.fanout == 3 and restored.height == original.height
+        for level in range(1, original.height + 1):
+            assert np.array_equal(
+                restored.values[level], original.values[level]
+            )
+        for _ in range(20):
+            box = random_box(cube.shape, rng)
+            assert cube[restored.max_index(box)] == naive_max_value(
+                cube, box
+            )
+
+    def test_updates_work_after_load(self, rng, tmp_path):
+        from repro.core.max_update import MaxAssignment, apply_max_updates
+
+        cube = make_cube((16,), rng, high=100)
+        path = tmp_path / "t.npz"
+        save_max_tree(RangeMaxTree(cube, 2), path)
+        restored = load_max_tree(path)
+        apply_max_updates(restored, [MaxAssignment((5,), 999)])
+        assert restored.values[restored.height].ravel()[0] == 999
+
+
+class TestFormatSafety:
+    def test_wrong_kind_rejected(self, rng, tmp_path):
+        cube = make_cube((5, 5), rng)
+        path = tmp_path / "p.npz"
+        save_prefix_sum(PrefixSumCube(cube), path)
+        with pytest.raises(ValueError, match="expected"):
+            load_blocked(path)
+
+    def test_random_archive_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(ValueError, match="not a repro"):
+            load_prefix_sum(path)

@@ -1,0 +1,226 @@
+"""Metamorphic properties that must hold across every structure.
+
+These tests assert *relations between queries* rather than oracle
+equality — the invariants a downstream user implicitly relies on:
+additivity under region splits, monotonicity, update commutativity, and
+prefix/query consistency.  A bug in sign handling, boundary arithmetic or
+update batching that happens to survive the oracle tests tends to break
+one of these.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import Box
+from repro.core.batch_update import PointUpdate
+from repro.core.blocked import BlockedPrefixSumCube
+from repro.core.prefix_sum import PrefixSumCube, compute_prefix_array
+from repro.core.range_max import RangeMaxTree
+from repro.core.tree_sum import TreeSumHierarchy
+from repro.query.workload import make_cube, random_box
+from tests.conftest import cube_and_box
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(199)
+
+
+def _split(box: Box, axis: int) -> tuple[Box, Box] | None:
+    """Split a box into two halves along an axis, if it is wide enough."""
+    if box.hi[axis] == box.lo[axis]:
+        return None
+    mid = (box.lo[axis] + box.hi[axis]) // 2
+    left_hi = list(box.hi)
+    left_hi[axis] = mid
+    right_lo = list(box.lo)
+    right_lo[axis] = mid + 1
+    return Box(box.lo, tuple(left_hi)), Box(tuple(right_lo), box.hi)
+
+
+class TestSumAdditivity:
+    @given(cube_and_box(max_ndim=3, max_side=10))
+    @settings(max_examples=80, deadline=None)
+    def test_prefix_sum_splits_add_up(self, data):
+        cube, box = data
+        structure = PrefixSumCube(cube)
+        whole = structure.range_sum(box)
+        for axis in range(box.ndim):
+            halves = _split(box, axis)
+            if halves is None:
+                continue
+            left, right = halves
+            assert structure.range_sum(left) + structure.range_sum(
+                right
+            ) == whole
+
+    @given(
+        cube_and_box(max_ndim=2, max_side=12),
+        st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_blocked_splits_add_up(self, data, block):
+        cube, box = data
+        structure = BlockedPrefixSumCube(cube, block)
+        whole = structure.range_sum(box)
+        for axis in range(box.ndim):
+            halves = _split(box, axis)
+            if halves is None:
+                continue
+            left, right = halves
+            assert structure.range_sum(left) + structure.range_sum(
+                right
+            ) == whole
+
+    def test_grid_partition_adds_up(self, rng):
+        """A full tiling of the cube sums to the grand total."""
+        cube = make_cube((24, 18), rng)
+        structure = BlockedPrefixSumCube(cube, 5)
+        total = 0
+        for i in range(0, 24, 6):
+            for j in range(0, 18, 6):
+                total += structure.range_sum(
+                    Box((i, j), (i + 5, j + 5))
+                )
+        assert total == structure.total() == cube.sum()
+
+    def test_tree_sum_splits_add_up(self, rng):
+        cube = make_cube((27, 27), rng)
+        tree = TreeSumHierarchy(cube, 3)
+        for _ in range(25):
+            box = random_box(cube.shape, rng)
+            whole = tree.range_sum(box)
+            halves = _split(box, 0)
+            if halves is None:
+                continue
+            left, right = halves
+            assert tree.range_sum(left) + tree.range_sum(right) == whole
+
+
+class TestMaxLattice:
+    @given(cube_and_box(max_ndim=2, max_side=14))
+    @settings(max_examples=60, deadline=None)
+    def test_max_of_split_is_max_of_parts(self, data):
+        cube, box = data
+        tree = RangeMaxTree(cube, 3)
+        whole = cube[tree.max_index(box)]
+        for axis in range(box.ndim):
+            halves = _split(box, axis)
+            if halves is None:
+                continue
+            left, right = halves
+            parts = max(
+                cube[tree.max_index(left)], cube[tree.max_index(right)]
+            )
+            assert parts == whole
+
+    @given(cube_and_box(max_ndim=2, max_side=14))
+    @settings(max_examples=60, deadline=None)
+    def test_max_monotone_under_containment(self, data):
+        cube, box = data
+        tree = RangeMaxTree(cube, 2)
+        grown = Box(
+            tuple(max(0, l - 1) for l in box.lo),
+            tuple(
+                min(n - 1, h + 1)
+                for h, n in zip(box.hi, cube.shape)
+            ),
+        )
+        assert cube[tree.max_index(grown)] >= cube[tree.max_index(box)]
+
+    def test_sum_monotone_on_nonnegative_cube(self, rng):
+        cube = make_cube((20, 20), rng, low=0, high=50)
+        structure = PrefixSumCube(cube)
+        for _ in range(30):
+            box = random_box(cube.shape, rng)
+            grown = Box(
+                tuple(max(0, l - 2) for l in box.lo),
+                tuple(min(19, h + 2) for h in box.hi),
+            )
+            assert structure.range_sum(grown) >= structure.range_sum(box)
+
+
+class TestUpdateAlgebra:
+    @given(cube_and_box(max_ndim=2, max_side=8))
+    @settings(max_examples=60, deadline=None)
+    def test_batch_order_is_immaterial(self, data):
+        cube, _ = data
+        rng = np.random.default_rng(7)
+        updates = [
+            PointUpdate(
+                tuple(int(rng.integers(0, n)) for n in cube.shape),
+                int(rng.integers(-5, 10)),
+            )
+            for _ in range(6)
+        ]
+        forward = PrefixSumCube(cube)
+        backward = PrefixSumCube(cube)
+        forward.apply_updates(updates)
+        backward.apply_updates(list(reversed(updates)))
+        assert np.array_equal(forward.prefix, backward.prefix)
+
+    @given(cube_and_box(max_ndim=2, max_side=8))
+    @settings(max_examples=60, deadline=None)
+    def test_two_batches_equal_one(self, data):
+        cube, _ = data
+        rng = np.random.default_rng(8)
+        updates = [
+            PointUpdate(
+                tuple(int(rng.integers(0, n)) for n in cube.shape),
+                int(rng.integers(-5, 10)),
+            )
+            for _ in range(8)
+        ]
+        split = PrefixSumCube(cube)
+        split.apply_updates(updates[:4])
+        split.apply_updates(updates[4:])
+        merged = PrefixSumCube(cube)
+        merged.apply_updates(updates)
+        assert np.array_equal(split.prefix, merged.prefix)
+
+    def test_inverse_updates_cancel(self, rng):
+        cube = make_cube((10, 10), rng).astype(np.int64)
+        structure = PrefixSumCube(cube)
+        before = structure.prefix.copy()
+        updates = [
+            PointUpdate((3, 4), 17),
+            PointUpdate((0, 9), -5),
+            PointUpdate((9, 0), 2),
+        ]
+        structure.apply_updates(updates)
+        structure.apply_updates(
+            [PointUpdate(u.index, -u.delta) for u in updates]
+        )
+        assert np.array_equal(structure.prefix, before)
+
+
+class TestPrefixConsistency:
+    @given(cube_and_box(max_ndim=3, max_side=8))
+    @settings(max_examples=60, deadline=None)
+    def test_origin_query_reads_prefix_directly(self, data):
+        """Sum(0:x_1, ..., 0:x_d) must equal P[x_1, ..., x_d] itself."""
+        cube, box = data
+        structure = PrefixSumCube(cube)
+        origin = Box(tuple(0 for _ in box.hi), box.hi)
+        assert structure.range_sum(origin) == structure.prefix[box.hi]
+
+    @given(cube_and_box(max_ndim=2, max_side=8))
+    @settings(max_examples=40, deadline=None)
+    def test_cell_reconstruction_matches_direct(self, data):
+        cube, box = data
+        structure = PrefixSumCube(cube, keep_source=False)
+        assert structure.cell(box.lo) == cube[box.lo]
+
+    def test_double_prefix_is_prefix_of_prefix(self, rng):
+        """compute_prefix_array composes: prefix of prefix equals the
+        2-fold cumulative sum — a sanity anchor for the sweep order."""
+        cube = make_cube((6, 7), rng)
+        once = compute_prefix_array(cube)
+        twice = compute_prefix_array(once)
+        by_hand = np.cumsum(np.cumsum(
+            np.cumsum(np.cumsum(cube, 0), 1), 0), 1)
+        assert np.array_equal(twice, by_hand)

@@ -1,0 +1,123 @@
+"""Tests for page-touch accounting (§3.3's storage-level costs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import Box
+from repro.instrumentation.paging import (
+    flat_index,
+    pages_for_box,
+    pages_for_cells,
+    theorem1_corner_pages,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(239)
+
+
+def oracle_pages_for_box(box, shape, page_size):
+    """Exhaustive oracle: materialize every cell's page."""
+    return len(
+        {
+            flat_index(point, shape) // page_size
+            for point in box.iter_points()
+        }
+    )
+
+
+class TestFlatIndex:
+    def test_row_major(self):
+        assert flat_index((0, 0), (3, 4)) == 0
+        assert flat_index((1, 2), (3, 4)) == 6
+        assert flat_index((2, 3), (3, 4)) == 11
+
+    def test_matches_numpy(self, rng):
+        shape = (4, 5, 6)
+        for _ in range(20):
+            index = tuple(int(rng.integers(0, n)) for n in shape)
+            assert flat_index(index, shape) == int(
+                np.ravel_multi_index(index, shape)
+            )
+
+
+class TestPagesForCells:
+    def test_shared_page_counts_once(self):
+        assert pages_for_cells([0, 1, 2, 3], 4) == 1
+        assert pages_for_cells([0, 4], 4) == 2
+        assert pages_for_cells([], 4) == 0
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            pages_for_cells([0], 0)
+
+
+class TestPagesForBox:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=10**4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_oracle(self, n1, n2, page_size, seed):
+        local = np.random.default_rng(seed)
+        shape = (n1 + 2, n2 + 2)
+        lo = tuple(int(local.integers(0, n)) for n in shape)
+        hi = tuple(
+            int(local.integers(l, n)) for l, n in zip(lo, shape)
+        )
+        box = Box(lo, hi)
+        assert pages_for_box(box, shape, page_size) == (
+            oracle_pages_for_box(box, shape, page_size)
+        )
+
+    def test_three_dimensional_oracle(self, rng):
+        shape = (5, 6, 7)
+        for _ in range(40):
+            lo = tuple(int(rng.integers(0, n)) for n in shape)
+            hi = tuple(
+                int(rng.integers(l, n)) for l, n in zip(lo, shape)
+            )
+            box = Box(lo, hi)
+            for page in (1, 3, 16, 64):
+                assert pages_for_box(box, shape, page) == (
+                    oracle_pages_for_box(box, shape, page)
+                )
+
+    def test_full_array_is_all_pages(self):
+        box = Box((0, 0), (9, 9))
+        assert pages_for_box(box, (10, 10), 10) == 10
+
+    def test_empty_box(self):
+        assert pages_for_box(Box((2,), (1,)), (10,), 4) == 0
+
+    def test_one_dimensional(self):
+        assert pages_for_box(Box((5,), (14,)), (100,), 4) == 3
+
+
+class TestTheorem1Pages:
+    def test_at_most_2_to_the_d(self, rng):
+        shape = (50, 50, 50)
+        for _ in range(40):
+            lo = tuple(int(rng.integers(0, n)) for n in shape)
+            hi = tuple(
+                int(rng.integers(l, n)) for l, n in zip(lo, shape)
+            )
+            pages = theorem1_corner_pages(Box(lo, hi), shape, 64)
+            assert pages <= 8
+
+    def test_scan_pages_dwarf_corner_pages(self, rng):
+        """The I/O restatement of the headline claim."""
+        shape = (200, 200)
+        box = Box((10, 10), (189, 189))
+        page = 128
+        scan = pages_for_box(box, shape, page)
+        corners = theorem1_corner_pages(box, shape, page)
+        assert corners <= 4
+        assert scan > 50 * corners

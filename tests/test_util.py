@@ -1,0 +1,133 @@
+"""Tests for the Box geometry helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import Box, box_difference, full_box, validate_range
+
+
+@st.composite
+def nested_boxes(draw, max_ndim=3, max_side=10):
+    ndim = draw(st.integers(min_value=1, max_value=max_ndim))
+    outer_lo = []
+    outer_hi = []
+    inner_lo = []
+    inner_hi = []
+    for _ in range(ndim):
+        a = draw(st.integers(min_value=0, max_value=max_side))
+        b = draw(st.integers(min_value=a, max_value=max_side + 3))
+        outer_lo.append(a)
+        outer_hi.append(b)
+        c = draw(st.integers(min_value=a, max_value=b))
+        d = draw(st.integers(min_value=c, max_value=b))
+        inner_lo.append(c)
+        inner_hi.append(d)
+    return (
+        Box(tuple(outer_lo), tuple(outer_hi)),
+        Box(tuple(inner_lo), tuple(inner_hi)),
+    )
+
+
+class TestBoxBasics:
+    def test_volume_and_lengths(self):
+        box = Box((1, 2), (3, 5))
+        assert box.volume == 12
+        assert box.lengths == (3, 4)
+
+    def test_empty_box(self):
+        box = Box((3,), (2,))
+        assert box.is_empty
+        assert box.volume == 0
+        assert box.lengths == (0,)
+
+    def test_mismatched_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Box((0,), (1, 2))
+
+    def test_slices_select_exactly(self):
+        array = np.arange(36).reshape(6, 6)
+        box = Box((1, 2), (3, 4))
+        assert array[box.slices()].shape == (3, 3)
+        assert array[box.slices()][0, 0] == array[1, 2]
+
+    def test_contains_point(self):
+        box = Box((0, 0), (2, 2))
+        assert box.contains_point((2, 2))
+        assert not box.contains_point((3, 0))
+
+    def test_contains_box(self):
+        outer = Box((0, 0), (5, 5))
+        assert outer.contains_box(Box((1, 1), (5, 5)))
+        assert not outer.contains_box(Box((1, 1), (6, 5)))
+        assert outer.contains_box(Box((4, 4), (2, 2)))  # empty box
+
+    def test_intersect(self):
+        a = Box((0, 0), (4, 4))
+        b = Box((3, 2), (7, 9))
+        assert a.intersect(b) == Box((3, 2), (4, 4))
+        assert not a.intersects(Box((5, 5), (6, 6)))
+
+    def test_iter_points_row_major(self):
+        box = Box((0, 1), (1, 2))
+        assert list(box.iter_points()) == [
+            (0, 1),
+            (0, 2),
+            (1, 1),
+            (1, 2),
+        ]
+
+    def test_iter_points_empty(self):
+        assert list(Box((2,), (1,)).iter_points()) == []
+
+    def test_str(self):
+        assert str(Box((1, 2), (3, 4))) == "Box(1:3, 2:4)"
+
+    def test_full_box(self):
+        assert full_box((2, 3)) == Box((0, 0), (1, 2))
+
+
+class TestBoxDifference:
+    @given(nested_boxes())
+    @settings(max_examples=100, deadline=None)
+    def test_difference_partitions_exactly(self, data):
+        outer, inner = data
+        pieces = box_difference(outer, inner)
+        assert len(pieces) <= 2 * outer.ndim
+        shape = tuple(h + 1 for h in outer.hi)
+        coverage = np.zeros(shape, dtype=np.int64)
+        for piece in pieces:
+            assert outer.contains_box(piece)
+            assert not piece.intersects(inner)
+            coverage[piece.slices()] += 1
+        coverage[inner.slices()] += 1
+        window = coverage[outer.slices()]
+        assert window.min() == 1 and window.max() == 1
+
+    def test_identical_boxes_leave_nothing(self):
+        box = Box((1, 1), (3, 3))
+        assert box_difference(box, box) == []
+
+    def test_empty_inner_returns_outer(self):
+        outer = Box((0, 0), (3, 3))
+        assert box_difference(outer, Box((2, 2), (1, 1))) == [outer]
+
+    def test_not_contained_rejected(self):
+        with pytest.raises(ValueError):
+            box_difference(Box((0,), (3,)), Box((2,), (5,)))
+
+
+class TestValidateRange:
+    def test_accepts_valid(self):
+        validate_range(0, 3, 4)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            validate_range(3, 2, 10)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            validate_range(0, 10, 10)
