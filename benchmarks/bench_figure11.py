@@ -14,7 +14,6 @@ The paper plots ``Cost(tree) − Cost(prefix sum)`` on a log scale against
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.blocked import BlockedPrefixSumCube
 from repro.core.tree_sum import TreeSumHierarchy

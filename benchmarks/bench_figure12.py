@@ -10,7 +10,6 @@ logs to show how often the O(md) shortcut matches.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.optimizer.dimension_selection import (
     exact_selection,

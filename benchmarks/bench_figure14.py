@@ -11,7 +11,6 @@ integer optimizer on matching statistics.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.optimizer.block_size import choose_block_size
 from repro.optimizer.cost_model import (

@@ -12,7 +12,6 @@ sizes.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.bounds import progressive_max_bounds
 from repro.core.range_max import RangeMaxTree

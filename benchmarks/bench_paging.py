@@ -11,9 +11,7 @@ several page sizes.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from repro._util import Box
 from repro.instrumentation.paging import (
     pages_for_box,
     theorem1_corner_pages,

@@ -10,7 +10,6 @@ random permutation (distinct values, the theorem's model).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro._util import Box
 from repro.core.range_max import RangeMaxTree

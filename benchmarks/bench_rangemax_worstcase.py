@@ -14,7 +14,6 @@ from __future__ import annotations
 import math
 
 import numpy as np
-import pytest
 
 from repro._util import Box
 from repro.core.range_max import RangeMaxTree

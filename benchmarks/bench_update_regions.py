@@ -10,7 +10,6 @@ the bound.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.batch_update import (
     PointUpdate,

@@ -191,6 +191,34 @@ class RangeMaxTree:
         """Index of the maximum of the whole cube (one root access)."""
         return self.max_index(full_box(self.shape), counter)
 
+    def max_index_many(
+        self,
+        lows: object,
+        highs: object,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Answer ``K`` range-max queries with one shared tree descent.
+
+        All searches walk the tree together (one vectorized wave per
+        level) with the branch-and-bound prune applied across the whole
+        frontier — see :func:`repro.query.batch.batch_max_index`.
+        Maximum values are exact; tied argmax indices may differ from
+        the scalar path's choice.
+
+        Args:
+            lows: ``(K, d)`` inclusive lower bounds (array-like, ints).
+            highs: ``(K, d)`` inclusive upper bounds.
+            counter: Charged per tree node and raw cell touched.
+
+        Returns:
+            ``(indices, values)``: ``(K, d)`` argmax coordinates and the
+            ``(K,)`` maxima.
+        """
+        from repro.query.batch import batch_max_index, normalize_query_arrays
+
+        lo, hi = normalize_query_arrays(lows, highs, self.shape)
+        return batch_max_index(self, lo, hi, counter)
+
     # ------------------------------------------------------------------
     # Structure navigation (shared with the batch updater)
     # ------------------------------------------------------------------

@@ -1,5 +1,12 @@
 """Query model, statistics, baselines, workloads and the engine facade."""
 
+from repro.query.batch import (
+    batch_max_index,
+    boxes_to_arrays,
+    normalize_query_arrays,
+    prefix_sum_many,
+    rolling_window_bounds,
+)
 from repro.query.engine import RangeQueryEngine
 from repro.query.logbook import QueryLog
 from repro.query.naive import (
@@ -18,6 +25,8 @@ from repro.query.workload import (
     make_cube,
     make_float_cube,
     random_box,
+    random_query_arrays,
+    run_query_log,
 )
 
 __all__ = [
@@ -29,6 +38,8 @@ __all__ = [
     "SpecKind",
     "WorkloadProfile",
     "average_statistics",
+    "batch_max_index",
+    "boxes_to_arrays",
     "clustered_points",
     "fixed_size_box",
     "generate_query_log",
@@ -38,5 +49,10 @@ __all__ = [
     "naive_max_value",
     "naive_range_sum",
     "naive_sum_range",
+    "normalize_query_arrays",
+    "prefix_sum_many",
     "random_box",
+    "random_query_arrays",
+    "rolling_window_bounds",
+    "run_query_log",
 ]

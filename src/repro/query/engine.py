@@ -28,6 +28,47 @@ from repro.instrumentation import NULL_COUNTER, AccessCounter
 from repro.query.ranges import RangeQuery
 
 
+def _py_scalar(value: object) -> object:
+    """Convert numpy scalars (and 0-d arrays) to plain Python scalars.
+
+    Engine aggregate methods promise plain ``int`` / ``float`` / ``bool``
+    returns regardless of which structure answered, so downstream
+    exact-equality checks never trip over ``np.uint32`` vs ``int``.
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray) and value.ndim == 0:
+        return value.item()
+    return value
+
+
+def _maxtree_source(cube: np.ndarray) -> np.ndarray:
+    """A max-tree-compatible view of the cube (bool promotes to int8)."""
+    if cube.dtype == np.bool_:
+        return cube.astype(np.int8)
+    return cube
+
+
+def _negation_safe(cube: np.ndarray) -> np.ndarray:
+    """Promote dtypes whose negation wraps before building the min tree.
+
+    ``MIN = MAX over −A`` (§1) is only sound when ``−A`` is exact:
+    negating an unsigned cube wraps around (``min`` over
+    ``np.arange(12, dtype=np.uint32)`` used to come back as 1 with a
+    RuntimeWarning), and bool has no negative values at all.  Unsigned
+    ints below 64 bits promote to int64; uint64 — which has no lossless
+    signed home — promotes to float64 (exact up to 2^53); bool promotes
+    to int8.
+    """
+    if cube.dtype == np.bool_:
+        return cube.astype(np.int8)
+    if np.issubdtype(cube.dtype, np.unsignedinteger):
+        if cube.dtype.itemsize < 8:
+            return cube.astype(np.int64)
+        return cube.astype(np.float64)
+    return cube
+
+
 class RangeQueryEngine:
     """Answer range SUM / COUNT / AVERAGE / MAX / MIN queries over a cube.
 
@@ -91,8 +132,8 @@ class RangeQueryEngine:
         self._max_tree: RangeMaxTree | None = None
         self._min_tree: RangeMaxTree | None = None
         if max_fanout is not None:
-            self._max_tree = RangeMaxTree(cube, max_fanout)
-            self._min_tree = RangeMaxTree(-cube, max_fanout)
+            self._max_tree = RangeMaxTree(_maxtree_source(cube), max_fanout)
+            self._min_tree = RangeMaxTree(-_negation_safe(cube), max_fanout)
 
     def _resolve(self, query: RangeQuery | Box) -> Box:
         if isinstance(query, Box):
@@ -104,8 +145,10 @@ class RangeQueryEngine:
         query: RangeQuery | Box,
         counter: AccessCounter = NULL_COUNTER,
     ) -> object:
-        """Range-sum of the measure."""
-        return self._sum_index.range_sum(self._resolve(query), counter)
+        """Range-sum of the measure (a plain Python scalar)."""
+        return _py_scalar(
+            self._sum_index.range_sum(self._resolve(query), counter)
+        )
 
     def count(
         self,
@@ -116,7 +159,7 @@ class RangeQueryEngine:
         box = self._resolve(query)
         if self._count_index is None:
             return box.volume
-        return self._count_index.range_sum(box, counter)
+        return _py_scalar(self._count_index.range_sum(box, counter))
 
     def average(
         self,
@@ -141,19 +184,154 @@ class RangeQueryEngine:
             raise RuntimeError("engine was built without max trees")
         box = self._resolve(query)
         index = self._max_tree.max_index(box, counter)
-        return index, self._max_tree.source[index]
+        return index, _py_scalar(self._max_tree.source[index])
 
     def min(
         self,
         query: RangeQuery | Box,
         counter: AccessCounter = NULL_COUNTER,
     ) -> tuple[tuple[int, ...], object]:
-        """Range-min via MAX over the negated cube (§1)."""
+        """Range-min via MAX over the negated cube (§1).
+
+        The negated cube is dtype-promoted first (see
+        :func:`_negation_safe`), so unsigned and bool cubes return their
+        true minimum instead of a wrapped value.
+        """
         if self._min_tree is None:
             raise RuntimeError("engine was built without max trees")
         box = self._resolve(query)
         index = self._min_tree.max_index(box, counter)
-        return index, -self._min_tree.source[index]
+        return index, _py_scalar(-self._min_tree.source[index])
+
+    # ------------------------------------------------------------------
+    # Batch query execution (the vectorized path of repro.query.batch)
+    # ------------------------------------------------------------------
+
+    def _batch_arrays(
+        self, lows: object, highs: object
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Normalize a query batch to validated ``(K, d)`` arrays.
+
+        Accepts either ``(lows, highs)`` integer arrays of shape
+        ``(K, d)`` or, when ``highs`` is None, a sequence of
+        :class:`Box` / :class:`RangeQuery` objects as ``lows``.
+        """
+        from repro.query.batch import boxes_to_arrays, normalize_query_arrays
+
+        if highs is None:
+            lows, highs = boxes_to_arrays(lows, self.shape)
+        return normalize_query_arrays(lows, highs, self.shape)
+
+    def sum_many(
+        self,
+        lows: object,
+        highs: object | None = None,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> np.ndarray:
+        """Range-sums for ``K`` queries in O(1) numpy ops (not O(K)).
+
+        All ``K · 2^d`` Theorem-1 corner reads happen in a single
+        fancy-indexed gather on the prefix array; the blocked structure
+        vectorizes its internal regions and falls back per query only
+        for boundary pieces.  Element-wise identical to :meth:`sum` for
+        exact dtypes.
+
+        Args:
+            lows: ``(K, d)`` inclusive lower bounds, or a sequence of
+                ``Box`` / ``RangeQuery`` objects (then omit ``highs``).
+            highs: ``(K, d)`` inclusive upper bounds.
+            counter: Standard access counter.
+
+        Returns:
+            A ``(K,)`` numpy array of sums, in query order.
+        """
+        lo, hi = self._batch_arrays(lows, highs)
+        return self._sum_index.sum_many(lo, hi, counter)
+
+    def count_many(
+        self,
+        lows: object,
+        highs: object | None = None,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> np.ndarray:
+        """Range-counts for ``K`` queries (batch analogue of :meth:`count`).
+
+        With a counts cube this is a second gather on the counts prefix
+        structure (the paper's (sum, count) pair); without one it is the
+        queries' cell volumes, computed in one vectorized product.
+        """
+        lo, hi = self._batch_arrays(lows, highs)
+        if self._count_index is None:
+            return np.prod(hi - lo + 1, axis=1)
+        return self._count_index.sum_many(lo, hi, counter)
+
+    def average_many(
+        self,
+        lows: object,
+        highs: object | None = None,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> np.ndarray:
+        """Range-averages for ``K`` queries from the (sum, count) pair.
+
+        One gather for the sums, one for the counts, one vectorized
+        division — each element equals the scalar :meth:`average` of the
+        same box exactly (same two integers, same float division).
+
+        Raises:
+            ZeroDivisionError: If any query's count is zero.
+        """
+        lo, hi = self._batch_arrays(lows, highs)
+        totals = self._sum_index.sum_many(lo, hi, counter)
+        if self._count_index is None:
+            denominators = np.prod(hi - lo + 1, axis=1)
+        else:
+            denominators = self._count_index.sum_many(lo, hi, counter)
+        if np.any(denominators == 0):
+            k = int(np.argmax(denominators == 0))
+            raise ZeroDivisionError(
+                f"average over a region with no records (query {k})"
+            )
+        return totals.astype(np.float64) / denominators.astype(np.float64)
+
+    def max_many(
+        self,
+        lows: object,
+        highs: object | None = None,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Range-max for ``K`` queries via one shared-frontier descent.
+
+        Every search walks the §6 tree together, one vectorized wave per
+        level, with branch-and-bound pruning applied across the whole
+        frontier.  Values are exact; tied argmax indices may differ from
+        the scalar path's pick (both are valid witnesses).
+
+        Returns:
+            ``(indices, values)``: a ``(K, d)`` int64 array of argmax
+            coordinates and the ``(K,)`` array of maxima.
+        """
+        if self._max_tree is None:
+            raise RuntimeError("engine was built without max trees")
+        lo, hi = self._batch_arrays(lows, highs)
+        return self._max_tree.max_index_many(lo, hi, counter)
+
+    def min_many(
+        self,
+        lows: object,
+        highs: object | None = None,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Range-min for ``K`` queries (MAX descent over the negated cube).
+
+        Returns:
+            ``(indices, values)``: a ``(K, d)`` int64 array of argmin
+            coordinates and the ``(K,)`` array of minima.
+        """
+        if self._min_tree is None:
+            raise RuntimeError("engine was built without max trees")
+        lo, hi = self._batch_arrays(lows, highs)
+        indices, negated = self._min_tree.max_index_many(lo, hi, counter)
+        return indices, -negated
 
     def apply_updates(
         self,
@@ -225,23 +403,21 @@ class RangeQueryEngine:
             fixed: Optional ``(lo, hi)`` bounds for the other dimensions
                 (defaults to their full extent).
 
-        Yields:
-            ``(start_rank, window_sum)`` per window position.
+        Returns:
+            An iterator of ``(start_rank, window_sum)`` per position.
+            The whole sweep is evaluated as one query batch (shifted
+            prefix differences via :meth:`sum_many`) — no per-window
+            loop — before the first pair is yielded.
         """
-        if not 0 <= axis < len(self.shape):
-            raise ValueError(f"axis {axis} out of range")
-        if not 1 <= window <= self.shape[axis]:
-            raise ValueError(f"window {window} invalid for axis {axis}")
-        bounds = (
-            [(0, n - 1) for n in self.shape]
-            if fixed is None
-            else [list(pair) for pair in fixed]
+        from repro.query.batch import rolling_window_bounds
+
+        lows, highs = rolling_window_bounds(
+            self.shape, axis, window, fixed
         )
-        for start in range(self.shape[axis] - window + 1):
-            window_bounds = [tuple(pair) for pair in bounds]
-            window_bounds[axis] = (start, start + window - 1)
-            box = Box(
-                tuple(lo for lo, _ in window_bounds),
-                tuple(hi for _, hi in window_bounds),
-            )
-            yield start, self._sum_index.range_sum(box, counter)
+        values = self._sum_index.sum_many(lows, highs, counter)
+        return iter(
+            [
+                (int(start), _py_scalar(value))
+                for start, value in zip(lows[:, axis], values)
+            ]
+        )

@@ -61,6 +61,69 @@ def random_box(
     return Box(tuple(lo), tuple(hi))
 
 
+def random_query_arrays(
+    shape: Sequence[int],
+    count: int,
+    rng: np.random.Generator,
+    min_length: int = 1,
+    max_length: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``count`` random query boxes as ``(K, d)`` bound arrays.
+
+    The batch-native sibling of :func:`random_box`: the same per-
+    dimension length/start distribution, drawn vectorized, returned in
+    the ``(lows, highs)`` form the ``*_many`` engine methods consume.
+    """
+    lows = np.empty((count, len(shape)), dtype=np.int64)
+    highs = np.empty((count, len(shape)), dtype=np.int64)
+    for j, n in enumerate(shape):
+        cap = n if max_length is None else min(max_length, n)
+        floor = min(min_length, cap)
+        lengths = rng.integers(floor, cap + 1, size=count)
+        starts = rng.integers(0, n - lengths + 1)
+        lows[:, j] = starts
+        highs[:, j] = starts + lengths - 1
+    return lows, highs
+
+
+def run_query_log(
+    engine: object,
+    queries: "Sequence[RangeQuery | Box]",
+    aggregate: str = "sum",
+) -> np.ndarray:
+    """Execute a query log through the engine's batch path.
+
+    Replaces the serve-one-at-a-time loop: the whole log is converted to
+    ``(K, d)`` bound arrays once and answered by the matching ``*_many``
+    method — a single gather for SUM/COUNT/AVERAGE, a shared-frontier
+    descent for MAX/MIN.
+
+    Args:
+        engine: A :class:`~repro.query.engine.RangeQueryEngine`.
+        queries: The recorded queries (``RangeQuery`` or ``Box``).
+        aggregate: One of ``sum``, ``count``, ``average``, ``max``,
+            ``min`` (MAX/MIN return the value arrays).
+
+    Returns:
+        A ``(K,)`` array of results in log order.
+    """
+    dispatch = {
+        "sum": lambda: engine.sum_many(queries),
+        "count": lambda: engine.count_many(queries),
+        "average": lambda: engine.average_many(queries),
+        "max": lambda: engine.max_many(queries)[1],
+        "min": lambda: engine.min_many(queries)[1],
+    }
+    try:
+        method = dispatch[aggregate]
+    except KeyError:
+        known = ", ".join(sorted(dispatch))
+        raise ValueError(
+            f"unknown aggregate {aggregate!r}; known: {known}"
+        ) from None
+    return method()
+
+
 def fixed_size_box(
     shape: Sequence[int],
     lengths: Sequence[int],

@@ -7,7 +7,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro._util import Box
 from repro.core.batch_update import (
     PointUpdate,
     apply_batch_to_prefix,

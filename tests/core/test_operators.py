@@ -10,7 +10,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro._util import Box
 from repro.core.operators import (
     OPERATORS,
     PRODUCT,

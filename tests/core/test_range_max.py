@@ -7,12 +7,11 @@ import math
 import numpy as np
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro._util import Box
 from repro.core.range_max import RangeMaxTree, _contract_argmax
 from repro.instrumentation import AccessCounter
-from repro.query.naive import naive_max_index, naive_max_value
+from repro.query.naive import naive_max_value
 from repro.query.workload import make_cube, random_box
 from tests.conftest import cube_and_box
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.optimizer.block_size import BlockSizeChoice, choose_block_size
 from repro.optimizer.cost_model import (

@@ -104,7 +104,9 @@ class TestFigure11:
 
     def test_ordering_matches_figure(self):
         """At α = 20 the curves order by d then b, as plotted."""
-        at = lambda d, b: figure11_difference(20, b, d)
+        def at(d, b):
+            return figure11_difference(20, b, d)
+
         assert at(4, 20) > at(4, 10) > at(3, 20) > at(3, 10) > at(2, 20)
 
     def test_exact_variant_agrees_in_sign(self):

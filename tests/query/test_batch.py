@@ -1,0 +1,385 @@
+"""Randomized cross-check harness for the batch query execution layer.
+
+Every ``*_many`` method must be element-wise identical to the scalar
+method it shadows and to the naive full-scan baseline — with **no
+tolerance** for SUM / COUNT / MAX / MIN on integer cubes.  The harness
+sweeps dimensionalities 1–4 and block sizes {1, 3, 4}, ~200 random boxes
+per case, always including the degenerate single-cell and full-cube
+queries.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro._util import Box, full_box
+from repro.core.operators import XOR
+from repro.core.prefix_sum import PrefixSumCube
+from repro.instrumentation import AccessCounter
+from repro.query.batch import (
+    boxes_to_arrays,
+    corner_table,
+    normalize_query_arrays,
+    rolling_window_bounds,
+)
+from repro.query.engine import RangeQueryEngine
+from repro.query.naive import naive_range_sum
+from repro.query.ranges import RangeQuery, RangeSpec
+from repro.query.workload import (
+    make_cube,
+    random_box,
+    random_query_arrays,
+    run_query_log,
+)
+
+SHAPES = {1: (41,), 2: (13, 11), 3: (8, 7, 6), 4: (6, 5, 4, 3)}
+N_BOXES = 200
+
+
+def _case_boxes(shape, rng):
+    """~200 random boxes plus the degenerate single-cell and full-cube."""
+    boxes = [random_box(shape, rng) for _ in range(N_BOXES)]
+    cell = tuple(int(rng.integers(0, n)) for n in shape)
+    boxes.append(Box(cell, cell))
+    boxes.append(full_box(shape))
+    return boxes
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20250806)
+
+
+@pytest.mark.parametrize("ndim", [1, 2, 3, 4])
+@pytest.mark.parametrize("block_size", [1, 3, 4])
+class TestBatchEqualsScalarEqualsNaive:
+    """The tentpole invariant, per structure family and dimensionality."""
+
+    def test_sum_count_average(self, ndim, block_size, rng):
+        shape = SHAPES[ndim]
+        cube = make_cube(shape, rng)
+        counts = rng.integers(1, 5, size=shape).astype(np.int64)
+        engine = RangeQueryEngine(
+            cube, block_size=block_size, max_fanout=None, counts=counts
+        )
+        boxes = _case_boxes(shape, rng)
+        lows, highs = boxes_to_arrays(boxes, shape)
+        sums = engine.sum_many(lows, highs)
+        cnts = engine.count_many(lows, highs)
+        avgs = engine.average_many(lows, highs)
+        for k, box in enumerate(boxes):
+            assert sums[k] == engine.sum(box)
+            assert sums[k] == naive_range_sum(cube, box)
+            assert cnts[k] == engine.count(box)
+            assert cnts[k] == naive_range_sum(counts, box)
+            assert avgs[k] == engine.average(box)
+
+    def test_max_min(self, ndim, block_size, rng):
+        shape = SHAPES[ndim]
+        cube = make_cube(shape, rng, low=-100, high=100)
+        engine = RangeQueryEngine(
+            cube, block_size=block_size, max_fanout=3
+        )
+        boxes = _case_boxes(shape, rng)
+        max_idx, max_vals = engine.max_many(boxes)
+        min_idx, min_vals = engine.min_many(boxes)
+        for k, box in enumerate(boxes):
+            window = cube[box.slices()]
+            _, scalar_max = engine.max(box)
+            _, scalar_min = engine.min(box)
+            assert max_vals[k] == scalar_max == window.max()
+            assert min_vals[k] == scalar_min == window.min()
+            # The witness index must lie in the box and attain the value.
+            assert box.contains_point(tuple(max_idx[k]))
+            assert cube[tuple(max_idx[k])] == max_vals[k]
+            assert box.contains_point(tuple(min_idx[k]))
+            assert cube[tuple(min_idx[k])] == min_vals[k]
+
+
+@pytest.mark.parametrize(
+    "ndim,prefix_dims",
+    [(2, [0]), (3, [0, 2]), (3, []), (4, [1, 3])],
+)
+def test_partial_prefix_batch(ndim, prefix_dims, rng):
+    """§9.1 subset structures answer batches through the same kernel."""
+    shape = SHAPES[ndim]
+    cube = make_cube(shape, rng)
+    engine = RangeQueryEngine(
+        cube, max_fanout=None, prefix_dims=prefix_dims
+    )
+    boxes = _case_boxes(shape, rng)
+    sums = engine.sum_many(boxes)
+    for k, box in enumerate(boxes):
+        assert sums[k] == engine.sum(box)
+        assert sums[k] == naive_range_sum(cube, box)
+
+
+def test_partial_prefix_cache_invalidated_on_update(rng):
+    from repro.core.batch_update import PointUpdate
+    from repro.core.partial_prefix import PartialPrefixSumCube
+
+    cube = make_cube((9, 7), rng)
+    structure = PartialPrefixSumCube(cube, [0])
+    lows, highs = random_query_arrays((9, 7), 20, rng)
+    structure.sum_many(lows, highs)  # builds the cache
+    structure.apply_updates([PointUpdate((4, 3), 17)])
+    mirror = cube.copy()
+    mirror[4, 3] += 17
+    got = structure.sum_many(lows, highs)
+    for k in range(20):
+        box = Box(tuple(lows[k]), tuple(highs[k]))
+        assert got[k] == naive_range_sum(mirror, box)
+
+
+def test_batch_kernel_generic_operator(rng):
+    """The gather kernel honours any invertible ufunc pair (here XOR)."""
+    cube = rng.integers(0, 1 << 30, size=(9, 8), dtype=np.int64)
+    structure = PrefixSumCube(cube, operator=XOR)
+    boxes = _case_boxes((9, 8), rng)
+    lows, highs = boxes_to_arrays(boxes, (9, 8))
+    got = structure.sum_many(lows, highs)
+    for k, box in enumerate(boxes):
+        assert got[k] == structure.range_sum(box)
+
+
+def test_float_cube_batch_close(rng):
+    """Float batches agree with scalar up to summation-order rounding."""
+    cube = rng.standard_normal((10, 9, 8))
+    engine = RangeQueryEngine(cube, max_fanout=None)
+    boxes = _case_boxes((10, 9, 8), rng)
+    sums = engine.sum_many(boxes)
+    want = np.array([engine.sum(box) for box in boxes])
+    np.testing.assert_allclose(sums, want, rtol=1e-9, atol=1e-9)
+
+
+class TestBatchInputValidation:
+    def test_shape_mismatch(self, rng):
+        engine = RangeQueryEngine(make_cube((6, 6), rng), max_fanout=None)
+        with pytest.raises(ValueError, match=r"\(K, 2\)"):
+            engine.sum_many(np.zeros((3, 3), int), np.ones((3, 3), int))
+
+    def test_lo_above_hi(self, rng):
+        engine = RangeQueryEngine(make_cube((6, 6), rng), max_fanout=None)
+        with pytest.raises(ValueError, match="empty query region at row 1"):
+            engine.sum_many(
+                np.array([[0, 0], [3, 3]]), np.array([[5, 5], [2, 5]])
+            )
+
+    def test_out_of_bounds(self, rng):
+        engine = RangeQueryEngine(make_cube((6, 6), rng), max_fanout=None)
+        with pytest.raises(ValueError, match="outside cube"):
+            engine.sum_many(
+                np.array([[0, 0]]), np.array([[6, 5]])
+            )
+
+    def test_non_integer_bounds(self, rng):
+        engine = RangeQueryEngine(make_cube((6, 6), rng), max_fanout=None)
+        with pytest.raises(ValueError, match="must be integers"):
+            engine.sum_many(
+                np.array([[0.0, 0.0]]), np.array([[2.0, 2.0]])
+            )
+
+    def test_empty_batch(self, rng):
+        engine = RangeQueryEngine(make_cube((6, 6), rng), max_fanout=3)
+        empty = np.empty((0, 2), dtype=np.int64)
+        assert engine.sum_many(empty, empty).shape == (0,)
+        assert engine.count_many(empty, empty).shape == (0,)
+        indices, values = engine.max_many(empty, empty)
+        assert indices.shape == (0, 2) and values.shape == (0,)
+
+    def test_average_many_zero_count(self, rng):
+        cube = make_cube((4, 4), rng)
+        counts = np.zeros((4, 4), dtype=np.int64)
+        engine = RangeQueryEngine(cube, counts=counts, max_fanout=None)
+        with pytest.raises(ZeroDivisionError):
+            engine.average_many(np.array([[0, 0]]), np.array([[1, 1]]))
+
+    def test_range_query_objects_accepted(self, rng):
+        cube = make_cube((10, 10), rng)
+        engine = RangeQueryEngine(cube, max_fanout=None)
+        queries = [
+            RangeQuery((RangeSpec.between(2, 5), RangeSpec.all())),
+            Box((0, 0), (9, 9)),
+        ]
+        sums = engine.sum_many(queries)
+        assert sums[0] == cube[2:6].sum()
+        assert sums[1] == cube.sum()
+
+
+class TestCornerTable:
+    def test_shape_and_signs(self):
+        take_hi, signs = corner_table(3)
+        assert take_hi.shape == (8, 3)
+        assert signs.shape == (8,)
+        # The all-high corner is +1; flipping one choice flips the sign.
+        assert signs[np.flatnonzero(take_hi.all(axis=1))[0]] == 1
+        assert int(signs.sum()) == 0
+
+    def test_cached_and_readonly(self):
+        a1, s1 = corner_table(2)
+        a2, s2 = corner_table(2)
+        assert a1 is a2 and s1 is s2
+        with pytest.raises(ValueError):
+            a1[0, 0] = True
+
+
+class TestNormalization:
+    def test_single_query_promoted(self):
+        lo, hi = normalize_query_arrays([1, 2], [3, 4], (6, 6))
+        assert lo.shape == hi.shape == (1, 2)
+
+    def test_boxes_to_arrays_roundtrip(self, rng):
+        boxes = [random_box((7, 7), rng) for _ in range(10)]
+        lows, highs = boxes_to_arrays(boxes, (7, 7))
+        for k, box in enumerate(boxes):
+            assert tuple(lows[k]) == box.lo
+            assert tuple(highs[k]) == box.hi
+
+
+class TestRollingSumBatch:
+    def test_matches_per_window_queries(self, rng):
+        cube = make_cube((40, 6), rng)
+        engine = RangeQueryEngine(cube, max_fanout=None)
+        results = list(engine.rolling_sum(axis=0, window=7))
+        assert len(results) == 34
+        for start, value in results:
+            assert isinstance(value, int)
+            assert value == cube[start : start + 7].sum()
+
+    def test_window_bounds_shape(self):
+        lows, highs = rolling_window_bounds(
+            (10, 4), axis=0, window=3, fixed=[(0, 9), (1, 2)]
+        )
+        assert lows.shape == highs.shape == (8, 2)
+        assert (highs[:, 0] - lows[:, 0] == 2).all()
+        assert (lows[:, 1] == 1).all() and (highs[:, 1] == 2).all()
+
+    def test_blocked_engine_rolling(self, rng):
+        cube = make_cube((30, 8), rng)
+        engine = RangeQueryEngine(cube, block_size=4, max_fanout=None)
+        for start, value in engine.rolling_sum(axis=1, window=3):
+            assert value == cube[:, start : start + 3].sum()
+
+
+class TestWorkloadRouting:
+    def test_run_query_log_matches_scalar(self, rng):
+        shape = (12, 10)
+        cube = make_cube(shape, rng)
+        engine = RangeQueryEngine(cube, max_fanout=3)
+        queries = [random_box(shape, rng) for _ in range(50)]
+        assert (
+            run_query_log(engine, queries, "sum")
+            == [engine.sum(q) for q in queries]
+        ).all()
+        assert (
+            run_query_log(engine, queries, "max")
+            == [engine.max(q)[1] for q in queries]
+        ).all()
+        assert (
+            run_query_log(engine, queries, "min")
+            == [engine.min(q)[1] for q in queries]
+        ).all()
+
+    def test_unknown_aggregate(self, rng):
+        engine = RangeQueryEngine(make_cube((4, 4), rng), max_fanout=None)
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            run_query_log(engine, [], "median")
+
+    def test_random_query_arrays_valid(self, rng):
+        lows, highs = random_query_arrays((9, 5, 7), 300, rng)
+        assert (lows >= 0).all()
+        assert (lows <= highs).all()
+        assert (highs < np.array([9, 5, 7])).all()
+
+
+class TestCounterParity:
+    def test_prefix_corner_charges_match_scalar(self, rng):
+        """Batch charges exactly the valid-corner reads, like scalar."""
+        cube = make_cube((9, 9), rng)
+        engine = RangeQueryEngine(cube, max_fanout=None)
+        boxes = [random_box((9, 9), rng) for _ in range(40)]
+        scalar_counter = AccessCounter()
+        for box in boxes:
+            engine.sum(box, scalar_counter)
+        batch_counter = AccessCounter()
+        engine.sum_many(boxes, counter=batch_counter)
+        assert batch_counter.prefix_cells == scalar_counter.prefix_cells
+        assert batch_counter.cube_cells == 0
+
+
+class TestMinUnsignedRegression:
+    """MIN on unsigned/bool cubes must not wrap through negation."""
+
+    @pytest.mark.parametrize(
+        "dtype", [np.uint8, np.uint16, np.uint32, np.uint64]
+    )
+    def test_unsigned_min_exact_no_warning(self, dtype):
+        cube = np.arange(12, dtype=dtype)
+        engine = RangeQueryEngine(cube, max_fanout=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            index, value = engine.min(Box((0,), (11,)))
+        assert value == 0
+        assert index == (0,)
+        _, top = engine.max(Box((3,), (11,)))
+        assert top == 11
+
+    def test_unsigned_min_random(self, rng):
+        cube = rng.integers(0, 200, size=(9, 8)).astype(np.uint32)
+        engine = RangeQueryEngine(cube, max_fanout=3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for _ in range(50):
+                box = random_box((9, 8), rng)
+                _, value = engine.min(box)
+                assert value == int(cube[box.slices()].min())
+            _, values = engine.min_many(
+                *random_query_arrays((9, 8), 50, rng)
+            )
+        assert values.min() >= 0
+
+    def test_bool_cube_min_max(self):
+        cube = np.zeros((4, 4), dtype=bool)
+        cube[2, 3] = True
+        engine = RangeQueryEngine(cube, max_fanout=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            _, lowest = engine.min(Box((0, 0), (3, 3)))
+            _, highest = engine.max(Box((0, 0), (3, 3)))
+        assert lowest == 0
+        assert highest == 1
+
+
+class TestPythonScalarReturns:
+    """Engine aggregates return plain Python scalars on every path."""
+
+    @pytest.mark.parametrize("block_size", [1, 4])
+    def test_sum_count_are_ints(self, block_size, rng):
+        cube = make_cube((10, 10), rng)
+        counts = rng.integers(1, 3, (10, 10)).astype(np.int64)
+        engine = RangeQueryEngine(
+            cube, block_size=block_size, max_fanout=2, counts=counts
+        )
+        box = Box((1, 2), (7, 8))
+        assert type(engine.sum(box)) is int
+        assert type(engine.count(box)) is int
+        assert type(engine.average(box)) is float
+        _, top = engine.max(box)
+        _, bottom = engine.min(box)
+        assert type(top) is int
+        assert type(bottom) is int
+
+    def test_rolling_sum_yields_ints(self, rng):
+        engine = RangeQueryEngine(make_cube((12,), rng), max_fanout=None)
+        for start, value in engine.rolling_sum(axis=0, window=5):
+            assert type(start) is int
+            assert type(value) is int
+
+    def test_float_cube_sum_is_float(self, rng):
+        engine = RangeQueryEngine(
+            rng.standard_normal((6, 6)), max_fanout=None
+        )
+        assert type(engine.sum(Box((0, 0), (3, 3)))) is float

@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 
 from repro._util import Box
 from repro.instrumentation import AccessCounter
-from repro.query.workload import random_box
 from repro.sparse.rtree import Rect, RStarTree
 
 
