@@ -15,7 +15,11 @@ performance trajectory::
     PYTHONPATH=src python benchmarks/bench_batch_query.py          # full
     PYTHONPATH=src python benchmarks/bench_batch_query.py --smoke  # CI
 
-The smoke run trims K to 100 and does not write the JSON file.
+The smoke run trims K to 100 and does not write the JSON file.  With
+``--baseline BENCH_batch_query.json`` the run fails when any matching
+``(d, K)`` row's batch-vs-scalar *speedup ratio* regresses more than 2×
+against the recorded baseline — ratios compare the two code paths on the
+same machine, so the gate is machine-independent.
 """
 
 from __future__ import annotations
@@ -108,6 +112,37 @@ def bench_max(engine, lows, highs) -> dict:
     }
 
 
+def check_against_baseline(payload: dict, baseline_path: Path) -> None:
+    """Fail when a speedup ratio regresses >2x vs the recorded baseline.
+
+    Compares ``speedup = scalar_s / batch_s`` per matching ``(d, K)``
+    row; absolute times never enter the comparison, so a slower CI
+    machine does not trip the gate — only a genuinely slower batch path
+    relative to the scalar path on the same box does.
+    """
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for section in ("sum", "max"):
+        current = {(r["d"], r["K"]): r for r in payload.get(section, [])}
+        for row in baseline.get(section, []):
+            match = current.get((row["d"], row["K"]))
+            if match is None:
+                continue  # e.g. smoke runs only K=100
+            floor = row["speedup"] / 2.0
+            if match["speedup"] < floor:
+                failures.append(
+                    f"{section} d={row['d']} K={row['K']}: speedup "
+                    f"{match['speedup']:.1f}x < half the baseline's "
+                    f"{row['speedup']:.1f}x"
+                )
+    if failures:
+        raise SystemExit(
+            "batch throughput regressed >2x vs "
+            f"{baseline_path.name}:\n  " + "\n  ".join(failures)
+        )
+    print(f"speedup ratios within 2x of {baseline_path.name}")
+
+
 def run(smoke: bool = False, out: Path | None = None) -> dict:
     rng = np.random.default_rng(1997)
     batch_sizes = (100,) if smoke else BATCH_SIZES
@@ -116,7 +151,7 @@ def run(smoke: bool = False, out: Path | None = None) -> dict:
     max_results = []
     for ndim, shape in SHAPES.items():
         cube = make_cube(shape, rng, high=1000)
-        engine = RangeQueryEngine(cube, block_size=1, max_fanout=4)
+        engine = RangeQueryEngine(cube)  # prefix_sum + range_max_tree(4)
         for count in batch_sizes:
             lows, highs = random_query_arrays(shape, count, rng)
             row = bench_sum(engine, lows, highs)
@@ -208,11 +243,20 @@ def main() -> None:
         help="JSON output path (default: BENCH_batch_query.json at the "
         "repo root; suppressed in smoke mode)",
     )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="recorded BENCH_batch_query.json to gate against: fail if "
+        "any matching (d, K) speedup ratio regresses more than 2x",
+    )
     args = parser.parse_args()
     out = args.out
     if out is None and not args.smoke:
         out = REPO_ROOT / "BENCH_batch_query.json"
-    run(smoke=args.smoke, out=out)
+    payload = run(smoke=args.smoke, out=out)
+    if args.baseline is not None:
+        check_against_baseline(payload, args.baseline)
 
 
 if __name__ == "__main__":

@@ -43,12 +43,28 @@ from repro.cube import (
     ExtendedDataCube,
     IntegerDimension,
 )
+from repro.index import (
+    ArrayBackend,
+    IndexSpec,
+    InstrumentedIndex,
+    MemmapBackend,
+    MemoryBackend,
+    RangeMaxIndex,
+    RangeMaxIndexMixin,
+    RangeSumIndex,
+    RangeSumIndexMixin,
+    available_indexes,
+    create_index,
+    register_index,
+)
 from repro.instrumentation import AccessCounter
 from repro.io import (
     load_blocked,
+    load_index,
     load_max_tree,
     load_prefix_sum,
     save_blocked,
+    save_index,
     save_max_tree,
     save_prefix_sum,
 )
@@ -70,6 +86,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AccessCounter",
+    "ArrayBackend",
     "BlockedPrefixSumCube",
     "Box",
     "CategoricalDimension",
@@ -77,29 +94,42 @@ __all__ = [
     "DateDimension",
     "Dimension",
     "ExtendedDataCube",
+    "IndexSpec",
+    "InstrumentedIndex",
     "IntegerDimension",
     "InvertibleOperator",
     "MaterializedCuboidSet",
     "MaxAssignment",
+    "MemmapBackend",
+    "MemoryBackend",
     "PartialPrefixSumCube",
     "PointUpdate",
     "PrefixSumCube",
     "QueryStatistics",
+    "RangeMaxIndex",
+    "RangeMaxIndexMixin",
     "RangeMaxTree",
     "RangeQuery",
     "RangeQueryEngine",
     "RangeSpec",
+    "RangeSumIndex",
+    "RangeSumIndexMixin",
     "SparseCube",
     "SparseRangeMaxEngine",
     "SparseRangeSum1D",
     "SparseRangeSumEngine",
     "TreeSumHierarchy",
     "apply_max_updates",
+    "available_indexes",
+    "create_index",
     "load_blocked",
+    "load_index",
     "load_max_tree",
     "load_prefix_sum",
     "progressive_bounds",
+    "register_index",
     "save_blocked",
+    "save_index",
     "save_max_tree",
     "save_prefix_sum",
     "__version__",

@@ -38,6 +38,9 @@ import numpy as np
 from repro._util import Box, box_difference, full_box
 from repro.core.operators import SUM, InvertibleOperator
 from repro.core.prefix_sum import compute_prefix_array
+from repro.index.backend import ArrayBackend, resolve_backend
+from repro.index.protocol import RangeSumIndexMixin
+from repro.index.registry import register_index
 from repro.instrumentation import NULL_COUNTER, AccessCounter
 
 
@@ -74,7 +77,8 @@ class _DimensionPlan:
     pieces: tuple[tuple[int, int, int, int, bool], ...]
 
 
-class BlockedPrefixSumCube:
+@register_index("blocked_prefix_sum", kind="sum")
+class BlockedPrefixSumCube(RangeSumIndexMixin):
     """Range-sum index trading time for space via block-level prefix sums.
 
     Args:
@@ -83,6 +87,9 @@ class BlockedPrefixSumCube:
         block_size: The blocking factor ``b >= 1``.  ``b = 1`` degenerates
             to the basic method of §3 (and is handled by the same code).
         operator: Invertible aggregation operator; default SUM.
+        backend: Array backend for the retained cube and the blocked
+            prefix array; pass a :class:`~repro.index.MemmapBackend` to
+            build out-of-core.
     """
 
     def __init__(
@@ -90,16 +97,21 @@ class BlockedPrefixSumCube:
         cube: np.ndarray,
         block_size: int,
         operator: InvertibleOperator = SUM,
+        backend: "ArrayBackend | None" = None,
     ) -> None:
         if block_size < 1:
             raise ValueError(f"block size must be >= 1, got {block_size}")
+        cube = np.asarray(cube)
         self.operator = operator
         self.block_size = int(block_size)
+        self.backend = resolve_backend(backend)
         self.shape = tuple(int(n) for n in cube.shape)
         self.ndim = cube.ndim
-        self.source = np.array(cube, copy=True)
+        self.source = self.backend.materialize("source", cube)
         contracted = block_contract(self.source, self.block_size, operator)
-        self.blocked_prefix = compute_prefix_array(contracted, operator)
+        self.blocked_prefix = compute_prefix_array(
+            contracted, operator, backend=self.backend, name="blocked_prefix"
+        )
         self.block_shape = self.blocked_prefix.shape
 
     @property
@@ -111,6 +123,47 @@ class BlockedPrefixSumCube:
     def storage_cells(self) -> int:
         """Cells of auxiliary storage (the packed blocked array, ~N/b^d)."""
         return int(np.prod(self.block_shape))
+
+    def memory_cells(self) -> int:
+        """Protocol spelling of :attr:`storage_cells`."""
+        return int(self.storage_cells)
+
+    def index_params(self) -> dict:
+        """Construction parameters (reported and persisted)."""
+        return {
+            "block_size": self.block_size,
+            "operator": self.operator.name,
+        }
+
+    def state_dict(self) -> dict:
+        """Defining arrays + scalars for generic persistence."""
+        return {
+            "operator": self.operator.name,
+            "block_size": self.block_size,
+            "source": self.source,
+            "blocked_prefix": self.blocked_prefix,
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, backend: "ArrayBackend | None" = None
+    ) -> "BlockedPrefixSumCube":
+        """Rebuild from :meth:`state_dict` without recontracting."""
+        from repro.core.operators import get_operator
+
+        backend = resolve_backend(backend)
+        structure = cls.__new__(cls)
+        structure.operator = get_operator(str(state["operator"]))
+        structure.block_size = int(state["block_size"])
+        structure.backend = backend
+        structure.source = backend.materialize("source", state["source"])
+        structure.blocked_prefix = backend.materialize(
+            "blocked_prefix", state["blocked_prefix"]
+        )
+        structure.shape = tuple(int(n) for n in structure.source.shape)
+        structure.ndim = structure.source.ndim
+        structure.block_shape = structure.blocked_prefix.shape
+        return structure
 
     # ------------------------------------------------------------------
     # Query path

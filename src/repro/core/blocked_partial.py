@@ -31,17 +31,33 @@ import numpy as np
 
 from repro._util import Box, box_difference
 from repro.core.operators import SUM, InvertibleOperator
+from repro.core.prefix_sum import (
+    accumulate_axis_inplace,
+    accumulated_dtype,
+)
+from repro.index.backend import ArrayBackend, resolve_backend
+from repro.index.protocol import RangeSumIndexMixin
+from repro.index.registry import register_index
 from repro.instrumentation import NULL_COUNTER, AccessCounter
 
 
-class BlockedPartialPrefixSumCube:
+@register_index("blocked_partial_prefix_sum", kind="sum")
+class BlockedPartialPrefixSumCube(RangeSumIndexMixin):
     """Prefix sums blocked with factor ``b`` along a subset ``X'``.
+
+    ``sum_many`` is deliberately *not* defined here: the protocol mixin's
+    scalar-loop default supplies the batch API, which is what lets
+    :func:`~repro.query.workload.run_query_log` drive this structure
+    through the same ``*_many`` dispatch as the vectorized ones.
 
     Args:
         cube: The raw data cube ``A`` (retained for boundary scans).
         prefix_dims: The chosen dimensions ``X'``.
         block_size: Blocking factor ``b >= 1`` along the chosen dims.
         operator: Invertible aggregation operator; default SUM.
+        backend: Array backend for the retained cube and the blocked
+            partial prefix array; pass a
+            :class:`~repro.index.MemmapBackend` to build out-of-core.
     """
 
     def __init__(
@@ -50,11 +66,14 @@ class BlockedPartialPrefixSumCube:
         prefix_dims: Sequence[int],
         block_size: int,
         operator: InvertibleOperator = SUM,
+        backend: "ArrayBackend | None" = None,
     ) -> None:
         if block_size < 1:
             raise ValueError(f"block size must be >= 1, got {block_size}")
+        cube = np.asarray(cube)
         self.operator = operator
         self.block_size = int(block_size)
+        self.backend = resolve_backend(backend)
         self.shape = tuple(int(n) for n in cube.shape)
         self.ndim = cube.ndim
         chosen = sorted(set(int(j) for j in prefix_dims))
@@ -67,20 +86,78 @@ class BlockedPartialPrefixSumCube:
         self.passive_dims = tuple(
             j for j in range(cube.ndim) if j not in set(chosen)
         )
-        self.source = np.array(cube, copy=True)
+        self.source = self.backend.materialize("source", cube)
         contracted = self.source
         for axis in self.prefix_dims:
             edges = np.arange(0, contracted.shape[axis], self.block_size)
             contracted = operator.apply.reduceat(contracted, edges, axis=axis)
-        prefix = np.array(contracted, copy=True)
+        dtype = (
+            accumulated_dtype(operator, contracted.dtype)
+            if self.prefix_dims
+            else contracted.dtype
+        )
+        prefix = self.backend.empty(
+            "blocked_partial_prefix", contracted.shape, dtype
+        )
+        prefix[...] = contracted
         for axis in self.prefix_dims:
-            prefix = operator.accumulate(prefix, axis)
+            accumulate_axis_inplace(prefix, operator, axis)
         self.blocked_prefix = prefix
 
     @property
     def storage_cells(self) -> int:
         """Cells of the auxiliary array: ``N / b^{d'}``."""
         return int(np.prod(self.blocked_prefix.shape))
+
+    def memory_cells(self) -> int:
+        """Protocol spelling of :attr:`storage_cells`."""
+        return int(self.storage_cells)
+
+    def index_params(self) -> dict:
+        """Construction parameters (reported and persisted)."""
+        return {
+            "prefix_dims": self.prefix_dims,
+            "block_size": self.block_size,
+            "operator": self.operator.name,
+        }
+
+    def state_dict(self) -> dict:
+        """Defining arrays + scalars for generic persistence."""
+        return {
+            "operator": self.operator.name,
+            "block_size": self.block_size,
+            "prefix_dims": np.asarray(self.prefix_dims, dtype=np.int64),
+            "source": self.source,
+            "blocked_prefix": self.blocked_prefix,
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, backend: "ArrayBackend | None" = None
+    ) -> "BlockedPartialPrefixSumCube":
+        """Rebuild from :meth:`state_dict` without recontracting."""
+        from repro.core.operators import get_operator
+
+        backend = resolve_backend(backend)
+        structure = cls.__new__(cls)
+        structure.operator = get_operator(str(state["operator"]))
+        structure.block_size = int(state["block_size"])
+        structure.backend = backend
+        structure.source = backend.materialize("source", state["source"])
+        structure.blocked_prefix = backend.materialize(
+            "blocked_partial_prefix", state["blocked_prefix"]
+        )
+        structure.shape = tuple(int(n) for n in structure.source.shape)
+        structure.ndim = structure.source.ndim
+        structure.prefix_dims = tuple(
+            int(j) for j in np.asarray(state["prefix_dims"]).ravel()
+        )
+        structure.passive_dims = tuple(
+            j
+            for j in range(structure.ndim)
+            if j not in set(structure.prefix_dims)
+        )
+        return structure
 
     # ------------------------------------------------------------------
     # Query path

@@ -25,10 +25,18 @@ import numpy as np
 
 from repro._util import Box
 from repro.core.operators import SUM, InvertibleOperator
+from repro.core.prefix_sum import (
+    accumulate_axis_inplace,
+    accumulated_dtype,
+)
+from repro.index.backend import ArrayBackend, resolve_backend
+from repro.index.protocol import RangeSumIndexMixin
+from repro.index.registry import register_index
 from repro.instrumentation import NULL_COUNTER, AccessCounter
 
 
-class PartialPrefixSumCube:
+@register_index("partial_prefix_sum", kind="sum")
+class PartialPrefixSumCube(RangeSumIndexMixin):
     """Prefix-sum structure along a chosen dimension subset ``X'``.
 
     Args:
@@ -37,6 +45,8 @@ class PartialPrefixSumCube:
             The empty subset degenerates to a plain copy of ``A`` (every
             query is then a full scan of its region).
         operator: Invertible aggregation operator; default SUM.
+        backend: Array backend for the partial prefix array; pass a
+            :class:`~repro.index.MemmapBackend` to build out-of-core.
     """
 
     def __init__(
@@ -44,8 +54,11 @@ class PartialPrefixSumCube:
         cube: np.ndarray,
         prefix_dims: Sequence[int],
         operator: InvertibleOperator = SUM,
+        backend: "ArrayBackend | None" = None,
     ) -> None:
+        cube = np.asarray(cube)
         self.operator = operator
+        self.backend = resolve_backend(backend)
         self.shape = tuple(int(n) for n in cube.shape)
         self.ndim = cube.ndim
         chosen = sorted(set(int(j) for j in prefix_dims))
@@ -58,9 +71,15 @@ class PartialPrefixSumCube:
         self.passive_dims = tuple(
             j for j in range(cube.ndim) if j not in set(chosen)
         )
-        prefix = np.array(cube, copy=True)
+        dtype = (
+            accumulated_dtype(operator, cube.dtype)
+            if self.prefix_dims
+            else cube.dtype
+        )
+        prefix = self.backend.empty("partial_prefix", cube.shape, dtype)
+        prefix[...] = cube
         for axis in self.prefix_dims:
-            prefix = operator.accumulate(prefix, axis)
+            accumulate_axis_inplace(prefix, operator, axis)
         self.prefix = prefix
         # Lazily built full-prefix cache for the batch query path (an
         # extra accumulation along the passive dimensions); dropped on
@@ -71,6 +90,50 @@ class PartialPrefixSumCube:
     def storage_cells(self) -> int:
         """Cells of auxiliary storage (always ``N``)."""
         return int(np.prod(self.shape))
+
+    def memory_cells(self) -> int:
+        """Protocol spelling of :attr:`storage_cells`."""
+        return int(self.storage_cells)
+
+    def index_params(self) -> dict:
+        """Construction parameters (reported and persisted)."""
+        return {
+            "prefix_dims": self.prefix_dims,
+            "operator": self.operator.name,
+        }
+
+    def state_dict(self) -> dict:
+        """Defining arrays + scalars for generic persistence."""
+        return {
+            "operator": self.operator.name,
+            "prefix_dims": np.asarray(self.prefix_dims, dtype=np.int64),
+            "prefix": self.prefix,
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, backend: "ArrayBackend | None" = None
+    ) -> "PartialPrefixSumCube":
+        """Rebuild from :meth:`state_dict` without re-accumulating."""
+        from repro.core.operators import get_operator
+
+        backend = resolve_backend(backend)
+        structure = cls.__new__(cls)
+        structure.operator = get_operator(str(state["operator"]))
+        structure.backend = backend
+        structure.prefix = backend.materialize("partial_prefix", state["prefix"])
+        structure.shape = tuple(int(n) for n in structure.prefix.shape)
+        structure.ndim = structure.prefix.ndim
+        structure.prefix_dims = tuple(
+            int(j) for j in np.asarray(state["prefix_dims"]).ravel()
+        )
+        structure.passive_dims = tuple(
+            j
+            for j in range(structure.ndim)
+            if j not in set(structure.prefix_dims)
+        )
+        structure._batch_prefix = None
+        return structure
 
     def range_sum(
         self, box: Box, counter: AccessCounter = NULL_COUNTER

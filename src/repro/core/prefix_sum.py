@@ -27,14 +27,50 @@ import numpy as np
 
 from repro._util import Box, full_box
 from repro.core.operators import SUM, InvertibleOperator
+from repro.index.backend import ArrayBackend, resolve_backend
+from repro.index.protocol import RangeSumIndexMixin
+from repro.index.registry import register_index
 from repro.instrumentation import NULL_COUNTER, AccessCounter
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.batch_update import PointUpdate
 
 
+def accumulated_dtype(
+    operator: InvertibleOperator, dtype: np.dtype
+) -> np.dtype:
+    """The dtype one accumulation sweep produces from ``dtype``.
+
+    Probed by running the operator's own ``accumulate`` on a tiny array,
+    so promotion rules (``np.cumsum`` lifts bool and sub-word ints to the
+    platform integer; ufunc accumulates keep their dtype) are whatever
+    the operator actually does — backends must pre-allocate the final
+    dtype because they accumulate in place.
+    """
+    sample = np.zeros(1, dtype=dtype)
+    return np.asarray(operator.accumulate(sample, 0)).dtype
+
+
+def accumulate_axis_inplace(
+    prefix: np.ndarray, operator: InvertibleOperator, axis: int
+) -> None:
+    """One §3.3 sweep, writing through the array it reads.
+
+    For ufunc operators (all shipped ones) this is a true in-place
+    ``ufunc.accumulate`` — the out-of-core path streams each axis sweep
+    through the memmap without materializing a second ``N``-cell array.
+    """
+    if isinstance(operator.apply, np.ufunc):
+        operator.apply.accumulate(prefix, axis=axis, out=prefix)
+    else:  # pragma: no cover - all shipped operators are ufuncs
+        prefix[...] = operator.accumulate(prefix, axis)
+
+
 def compute_prefix_array(
-    cube: np.ndarray, operator: InvertibleOperator = SUM
+    cube: np.ndarray,
+    operator: InvertibleOperator = SUM,
+    backend: "ArrayBackend | None" = None,
+    name: str = "prefix",
 ) -> np.ndarray:
     """Build the prefix array ``P`` from ``A`` with d axis sweeps (§3.3).
 
@@ -45,19 +81,30 @@ def compute_prefix_array(
     Args:
         cube: The raw data cube ``A``.
         operator: The invertible aggregation operator (default SUM).
+        backend: Where ``P`` is allocated; the default in-memory backend
+            reproduces the historical behaviour, a
+            :class:`~repro.index.MemmapBackend` builds ``P`` out-of-core
+            (each sweep runs in place through the page cache).
+        name: Label for file-backed allocations.
 
     Returns:
         A new array of the same shape holding every prefix aggregate.
     """
+    cube = np.asarray(cube)
     if cube.ndim == 0:
         raise ValueError("the data cube must have at least one dimension")
-    prefix = np.array(cube, copy=True)
+    backend = resolve_backend(backend)
+    prefix = backend.empty(name, cube.shape, accumulated_dtype(
+        operator, cube.dtype
+    ))
+    prefix[...] = cube
     for axis in range(prefix.ndim):
-        prefix = operator.accumulate(prefix, axis)
+        accumulate_axis_inplace(prefix, operator, axis)
     return prefix
 
 
-class PrefixSumCube:
+@register_index("prefix_sum", kind="sum")
+class PrefixSumCube(RangeSumIndexMixin):
     """Range-sum index over a dense cube via precomputed prefix sums (§3).
 
     Any range-sum is answered in at most ``2^d`` reads of ``P`` and
@@ -73,6 +120,8 @@ class PrefixSumCube:
         operator: Invertible aggregation operator; default SUM.
         keep_source: Keep a reference to ``A`` (needed only by callers that
             also want raw-cell reads at unit cost, e.g. benchmarks).
+        backend: Array backend for ``P`` (and the retained source); pass
+            a :class:`~repro.index.MemmapBackend` to build out-of-core.
     """
 
     def __init__(
@@ -80,13 +129,18 @@ class PrefixSumCube:
         cube: np.ndarray,
         operator: InvertibleOperator = SUM,
         keep_source: bool = True,
+        backend: "ArrayBackend | None" = None,
     ) -> None:
+        cube = np.asarray(cube)
         self.operator = operator
+        self.backend = resolve_backend(backend)
         self.shape = tuple(int(n) for n in cube.shape)
         self.ndim = cube.ndim
-        self.prefix = compute_prefix_array(cube, operator)
+        self.prefix = compute_prefix_array(
+            cube, operator, backend=self.backend
+        )
         self.source: np.ndarray | None = (
-            np.array(cube, copy=True) if keep_source else None
+            self.backend.materialize("source", cube) if keep_source else None
         )
 
     @property
@@ -98,6 +152,44 @@ class PrefixSumCube:
     def storage_cells(self) -> int:
         """Cells of auxiliary storage held (``N`` for the basic method)."""
         return self.size
+
+    def memory_cells(self) -> int:
+        """Protocol spelling of :attr:`storage_cells`."""
+        return int(self.storage_cells)
+
+    def index_params(self) -> dict:
+        """Construction parameters (reported and persisted)."""
+        return {"operator": self.operator.name}
+
+    def state_dict(self) -> dict:
+        """Defining arrays + scalars for generic persistence."""
+        state: dict = {
+            "operator": self.operator.name,
+            "prefix": self.prefix,
+        }
+        if self.source is not None:
+            state["source"] = self.source
+        return state
+
+    @classmethod
+    def from_state(
+        cls, state: dict, backend: "ArrayBackend | None" = None
+    ) -> "PrefixSumCube":
+        """Rebuild from :meth:`state_dict` without recomputing ``P``."""
+        from repro.core.operators import get_operator
+
+        backend = resolve_backend(backend)
+        structure = cls.__new__(cls)
+        structure.operator = get_operator(str(state["operator"]))
+        structure.backend = backend
+        structure.prefix = backend.materialize("prefix", state["prefix"])
+        structure.shape = tuple(int(n) for n in structure.prefix.shape)
+        structure.ndim = structure.prefix.ndim
+        source = state.get("source")
+        structure.source = (
+            None if source is None else backend.materialize("source", source)
+        )
+        return structure
 
     def range_sum(
         self, box: Box, counter: AccessCounter = NULL_COUNTER

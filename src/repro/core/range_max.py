@@ -32,12 +32,18 @@ most ``b + 7 + 1/b`` — far below the worst case (validated empirically in
 from __future__ import annotations
 
 from itertools import product
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro._util import Box, full_box
+from repro.index.backend import ArrayBackend, resolve_backend
+from repro.index.protocol import RangeMaxIndexMixin
+from repro.index.registry import register_index
 from repro.instrumentation import NULL_COUNTER, AccessCounter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.batch_update import PointUpdate
 
 
 def _sentinel_for(dtype: np.dtype) -> object:
@@ -93,23 +99,34 @@ def _contract_argmax(
     return next_vals, next_pos
 
 
-class RangeMaxTree:
+@register_index("range_max_tree", kind="max")
+class RangeMaxTree(RangeMaxIndexMixin):
     """Precomputed max indices over a balanced ``b^d``-ary tree (§6).
 
     Args:
         cube: The raw data cube ``A`` (numeric).  A copy is retained —
             the tree stores indices, so values must stay addressable.
         fanout: Per-dimension fanout ``b >= 2``.
+        backend: Array backend for the retained cube and the per-level
+            arrays; pass a :class:`~repro.index.MemmapBackend` to build
+            out-of-core.
     """
 
-    def __init__(self, cube: np.ndarray, fanout: int) -> None:
+    def __init__(
+        self,
+        cube: np.ndarray,
+        fanout: int,
+        backend: "ArrayBackend | None" = None,
+    ) -> None:
+        cube = np.asarray(cube)
         if fanout < 2:
             raise ValueError(f"fanout must be >= 2, got {fanout}")
         if cube.ndim == 0:
             raise ValueError("the data cube must have at least one dimension")
         _sentinel_for(cube.dtype)  # fail fast on unsupported dtypes
         self.fanout = int(fanout)
-        self.source = np.array(cube, copy=True)
+        self.backend = resolve_backend(backend)
+        self.source = self.backend.materialize("source", cube)
         self.shape = tuple(int(n) for n in cube.shape)
         self.ndim = cube.ndim
         # Level arrays; index 0 is a placeholder so self.values[i] is the
@@ -120,6 +137,9 @@ class RangeMaxTree:
         pos = np.arange(self.source.size, dtype=np.int64).reshape(self.shape)
         while any(n > 1 for n in vals.shape):
             vals, pos = _contract_argmax(vals, pos, self.fanout)
+            level = len(self.values)
+            vals = self.backend.materialize(f"values_{level}", vals)
+            pos = self.backend.materialize(f"positions_{level}", pos)
             self.values.append(vals)
             self.positions.append(pos)
         self.height = len(self.values) - 1
@@ -128,6 +148,92 @@ class RangeMaxTree:
     def node_count(self) -> int:
         """Total number of non-leaf nodes stored."""
         return sum(v.size for v in self.values[1:] if v is not None)
+
+    def memory_cells(self) -> int:
+        """Protocol spelling of :attr:`node_count` (nodes held)."""
+        return int(self.node_count)
+
+    def index_params(self) -> dict:
+        """Construction parameters (reported and persisted)."""
+        return {"fanout": self.fanout}
+
+    # ------------------------------------------------------------------
+    # Protocol surface (RangeMaxIndex)
+    # ------------------------------------------------------------------
+
+    def query(
+        self, box: Box, counter: AccessCounter = NULL_COUNTER
+    ) -> tuple[tuple[int, ...], object]:
+        """Protocol spelling: the ``(index, value)`` witness pair."""
+        index = self.max_index(box, counter)
+        return index, self.source[index]
+
+    def query_many(
+        self,
+        lows: object,
+        highs: object,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Protocol batch path — the vectorized shared descent."""
+        return self.max_index_many(lows, highs, counter)
+
+    def apply_updates(self, updates: Sequence["PointUpdate"]) -> object:
+        """Absorb point *deltas* via the §7 assignment machinery.
+
+        Each delta is converted to the assignment it implies (new value =
+        current value + delta) against the pre-batch cube, then the
+        bottom-up repair of :func:`repro.core.max_update.apply_max_updates`
+        runs once.  Callers should merge duplicate cells first (the
+        conversion reads each cell's pre-batch value exactly once).
+
+        Returns:
+            The :class:`~repro.core.max_update.MaxUpdateStats` of the run.
+        """
+        from repro.core.max_update import MaxAssignment, apply_max_updates
+
+        return apply_max_updates(
+            self,
+            [
+                MaxAssignment(u.index, self.source[u.index] + u.delta)
+                for u in updates
+            ],
+        )
+
+    def state_dict(self) -> dict:
+        """Defining arrays + scalars for generic persistence."""
+        state: dict = {"fanout": self.fanout, "source": self.source}
+        for level in range(1, self.height + 1):
+            state[f"values_{level}"] = self.values[level]
+            state[f"positions_{level}"] = self.positions[level]
+        return state
+
+    @classmethod
+    def from_state(
+        cls, state: dict, backend: "ArrayBackend | None" = None
+    ) -> "RangeMaxTree":
+        """Rebuild from :meth:`state_dict` without recontracting."""
+        backend = resolve_backend(backend)
+        tree = cls.__new__(cls)
+        tree.fanout = int(state["fanout"])
+        tree.backend = backend
+        tree.source = backend.materialize("source", state["source"])
+        tree.shape = tuple(int(n) for n in tree.source.shape)
+        tree.ndim = tree.source.ndim
+        tree.values = [None]
+        tree.positions = [None]
+        level = 1
+        while f"values_{level}" in state:
+            tree.values.append(
+                backend.materialize(f"values_{level}", state[f"values_{level}"])
+            )
+            tree.positions.append(
+                backend.materialize(
+                    f"positions_{level}", state[f"positions_{level}"]
+                )
+            )
+            level += 1
+        tree.height = len(tree.values) - 1
+        return tree
 
     # ------------------------------------------------------------------
     # Query path

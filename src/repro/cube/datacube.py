@@ -16,7 +16,7 @@ singleton, or omitted for ``all`` — mirroring the paper's query model.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -25,6 +25,9 @@ from repro.cube.dimensions import Dimension, dimension_shape
 from repro.instrumentation import NULL_COUNTER, AccessCounter
 from repro.query.engine import RangeQueryEngine
 from repro.query.ranges import RangeQuery, RangeSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.index import ArrayBackend, IndexSpec
 
 
 class DataCube:
@@ -94,6 +97,9 @@ class DataCube:
         block_size: int = 1,
         max_fanout: int | None = 4,
         prefix_dims: Sequence[str] | None = None,
+        sum_index: "str | IndexSpec | None" = None,
+        max_index: "str | IndexSpec | None" = None,
+        backend: "ArrayBackend | None" = None,
     ) -> RangeQueryEngine:
         """Precompute the paper's structures over this cube.
 
@@ -104,21 +110,34 @@ class DataCube:
                 to skip them.
             prefix_dims: Dimension *names* to restrict prefix sums to
                 (§9.1); mutually exclusive with ``block_size > 1``.
+            sum_index: Explicit registry name or
+                :class:`~repro.index.IndexSpec` for the range-sum
+                structure — overrides ``block_size`` / ``prefix_dims``.
+            max_index: Explicit registry spec for the range-max structure
+                — overrides ``max_fanout``.
+            backend: Array backend threaded into every structure (pass a
+                :class:`~repro.index.MemmapBackend` for out-of-core).
 
         Returns:
             The engine (also retained on the cube for the query methods).
         """
-        dims = (
-            None
-            if prefix_dims is None
-            else [self._by_name[name] for name in prefix_dims]
-        )
+        from repro.query.engine import _legacy_max_spec, _legacy_sum_spec
+
+        if sum_index is None:
+            dims = (
+                None
+                if prefix_dims is None
+                else tuple(self._by_name[name] for name in prefix_dims)
+            )
+            sum_index = _legacy_sum_spec(block_size, dims)
+        if max_index is None:
+            max_index = _legacy_max_spec(max_fanout)
         self._engine = RangeQueryEngine(
             self.measures,
-            block_size=block_size,
-            max_fanout=max_fanout,
+            sum_index=sum_index,
+            max_index=max_index,
             counts=self.counts,
-            prefix_dims=dims,
+            backend=backend,
         )
         return self._engine
 

@@ -1,0 +1,58 @@
+"""The index layer: protocols, the structure registry, array backends.
+
+This package is the contract that makes the paper's structure family
+interchangeable (see ``docs/ARCHITECTURE.md``):
+
+* :mod:`repro.index.protocol` — :class:`RangeSumIndex` /
+  :class:`RangeMaxIndex` protocols, the default-providing mixins, and
+  the :class:`InstrumentedIndex` counter wrapper;
+* :mod:`repro.index.registry` — ``@register_index`` and
+  :func:`create_index`, the single naming convention every consumer
+  shares;
+* :mod:`repro.index.backend` — in-memory vs memmap array allocation,
+  threaded through structure construction for out-of-core builds.
+"""
+
+from repro.index.backend import (
+    MEMORY_BACKEND,
+    ArrayBackend,
+    MemmapBackend,
+    MemoryBackend,
+    resolve_backend,
+)
+from repro.index.protocol import (
+    InstrumentedIndex,
+    RangeMaxIndex,
+    RangeMaxIndexMixin,
+    RangeSumIndex,
+    RangeSumIndexMixin,
+)
+from repro.index.registry import (
+    IndexInfo,
+    IndexSpec,
+    available_indexes,
+    create_index,
+    get_index_info,
+    index_info_for,
+    register_index,
+)
+
+__all__ = [
+    "ArrayBackend",
+    "IndexInfo",
+    "IndexSpec",
+    "InstrumentedIndex",
+    "MEMORY_BACKEND",
+    "MemmapBackend",
+    "MemoryBackend",
+    "RangeMaxIndex",
+    "RangeMaxIndexMixin",
+    "RangeSumIndex",
+    "RangeSumIndexMixin",
+    "available_indexes",
+    "create_index",
+    "get_index_info",
+    "index_info_for",
+    "register_index",
+    "resolve_backend",
+]

@@ -1,0 +1,149 @@
+"""Array allocation backends: in-memory numpy vs out-of-core memmap.
+
+Every aggregate structure in this library is, at bottom, a handful of
+dense numpy arrays — a prefix array ``P``, a retained cube ``A``, the
+per-level arrays of a max tree.  The paper sizes those arrays at ``O(N)``
+cells, and the ROADMAP's production target includes cubes larger than
+RAM.  :class:`ArrayBackend` abstracts *where those arrays live*:
+
+* :class:`MemoryBackend` — plain ``np.empty`` / copies; the default, and
+  exactly the behaviour the structures had before this layer existed.
+* :class:`MemmapBackend` — every array is an ``.npy`` file in a spill
+  directory opened through ``np.lib.format.open_memmap``, so construction
+  and queries stream through the OS page cache instead of requiring the
+  whole array resident.
+
+The two backends are *bit-identical* in results: construction writes the
+same values through the same in-place kernels, only the allocation call
+differs.  ``tests/index/test_backend.py`` asserts this for every
+registered dense structure.
+
+Backends hand out arrays; they do not track or free them.  A
+:class:`MemmapBackend`'s spill directory is owned by the caller (use a
+``tempfile.TemporaryDirectory`` for scratch builds, a durable path for
+servable ones — the files double as the persisted form).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import re
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+
+class ArrayBackend:
+    """Where a structure's defining arrays are allocated.
+
+    Subclasses implement :meth:`empty`; :meth:`materialize` has a default
+    in terms of it.  ``name`` is a human-readable tag ("prefix",
+    "source", "values_2") used by file-backed backends to label spill
+    files; backends may ignore it.
+    """
+
+    def empty(
+        self, name: str, shape: Sequence[int], dtype: object
+    ) -> np.ndarray:
+        """Allocate an uninitialized array of the given shape and dtype."""
+        raise NotImplementedError
+
+    def materialize(self, name: str, array: np.ndarray) -> np.ndarray:
+        """A backend-owned copy of ``array`` (same shape, same dtype)."""
+        array = np.asarray(array)
+        out = self.empty(name, array.shape, array.dtype)
+        out[...] = array
+        return out
+
+    def flush(self) -> None:
+        """Push pending writes to stable storage (no-op in memory)."""
+
+    def describe(self) -> dict:
+        """A plain-dict summary (used by ``Index.describe()``)."""
+        return {"backend": type(self).__name__}
+
+
+class MemoryBackend(ArrayBackend):
+    """Arrays live on the process heap — the historical default."""
+
+    def empty(
+        self, name: str, shape: Sequence[int], dtype: object
+    ) -> np.ndarray:
+        return np.empty(tuple(int(n) for n in shape), dtype=np.dtype(dtype))
+
+    def materialize(self, name: str, array: np.ndarray) -> np.ndarray:
+        return np.array(array, copy=True)
+
+
+class MemmapBackend(ArrayBackend):
+    """Arrays live as ``.npy`` files under a spill directory.
+
+    Args:
+        directory: Spill directory (created if missing).  The caller owns
+            its lifetime; the files inside are standard ``.npy`` archives
+            readable with ``np.load``.
+        tag: Filename prefix, useful when several structures share one
+            directory.
+
+    Each allocation gets a fresh, sequence-numbered file, so rebuilding a
+    structure never aliases a live array from the previous build.
+    """
+
+    def __init__(self, directory: str | os.PathLike, tag: str = "repro") -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.tag = str(tag)
+        self._sequence = itertools.count()
+        self._allocated: list[Path] = []
+
+    def _path_for(self, name: str) -> Path:
+        safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", name) or "array"
+        return self.directory / (
+            f"{self.tag}-{next(self._sequence):05d}-{safe}.npy"
+        )
+
+    def empty(
+        self, name: str, shape: Sequence[int], dtype: object
+    ) -> np.ndarray:
+        shape = tuple(int(n) for n in shape)
+        if int(np.prod(shape)) == 0:
+            # mmap cannot map zero bytes; a heap array is equivalent here.
+            return np.empty(shape, dtype=np.dtype(dtype))
+        path = self._path_for(name)
+        self._allocated.append(path)
+        return np.lib.format.open_memmap(
+            path, mode="w+", dtype=np.dtype(dtype), shape=shape
+        )
+
+    def flush(self) -> None:
+        # Flushing is per-array in numpy; the OS syncs the rest on close.
+        # Kept for API symmetry and future write-back batching.
+        pass
+
+    @property
+    def spill_files(self) -> tuple[Path, ...]:
+        """Paths of every array file this backend has handed out."""
+        return tuple(self._allocated)
+
+    @property
+    def spilled_bytes(self) -> int:
+        """Total bytes currently on disk across spill files."""
+        return sum(p.stat().st_size for p in self._allocated if p.exists())
+
+    def describe(self) -> dict:
+        return {
+            "backend": type(self).__name__,
+            "directory": str(self.directory),
+            "files": len(self._allocated),
+        }
+
+
+#: Shared default backend — heap allocation, the pre-registry behaviour.
+MEMORY_BACKEND = MemoryBackend()
+
+
+def resolve_backend(backend: "ArrayBackend | None") -> ArrayBackend:
+    """``None`` means the shared in-memory default."""
+    return MEMORY_BACKEND if backend is None else backend

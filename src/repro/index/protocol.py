@@ -1,0 +1,302 @@
+"""The RangeSumIndex / RangeMaxIndex protocols and their default mixins.
+
+The paper presents its structures as one family — the basic prefix sum
+(§3), the blocked variant (§4), the partial-dimension designs (§9.1), and
+the b-ary max tree (§6) all trade space, query cost, and update cost over
+the same cube.  This module makes that family a *contract*:
+
+* :class:`RangeSumIndex` — anything that answers ``Sum(box)``-style
+  aggregates: ``query``, ``query_many``, ``apply_updates``,
+  ``memory_cells``, ``describe`` (plus a ``build`` classmethod).
+* :class:`RangeMaxIndex` — the MAX side of the family: ``query`` returns
+  an ``(index, value)`` witness pair.
+
+Concrete structures inherit the matching mixin
+(:class:`RangeSumIndexMixin` / :class:`RangeMaxIndexMixin`), which
+supplies protocol defaults in terms of the structure's existing scalar
+entry points.  In particular ``query_many`` delegates to ``sum_many``,
+and the mixin's ``sum_many`` default *loops the scalar path* — so every
+structure gains batch support for free, and the vectorized kernels of
+:mod:`repro.query.batch` become per-class overrides rather than special
+cases the engine must know about.
+
+:class:`InstrumentedIndex` is the access-counter wrapper: it binds an
+:class:`~repro.instrumentation.AccessCounter` to an index once, so
+callers like :class:`~repro.query.engine.RangeQueryEngine` thread
+instrumentation through a uniform protocol surface instead of forwarding
+``counter=`` arguments into structure-specific signatures.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro._util import Box
+from repro.instrumentation import NULL_COUNTER, AccessCounter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.batch_update import PointUpdate
+
+
+@runtime_checkable
+class RangeSumIndex(Protocol):
+    """Contract for range-SUM (COUNT/AVERAGE via derived cubes) indexes."""
+
+    def query(
+        self, box: Box, counter: AccessCounter = NULL_COUNTER
+    ) -> object:
+        """The aggregate of ``box`` (a scalar)."""
+
+    def query_many(
+        self,
+        lows: object,
+        highs: object,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> np.ndarray:
+        """Aggregates for ``K`` boxes given as ``(K, d)`` bound arrays."""
+
+    def apply_updates(self, updates: "Sequence[PointUpdate]") -> object:
+        """Absorb a batch of point deltas into the structure."""
+
+    def memory_cells(self) -> int:
+        """Cells of auxiliary storage held (the paper's space measure)."""
+
+    def describe(self) -> dict:
+        """A plain-dict self-description (name, params, space)."""
+
+
+@runtime_checkable
+class RangeMaxIndex(Protocol):
+    """Contract for range-MAX (MIN via negation) indexes."""
+
+    def query(
+        self, box: Box, counter: AccessCounter = NULL_COUNTER
+    ) -> "tuple[tuple[int, ...], object] | None":
+        """``(index, value)`` of a maximum cell in ``box``."""
+
+    def query_many(
+        self,
+        lows: object,
+        highs: object,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(indices, values)`` arrays for ``K`` boxes."""
+
+    def apply_updates(self, updates: "Sequence[PointUpdate]") -> object:
+        """Absorb a batch of point deltas into the structure."""
+
+    def memory_cells(self) -> int:
+        """Cells/nodes of auxiliary storage held."""
+
+    def describe(self) -> dict:
+        """A plain-dict self-description (name, params, space)."""
+
+
+class _IndexBase:
+    """Shared protocol defaults (build / describe / persistence hooks)."""
+
+    #: Set by ``@register_index``; falls back to the class name.
+    index_name: str | None = None
+    #: "sum" or "max" — set by the concrete mixin below.
+    index_kind: str = "index"
+
+    @classmethod
+    def build(cls, cube: object, **params: object) -> "_IndexBase":
+        """Construct an index over ``cube`` (the protocol's factory)."""
+        return cls(cube, **params)
+
+    def index_params(self) -> dict:
+        """Construction parameters worth reporting (and persisting)."""
+        return {}
+
+    def apply_updates(self, updates: object) -> object:
+        """Protocol default: the structure is read-only once built."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support batch updates; "
+            "rebuild the structure instead"
+        )
+
+    def memory_cells(self) -> int:
+        """Cells of auxiliary storage held (structures override)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not report its storage"
+        )
+
+    def describe(self) -> dict:
+        info: dict = {
+            "index": self.index_name or type(self).__name__,
+            "class": type(self).__name__,
+            "kind": self.index_kind,
+            "shape": tuple(int(n) for n in self.shape),
+            "memory_cells": int(self.memory_cells()),
+        }
+        params = self.index_params()
+        if params:
+            info["params"] = params
+        backend = getattr(self, "backend", None)
+        if backend is not None:
+            info.update(backend.describe())
+        return info
+
+    # -- persistence hooks (see repro.io.save_index / load_index) -------
+
+    def state_dict(self) -> dict:
+        """Defining arrays + scalar params, enough to reconstruct."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support generic persistence"
+        )
+
+    @classmethod
+    def from_state(cls, state: dict, backend: object = None) -> "_IndexBase":
+        """Rebuild from :meth:`state_dict` output without recomputation."""
+        raise NotImplementedError(
+            f"{cls.__name__} does not support generic persistence"
+        )
+
+
+class RangeSumIndexMixin(_IndexBase):
+    """Protocol defaults for SUM-family structures.
+
+    Assumes the concrete class provides ``range_sum(box, counter)`` and a
+    ``shape`` attribute.  ``sum_many`` here is the *protocol default* —
+    a scalar loop — which vectorized structures override; ``query_many``
+    always routes through ``sum_many`` so overrides are picked up.
+    """
+
+    index_kind = "sum"
+
+    def query(
+        self, box: Box, counter: AccessCounter = NULL_COUNTER
+    ) -> object:
+        """Protocol spelling of :meth:`range_sum`."""
+        return self.range_sum(box, counter)
+
+    def query_many(
+        self,
+        lows: object,
+        highs: object,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> np.ndarray:
+        """Batch entry point; uses the class's best ``sum_many``."""
+        return self.sum_many(lows, highs, counter)
+
+    def sum_many(
+        self,
+        lows: object,
+        highs: object,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> np.ndarray:
+        """Default batch path: the scalar query per row.
+
+        Structures with a vectorized kernel override this; everything
+        else gains a correct (if unvectorized) batch API for free.
+        """
+        from repro.query.batch import normalize_query_arrays
+
+        lo, hi = normalize_query_arrays(lows, highs, self.shape)
+        results = [
+            self.range_sum(
+                Box(tuple(int(x) for x in l), tuple(int(x) for x in h)),
+                counter,
+            )
+            for l, h in zip(lo, hi)
+        ]
+        return np.asarray(results)
+
+
+class RangeMaxIndexMixin(_IndexBase):
+    """Protocol defaults for MAX-family structures.
+
+    Assumes the concrete class provides ``query(box, counter)`` returning
+    an ``(index, value)`` pair (or ``None`` for an all-empty sparse
+    region) and a ``shape`` attribute.
+    """
+
+    index_kind = "max"
+
+    def query_many(
+        self,
+        lows: object,
+        highs: object,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Default batch path: the scalar witness search per row."""
+        from repro.query.batch import normalize_query_arrays
+
+        lo, hi = normalize_query_arrays(lows, highs, self.shape)
+        count, ndim = lo.shape
+        indices = np.empty((count, ndim), dtype=np.int64)
+        values: list[object] = []
+        for k in range(count):
+            box = Box(
+                tuple(int(x) for x in lo[k]), tuple(int(x) for x in hi[k])
+            )
+            hit = self.query(box, counter)
+            if hit is None:
+                raise ValueError(
+                    f"query {k} covers no non-empty cell; the batch max "
+                    "path needs a witness per query"
+                )
+            index, value = hit
+            indices[k] = index
+            values.append(value)
+        return indices, np.asarray(values)
+
+
+class InstrumentedIndex:
+    """An index with an :class:`AccessCounter` bound to every call.
+
+    The engine used to forward ``counter=`` into each structure-specific
+    method; this wrapper moves that threading into the protocol layer:
+    construct once with the counter that should observe the index, and
+    every ``query`` / ``query_many`` charges it.  A counter passed
+    explicitly at call time takes precedence (per-query measurement),
+    otherwise the bound counter is used.
+
+    Any attribute the protocol does not cover (``source``, ``operator``,
+    ``block_size``...) forwards to the wrapped index, so the wrapper is
+    transparent to code that knows the concrete type.
+    """
+
+    __slots__ = ("index", "counter")
+
+    def __init__(
+        self, index: object, counter: AccessCounter = NULL_COUNTER
+    ) -> None:
+        self.index = index
+        self.counter = counter
+
+    def _pick(self, counter: AccessCounter) -> AccessCounter:
+        if counter is NULL_COUNTER or counter is None:
+            return self.counter
+        return counter
+
+    def query(
+        self, box: Box, counter: AccessCounter = NULL_COUNTER
+    ) -> object:
+        return self.index.query(box, self._pick(counter))
+
+    def query_many(
+        self,
+        lows: object,
+        highs: object,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> object:
+        return self.index.query_many(lows, highs, self._pick(counter))
+
+    def apply_updates(self, updates: object) -> object:
+        return self.index.apply_updates(updates)
+
+    def memory_cells(self) -> int:
+        return self.index.memory_cells()
+
+    def describe(self) -> dict:
+        return self.index.describe()
+
+    def __getattr__(self, name: str) -> object:
+        return getattr(self.index, name)
+
+    def __repr__(self) -> str:
+        return f"InstrumentedIndex({self.index!r})"

@@ -5,139 +5,197 @@ are built once (or repaired by the §5/§7 batch updaters) and served for
 days.  This module persists them as numpy ``.npz`` archives so a server
 restart does not force an ``O(dN)`` rebuild.
 
-The archive format stores the defining arrays plus the scalar parameters
-needed to reconstruct the object; loading re-wraps the arrays without
-recomputation.
+Persistence is *generic* over the index registry: :func:`save_index`
+works for any registered structure whose class implements
+``state_dict()`` (every dense built-in does), and :func:`load_index`
+looks the archive's registry name up and calls the class's
+``from_state`` — no per-class save/load code.  Arrays round-trip with
+their exact dtype (they are stored as-is in the ``.npz``); scalar
+parameters travel in a JSON side-channel, so ``block_size``, operators,
+and fanouts are preserved exactly.
+
+The pre-registry per-class helpers (``save_prefix_sum`` /
+``load_blocked`` / ...) remain as thin wrappers; they also still read
+archives written in the old per-class format.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import BinaryIO
+from typing import TYPE_CHECKING, BinaryIO
 
 import numpy as np
 
-from repro.core.blocked import BlockedPrefixSumCube
-from repro.core.operators import get_operator
-from repro.core.prefix_sum import PrefixSumCube
-from repro.core.range_max import RangeMaxTree
+from repro.index.registry import get_index_info, index_info_for
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.blocked import BlockedPrefixSumCube
+    from repro.core.prefix_sum import PrefixSumCube
+    from repro.core.range_max import RangeMaxTree
+    from repro.index.backend import ArrayBackend
 
 #: Archive format identifier and version, checked on load.
 _FORMAT_KEY = "repro_format"
-_FORMATS = {
+_INDEX_FORMAT_VERSION = 1
+#: Pre-registry archive kinds (each matched its structure 1:1); their
+#: payload keys coincide with today's ``state_dict`` keys, so they load
+#: through the same ``from_state`` path.
+_LEGACY_KINDS = {
     "prefix_sum": 1,
     "blocked_prefix_sum": 1,
     "range_max_tree": 1,
 }
 
 
-def _check_format(archive, expected: str) -> None:
-    if _FORMAT_KEY not in archive:
-        raise ValueError("not a repro structure archive")
-    kind, version = str(archive[_FORMAT_KEY]).split(":")
-    if kind != expected:
-        raise ValueError(
-            f"archive holds a {kind!r} structure, expected {expected!r}"
-        )
-    if int(version) > _FORMATS[expected]:
-        raise ValueError(f"unsupported {kind} archive version {version}")
-
-
-def save_prefix_sum(
-    structure: PrefixSumCube, path: str | os.PathLike | BinaryIO
+def save_index(
+    index: object, path: str | os.PathLike | BinaryIO
 ) -> None:
-    """Persist a :class:`PrefixSumCube` (source included when kept)."""
-    payload = {
-        _FORMAT_KEY: f"prefix_sum:{_FORMATS['prefix_sum']}",
-        "operator": structure.operator.name,
-        "prefix": structure.prefix,
+    """Persist any registered, persistable index to a ``.npz`` archive.
+
+    The archive holds the structure's registry name, its defining arrays
+    (exact dtypes), and a JSON record of its scalar parameters — exactly
+    the ``state_dict()`` the structure reports.
+
+    Args:
+        index: A structure built from a registered class (possibly
+            wrapped in :class:`~repro.index.InstrumentedIndex` — the
+            wrapper is looked through).
+
+    Raises:
+        KeyError: The structure's class was never registered.
+        ValueError: The structure registered with ``persistable=False``.
+    """
+    from repro.index.protocol import InstrumentedIndex
+
+    if isinstance(index, InstrumentedIndex):
+        index = index.index  # look through the counter wrapper
+    info = index_info_for(index)
+    if not info.persistable:
+        raise ValueError(
+            f"index {info.name!r} is registered as not persistable"
+        )
+    state = index.state_dict()
+    meta: dict[str, object] = {}
+    payload: dict[str, object] = {
+        _FORMAT_KEY: f"index:{_INDEX_FORMAT_VERSION}",
+        "index_name": info.name,
     }
-    if structure.source is not None:
-        payload["source"] = structure.source
+    for key, value in state.items():
+        if isinstance(value, np.ndarray):
+            payload[f"arr_{key}"] = value
+        elif isinstance(value, np.generic):
+            meta[key] = value.item()
+        else:
+            meta[key] = value
+    payload["meta"] = json.dumps(meta)
     np.savez_compressed(path, **payload)
 
 
-def load_prefix_sum(path: str | os.PathLike | BinaryIO) -> PrefixSumCube:
-    """Load a :class:`PrefixSumCube` without recomputing the prefix."""
+def load_index(
+    path: str | os.PathLike | BinaryIO,
+    backend: "ArrayBackend | None" = None,
+) -> object:
+    """Load any index archive without recomputation.
+
+    Args:
+        path: Archive written by :func:`save_index` (or by one of the
+            pre-registry per-class savers).
+        backend: Array backend the restored arrays are materialized
+            into; pass a :class:`~repro.index.MemmapBackend` to serve a
+            structure larger than RAM straight from its spill files.
+
+    Returns:
+        The restored structure (same registry name as saved).
+    """
     with np.load(path, allow_pickle=False) as archive:
-        _check_format(archive, "prefix_sum")
-        operator = get_operator(str(archive["operator"]))
-        structure = PrefixSumCube.__new__(PrefixSumCube)
-        structure.operator = operator
-        structure.prefix = archive["prefix"]
-        structure.shape = tuple(int(n) for n in structure.prefix.shape)
-        structure.ndim = structure.prefix.ndim
-        structure.source = (
-            archive["source"] if "source" in archive else None
+        if _FORMAT_KEY not in archive:
+            raise ValueError("not a repro structure archive")
+        kind, version = str(archive[_FORMAT_KEY]).split(":")
+        if kind == "index":
+            if int(version) > _INDEX_FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported index archive version {version}"
+                )
+            name = str(archive["index_name"])
+            state: dict[str, object] = dict(
+                json.loads(str(archive["meta"]))
+            )
+            for key in archive.files:
+                if key.startswith("arr_"):
+                    state[key[len("arr_"):]] = archive[key]
+        elif kind in _LEGACY_KINDS:
+            if int(version) > _LEGACY_KINDS[kind]:
+                raise ValueError(
+                    f"unsupported {kind} archive version {version}"
+                )
+            name = kind
+            state = {
+                key: archive[key]
+                for key in archive.files
+                if key != _FORMAT_KEY
+            }
+        else:
+            raise ValueError(f"unknown archive kind {kind!r}")
+    info = get_index_info(name)
+    return info.cls.from_state(state, backend=backend)
+
+
+def _load_expecting(
+    expected: str,
+    path: str | os.PathLike | BinaryIO,
+    backend: "ArrayBackend | None" = None,
+) -> object:
+    """Generic load + registry-name check (the legacy wrappers' guard)."""
+    index = load_index(path, backend=backend)
+    name = index_info_for(index).name
+    if name != expected:
+        raise ValueError(
+            f"archive holds a {name!r} structure, expected {expected!r}"
         )
-    return structure
+    return index
+
+
+def save_prefix_sum(
+    structure: "PrefixSumCube", path: str | os.PathLike | BinaryIO
+) -> None:
+    """Persist a :class:`PrefixSumCube` (source included when kept)."""
+    save_index(structure, path)
+
+
+def load_prefix_sum(
+    path: str | os.PathLike | BinaryIO,
+) -> "PrefixSumCube":
+    """Load a :class:`PrefixSumCube` without recomputing the prefix."""
+    return _load_expecting("prefix_sum", path)  # type: ignore[return-value]
 
 
 def save_blocked(
-    structure: BlockedPrefixSumCube, path: str | os.PathLike | BinaryIO
+    structure: "BlockedPrefixSumCube", path: str | os.PathLike | BinaryIO
 ) -> None:
     """Persist a :class:`BlockedPrefixSumCube` (raw cube included —
     the blocked method cannot run without it)."""
-    np.savez_compressed(
-        path,
-        **{
-            _FORMAT_KEY: (
-                f"blocked_prefix_sum:{_FORMATS['blocked_prefix_sum']}"
-            ),
-            "operator": structure.operator.name,
-            "block_size": np.int64(structure.block_size),
-            "source": structure.source,
-            "blocked_prefix": structure.blocked_prefix,
-        },
-    )
+    save_index(structure, path)
 
 
 def load_blocked(
     path: str | os.PathLike | BinaryIO,
-) -> BlockedPrefixSumCube:
+) -> "BlockedPrefixSumCube":
     """Load a :class:`BlockedPrefixSumCube` without recomputation."""
-    with np.load(path, allow_pickle=False) as archive:
-        _check_format(archive, "blocked_prefix_sum")
-        structure = BlockedPrefixSumCube.__new__(BlockedPrefixSumCube)
-        structure.operator = get_operator(str(archive["operator"]))
-        structure.block_size = int(archive["block_size"])
-        structure.source = archive["source"]
-        structure.blocked_prefix = archive["blocked_prefix"]
-        structure.shape = tuple(int(n) for n in structure.source.shape)
-        structure.ndim = structure.source.ndim
-        structure.block_shape = structure.blocked_prefix.shape
-    return structure
+    return _load_expecting(  # type: ignore[return-value]
+        "blocked_prefix_sum", path
+    )
 
 
 def save_max_tree(
-    tree: RangeMaxTree, path: str | os.PathLike | BinaryIO
+    tree: "RangeMaxTree", path: str | os.PathLike | BinaryIO
 ) -> None:
     """Persist a :class:`RangeMaxTree` (all levels plus the cube)."""
-    payload: dict[str, object] = {
-        _FORMAT_KEY: f"range_max_tree:{_FORMATS['range_max_tree']}",
-        "fanout": np.int64(tree.fanout),
-        "height": np.int64(tree.height),
-        "source": tree.source,
-    }
-    for level in range(1, tree.height + 1):
-        payload[f"values_{level}"] = tree.values[level]
-        payload[f"positions_{level}"] = tree.positions[level]
-    np.savez_compressed(path, **payload)
+    save_index(tree, path)
 
 
-def load_max_tree(path: str | os.PathLike | BinaryIO) -> RangeMaxTree:
+def load_max_tree(path: str | os.PathLike | BinaryIO) -> "RangeMaxTree":
     """Load a :class:`RangeMaxTree` without rebuilding its levels."""
-    with np.load(path, allow_pickle=False) as archive:
-        _check_format(archive, "range_max_tree")
-        tree = RangeMaxTree.__new__(RangeMaxTree)
-        tree.fanout = int(archive["fanout"])
-        tree.height = int(archive["height"])
-        tree.source = archive["source"]
-        tree.shape = tuple(int(n) for n in tree.source.shape)
-        tree.ndim = tree.source.ndim
-        tree.values = [None]
-        tree.positions = [None]
-        for level in range(1, tree.height + 1):
-            tree.values.append(archive[f"values_{level}"])
-            tree.positions.append(archive[f"positions_{level}"])
-    return tree
+    return _load_expecting(  # type: ignore[return-value]
+        "range_max_tree", path
+    )

@@ -19,7 +19,7 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -35,6 +35,9 @@ from repro.optimizer.dimension_selection import (
 )
 from repro.optimizer.materialize import MaterializedCuboidSet
 from repro.query.ranges import RangeQuery
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.index.backend import ArrayBackend
 
 
 @dataclass(frozen=True)
@@ -53,14 +56,24 @@ class PhysicalDesign:
         """The chosen ``(cuboid, block size)`` materializations."""
         return self.selection.chosen
 
-    def build(self, cube: np.ndarray) -> MaterializedCuboidSet:
-        """Materialize the plan over a concrete cube."""
+    def build(
+        self,
+        cube: np.ndarray,
+        backend: "ArrayBackend | None" = None,
+    ) -> MaterializedCuboidSet:
+        """Materialize the plan over a concrete cube.
+
+        Args:
+            cube: The base measure array the plan was advised for.
+            backend: Array backend threaded into every cuboid structure
+                (``MemmapBackend`` serves the plan out of core).
+        """
         if tuple(cube.shape) != self.shape:
             raise ValueError(
                 f"cube shape {cube.shape} does not match the advised "
                 f"shape {self.shape}"
             )
-        return MaterializedCuboidSet(cube, self.plan)
+        return MaterializedCuboidSet(cube, self.plan, backend=backend)
 
     def report(self, dim_names: Sequence[str] | None = None) -> str:
         """A human-readable summary of every decision."""

@@ -24,7 +24,7 @@ cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.cube.cuboid import CuboidKey, all_cuboids, is_ancestor
 from repro.optimizer.cost_model import (
@@ -33,6 +33,9 @@ from repro.optimizer.cost_model import (
 )
 from repro.query.ranges import RangeQuery
 from repro.query.stats import QueryStatistics
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.index.registry import IndexSpec
 
 
 @dataclass(frozen=True)
@@ -54,6 +57,32 @@ class Materialization:
     block_size: int
     space: float
     prefix_dims: CuboidKey | None = None
+
+    def index_spec(self) -> "IndexSpec":
+        """The registry spec that executes this choice (cuboid-local).
+
+        ``prefix_dims`` are base-cube dimension numbers; the spec carries
+        them translated into the cuboid's own axis positions, ready for
+        :meth:`~repro.index.IndexSpec.build` over the group-by array.
+        """
+        from repro.index.registry import IndexSpec
+
+        if self.prefix_dims is None:
+            return IndexSpec.of(
+                "blocked_prefix_sum", block_size=self.block_size
+            )
+        invalid = set(self.prefix_dims) - set(self.key)
+        if invalid:
+            raise ValueError(
+                f"prefix dims {sorted(invalid)} are not part of "
+                f"cuboid {self.key}"
+            )
+        positions = tuple(self.key.index(j) for j in self.prefix_dims)
+        return IndexSpec.of(
+            "blocked_partial_prefix_sum",
+            prefix_dims=positions,
+            block_size=self.block_size,
+        )
 
 
 @dataclass(frozen=True)

@@ -15,18 +15,21 @@ against real access counts (``benchmarks/bench_materialized_plan.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro._util import Box
-from repro.core.blocked import BlockedPrefixSumCube
-from repro.core.blocked_partial import BlockedPartialPrefixSumCube
 from repro.cube.cuboid import CuboidKey, is_ancestor
 from repro.instrumentation import NULL_COUNTER, AccessCounter
 from repro.optimizer.cost_model import boundary_cells_per_surface
 from repro.optimizer.cuboid_selection import Materialization
 from repro.query.ranges import RangeQuery, SpecKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.blocked import BlockedPrefixSumCube
+    from repro.core.blocked_partial import BlockedPartialPrefixSumCube
+    from repro.index.backend import ArrayBackend
 
 
 @dataclass
@@ -48,10 +51,16 @@ class MaterializedCuboidSet:
     Args:
         cube: The base measure cube ``A`` (retained for fallback scans).
         plan: Materializations to build, e.g. ``SelectionResult.chosen``.
+        backend: Array backend every cuboid structure allocates through
+            (pass a :class:`~repro.index.MemmapBackend` to spill the
+            whole plan out of core).
     """
 
     def __init__(
-        self, cube: np.ndarray, plan: Sequence[Materialization]
+        self,
+        cube: np.ndarray,
+        plan: Sequence[Materialization],
+        backend: "ArrayBackend | None" = None,
     ) -> None:
         self.base = np.array(cube, copy=True)
         self.shape = tuple(int(n) for n in cube.shape)
@@ -70,25 +79,9 @@ class MaterializedCuboidSet:
             group_by = (
                 self.base.sum(axis=dropped) if dropped else self.base
             )
-            if chosen.prefix_dims is None:
-                structure: (
-                    BlockedPrefixSumCube | BlockedPartialPrefixSumCube
-                ) = BlockedPrefixSumCube(group_by, chosen.block_size)
-            else:
-                # §9.1 within §9.2: accumulate only along the subset,
-                # expressed in the cuboid's own axis positions.
-                invalid = set(chosen.prefix_dims) - set(chosen.key)
-                if invalid:
-                    raise ValueError(
-                        f"prefix dims {sorted(invalid)} are not part of "
-                        f"cuboid {chosen.key}"
-                    )
-                positions = [
-                    chosen.key.index(j) for j in chosen.prefix_dims
-                ]
-                structure = BlockedPartialPrefixSumCube(
-                    group_by, positions, chosen.block_size
-                )
+            structure = chosen.index_spec().build(
+                group_by, backend=backend
+            )
             self.cuboids.append(
                 MaterializedCuboid(chosen.key, structure)
             )

@@ -1,8 +1,12 @@
 """High-level query engine tying the structures to the query model.
 
-:class:`RangeQueryEngine` is the facade a downstream user talks to: it
-builds the chosen precomputed structures over a raw cube once and then
-answers :class:`~repro.query.ranges.RangeQuery` objects.
+:class:`RangeQueryEngine` is the facade a downstream user talks to — and
+since the registry refactor, a thin *planner*: the constructor resolves
+:class:`~repro.index.IndexSpec`s (by registry name) into live structures
+and installs them in a routing table, one entry per aggregate.  Query
+methods never branch on concrete structure types; they forward to the
+route's protocol surface (``query`` / ``query_many`` / ``apply_updates``
+via :class:`~repro.index.InstrumentedIndex`).
 
 It also derives the aggregate family the paper reduces to SUM and MAX:
 
@@ -11,21 +15,33 @@ It also derives the aggregate family the paper reduces to SUM and MAX:
 * ``MIN`` is a MAX over the negated cube;
 * ``ROLLING SUM`` / ``ROLLING AVERAGE`` are range-sum/average specials
   (a window sliding along one dimension).
+
+The historical structure-selection kwargs (``block_size``,
+``max_fanout``, ``prefix_dims``) still work but emit
+``DeprecationWarning``; they are translated to registry specs by
+:func:`_legacy_sum_spec` / :func:`_legacy_max_spec` and nowhere else.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro._util import Box
-from repro.core.blocked import BlockedPrefixSumCube
-from repro.core.partial_prefix import PartialPrefixSumCube
-from repro.core.prefix_sum import PrefixSumCube
-from repro.core.range_max import RangeMaxTree
+from repro.index.backend import ArrayBackend
+from repro.index.protocol import InstrumentedIndex
+from repro.index.registry import IndexSpec
 from repro.instrumentation import NULL_COUNTER, AccessCounter
 from repro.query.ranges import RangeQuery
+
+#: Sentinel distinguishing "not passed" from an explicit legacy value, so
+#: default construction stays warning-free.
+_UNSET = object()
+
+#: The aggregates the routing table serves.
+AGGREGATES = ("sum", "count", "max", "min")
 
 
 def _py_scalar(value: object) -> object:
@@ -43,14 +59,14 @@ def _py_scalar(value: object) -> object:
 
 
 def _maxtree_source(cube: np.ndarray) -> np.ndarray:
-    """A max-tree-compatible view of the cube (bool promotes to int8)."""
+    """A max-index-compatible view of the cube (bool promotes to int8)."""
     if cube.dtype == np.bool_:
         return cube.astype(np.int8)
     return cube
 
 
 def _negation_safe(cube: np.ndarray) -> np.ndarray:
-    """Promote dtypes whose negation wraps before building the min tree.
+    """Promote dtypes whose negation wraps before building the min index.
 
     ``MIN = MAX over −A`` (§1) is only sound when ``−A`` is exact:
     negating an unsigned cube wraps around (``min`` over
@@ -69,71 +85,249 @@ def _negation_safe(cube: np.ndarray) -> np.ndarray:
     return cube
 
 
+def _negated_delta(delta: object) -> object:
+    """``−delta`` computed wrap-free (unsigned numpy scalars demote)."""
+    if isinstance(delta, np.generic):
+        delta = delta.item()
+    return -delta
+
+
+def _as_spec(index: "str | IndexSpec", params: dict | None) -> IndexSpec:
+    """Normalize a name-or-spec plus optional params into one IndexSpec."""
+    if isinstance(index, IndexSpec):
+        if params:
+            merged = {**index.as_dict(), **params}
+            return IndexSpec.of(index.name, **merged)
+        return index
+    return IndexSpec.of(str(index), **(params or {}))
+
+
+def _legacy_sum_spec(
+    block_size: int, prefix_dims: "Sequence[int] | None"
+) -> IndexSpec:
+    """The deprecation shim: map pre-registry kwargs to a sum spec.
+
+    This function (with :func:`_legacy_max_spec`) is the *only* place the
+    engine knows which structure a legacy kwarg combination meant.
+    """
+    if prefix_dims is not None and block_size != 1:
+        raise ValueError(
+            "prefix_dims and block_size > 1 cannot combine; pick the "
+            "§9.1 subset design or the §4 blocked design"
+        )
+    if prefix_dims is not None:
+        return IndexSpec.of(
+            "partial_prefix_sum", prefix_dims=tuple(prefix_dims)
+        )
+    if block_size != 1:
+        return IndexSpec.of("blocked_prefix_sum", block_size=block_size)
+    return IndexSpec.of("prefix_sum")
+
+
+def _legacy_max_spec(max_fanout: int | None) -> IndexSpec | None:
+    """The deprecation shim for the max side: fanout → tree spec."""
+    if max_fanout is None:
+        return None
+    return IndexSpec.of("range_max_tree", fanout=max_fanout)
+
+
 class RangeQueryEngine:
     """Answer range SUM / COUNT / AVERAGE / MAX / MIN queries over a cube.
 
     Args:
         cube: The raw measure cube ``A``.
-        block_size: ``1`` builds the basic prefix-sum array (§3);
-            ``b > 1`` builds the blocked structure (§4).
-        max_fanout: Fanout of the range-max (and range-min) trees; pass
-            ``None`` to skip building them.
+        sum_index: Registry name or :class:`~repro.index.IndexSpec` of the
+            range-sum structure (default ``"prefix_sum"``).  The same spec
+            serves COUNT over the counts cube.
+        sum_params: Extra construction params for ``sum_index``
+            (merged over the spec's own params).
+        max_index: Registry name or spec of the range-max structure
+            (default ``"range_max_tree"``); pass ``None`` to skip building
+            the max/min side.  The same spec over the negated cube serves
+            MIN.
+        max_params: Extra construction params for ``max_index``.
         counts: Optional cube of record counts per cell.  When given,
             ``count`` and ``average`` queries are answered from its own
             prefix structure (the paper's (sum, count) 2-tuple).
-        prefix_dims: Restrict prefix sums to a dimension subset (§9.1) —
-            typically the output of
-            :func:`repro.optimizer.heuristic_selection`.  Mutually
-            exclusive with ``block_size > 1``.
+        backend: :class:`~repro.index.ArrayBackend` threaded into every
+            structure that supports out-of-core allocation.
+        counter: Engine-level :class:`AccessCounter` observing every
+            query; a counter passed to an individual call still wins.
+        block_size: **Deprecated** — use
+            ``sum_index=IndexSpec.of("blocked_prefix_sum", block_size=b)``.
+        max_fanout: **Deprecated** — use
+            ``max_index=IndexSpec.of("range_max_tree", fanout=b)`` or
+            ``max_index=None``.
+        prefix_dims: **Deprecated** — use
+            ``sum_index=IndexSpec.of("partial_prefix_sum",
+            prefix_dims=dims)``.
     """
 
     def __init__(
         self,
         cube: np.ndarray,
-        block_size: int = 1,
-        max_fanout: int | None = 4,
+        sum_index: "str | IndexSpec | None" = None,
+        sum_params: dict | None = None,
+        max_index: "str | IndexSpec | None" = _UNSET,
+        max_params: dict | None = None,
         counts: np.ndarray | None = None,
-        prefix_dims: "Sequence[int] | None" = None,
+        backend: "ArrayBackend | None" = None,
+        counter: AccessCounter | None = None,
+        block_size: object = _UNSET,
+        max_fanout: object = _UNSET,
+        prefix_dims: object = _UNSET,
     ) -> None:
         cube = np.asarray(cube)
         self.shape = tuple(int(n) for n in cube.shape)
-        self.block_size = int(block_size)
-        if prefix_dims is not None and block_size != 1:
-            raise ValueError(
-                "prefix_dims and block_size > 1 cannot combine; pick the "
-                "§9.1 subset design or the §4 blocked design"
+        self.backend = backend
+        self.counter = NULL_COUNTER if counter is None else counter
+
+        legacy_sum = block_size is not _UNSET or prefix_dims is not _UNSET
+        if legacy_sum:
+            warnings.warn(
+                "block_size/prefix_dims are deprecated; pass "
+                "sum_index=IndexSpec.of(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        self._sum_index: (
-            PrefixSumCube | BlockedPrefixSumCube | PartialPrefixSumCube
-        )
-        if prefix_dims is not None:
-            self._sum_index = PartialPrefixSumCube(cube, prefix_dims)
-        elif block_size == 1:
-            self._sum_index = PrefixSumCube(cube)
+            if sum_index is not None:
+                raise ValueError(
+                    "cannot combine sum_index with the deprecated "
+                    "block_size/prefix_dims kwargs"
+                )
+        effective_block = 1 if block_size is _UNSET else int(block_size)
+        effective_dims = None if prefix_dims is _UNSET else prefix_dims
+        if sum_index is None:
+            sum_spec = _legacy_sum_spec(effective_block, effective_dims)
         else:
-            self._sum_index = BlockedPrefixSumCube(cube, block_size)
-        self._count_index: (
-            PrefixSumCube
-            | BlockedPrefixSumCube
-            | PartialPrefixSumCube
-            | None
-        ) = None
+            sum_spec = _as_spec(sum_index, sum_params)
+        if sum_spec.kind != "sum":
+            raise ValueError(
+                f"sum_index must name a 'sum' index, "
+                f"{sum_spec.name!r} is {sum_spec.kind!r}"
+            )
+
+        if max_fanout is not _UNSET:
+            warnings.warn(
+                "max_fanout is deprecated; pass "
+                "max_index=IndexSpec.of('range_max_tree', fanout=b) or "
+                "max_index=None instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if max_index is not _UNSET:
+                raise ValueError(
+                    "cannot combine max_index with the deprecated "
+                    "max_fanout kwarg"
+                )
+            max_spec = _legacy_max_spec(max_fanout)  # type: ignore[arg-type]
+        elif max_index is _UNSET:
+            max_spec = _legacy_max_spec(4)
+        elif max_index is None:
+            max_spec = None
+        else:
+            max_spec = _as_spec(max_index, max_params)
+        if max_spec is not None and max_spec.kind != "max":
+            raise ValueError(
+                f"max_index must name a 'max' index, "
+                f"{max_spec.name!r} is {max_spec.kind!r}"
+            )
+        self.sum_spec = sum_spec
+        self.max_spec = max_spec
+
+        # The routing table: aggregate name -> instrumented index (or
+        # None when that aggregate was not built).  Query methods only
+        # ever consult this table — never concrete structure types.
+        self._routes: dict[str, InstrumentedIndex | None] = {
+            name: None for name in AGGREGATES
+        }
+        self._routes["sum"] = self._instrument(
+            sum_spec.build(cube, backend=backend)
+        )
         if counts is not None:
+            counts = np.asarray(counts)
             if counts.shape != cube.shape:
                 raise ValueError("counts cube must match the measure cube")
-            if prefix_dims is not None:
-                self._count_index = PartialPrefixSumCube(
-                    counts, prefix_dims
-                )
-            elif block_size == 1:
-                self._count_index = PrefixSumCube(counts)
-            else:
-                self._count_index = BlockedPrefixSumCube(counts, block_size)
-        self._max_tree: RangeMaxTree | None = None
-        self._min_tree: RangeMaxTree | None = None
-        if max_fanout is not None:
-            self._max_tree = RangeMaxTree(_maxtree_source(cube), max_fanout)
-            self._min_tree = RangeMaxTree(-_negation_safe(cube), max_fanout)
+            self._routes["count"] = self._instrument(
+                sum_spec.build(counts, backend=backend)
+            )
+        if max_spec is not None:
+            self._routes["max"] = self._instrument(
+                max_spec.build(_maxtree_source(cube), backend=backend)
+            )
+            self._routes["min"] = self._instrument(
+                max_spec.build(-_negation_safe(cube), backend=backend)
+            )
+
+    def _instrument(self, index: object) -> InstrumentedIndex:
+        return InstrumentedIndex(index, self.counter)
+
+    def route(self, aggregate: str) -> InstrumentedIndex | None:
+        """The index serving ``aggregate`` (``None`` when not built)."""
+        if aggregate not in self._routes:
+            raise KeyError(
+                f"unknown aggregate {aggregate!r}; one of {AGGREGATES}"
+            )
+        return self._routes[aggregate]
+
+    def describe(self) -> dict:
+        """Per-aggregate descriptions of every built structure."""
+        return {
+            name: route.describe()
+            for name, route in self._routes.items()
+            if route is not None
+        }
+
+    # ------------------------------------------------------------------
+    # Deprecated structure attributes (pre-registry private surface)
+    # ------------------------------------------------------------------
+
+    def _deprecated_route(self, old: str, aggregate: str) -> object:
+        warnings.warn(
+            f"RangeQueryEngine.{old} is deprecated; use "
+            f"engine.route({aggregate!r}) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        route = self._routes[aggregate]
+        return None if route is None else route.index
+
+    @property
+    def _sum_index(self) -> object:
+        """Deprecated alias for ``route("sum")``'s wrapped structure."""
+        return self._deprecated_route("_sum_index", "sum")
+
+    @property
+    def _count_index(self) -> object:
+        """Deprecated alias for ``route("count")``'s wrapped structure."""
+        return self._deprecated_route("_count_index", "count")
+
+    @property
+    def _max_tree(self) -> object:
+        """Deprecated alias for ``route("max")``'s wrapped structure."""
+        return self._deprecated_route("_max_tree", "max")
+
+    @property
+    def _min_tree(self) -> object:
+        """Deprecated alias for ``route("min")``'s wrapped structure."""
+        return self._deprecated_route("_min_tree", "min")
+
+    @property
+    def block_size(self) -> int:
+        """Deprecated: the sum structure's block size (1 when unblocked)."""
+        warnings.warn(
+            "RangeQueryEngine.block_size is deprecated; read "
+            "engine.sum_spec instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        route = self._routes["sum"]
+        assert route is not None
+        return int(getattr(route, "block_size", 1))
+
+    # ------------------------------------------------------------------
+    # Scalar query path
+    # ------------------------------------------------------------------
 
     def _resolve(self, query: RangeQuery | Box) -> Box:
         if isinstance(query, Box):
@@ -146,9 +340,9 @@ class RangeQueryEngine:
         counter: AccessCounter = NULL_COUNTER,
     ) -> object:
         """Range-sum of the measure (a plain Python scalar)."""
-        return _py_scalar(
-            self._sum_index.range_sum(self._resolve(query), counter)
-        )
+        route = self._routes["sum"]
+        assert route is not None
+        return _py_scalar(route.query(self._resolve(query), counter))
 
     def count(
         self,
@@ -157,9 +351,10 @@ class RangeQueryEngine:
     ) -> object:
         """Range-count: record counts if provided, else cell count."""
         box = self._resolve(query)
-        if self._count_index is None:
+        route = self._routes["count"]
+        if route is None:
             return box.volume
-        return _py_scalar(self._count_index.range_sum(box, counter))
+        return _py_scalar(route.query(box, counter))
 
     def average(
         self,
@@ -180,11 +375,15 @@ class RangeQueryEngine:
         counter: AccessCounter = NULL_COUNTER,
     ) -> tuple[tuple[int, ...], object]:
         """Range-max: ``(index, value)`` of a maximum cell."""
-        if self._max_tree is None:
+        route = self._routes["max"]
+        if route is None:
             raise RuntimeError("engine was built without max trees")
         box = self._resolve(query)
-        index = self._max_tree.max_index(box, counter)
-        return index, _py_scalar(self._max_tree.source[index])
+        hit = route.query(box, counter)
+        if hit is None:
+            raise ValueError(f"no non-empty cell in {box}")
+        index, value = hit
+        return index, _py_scalar(value)
 
     def min(
         self,
@@ -197,11 +396,15 @@ class RangeQueryEngine:
         :func:`_negation_safe`), so unsigned and bool cubes return their
         true minimum instead of a wrapped value.
         """
-        if self._min_tree is None:
+        route = self._routes["min"]
+        if route is None:
             raise RuntimeError("engine was built without max trees")
         box = self._resolve(query)
-        index = self._min_tree.max_index(box, counter)
-        return index, _py_scalar(-self._min_tree.source[index])
+        hit = route.query(box, counter)
+        if hit is None:
+            raise ValueError(f"no non-empty cell in {box}")
+        index, negated = hit
+        return index, _py_scalar(_negated_delta(negated))
 
     # ------------------------------------------------------------------
     # Batch query execution (the vectorized path of repro.query.batch)
@@ -228,13 +431,12 @@ class RangeQueryEngine:
         highs: object | None = None,
         counter: AccessCounter = NULL_COUNTER,
     ) -> np.ndarray:
-        """Range-sums for ``K`` queries in O(1) numpy ops (not O(K)).
+        """Range-sums for ``K`` queries through the batch protocol path.
 
-        All ``K · 2^d`` Theorem-1 corner reads happen in a single
-        fancy-indexed gather on the prefix array; the blocked structure
-        vectorizes its internal regions and falls back per query only
-        for boundary pieces.  Element-wise identical to :meth:`sum` for
-        exact dtypes.
+        Structures with a vectorized kernel (one fancy-indexed gather for
+        all ``K · 2^d`` Theorem-1 corners) answer in O(1) numpy ops; the
+        rest fall back to the protocol's scalar loop.  Element-wise
+        identical to :meth:`sum` for exact dtypes.
 
         Args:
             lows: ``(K, d)`` inclusive lower bounds, or a sequence of
@@ -246,7 +448,9 @@ class RangeQueryEngine:
             A ``(K,)`` numpy array of sums, in query order.
         """
         lo, hi = self._batch_arrays(lows, highs)
-        return self._sum_index.sum_many(lo, hi, counter)
+        route = self._routes["sum"]
+        assert route is not None
+        return route.query_many(lo, hi, counter)
 
     def count_many(
         self,
@@ -261,9 +465,10 @@ class RangeQueryEngine:
         queries' cell volumes, computed in one vectorized product.
         """
         lo, hi = self._batch_arrays(lows, highs)
-        if self._count_index is None:
+        route = self._routes["count"]
+        if route is None:
             return np.prod(hi - lo + 1, axis=1)
-        return self._count_index.sum_many(lo, hi, counter)
+        return route.query_many(lo, hi, counter)
 
     def average_many(
         self,
@@ -281,11 +486,14 @@ class RangeQueryEngine:
             ZeroDivisionError: If any query's count is zero.
         """
         lo, hi = self._batch_arrays(lows, highs)
-        totals = self._sum_index.sum_many(lo, hi, counter)
-        if self._count_index is None:
+        sum_route = self._routes["sum"]
+        assert sum_route is not None
+        totals = sum_route.query_many(lo, hi, counter)
+        count_route = self._routes["count"]
+        if count_route is None:
             denominators = np.prod(hi - lo + 1, axis=1)
         else:
-            denominators = self._count_index.sum_many(lo, hi, counter)
+            denominators = count_route.query_many(lo, hi, counter)
         if np.any(denominators == 0):
             k = int(np.argmax(denominators == 0))
             raise ZeroDivisionError(
@@ -299,21 +507,23 @@ class RangeQueryEngine:
         highs: object | None = None,
         counter: AccessCounter = NULL_COUNTER,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Range-max for ``K`` queries via one shared-frontier descent.
+        """Range-max for ``K`` queries through the batch protocol path.
 
-        Every search walks the §6 tree together, one vectorized wave per
-        level, with branch-and-bound pruning applied across the whole
-        frontier.  Values are exact; tied argmax indices may differ from
-        the scalar path's pick (both are valid witnesses).
+        The tree-backed structure walks all searches together, one
+        vectorized wave per level, with branch-and-bound pruning applied
+        across the whole frontier.  Values are exact; tied argmax indices
+        may differ from the scalar path's pick (both are valid
+        witnesses).
 
         Returns:
             ``(indices, values)``: a ``(K, d)`` int64 array of argmax
             coordinates and the ``(K,)`` array of maxima.
         """
-        if self._max_tree is None:
+        route = self._routes["max"]
+        if route is None:
             raise RuntimeError("engine was built without max trees")
         lo, hi = self._batch_arrays(lows, highs)
-        return self._max_tree.max_index_many(lo, hi, counter)
+        return route.query_many(lo, hi, counter)
 
     def min_many(
         self,
@@ -327,11 +537,16 @@ class RangeQueryEngine:
             ``(indices, values)``: a ``(K, d)`` int64 array of argmin
             coordinates and the ``(K,)`` array of minima.
         """
-        if self._min_tree is None:
+        route = self._routes["min"]
+        if route is None:
             raise RuntimeError("engine was built without max trees")
         lo, hi = self._batch_arrays(lows, highs)
-        indices, negated = self._min_tree.max_index_many(lo, hi, counter)
+        indices, negated = route.query_many(lo, hi, counter)
         return indices, -negated
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
 
     def apply_updates(
         self,
@@ -340,10 +555,12 @@ class RangeQueryEngine:
     ) -> None:
         """Absorb a batch of measure deltas into every built structure.
 
-        The sum index takes the §5 batch path; the max/min trees convert
-        each delta into the §7 assignment it implies (new value = current
-        value ± delta).  Duplicate cells are merged first so the
-        conversion reads each cell's pre-batch value exactly once.
+        Every route takes the same protocol call: the sum/count indexes
+        run their §5 batch machinery; the max index converts deltas to
+        the §7 assignments they imply; the min index receives the
+        *negated* deltas (it holds ``−A``).  Duplicate cells are merged
+        first so each structure reads each cell's pre-batch value exactly
+        once.
 
         Args:
             updates: Measure deltas per cell.
@@ -351,41 +568,34 @@ class RangeQueryEngine:
                 engine was built with a counts cube and AVERAGE must stay
                 exact).
         """
-        from repro.core.batch_update import combine_duplicate_updates
-        from repro.core.max_update import (
-            MaxAssignment,
-            apply_max_updates,
+        from repro.core.batch_update import (
+            PointUpdate,
+            combine_duplicate_updates,
         )
 
         merged = combine_duplicate_updates(updates)
-        self._sum_index.apply_updates(merged)
+        sum_route = self._routes["sum"]
+        assert sum_route is not None
+        sum_route.apply_updates(merged)
         if count_updates is not None:
-            if self._count_index is None:
+            count_route = self._routes["count"]
+            if count_route is None:
                 raise ValueError(
                     "engine was built without a counts cube"
                 )
-            self._count_index.apply_updates(
+            count_route.apply_updates(
                 combine_duplicate_updates(count_updates)
             )
-        if self._max_tree is not None:
-            apply_max_updates(
-                self._max_tree,
+        max_route = self._routes["max"]
+        if max_route is not None:
+            max_route.apply_updates(merged)
+        min_route = self._routes["min"]
+        if min_route is not None:
+            min_route.apply_updates(
                 [
-                    MaxAssignment(
-                        u.index, self._max_tree.source[u.index] + u.delta
-                    )
+                    PointUpdate(u.index, _negated_delta(u.delta))
                     for u in merged
-                ],
-            )
-        if self._min_tree is not None:
-            apply_max_updates(
-                self._min_tree,
-                [
-                    MaxAssignment(
-                        u.index, self._min_tree.source[u.index] - u.delta
-                    )
-                    for u in merged
-                ],
+                ]
             )
 
     def rolling_sum(
@@ -414,7 +624,9 @@ class RangeQueryEngine:
         lows, highs = rolling_window_bounds(
             self.shape, axis, window, fixed
         )
-        values = self._sum_index.sum_many(lows, highs, counter)
+        route = self._routes["sum"]
+        assert route is not None
+        values = route.query_many(lows, highs, counter)
         return iter(
             [
                 (int(start), _py_scalar(value))

@@ -15,12 +15,17 @@ best-first from the root (see :meth:`RStarTree.max_in_region`).
 from __future__ import annotations
 
 from repro._util import Box
+from repro.index.protocol import RangeMaxIndexMixin
+from repro.index.registry import register_index
 from repro.instrumentation import NULL_COUNTER, AccessCounter
 from repro.sparse.rtree import Rect, RStarTree
 from repro.sparse.sparse_cube import SparseCube
 
 
-class SparseRangeMaxEngine:
+@register_index(
+    "sparse_max_rtree", kind="max", persistable=False, sparse_input=True
+)
+class SparseRangeMaxEngine(RangeMaxIndexMixin):
     """Range-max over a sparse cube's non-empty cells.
 
     Args:
@@ -32,10 +37,22 @@ class SparseRangeMaxEngine:
         self, cube: SparseCube, rtree_max_entries: int = 16
     ) -> None:
         self.cube = cube
+        self.shape = tuple(int(n) for n in cube.shape)
+        self.ndim = cube.ndim
         self.rtree = RStarTree(max_entries=rtree_max_entries)
         for point, value in cube.items():
             self.rtree.insert(Rect.from_cell(point), payload=point,
                               value=value)
+
+    def memory_cells(self) -> int:
+        """Entries held in the R*-tree (one per non-empty cell)."""
+        return int(self.cube.nnz)
+
+    def query(
+        self, box: Box, counter: AccessCounter = NULL_COUNTER
+    ) -> tuple[tuple[int, ...], object] | None:
+        """Protocol spelling of :meth:`max_index`."""
+        return self.max_index(box, counter)
 
     def max_index(
         self, box: Box, counter: AccessCounter = NULL_COUNTER

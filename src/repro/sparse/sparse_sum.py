@@ -21,6 +21,8 @@ from typing import Sequence
 from repro._util import Box
 from repro.core.blocked import BlockedPrefixSumCube
 from repro.core.prefix_sum import PrefixSumCube
+from repro.index.protocol import RangeSumIndexMixin
+from repro.index.registry import register_index
 from repro.instrumentation import NULL_COUNTER, AccessCounter
 from repro.sparse.btree import BPlusTree
 from repro.sparse.dense_regions import DenseRegionConfig, find_dense_regions
@@ -28,7 +30,10 @@ from repro.sparse.rtree import Rect, RStarTree
 from repro.sparse.sparse_cube import SparseCube
 
 
-class SparseRangeSum1D:
+@register_index(
+    "sparse_sum_1d", kind="sum", persistable=False, sparse_input=True
+)
+class SparseRangeSum1D(RangeSumIndexMixin):
     """Sparse one-dimensional prefix sums under a B-tree (§10.1).
 
     With ``block_size = 1`` the index holds one cumulative sum per
@@ -56,6 +61,8 @@ class SparseRangeSum1D:
         if block_size < 1:
             raise ValueError(f"block size must be >= 1, got {block_size}")
         self.cube = cube
+        self.shape = tuple(int(n) for n in cube.shape)
+        self.ndim = 1
         self.block_size = int(block_size)
         self.index = BPlusTree(order=btree_order)
         self.points: BPlusTree | None = None
@@ -82,6 +89,15 @@ class SparseRangeSum1D:
     def stored_entries(self) -> int:
         """Entries held in the cumulative index (blocks or cells)."""
         return len(self.index)
+
+    def memory_cells(self) -> int:
+        """Index entries held (cumulative entries + raw-cell entries)."""
+        points = 0 if self.points is None else len(self.points)
+        return int(self.stored_entries + points)
+
+    def index_params(self) -> dict:
+        """Construction parameters (reported)."""
+        return {"block_size": self.block_size}
 
     def _prefix_through(self, position: int, counter: AccessCounter):
         """``Sum(0:position)`` for the blocked variant."""
@@ -128,7 +144,10 @@ class _RegionIndex:
     structure: PrefixSumCube | BlockedPrefixSumCube
 
 
-class SparseRangeSumEngine:
+@register_index(
+    "sparse_region_sum", kind="sum", persistable=False, sparse_input=True
+)
+class SparseRangeSumEngine(RangeSumIndexMixin):
     """Dense regions + per-region prefix sums + R*-tree outliers (§10.2).
 
     Args:
@@ -147,6 +166,9 @@ class SparseRangeSumEngine:
         rtree_max_entries: int = 16,
     ) -> None:
         self.cube = cube
+        self.shape = tuple(int(n) for n in cube.shape)
+        self.ndim = cube.ndim
+        self.block_size = int(block_size)
         result = find_dense_regions(
             list(cube.points()), cube.shape, region_config
         )
@@ -190,6 +212,24 @@ class SparseRangeSumEngine:
     def storage_cells(self) -> int:
         """Auxiliary cells held across all per-region prefix arrays."""
         return sum(r.structure.storage_cells for r in self.regions)
+
+    def memory_cells(self) -> int:
+        """Protocol spelling of :meth:`storage_cells`."""
+        return int(self.storage_cells())
+
+    def index_params(self) -> dict:
+        """Construction parameters (reported)."""
+        return {"block_size": self.block_size}
+
+    def apply_updates(self, updates: "Sequence[PointUpdate]") -> int:
+        """Protocol batch path: route each delta via :meth:`apply_update`.
+
+        Returns:
+            The number of updates absorbed.
+        """
+        for update in updates:
+            self.apply_update(update.index, update.delta)
+        return len(updates)
 
     def range_sum(
         self, box: Box, counter: AccessCounter = NULL_COUNTER

@@ -1,0 +1,205 @@
+"""Tests for the index registry (names, factories, IndexSpec)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import Box
+from repro.core.blocked import BlockedPrefixSumCube
+from repro.core.prefix_sum import PrefixSumCube
+from repro.index.protocol import RangeSumIndexMixin
+from repro.index.registry import (
+    IndexSpec,
+    _REGISTRY,
+    available_indexes,
+    create_index,
+    get_index_info,
+    index_info_for,
+    register_index,
+)
+from repro.instrumentation import NULL_COUNTER
+from repro.query.naive import naive_range_sum
+from repro.query.workload import make_cube, random_box
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(411)
+
+
+BUILTIN_SUM = (
+    "blocked_partial_prefix_sum",
+    "blocked_prefix_sum",
+    "partial_prefix_sum",
+    "prefix_sum",
+    "sparse_region_sum",
+    "sparse_sum_1d",
+)
+BUILTIN_MAX = ("range_max_tree", "sparse_max_rtree")
+
+
+class TestBuiltinRegistrations:
+    def test_all_builtins_present(self):
+        names = available_indexes()
+        for name in BUILTIN_SUM + BUILTIN_MAX:
+            assert name in names
+
+    def test_kind_filter(self):
+        sums = available_indexes(kind="sum")
+        maxes = available_indexes(kind="max")
+        for name in BUILTIN_SUM:
+            assert name in sums and name not in maxes
+        for name in BUILTIN_MAX:
+            assert name in maxes and name not in sums
+
+    def test_persistable_filter(self):
+        persistable = available_indexes(persistable=True)
+        for name in (
+            "prefix_sum",
+            "blocked_prefix_sum",
+            "partial_prefix_sum",
+            "blocked_partial_prefix_sum",
+            "range_max_tree",
+        ):
+            assert name in persistable
+        for name in ("sparse_sum_1d", "sparse_region_sum", "sparse_max_rtree"):
+            assert name not in persistable
+
+    def test_dense_builtins_accept_backend(self):
+        for name in (
+            "prefix_sum",
+            "blocked_prefix_sum",
+            "partial_prefix_sum",
+            "blocked_partial_prefix_sum",
+            "range_max_tree",
+        ):
+            assert get_index_info(name).accepts_backend
+
+    def test_sparse_builtins_flagged(self):
+        for name in ("sparse_sum_1d", "sparse_region_sum", "sparse_max_rtree"):
+            assert get_index_info(name).sparse_input
+
+    def test_descriptions_default_to_docstring(self):
+        info = get_index_info("prefix_sum")
+        assert info.description  # first docstring line, non-empty
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="prefix_sum"):
+            get_index_info("no_such_index")
+
+
+class TestCreateIndex:
+    def test_create_matches_direct_construction(self, rng):
+        cube = make_cube((9, 7), rng)
+        built = create_index("blocked_prefix_sum", cube, block_size=3)
+        direct = BlockedPrefixSumCube(cube, 3)
+        assert isinstance(built, BlockedPrefixSumCube)
+        assert np.array_equal(built.blocked_prefix, direct.blocked_prefix)
+
+    def test_create_answers_queries(self, rng):
+        cube = make_cube((8, 8), rng)
+        index = create_index("prefix_sum", cube)
+        for _ in range(10):
+            box = random_box(cube.shape, rng)
+            assert index.query(box) == naive_range_sum(cube, box)
+
+    def test_index_info_for_instance(self, rng):
+        cube = make_cube((5,), rng)
+        index = create_index("prefix_sum", cube)
+        assert index_info_for(index).name == "prefix_sum"
+        assert index_info_for(PrefixSumCube).name == "prefix_sum"
+
+    def test_index_info_for_unregistered(self):
+        with pytest.raises(KeyError, match="not a registered"):
+            index_info_for(object())
+
+
+class TestRegisterIndex:
+    def test_duplicate_name_rejected(self):
+        @register_index("_test_dup", kind="sum", persistable=False)
+        class First(RangeSumIndexMixin):
+            def __init__(self, cube):
+                self.shape = tuple(cube.shape)
+
+            def range_sum(self, box, counter=NULL_COUNTER):
+                return 0
+
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+
+                @register_index("_test_dup", kind="sum", persistable=False)
+                class Second(RangeSumIndexMixin):
+                    def __init__(self, cube):
+                        self.shape = tuple(cube.shape)
+
+                    def range_sum(self, box, counter=NULL_COUNTER):
+                        return 0
+
+        finally:
+            _REGISTRY.pop("_test_dup", None)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            register_index("_test_bad_kind", kind="median")
+
+    def test_custom_index_via_engine(self, rng):
+        """The registry's raison d'être: a user structure plugs into the
+        engine with no engine changes (ARCHITECTURE.md's walkthrough)."""
+        from repro.query.engine import RangeQueryEngine
+
+        @register_index("_test_scan_sum", kind="sum", persistable=False)
+        class ScanSum(RangeSumIndexMixin):
+            def __init__(self, cube):
+                self.cube = np.asarray(cube)
+                self.shape = tuple(self.cube.shape)
+
+            def range_sum(self, box, counter=NULL_COUNTER):
+                counter.count_cube(box.volume)
+                return self.cube[box.slices()].sum()
+
+            def memory_cells(self):
+                return 0
+
+        try:
+            cube = make_cube((7, 6), rng)
+            engine = RangeQueryEngine(
+                cube, sum_index="_test_scan_sum", max_index=None
+            )
+            for _ in range(10):
+                box = random_box(cube.shape, rng)
+                assert engine.sum(box) == naive_range_sum(cube, box)
+            # The mixin default gives the scan batch support for free.
+            lows = np.zeros((3, 2), dtype=np.int64)
+            highs = np.tile([4, 3], (3, 1)).astype(np.int64)
+            batch = engine.sum_many(lows, highs)
+            assert np.array_equal(
+                batch, [cube[:5, :4].sum()] * 3
+            )
+        finally:
+            _REGISTRY.pop("_test_scan_sum", None)
+
+
+class TestIndexSpec:
+    def test_of_sorts_params(self):
+        a = IndexSpec.of("blocked_prefix_sum", block_size=4)
+        b = IndexSpec("blocked_prefix_sum", (("block_size", 4),))
+        assert a == b
+
+    def test_kind_property(self):
+        assert IndexSpec.of("prefix_sum").kind == "sum"
+        assert IndexSpec.of("range_max_tree", fanout=2).kind == "max"
+
+    def test_build(self, rng):
+        cube = make_cube((10, 10), rng)
+        spec = IndexSpec.of("blocked_prefix_sum", block_size=5)
+        index = spec.build(cube)
+        assert isinstance(index, BlockedPrefixSumCube)
+        assert index.block_size == 5
+        box = Box((1, 2), (8, 9))
+        assert index.query(box) == naive_range_sum(cube, box)
+
+    def test_str(self):
+        spec = IndexSpec.of("blocked_prefix_sum", block_size=4)
+        assert "blocked_prefix_sum" in str(spec)
+        assert "block_size=4" in str(spec)

@@ -1,0 +1,185 @@
+"""The engine's deprecation shims and registry-driven construction.
+
+The pre-registry kwargs (``block_size`` / ``max_fanout`` /
+``prefix_dims``) and private structure attributes (``_sum_index`` /
+``_max_tree`` / ...) must keep working — warning, but answering exactly
+like their spec-based replacements.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.index.registry import IndexSpec
+from repro.query.engine import RangeQueryEngine
+from repro.query.workload import make_cube, random_query_arrays
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(77)
+
+
+class TestLegacyKwargs:
+    def test_block_size_warns_and_matches_spec(self, rng):
+        cube = make_cube((18, 14), rng)
+        with pytest.warns(DeprecationWarning, match="block_size"):
+            legacy = RangeQueryEngine(cube, block_size=4, max_index=None)
+        modern = RangeQueryEngine(
+            cube,
+            sum_index=IndexSpec.of("blocked_prefix_sum", block_size=4),
+            max_index=None,
+        )
+        assert legacy.sum_spec == modern.sum_spec
+        lows, highs = random_query_arrays(cube.shape, 20, rng)
+        assert np.array_equal(
+            legacy.sum_many(lows, highs), modern.sum_many(lows, highs)
+        )
+
+    def test_prefix_dims_warns_and_maps_to_partial(self, rng):
+        cube = make_cube((10, 8, 6), rng)
+        with pytest.warns(DeprecationWarning, match="prefix_dims"):
+            legacy = RangeQueryEngine(
+                cube, prefix_dims=(0, 2), max_index=None
+            )
+        assert legacy.sum_spec.name == "partial_prefix_sum"
+        assert legacy.sum_spec.as_dict()["prefix_dims"] == (0, 2)
+
+    def test_max_fanout_warns_and_maps_to_tree(self, rng):
+        cube = make_cube((9, 9), rng)
+        with pytest.warns(DeprecationWarning, match="max_fanout"):
+            engine = RangeQueryEngine(cube, max_fanout=3)
+        assert engine.max_spec == IndexSpec.of("range_max_tree", fanout=3)
+
+    def test_max_fanout_none_disables_trees(self, rng):
+        cube = make_cube((6, 6), rng)
+        with pytest.warns(DeprecationWarning):
+            engine = RangeQueryEngine(cube, max_fanout=None)
+        assert engine.max_spec is None
+        assert engine.route("max") is None
+
+    def test_default_construction_is_warning_free(self, rng):
+        cube = make_cube((7, 7), rng)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine = RangeQueryEngine(cube)
+        assert engine.sum_spec.name == "prefix_sum"
+        assert engine.max_spec.name == "range_max_tree"
+
+    def test_legacy_and_modern_sum_kwargs_conflict(self, rng):
+        cube = make_cube((5, 5), rng)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="cannot combine"):
+                RangeQueryEngine(
+                    cube, sum_index="prefix_sum", block_size=4
+                )
+
+    def test_legacy_and_modern_max_kwargs_conflict(self, rng):
+        cube = make_cube((5, 5), rng)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="cannot combine"):
+                RangeQueryEngine(cube, max_index=None, max_fanout=3)
+
+    def test_block_size_and_prefix_dims_still_exclusive(self, rng):
+        cube = make_cube((5, 5), rng)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="cannot combine"):
+                RangeQueryEngine(cube, block_size=3, prefix_dims=(0,))
+
+
+class TestDeprecatedAttributes:
+    def test_sum_index_property(self, rng):
+        from repro.core.prefix_sum import PrefixSumCube
+
+        engine = RangeQueryEngine(make_cube((6, 6), rng))
+        with pytest.warns(DeprecationWarning, match="_sum_index"):
+            structure = engine._sum_index
+        assert isinstance(structure, PrefixSumCube)
+
+    def test_max_tree_property(self, rng):
+        from repro.core.range_max import RangeMaxTree
+
+        engine = RangeQueryEngine(make_cube((6, 6), rng))
+        with pytest.warns(DeprecationWarning, match="_max_tree"):
+            assert isinstance(engine._max_tree, RangeMaxTree)
+        with pytest.warns(DeprecationWarning, match="_min_tree"):
+            assert isinstance(engine._min_tree, RangeMaxTree)
+
+    def test_count_index_property_none_without_counts(self, rng):
+        engine = RangeQueryEngine(make_cube((6, 6), rng))
+        with pytest.warns(DeprecationWarning, match="_count_index"):
+            assert engine._count_index is None
+
+    def test_block_size_property(self, rng):
+        cube = make_cube((12, 12), rng)
+        with pytest.warns(DeprecationWarning):
+            engine = RangeQueryEngine(cube, block_size=3, max_index=None)
+        with pytest.warns(DeprecationWarning, match="block_size"):
+            assert engine.block_size == 3
+        plain = RangeQueryEngine(cube, max_index=None)
+        with pytest.warns(DeprecationWarning, match="block_size"):
+            assert plain.block_size == 1
+
+
+class TestRegistryDrivenEngine:
+    def test_string_sum_index(self, rng):
+        cube = make_cube((8, 8), rng)
+        engine = RangeQueryEngine(
+            cube,
+            sum_index="blocked_prefix_sum",
+            sum_params={"block_size": 2},
+            max_index=None,
+        )
+        assert engine.sum_spec == IndexSpec.of(
+            "blocked_prefix_sum", block_size=2
+        )
+
+    def test_sum_params_merge_over_spec(self, rng):
+        cube = make_cube((8, 8), rng)
+        engine = RangeQueryEngine(
+            cube,
+            sum_index=IndexSpec.of("blocked_prefix_sum", block_size=2),
+            sum_params={"block_size": 4},
+            max_index=None,
+        )
+        assert engine.sum_spec.as_dict()["block_size"] == 4
+
+    def test_wrong_kind_rejected(self, rng):
+        cube = make_cube((5, 5), rng)
+        with pytest.raises(ValueError, match="'sum' index"):
+            RangeQueryEngine(cube, sum_index="range_max_tree")
+        with pytest.raises(ValueError, match="'max' index"):
+            RangeQueryEngine(cube, max_index="prefix_sum")
+
+    def test_route_unknown_aggregate(self, rng):
+        engine = RangeQueryEngine(make_cube((5, 5), rng))
+        with pytest.raises(KeyError, match="unknown aggregate"):
+            engine.route("median")
+
+    def test_describe_lists_built_routes(self, rng):
+        cube = make_cube((6, 6), rng)
+        engine = RangeQueryEngine(cube, counts=np.ones_like(cube))
+        info = engine.describe()
+        assert set(info) == {"sum", "count", "max", "min"}
+        assert info["sum"]["index"] == "prefix_sum"
+        assert info["max"]["index"] == "range_max_tree"
+
+    def test_no_structure_specific_branches(self):
+        """The acceptance criterion: the engine's query methods consult
+        the routing table only — no isinstance/if-elif on structures."""
+        import inspect
+
+        import repro.query.engine as engine_module
+
+        source = inspect.getsource(engine_module.RangeQueryEngine)
+        for cls_name in (
+            "PrefixSumCube",
+            "BlockedPrefixSumCube",
+            "PartialPrefixSumCube",
+            "BlockedPartialPrefixSumCube",
+            "RangeMaxTree",
+        ):
+            assert cls_name not in source

@@ -11,16 +11,37 @@ from repro.core.blocked import BlockedPrefixSumCube
 from repro.core.operators import XOR
 from repro.core.prefix_sum import PrefixSumCube
 from repro.core.range_max import RangeMaxTree
+from repro.index.registry import available_indexes, create_index
 from repro.io import (
     load_blocked,
+    load_index,
     load_max_tree,
     load_prefix_sum,
     save_blocked,
+    save_index,
     save_max_tree,
     save_prefix_sum,
 )
 from repro.query.naive import naive_max_value, naive_range_sum
-from repro.query.workload import make_cube, random_box
+from repro.query.workload import (
+    make_cube,
+    random_box,
+    random_query_arrays,
+)
+
+#: Representative construction params per persistable registry name;
+#: dtypes chosen so exact round-tripping is observable (sub-word ints
+#: must come back sub-word, not silently promoted to int64).
+REGISTRY_CASES = {
+    "prefix_sum": ({}, np.int64),
+    "blocked_prefix_sum": ({"block_size": 5}, np.int32),
+    "partial_prefix_sum": ({"prefix_dims": (0,)}, np.int64),
+    "blocked_partial_prefix_sum": (
+        {"prefix_dims": (1,), "block_size": 3},
+        np.int64,
+    ),
+    "range_max_tree": ({"fanout": 3}, np.int16),
+}
 
 
 @pytest.fixture
@@ -113,6 +134,82 @@ class TestMaxTreeRoundtrip:
         restored = load_max_tree(path)
         apply_max_updates(restored, [MaxAssignment((5,), 999)])
         assert restored.values[restored.height].ravel()[0] == 999
+
+
+class TestRegistryRoundtrip:
+    """The generic save/load path, parametrized over the registry: every
+    persistable structure round-trips with exact dtypes and params."""
+
+    def test_every_persistable_structure_has_a_case(self):
+        assert set(REGISTRY_CASES) == set(
+            available_indexes(persistable=True)
+        )
+
+    @pytest.mark.parametrize("name", sorted(REGISTRY_CASES))
+    def test_roundtrip_preserves_dtype_and_answers(
+        self, name, rng, tmp_path
+    ):
+        params, dtype = REGISTRY_CASES[name]
+        cube = rng.integers(0, 100, size=(14, 11), dtype=dtype)
+        original = create_index(name, cube, **params)
+        path = tmp_path / f"{name}.npz"
+        save_index(original, path)
+        restored = load_index(path)
+        assert type(restored) is type(original)
+        assert restored.index_params() == original.index_params()
+        for key, value in original.state_dict().items():
+            back = restored.state_dict()[key]
+            if isinstance(value, np.ndarray):
+                assert back.dtype == value.dtype
+                assert np.array_equal(back, value)
+            else:
+                assert back == value
+        lows, highs = random_query_arrays(cube.shape, 15, rng)
+        if name == "range_max_tree":
+            exp_idx, exp_val = original.query_many(lows, highs)
+            got_idx, got_val = restored.query_many(lows, highs)
+            assert np.array_equal(exp_val, got_val)
+            assert np.array_equal(exp_idx, got_idx)
+        else:
+            expected = original.query_many(lows, highs)
+            got = restored.query_many(lows, highs)
+            assert got.dtype == expected.dtype
+            assert np.array_equal(got, expected)
+
+    def test_instrumented_wrapper_is_looked_through(self, rng, tmp_path):
+        from repro.index.protocol import InstrumentedIndex
+
+        cube = make_cube((6, 6), rng)
+        wrapped = InstrumentedIndex(create_index("prefix_sum", cube))
+        path = tmp_path / "w.npz"
+        save_index(wrapped, path)
+        restored = load_index(path)
+        assert np.array_equal(restored.prefix, wrapped.index.prefix)
+
+    def test_engine_route_is_saveable(self, rng, tmp_path):
+        """An engine's routed structure persists directly — no reach into
+        private attributes needed."""
+        from repro.query.engine import RangeQueryEngine
+
+        cube = make_cube((9, 9), rng)
+        engine = RangeQueryEngine(cube)
+        path = tmp_path / "route.npz"
+        save_index(engine.route("sum"), path)
+        restored = load_index(path)
+        box = random_box(cube.shape, rng)
+        assert restored.query(box) == engine.sum(box)
+
+    def test_unpersistable_structure_rejected(self, rng, tmp_path):
+        from repro.sparse.sparse_cube import SparseCube
+
+        sparse = SparseCube((50,), {(3,): 7, (20,): 2})
+        index = create_index("sparse_sum_1d", sparse)
+        with pytest.raises(ValueError, match="not persistable"):
+            save_index(index, tmp_path / "s.npz")
+
+    def test_unregistered_structure_rejected(self, tmp_path):
+        with pytest.raises(KeyError, match="not a registered"):
+            save_index(object(), tmp_path / "o.npz")
 
 
 class TestFormatSafety:
