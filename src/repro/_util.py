@@ -152,6 +152,47 @@ def box_difference(outer: Box, inner: Box) -> list[Box]:
     return [p for p in pieces if not p.is_empty]
 
 
+def check_query_box(
+    box: Box, shape: Sequence[int], *, allow_empty: bool = True
+) -> bool:
+    """Validate a query box against a cube shape; report emptiness.
+
+    This is the one normative implementation of the empty-range rule
+    (see ``docs/TESTING.md``): an empty box (``hi < lo`` somewhere) is a
+    *legal query* whose aggregate is the operator identity, so bounds
+    are not validated for it — the caller short-circuits before touching
+    any storage.  Non-empty boxes must lie inside the cube.
+
+    Args:
+        box: The query region.
+        shape: The cube shape queried against.
+        allow_empty: When False, an empty box raises instead (paths that
+            need a witness cell, e.g. ``max_index``).
+
+    Returns:
+        True when the box is empty (caller returns the identity),
+        False when it is a validated non-empty region.
+
+    Raises:
+        ValueError: Dimensionality mismatch, out-of-bounds non-empty
+            box, or an empty box with ``allow_empty=False``.
+    """
+    if box.ndim != len(shape):
+        raise ValueError(
+            f"query has {box.ndim} dims, cube has {len(shape)}"
+        )
+    if box.is_empty:
+        if not allow_empty:
+            raise ValueError(f"empty query region {box}")
+        return True
+    for j, (lo, hi, n) in enumerate(zip(box.lo, box.hi, shape)):
+        if not 0 <= lo <= hi < n:
+            raise ValueError(
+                f"range {lo}:{hi} outside dimension {j} of size {n}"
+            )
+    return False
+
+
 def validate_range(lo: int, hi: int, size: int, name: str = "range") -> None:
     """Raise ``ValueError`` unless ``0 <= lo <= hi < size``."""
     if not 0 <= lo <= hi < size:

@@ -35,12 +35,16 @@ if TYPE_CHECKING:  # pragma: no cover
 
 import numpy as np
 
-from repro._util import Box, box_difference, full_box
+from repro._util import Box, box_difference, check_query_box, full_box
 from repro.core.operators import SUM, InvertibleOperator
-from repro.core.prefix_sum import compute_prefix_array
+from repro.core.prefix_sum import (
+    DENSE_FUZZ_DTYPES,
+    DENSE_FUZZ_OPERATORS,
+    compute_prefix_array,
+)
 from repro.index.backend import ArrayBackend, resolve_backend
 from repro.index.protocol import RangeSumIndexMixin
-from repro.index.registry import register_index
+from repro.index.registry import FuzzProfile, register_index
 from repro.instrumentation import NULL_COUNTER, AccessCounter
 
 
@@ -56,10 +60,16 @@ def block_contract(
     if block_size < 1:
         raise ValueError(f"block size must be >= 1, got {block_size}")
     contracted = cube
+    # A block aggregate can already outgrow a small source dtype, so the
+    # contraction runs in the operator's accumulation dtype (same policy
+    # as the prefix sweeps themselves).
+    target = operator.accumulation_dtype(cube.dtype)
     for axis in range(cube.ndim):
         edges = np.arange(0, contracted.shape[axis], block_size)
         if isinstance(operator.apply, np.ufunc):
-            contracted = operator.apply.reduceat(contracted, edges, axis=axis)
+            contracted = operator.apply.reduceat(
+                contracted, edges, axis=axis, dtype=target
+            )
         else:  # pragma: no cover - all shipped operators are ufuncs
             raise TypeError("block contraction requires a ufunc operator")
     return contracted
@@ -77,7 +87,20 @@ class _DimensionPlan:
     pieces: tuple[tuple[int, int, int, int, bool], ...]
 
 
-@register_index("blocked_prefix_sum", kind="sum")
+def _sample_blocked_params(rng: np.random.Generator, shape: tuple) -> dict:
+    """Draw a fuzzable blocking factor for a cube of ``shape``."""
+    return {"block_size": int(rng.integers(1, 6))}
+
+
+@register_index(
+    "blocked_prefix_sum",
+    kind="sum",
+    fuzz_profile=FuzzProfile(
+        dtypes=DENSE_FUZZ_DTYPES,
+        operators=DENSE_FUZZ_OPERATORS,
+        sample_params=_sample_blocked_params,
+    ),
+)
 class BlockedPrefixSumCube(RangeSumIndexMixin):
     """Range-sum index trading time for space via block-level prefix sums.
 
@@ -172,8 +195,12 @@ class BlockedPrefixSumCube(RangeSumIndexMixin):
     def range_sum(
         self, box: Box, counter: AccessCounter = NULL_COUNTER
     ) -> object:
-        """Evaluate ``Sum(box)`` with the 3^d decomposition of §4.2."""
-        self._check_box(box)
+        """Evaluate ``Sum(box)`` with the 3^d decomposition of §4.2.
+
+        An empty ``box`` yields the operator identity.
+        """
+        if self._check_box(box):
+            return self.operator.identity
         plans = [
             self._plan_dimension(lo, hi, n)
             for lo, hi, n in zip(box.lo, box.hi, self.shape)
@@ -229,12 +256,24 @@ class BlockedPrefixSumCube(RangeSumIndexMixin):
             counter: Standard access counter (same charges as scalar).
 
         Returns:
-            A ``(K,)`` array of aggregates.
+            A ``(K,)`` array of aggregates; empty rows (``hi < lo``)
+            yield the operator identity.
         """
-        from repro.query.batch import blocked_sum_many, normalize_query_arrays
+        from repro.query.batch import (
+            blocked_sum_many,
+            normalize_query_arrays,
+            solve_with_identity,
+        )
 
-        lo, hi = normalize_query_arrays(lows, highs, self.shape)
-        return blocked_sum_many(self, lo, hi, counter)
+        lo, hi = normalize_query_arrays(
+            lows, highs, self.shape, allow_empty=True
+        )
+        return solve_with_identity(
+            lo,
+            hi,
+            self.operator.identity,
+            lambda l, h: blocked_sum_many(self, l, h, counter),
+        )
 
     def total(self, counter: AccessCounter = NULL_COUNTER) -> object:
         """Aggregate of the entire cube."""
@@ -245,9 +284,11 @@ class BlockedPrefixSumCube(RangeSumIndexMixin):
 
         Returns:
             ``(region, superblock, is_internal)`` triples covering ``box``
-            disjointly, in the Cartesian-product order of Figure 5.
+            disjointly, in the Cartesian-product order of Figure 5 (empty
+            for an empty ``box``).
         """
-        self._check_box(box)
+        if self._check_box(box):
+            return []
         plans = [
             self._plan_dimension(lo, hi, n)
             for lo, hi, n in zip(box.lo, box.hi, self.shape)
@@ -425,19 +466,12 @@ class BlockedPrefixSumCube(RangeSumIndexMixin):
         contracted = contract_updates_to_blocks(
             updates, self.block_size, self.operator
         )
-        return apply_batch_to_prefix(
+        regions = apply_batch_to_prefix(
             self.blocked_prefix, contracted, self.operator
         )
+        self.backend.flush()
+        return regions
 
-    def _check_box(self, box: Box) -> None:
-        if box.ndim != self.ndim:
-            raise ValueError(
-                f"query has {box.ndim} dims, cube has {self.ndim}"
-            )
-        if box.is_empty:
-            raise ValueError(f"empty query region {box}")
-        for j, (lo, hi, n) in enumerate(zip(box.lo, box.hi, self.shape)):
-            if not 0 <= lo <= hi < n:
-                raise ValueError(
-                    f"range {lo}:{hi} outside dimension {j} of size {n}"
-                )
+    def _check_box(self, box: Box) -> bool:
+        """Validate ``box``; True means empty (answer is the identity)."""
+        return check_query_box(box, self.shape)

@@ -29,19 +29,41 @@ from typing import Sequence
 
 import numpy as np
 
-from repro._util import Box, box_difference
+from repro._util import Box, box_difference, check_query_box
 from repro.core.operators import SUM, InvertibleOperator
 from repro.core.prefix_sum import (
+    DENSE_FUZZ_DTYPES,
+    DENSE_FUZZ_OPERATORS,
     accumulate_axis_inplace,
     accumulated_dtype,
 )
 from repro.index.backend import ArrayBackend, resolve_backend
 from repro.index.protocol import RangeSumIndexMixin
-from repro.index.registry import register_index
+from repro.index.registry import FuzzProfile, register_index
 from repro.instrumentation import NULL_COUNTER, AccessCounter
 
 
-@register_index("blocked_partial_prefix_sum", kind="sum")
+def _sample_blocked_partial_params(
+    rng: np.random.Generator, shape: tuple
+) -> dict:
+    """Draw a prefix-dimension subset plus a blocking factor."""
+    ndim = len(shape)
+    mask = rng.integers(0, 2, size=ndim)
+    return {
+        "prefix_dims": tuple(int(j) for j in np.nonzero(mask)[0]),
+        "block_size": int(rng.integers(1, 6)),
+    }
+
+
+@register_index(
+    "blocked_partial_prefix_sum",
+    kind="sum",
+    fuzz_profile=FuzzProfile(
+        dtypes=DENSE_FUZZ_DTYPES,
+        operators=DENSE_FUZZ_OPERATORS,
+        sample_params=_sample_blocked_partial_params,
+    ),
+)
 class BlockedPartialPrefixSumCube(RangeSumIndexMixin):
     """Prefix sums blocked with factor ``b`` along a subset ``X'``.
 
@@ -88,9 +110,14 @@ class BlockedPartialPrefixSumCube(RangeSumIndexMixin):
         )
         self.source = self.backend.materialize("source", cube)
         contracted = self.source
+        # Contract in the operator's accumulation dtype: a single block
+        # aggregate can already overflow a small source dtype.
+        target = operator.accumulation_dtype(cube.dtype)
         for axis in self.prefix_dims:
             edges = np.arange(0, contracted.shape[axis], self.block_size)
-            contracted = operator.apply.reduceat(contracted, edges, axis=axis)
+            contracted = operator.apply.reduceat(
+                contracted, edges, axis=axis, dtype=target
+            )
         dtype = (
             accumulated_dtype(operator, contracted.dtype)
             if self.prefix_dims
@@ -166,8 +193,12 @@ class BlockedPartialPrefixSumCube(RangeSumIndexMixin):
     def range_sum(
         self, box: Box, counter: AccessCounter = NULL_COUNTER
     ) -> object:
-        """Evaluate ``Sum(box)`` via the §4 decomposition on ``X'``."""
-        self._check_box(box)
+        """Evaluate ``Sum(box)`` via the §4 decomposition on ``X'``.
+
+        An empty ``box`` yields the operator identity.
+        """
+        if self._check_box(box):
+            return self.operator.identity
         op = self.operator
         passive_slices = tuple(
             slice(box.lo[j], box.hi[j] + 1) for j in self.passive_dims
@@ -265,6 +296,7 @@ class BlockedPartialPrefixSumCube(RangeSumIndexMixin):
                     self.blocked_prefix[index] = op.apply(
                         self.blocked_prefix[index], delta
                     )
+            self.backend.flush()
             return sum(len(bucket) for bucket in groups.values())
         block_shape = tuple(
             self.blocked_prefix.shape[j] for j in self.prefix_dims
@@ -287,6 +319,7 @@ class BlockedPartialPrefixSumCube(RangeSumIndexMixin):
                 index = self._index_for(chosen_slices, passive)
                 view = self.blocked_prefix[index]
                 view[...] = op.apply(view, delta)
+        self.backend.flush()
         return total_regions
 
     # ------------------------------------------------------------------
@@ -381,15 +414,6 @@ class BlockedPartialPrefixSumCube(RangeSumIndexMixin):
             )
         return total
 
-    def _check_box(self, box: Box) -> None:
-        if box.ndim != self.ndim:
-            raise ValueError(
-                f"query has {box.ndim} dims, cube has {self.ndim}"
-            )
-        if box.is_empty:
-            raise ValueError(f"empty query region {box}")
-        for j, (lo, hi, n) in enumerate(zip(box.lo, box.hi, self.shape)):
-            if not 0 <= lo <= hi < n:
-                raise ValueError(
-                    f"range {lo}:{hi} outside dimension {j} of size {n}"
-                )
+    def _check_box(self, box: Box) -> bool:
+        """Validate ``box``; True means empty (answer is the identity)."""
+        return check_query_box(box, self.shape)

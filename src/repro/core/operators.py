@@ -40,18 +40,55 @@ class InvertibleOperator:
     invert: Callable[[np.ndarray, np.ndarray], np.ndarray]
     identity: object
     accumulate: Callable[[np.ndarray, int], np.ndarray]
+    #: Whether repeated application can outgrow the source dtype (SUM and
+    #: PRODUCT do; XOR never leaves the operand's bit width).
+    widening: bool = True
+
+    def accumulation_dtype(self, dtype: object) -> np.dtype:
+        """The dtype prefix accumulation must run in for ``dtype`` cubes.
+
+        The normative promotion policy (see ``docs/TESTING.md``): for
+        widening operators, bool and signed integers accumulate in at
+        least ``int64``, unsigned integers in at least ``uint64``, and
+        floats in at least ``float64`` — a prefix cell holds a sum over
+        up to ``N`` cells, so keeping a small source dtype silently
+        wraps (``int8``) or loses integer precision (``float32``).
+        Non-widening operators (XOR) keep whatever their ``accumulate``
+        produces.  The probed dtype is never narrowed, so platforms
+        whose ufuncs already promote further are respected.
+        """
+        dtype = np.dtype(dtype)
+        probed = np.asarray(
+            self.accumulate(np.zeros(1, dtype=dtype), 0)
+        ).dtype
+        if not self.widening:
+            return probed
+        if dtype == np.bool_ or np.issubdtype(dtype, np.signedinteger):
+            floor = np.dtype(np.int64)
+        elif np.issubdtype(dtype, np.unsignedinteger):
+            floor = np.dtype(np.uint64)
+        elif np.issubdtype(dtype, np.floating):
+            floor = np.dtype(np.float64)
+        else:
+            return probed
+        return np.promote_types(probed, floor)
 
     def reduce_box(self, values: np.ndarray) -> object:
         """Aggregate every element of ``values`` with ``⊕``.
 
         Used by query paths that scan raw cube cells (boundary regions of
-        the blocked algorithm, naive baselines).
+        the blocked algorithm, naive baselines).  Runs in the promoted
+        :meth:`accumulation_dtype`, so a scan over many small-int or
+        float32 cells matches the prefix array's arithmetic instead of
+        wrapping in the source dtype.
         """
         flat = np.asarray(values).ravel()
         if flat.size == 0:
             return self.identity
         if isinstance(self.apply, np.ufunc):
-            return self.apply.reduce(flat)
+            return self.apply.reduce(
+                flat, dtype=self.accumulation_dtype(flat.dtype)
+            )
         result = flat[0]
         for value in flat[1:]:
             result = self.apply(result, value)
@@ -86,6 +123,7 @@ XOR = InvertibleOperator(
     invert=np.bitwise_xor,
     identity=0,
     accumulate=lambda arr, axis: np.bitwise_xor.accumulate(arr, axis=axis),
+    widening=False,
 )
 
 #: ``(×, ÷)`` over a domain excluding zero.

@@ -23,19 +23,36 @@ from typing import Sequence
 
 import numpy as np
 
-from repro._util import Box
+from repro._util import Box, check_query_box
 from repro.core.operators import SUM, InvertibleOperator
 from repro.core.prefix_sum import (
+    DENSE_FUZZ_DTYPES,
+    DENSE_FUZZ_OPERATORS,
     accumulate_axis_inplace,
     accumulated_dtype,
 )
 from repro.index.backend import ArrayBackend, resolve_backend
 from repro.index.protocol import RangeSumIndexMixin
-from repro.index.registry import register_index
+from repro.index.registry import FuzzProfile, register_index
 from repro.instrumentation import NULL_COUNTER, AccessCounter
 
 
-@register_index("partial_prefix_sum", kind="sum")
+def _sample_partial_params(rng: np.random.Generator, shape: tuple) -> dict:
+    """Draw a random (possibly empty) prefix-dimension subset."""
+    ndim = len(shape)
+    mask = rng.integers(0, 2, size=ndim)
+    return {"prefix_dims": tuple(int(j) for j in np.nonzero(mask)[0])}
+
+
+@register_index(
+    "partial_prefix_sum",
+    kind="sum",
+    fuzz_profile=FuzzProfile(
+        dtypes=DENSE_FUZZ_DTYPES,
+        operators=DENSE_FUZZ_OPERATORS,
+        sample_params=_sample_partial_params,
+    ),
+)
 class PartialPrefixSumCube(RangeSumIndexMixin):
     """Prefix-sum structure along a chosen dimension subset ``X'``.
 
@@ -142,8 +159,10 @@ class PartialPrefixSumCube(RangeSumIndexMixin):
 
         Cost: ``2^{d'}`` corner slabs, each of
         ``∏_{j ∉ X'} (h_j − l_j + 1)`` cells — the §9.1 model exactly.
+        An empty ``box`` yields the operator identity.
         """
-        self._check_box(box)
+        if self._check_box(box):
+            return self.operator.identity
         op = self.operator
         passive_slices = {
             j: slice(box.lo[j], box.hi[j] + 1) for j in self.passive_dims
@@ -199,7 +218,14 @@ class PartialPrefixSumCube(RangeSumIndexMixin):
         but turns a batch of ``K`` queries into a single gather.
         """
         if self._batch_prefix is None:
-            prefix = np.array(self.prefix, copy=True)
+            # The stored array keeps the raw dtype when no dimension is
+            # prefix-summed; the cache must still accumulate in the
+            # promoted dtype to match the scalar path's arithmetic.
+            prefix = np.array(
+                self.prefix,
+                copy=True,
+                dtype=self.operator.accumulation_dtype(self.prefix.dtype),
+            )
             for axis in self.passive_dims:
                 prefix = self.operator.accumulate(prefix, axis)
             self._batch_prefix = prefix
@@ -224,13 +250,25 @@ class PartialPrefixSumCube(RangeSumIndexMixin):
             counter: Charged per valid corner read of the cached array.
 
         Returns:
-            A ``(K,)`` array of aggregates.
+            A ``(K,)`` array of aggregates; empty rows (``hi < lo``)
+            yield the operator identity.
         """
-        from repro.query.batch import normalize_query_arrays, prefix_sum_many
+        from repro.query.batch import (
+            normalize_query_arrays,
+            prefix_sum_many,
+            solve_with_identity,
+        )
 
-        lo, hi = normalize_query_arrays(lows, highs, self.shape)
-        return prefix_sum_many(
-            self._batch_prefix_array(), lo, hi, self.operator, counter
+        lo, hi = normalize_query_arrays(
+            lows, highs, self.shape, allow_empty=True
+        )
+        return solve_with_identity(
+            lo,
+            hi,
+            self.operator.identity,
+            lambda l, h: prefix_sum_many(
+                self._batch_prefix_array(), l, h, self.operator, counter
+            ),
         )
 
     def apply_updates(self, updates: Sequence["PointUpdate"]) -> int:
@@ -256,6 +294,7 @@ class PartialPrefixSumCube(RangeSumIndexMixin):
                 self.prefix[update.index] = op.apply(
                     self.prefix[update.index], update.delta
                 )
+            self.backend.flush()
             return len(updates)
         groups: dict[tuple[int, ...], list[PointUpdate]] = {}
         for update in updates:
@@ -283,6 +322,7 @@ class PartialPrefixSumCube(RangeSumIndexMixin):
                     )
                 view = self.prefix[tuple(index)]
                 view[...] = op.apply(view, delta)
+        self.backend.flush()
         return total_regions
 
     def query_cost(self, box: Box) -> int:
@@ -296,15 +336,6 @@ class PartialPrefixSumCube(RangeSumIndexMixin):
             cost *= box.hi[j] - box.lo[j] + 1
         return cost
 
-    def _check_box(self, box: Box) -> None:
-        if box.ndim != self.ndim:
-            raise ValueError(
-                f"query has {box.ndim} dims, cube has {self.ndim}"
-            )
-        if box.is_empty:
-            raise ValueError(f"empty query region {box}")
-        for j, (lo, hi, n) in enumerate(zip(box.lo, box.hi, self.shape)):
-            if not 0 <= lo <= hi < n:
-                raise ValueError(
-                    f"range {lo}:{hi} outside dimension {j} of size {n}"
-                )
+    def _check_box(self, box: Box) -> bool:
+        """Validate ``box``; True means empty (answer is the identity)."""
+        return check_query_box(box, self.shape)

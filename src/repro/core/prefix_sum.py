@@ -25,30 +25,50 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from repro._util import Box, full_box
+from repro._util import Box, check_query_box, full_box
 from repro.core.operators import SUM, InvertibleOperator
 from repro.index.backend import ArrayBackend, resolve_backend
 from repro.index.protocol import RangeSumIndexMixin
-from repro.index.registry import register_index
+from repro.index.registry import FuzzProfile, register_index
 from repro.instrumentation import NULL_COUNTER, AccessCounter
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.batch_update import PointUpdate
 
+#: Every cube dtype the dense prefix-sum family accepts — shared by the
+#: fuzz profiles of all four §3/§4/§9.1 structures.
+DENSE_FUZZ_DTYPES = (
+    "bool",
+    "int8",
+    "int16",
+    "int32",
+    "int64",
+    "uint8",
+    "uint16",
+    "uint32",
+    "uint64",
+    "float32",
+    "float64",
+)
+
+#: Operators the dense family can be built with (the harness narrows by
+#: dtype: ``xor`` needs integers, ``product`` a zero-free exact domain).
+DENSE_FUZZ_OPERATORS = ("sum", "xor", "product")
+
 
 def accumulated_dtype(
     operator: InvertibleOperator, dtype: np.dtype
 ) -> np.dtype:
-    """The dtype one accumulation sweep produces from ``dtype``.
+    """The dtype prefix accumulation runs in for a ``dtype`` cube.
 
-    Probed by running the operator's own ``accumulate`` on a tiny array,
-    so promotion rules (``np.cumsum`` lifts bool and sub-word ints to the
-    platform integer; ufunc accumulates keep their dtype) are whatever
-    the operator actually does — backends must pre-allocate the final
-    dtype because they accumulate in place.
+    Delegates to :meth:`InvertibleOperator.accumulation_dtype`, which
+    probes the operator's own ``accumulate`` and then promotes widening
+    operators to at least ``int64`` / ``uint64`` / ``float64`` — a
+    prefix cell aggregates up to ``N`` source cells, so an ``int8`` or
+    ``float32`` accumulator would silently wrap or round.  Backends must
+    pre-allocate this dtype because the sweeps accumulate in place.
     """
-    sample = np.zeros(1, dtype=dtype)
-    return np.asarray(operator.accumulate(sample, 0)).dtype
+    return operator.accumulation_dtype(dtype)
 
 
 def accumulate_axis_inplace(
@@ -103,7 +123,14 @@ def compute_prefix_array(
     return prefix
 
 
-@register_index("prefix_sum", kind="sum")
+@register_index(
+    "prefix_sum",
+    kind="sum",
+    fuzz_profile=FuzzProfile(
+        dtypes=DENSE_FUZZ_DTYPES,
+        operators=DENSE_FUZZ_OPERATORS,
+    ),
+)
 class PrefixSumCube(RangeSumIndexMixin):
     """Range-sum index over a dense cube via precomputed prefix sums (§3).
 
@@ -203,9 +230,11 @@ class PrefixSumCube(RangeSumIndexMixin):
                 implicit zero and cost nothing).
 
         Returns:
-            The aggregate under the structure's operator (a scalar).
+            The aggregate under the structure's operator (a scalar), or
+            the operator identity when ``box`` is empty.
         """
-        self._check_box(box)
+        if self._check_box(box):
+            return self.operator.identity
         op = self.operator
         positive = op.identity
         negative = op.identity
@@ -256,12 +285,26 @@ class PrefixSumCube(RangeSumIndexMixin):
             counter: Charged per valid corner read, as the scalar path.
 
         Returns:
-            A ``(K,)`` array of aggregates.
+            A ``(K,)`` array of aggregates; empty rows (``hi < lo``)
+            yield the operator identity.
         """
-        from repro.query.batch import normalize_query_arrays, prefix_sum_many
+        from repro.query.batch import (
+            normalize_query_arrays,
+            prefix_sum_many,
+            solve_with_identity,
+        )
 
-        lo, hi = normalize_query_arrays(lows, highs, self.shape)
-        return prefix_sum_many(self.prefix, lo, hi, self.operator, counter)
+        lo, hi = normalize_query_arrays(
+            lows, highs, self.shape, allow_empty=True
+        )
+        return solve_with_identity(
+            lo,
+            hi,
+            self.operator.identity,
+            lambda l, h: prefix_sum_many(
+                self.prefix, l, h, self.operator, counter
+            ),
+        )
 
     def total(self, counter: AccessCounter = NULL_COUNTER) -> object:
         """Aggregate of the entire cube (a single read of ``P``'s corner)."""
@@ -309,17 +352,10 @@ class PrefixSumCube(RangeSumIndexMixin):
                 self.source[update.index] = self.operator.apply(
                     self.source[update.index], update.delta
                 )
-        return apply_batch_to_prefix(self.prefix, updates, self.operator)
+        regions = apply_batch_to_prefix(self.prefix, updates, self.operator)
+        self.backend.flush()
+        return regions
 
-    def _check_box(self, box: Box) -> None:
-        if box.ndim != self.ndim:
-            raise ValueError(
-                f"query has {box.ndim} dims, cube has {self.ndim}"
-            )
-        if box.is_empty:
-            raise ValueError(f"empty query region {box}")
-        for j, (lo, hi, n) in enumerate(zip(box.lo, box.hi, self.shape)):
-            if not 0 <= lo <= hi < n:
-                raise ValueError(
-                    f"range {lo}:{hi} outside dimension {j} of size {n}"
-                )
+    def _check_box(self, box: Box) -> bool:
+        """Validate ``box``; True means empty (answer is the identity)."""
+        return check_query_box(box, self.shape)

@@ -36,10 +36,10 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from repro._util import Box, full_box
+from repro._util import Box, check_query_box, full_box
 from repro.index.backend import ArrayBackend, resolve_backend
 from repro.index.protocol import RangeMaxIndexMixin
-from repro.index.registry import register_index
+from repro.index.registry import FuzzProfile, register_index
 from repro.instrumentation import NULL_COUNTER, AccessCounter
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -99,7 +99,31 @@ def _contract_argmax(
     return next_vals, next_pos
 
 
-@register_index("range_max_tree", kind="max")
+def _sample_max_tree_params(rng: np.random.Generator, shape: tuple) -> dict:
+    """Draw a fuzzable per-dimension fanout."""
+    return {"fanout": int(rng.integers(2, 6))}
+
+
+@register_index(
+    "range_max_tree",
+    kind="max",
+    fuzz_profile=FuzzProfile(
+        dtypes=(
+            "int8",
+            "int16",
+            "int32",
+            "int64",
+            "uint8",
+            "uint16",
+            "uint32",
+            "uint64",
+            "float32",
+            "float64",
+        ),
+        operators=(),
+        sample_params=_sample_max_tree_params,
+    ),
+)
 class RangeMaxTree(RangeMaxIndexMixin):
     """Precomputed max indices over a balanced ``b^d``-ary tree (§6).
 
@@ -163,8 +187,15 @@ class RangeMaxTree(RangeMaxIndexMixin):
 
     def query(
         self, box: Box, counter: AccessCounter = NULL_COUNTER
-    ) -> tuple[tuple[int, ...], object]:
-        """Protocol spelling: the ``(index, value)`` witness pair."""
+    ) -> "tuple[tuple[int, ...], object] | None":
+        """Protocol spelling: the ``(index, value)`` witness pair.
+
+        An empty ``box`` has no witness cell, so the answer is ``None``
+        (MAX has no identity in a general domain — the empty-range rule
+        of ``docs/TESTING.md``).
+        """
+        if check_query_box(box, self.shape):
+            return None
         index = self.max_index(box, counter)
         return index, self.source[index]
 
@@ -180,24 +211,35 @@ class RangeMaxTree(RangeMaxIndexMixin):
     def apply_updates(self, updates: Sequence["PointUpdate"]) -> object:
         """Absorb point *deltas* via the §7 assignment machinery.
 
-        Each delta is converted to the assignment it implies (new value =
-        current value + delta) against the pre-batch cube, then the
-        bottom-up repair of :func:`repro.core.max_update.apply_max_updates`
-        runs once.  Callers should merge duplicate cells first (the
-        conversion reads each cell's pre-batch value exactly once).
+        Duplicate deltas to one cell accumulate first — the same merge
+        the SUM-family partition performs — so the batch means the same
+        thing whichever index family absorbs it.  The merged deltas are
+        then converted to the assignments they imply (new value =
+        pre-batch value + total delta) and the bottom-up repair of
+        :func:`repro.core.max_update.apply_max_updates` runs once.
 
         Returns:
             The :class:`~repro.core.max_update.MaxUpdateStats` of the run.
         """
         from repro.core.max_update import MaxAssignment, apply_max_updates
 
-        return apply_max_updates(
+        merged: dict[tuple[int, ...], object] = {}
+        for update in updates:
+            index = tuple(update.index)
+            merged[index] = (
+                merged[index] + update.delta
+                if index in merged
+                else update.delta
+            )
+        stats = apply_max_updates(
             self,
             [
-                MaxAssignment(u.index, self.source[u.index] + u.delta)
-                for u in updates
+                MaxAssignment(index, self.source[index] + delta)
+                for index, delta in merged.items()
             ],
         )
+        self.backend.flush()
+        return stats
 
     def state_dict(self) -> dict:
         """Defining arrays + scalars for generic persistence."""
@@ -458,14 +500,6 @@ class RangeMaxTree(RangeMaxIndexMixin):
         return current
 
     def _check_box(self, box: Box) -> None:
-        if box.ndim != self.ndim:
-            raise ValueError(
-                f"query has {box.ndim} dims, cube has {self.ndim}"
-            )
-        if box.is_empty:
-            raise ValueError(f"empty query region {box}")
-        for j, (lo, hi, n) in enumerate(zip(box.lo, box.hi, self.shape)):
-            if not 0 <= lo <= hi < n:
-                raise ValueError(
-                    f"range {lo}:{hi} outside dimension {j} of size {n}"
-                )
+        # A max query needs a witness cell, so empty boxes stay errors
+        # on the index-returning paths (``query`` short-circuits first).
+        check_query_box(box, self.shape, allow_empty=False)

@@ -97,6 +97,7 @@ class MemmapBackend(ArrayBackend):
         self.tag = str(tag)
         self._sequence = itertools.count()
         self._allocated: list[Path] = []
+        self._arrays: list[np.memmap] = []
 
     def _path_for(self, name: str) -> Path:
         safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", name) or "array"
@@ -113,14 +114,22 @@ class MemmapBackend(ArrayBackend):
             return np.empty(shape, dtype=np.dtype(dtype))
         path = self._path_for(name)
         self._allocated.append(path)
-        return np.lib.format.open_memmap(
+        array = np.lib.format.open_memmap(
             path, mode="w+", dtype=np.dtype(dtype), shape=shape
         )
+        self._arrays.append(array)
+        return array
 
     def flush(self) -> None:
-        # Flushing is per-array in numpy; the OS syncs the rest on close.
-        # Kept for API symmetry and future write-back batching.
-        pass
+        """Sync every live memmap's dirty pages to its spill file.
+
+        Structures call this at the end of ``apply_updates``: in-place
+        deltas otherwise sit in the page cache only, so reading a spill
+        file by path (``save_index``, another process) can observe the
+        pre-update bytes.
+        """
+        for array in self._arrays:
+            array.flush()
 
     @property
     def spill_files(self) -> tuple[Path, ...]:

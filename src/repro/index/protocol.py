@@ -192,10 +192,14 @@ class RangeSumIndexMixin(_IndexBase):
 
         Structures with a vectorized kernel override this; everything
         else gains a correct (if unvectorized) batch API for free.
+        Empty rows are legal and come back as the scalar path answers
+        them (the operator identity).
         """
         from repro.query.batch import normalize_query_arrays
 
-        lo, hi = normalize_query_arrays(lows, highs, self.shape)
+        lo, hi = normalize_query_arrays(
+            lows, highs, self.shape, allow_empty=True
+        )
         results = [
             self.range_sum(
                 Box(tuple(int(x) for x in l), tuple(int(x) for x in h)),
@@ -245,6 +249,24 @@ class RangeMaxIndexMixin(_IndexBase):
         return indices, np.asarray(values)
 
 
+def values_match(actual: object, expected: object) -> bool:
+    """Exact agreement between an index answer and an oracle answer.
+
+    ``None`` only matches ``None`` (the MAX-over-empty answer); anything
+    else is compared numerically and element-wise, so bool/int/float
+    representations of the same aggregate agree.  The differential
+    harness keeps every scenario value exactly representable, so no
+    tolerance is ever applied.
+    """
+    if actual is None or expected is None:
+        return actual is None and expected is None
+    a = np.asarray(actual)
+    b = np.asarray(expected)
+    if a.shape != b.shape:
+        return False
+    return bool(np.all(a == b))
+
+
 class InstrumentedIndex:
     """An index with an :class:`AccessCounter` bound to every call.
 
@@ -288,6 +310,69 @@ class InstrumentedIndex:
 
     def apply_updates(self, updates: object) -> object:
         return self.index.apply_updates(updates)
+
+    def compare_query(
+        self,
+        box: Box,
+        expected: object,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> "dict | None":
+        """Run ``query`` and diff the answer against an oracle's.
+
+        The differential harness's scalar probe for SUM-family indexes
+        (MAX witnesses need semantic validation — any cell attaining the
+        maximum is correct — which the harness does itself).
+
+        Returns:
+            ``None`` on exact agreement, otherwise a divergence record
+            with the box, the expected and the actual answer.
+        """
+        actual = self.query(box, self._pick(counter))
+        if values_match(actual, expected):
+            return None
+        return {
+            "kind": "query",
+            "box": [list(box.lo), list(box.hi)],
+            "expected": repr(expected),
+            "actual": repr(actual),
+        }
+
+    def compare_query_many(
+        self,
+        lows: object,
+        highs: object,
+        expected: object,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> "dict | None":
+        """Run ``query_many`` and diff each row against oracle answers.
+
+        Returns:
+            ``None`` on exact agreement, otherwise a divergence record
+            naming the first mismatching row.
+        """
+        actual = np.asarray(
+            self.query_many(lows, highs, self._pick(counter))
+        )
+        wanted = np.asarray(expected)
+        lo = np.asarray(lows)
+        hi = np.asarray(highs)
+        if actual.shape != wanted.shape:
+            return {
+                "kind": "query_many",
+                "row": None,
+                "expected": f"shape {wanted.shape}",
+                "actual": f"shape {actual.shape}",
+            }
+        for k in range(wanted.shape[0]):
+            if not values_match(actual[k], wanted[k]):
+                return {
+                    "kind": "query_many",
+                    "row": int(k),
+                    "box": [list(map(int, lo[k])), list(map(int, hi[k]))],
+                    "expected": repr(wanted[k]),
+                    "actual": repr(actual[k]),
+                }
+        return None
 
     def memory_cells(self) -> int:
         return self.index.memory_cells()

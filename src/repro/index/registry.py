@@ -42,6 +42,39 @@ INDEX_KINDS = ("sum", "max")
 
 
 @dataclass(frozen=True)
+class FuzzProfile:
+    """What the differential harness may throw at a registered index.
+
+    Declared at registration time so :mod:`repro.verify` can generate
+    scenarios for *every* index without per-structure special cases: the
+    profile states which dtypes and operators the structure supports,
+    the dimensionalities it accepts, and how to draw valid construction
+    parameters for a given shape.
+
+    Attributes:
+        dtypes: Numpy dtype names the structure accepts as cube dtype.
+        operators: Operator names (see :mod:`repro.core.operators`) the
+            structure can be built with; empty for max-kind indexes,
+            which have no operator parameter.  The scenario generator
+            additionally filters by dtype (``xor`` needs integers,
+            ``product`` a zero-free float domain).
+        min_ndim: Smallest cube dimensionality supported.
+        max_ndim: Largest cube dimensionality worth fuzzing.
+        supports_updates: Whether ``apply_updates`` is implemented.
+        sample_params: Optional ``(rng, shape) -> dict`` drawing valid
+            construction parameters (block sizes, prefix dims, fanouts)
+            for a cube of ``shape``; ``None`` means no parameters.
+    """
+
+    dtypes: tuple[str, ...]
+    operators: tuple[str, ...] = ("sum",)
+    min_ndim: int = 1
+    max_ndim: int = 5
+    supports_updates: bool = True
+    sample_params: Callable[..., dict] | None = None
+
+
+@dataclass(frozen=True)
 class IndexInfo:
     """One registry entry: the canonical name and how to build it."""
 
@@ -53,6 +86,7 @@ class IndexInfo:
     accepts_backend: bool
     sparse_input: bool
     description: str = field(default="", compare=False)
+    fuzz_profile: "FuzzProfile | None" = field(default=None, compare=False)
 
 
 _REGISTRY: dict[str, IndexInfo] = {}
@@ -78,6 +112,7 @@ def register_index(
     sparse_input: bool = False,
     factory: Callable[..., object] | None = None,
     description: str = "",
+    fuzz_profile: "FuzzProfile | None" = None,
 ) -> Callable[[type], type]:
     """Class decorator adding an index to the registry.
 
@@ -91,6 +126,9 @@ def register_index(
         factory: Override the constructor as the build callable.
         description: One-line summary; defaults to the class docstring's
             first line.
+        fuzz_profile: Capabilities advertised to the differential
+            harness (:mod:`repro.verify`); indexes without one are
+            skipped by the fuzzer but still usable everywhere else.
     """
     if kind not in INDEX_KINDS:
         raise ValueError(f"kind must be one of {INDEX_KINDS}, got {kind!r}")
@@ -119,6 +157,7 @@ def register_index(
             accepts_backend=accepts_backend,
             sparse_input=sparse_input,
             description=summary,
+            fuzz_profile=fuzz_profile,
         )
         cls.index_name = name
         return cls

@@ -35,7 +35,7 @@ order.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -57,6 +57,8 @@ def normalize_query_arrays(
     lows: object,
     highs: object,
     shape: Sequence[int],
+    *,
+    allow_empty: bool = False,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Validate and coerce a query batch to ``(K, d)`` int64 arrays.
 
@@ -65,13 +67,18 @@ def normalize_query_arrays(
             (a single ``(d,)`` query is promoted to ``K = 1``).
         highs: Inclusive upper bounds, same shape as ``lows``.
         shape: The cube shape the queries must fit inside.
+        allow_empty: When True, rows with ``hi < lo`` anywhere are legal
+            empty queries (the identity-returning paths pass this);
+            their bounds are not range-checked, matching the scalar
+            empty-box rule of :func:`repro._util.check_query_box`.
 
     Returns:
         ``(lows, highs)`` as int64 arrays of shape ``(K, d)``.
 
     Raises:
         ValueError: On shape mismatch, non-integral input, an empty range
-            (``hi < lo``), or bounds outside the cube.
+            (``hi < lo``) unless ``allow_empty``, or bounds outside the
+            cube.
     """
     ndim = len(shape)
     lo = np.asarray(lows)
@@ -97,17 +104,48 @@ def normalize_query_arrays(
     hi = hi.astype(np.int64, copy=False)
     if lo.shape[0] == 0:
         return lo, hi
-    if np.any(hi < lo):
-        k = int(np.argmax(np.any(hi < lo, axis=1)))
+    empty = np.any(hi < lo, axis=1)
+    if not allow_empty and np.any(empty):
+        k = int(np.argmax(empty))
         raise ValueError(f"empty query region at row {k}: lo > hi")
     sizes = np.asarray(shape, dtype=np.int64)
-    if np.any(lo < 0) or np.any(hi >= sizes):
-        bad = np.any((lo < 0) | (hi >= sizes), axis=1)
+    bad = np.any((lo < 0) | (hi >= sizes), axis=1) & ~empty
+    if np.any(bad):
         k = int(np.argmax(bad))
         raise ValueError(
             f"query {k} ({lo[k]}..{hi[k]}) outside cube of shape {shape}"
         )
     return lo, hi
+
+
+def solve_with_identity(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    identity: object,
+    solve: "Callable[[np.ndarray, np.ndarray], np.ndarray]",
+) -> np.ndarray:
+    """Run a batch solver on the non-empty rows, filling empty rows.
+
+    The batch counterpart of the scalar empty-range rule: each row with
+    ``hi < lo`` in any dimension contributes the operator identity, and
+    the underlying kernel only ever sees validated non-empty rows.
+
+    Args:
+        lo, hi: Normalized ``(K, d)`` bounds (``allow_empty=True``).
+        identity: The operator identity written into empty rows.
+        solve: Kernel mapping non-empty ``(M, d)`` bounds to ``(M,)``
+            results; decides the result dtype.
+
+    Returns:
+        A ``(K,)`` array of aggregates.
+    """
+    empty = np.any(hi < lo, axis=1)
+    if not np.any(empty):
+        return solve(lo, hi)
+    filled = solve(lo[~empty], hi[~empty])
+    out = np.full(lo.shape[0], identity, dtype=filled.dtype)
+    out[~empty] = filled
+    return out
 
 
 def boxes_to_arrays(

@@ -360,13 +360,19 @@ class RangeQueryEngine:
         self,
         query: RangeQuery | Box,
         counter: AccessCounter = NULL_COUNTER,
-    ) -> float:
-        """Range-average from the (sum, count) pair (§1)."""
+    ) -> "float | None":
+        """Range-average from the (sum, count) pair (§1).
+
+        Returns:
+            The average as a float, or ``None`` when the region holds no
+            records (zero count — the documented SQL ``AVG``-over-empty
+            answer, which also covers empty boxes).
+        """
         box = self._resolve(query)
         total = self.sum(box, counter)
         denominator = self.count(box, counter)
         if denominator == 0:
-            raise ZeroDivisionError("average over a region with no records")
+            return None
         return float(total) / float(denominator)
 
     def max(
@@ -411,19 +417,24 @@ class RangeQueryEngine:
     # ------------------------------------------------------------------
 
     def _batch_arrays(
-        self, lows: object, highs: object
+        self, lows: object, highs: object, *, allow_empty: bool = False
     ) -> tuple[np.ndarray, np.ndarray]:
         """Normalize a query batch to validated ``(K, d)`` arrays.
 
         Accepts either ``(lows, highs)`` integer arrays of shape
         ``(K, d)`` or, when ``highs`` is None, a sequence of
         :class:`Box` / :class:`RangeQuery` objects as ``lows``.
+        ``allow_empty`` follows the empty-range rule: identity-valued
+        aggregates (sum/count/average) accept empty rows, witness-valued
+        ones (max/min) reject them.
         """
         from repro.query.batch import boxes_to_arrays, normalize_query_arrays
 
         if highs is None:
             lows, highs = boxes_to_arrays(lows, self.shape)
-        return normalize_query_arrays(lows, highs, self.shape)
+        return normalize_query_arrays(
+            lows, highs, self.shape, allow_empty=allow_empty
+        )
 
     def sum_many(
         self,
@@ -445,9 +456,10 @@ class RangeQueryEngine:
             counter: Standard access counter.
 
         Returns:
-            A ``(K,)`` numpy array of sums, in query order.
+            A ``(K,)`` numpy array of sums, in query order; empty rows
+            (``hi < lo``) yield the operator identity.
         """
-        lo, hi = self._batch_arrays(lows, highs)
+        lo, hi = self._batch_arrays(lows, highs, allow_empty=True)
         route = self._routes["sum"]
         assert route is not None
         return route.query_many(lo, hi, counter)
@@ -463,11 +475,14 @@ class RangeQueryEngine:
         With a counts cube this is a second gather on the counts prefix
         structure (the paper's (sum, count) pair); without one it is the
         queries' cell volumes, computed in one vectorized product.
+        Empty rows count zero cells.
         """
-        lo, hi = self._batch_arrays(lows, highs)
+        lo, hi = self._batch_arrays(lows, highs, allow_empty=True)
         route = self._routes["count"]
         if route is None:
-            return np.prod(hi - lo + 1, axis=1)
+            # Clamp per-dimension lengths at zero so an empty row's
+            # volume is 0, not a product of negative extents.
+            return np.prod(np.maximum(hi - lo + 1, 0), axis=1)
         return route.query_many(lo, hi, counter)
 
     def average_many(
@@ -482,24 +497,34 @@ class RangeQueryEngine:
         division — each element equals the scalar :meth:`average` of the
         same box exactly (same two integers, same float division).
 
-        Raises:
-            ZeroDivisionError: If any query's count is zero.
+        Returns:
+            A ``(K,)`` float64 array of averages.  When any query's
+            count is zero, the result is instead an object array whose
+            zero-count entries are ``None`` (matching the scalar
+            :meth:`average` contract).
         """
-        lo, hi = self._batch_arrays(lows, highs)
+        lo, hi = self._batch_arrays(lows, highs, allow_empty=True)
         sum_route = self._routes["sum"]
         assert sum_route is not None
         totals = sum_route.query_many(lo, hi, counter)
         count_route = self._routes["count"]
         if count_route is None:
-            denominators = np.prod(hi - lo + 1, axis=1)
+            denominators = np.prod(np.maximum(hi - lo + 1, 0), axis=1)
         else:
             denominators = count_route.query_many(lo, hi, counter)
-        if np.any(denominators == 0):
-            k = int(np.argmax(denominators == 0))
-            raise ZeroDivisionError(
-                f"average over a region with no records (query {k})"
-            )
-        return totals.astype(np.float64) / denominators.astype(np.float64)
+        zero = np.asarray(denominators) == 0
+        if np.any(zero):
+            out = np.empty(len(zero), dtype=object)
+            for k in range(len(zero)):
+                out[k] = (
+                    None
+                    if zero[k]
+                    else float(totals[k]) / float(denominators[k])
+                )
+            return out
+        return totals.astype(np.float64) / np.asarray(
+            denominators, dtype=np.float64
+        )
 
     def max_many(
         self,

@@ -12,7 +12,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro._util import Box
+from repro._util import Box, check_query_box
 from repro.core.operators import SUM, InvertibleOperator
 from repro.instrumentation import NULL_COUNTER, AccessCounter
 
@@ -23,8 +23,13 @@ def naive_range_sum(
     counter: AccessCounter = NULL_COUNTER,
     operator: InvertibleOperator = SUM,
 ) -> object:
-    """Aggregate every cell of ``box`` directly from the cube."""
-    _check(cube, box)
+    """Aggregate every cell of ``box`` directly from the cube.
+
+    The oracle follows the normative empty-range rule: an empty box
+    aggregates zero cells, which is the operator identity.
+    """
+    if check_query_box(box, cube.shape):
+        return operator.identity
     counter.count_cube(box.volume)
     return operator.reduce_box(cube[box.slices()])
 
@@ -32,8 +37,12 @@ def naive_range_sum(
 def naive_max_index(
     cube: np.ndarray, box: Box, counter: AccessCounter = NULL_COUNTER
 ) -> tuple[int, ...]:
-    """Index of a maximum cell of ``box`` by full scan."""
-    _check(cube, box)
+    """Index of a maximum cell of ``box`` by full scan.
+
+    An empty box has no witness cell, so it stays an error here (the
+    ``None`` answer lives on the protocol ``query`` surface).
+    """
+    check_query_box(box, cube.shape, allow_empty=False)
     counter.count_cube(box.volume)
     window = cube[box.slices()]
     local = np.unravel_index(int(np.argmax(window)), window.shape)
@@ -57,17 +66,3 @@ def naive_sum_range(
         tuple(lo for lo, _ in bounds), tuple(hi for _, hi in bounds)
     )
     return naive_range_sum(cube, box, counter)
-
-
-def _check(cube: np.ndarray, box: Box) -> None:
-    if box.ndim != cube.ndim:
-        raise ValueError(
-            f"query has {box.ndim} dims, cube has {cube.ndim}"
-        )
-    if box.is_empty:
-        raise ValueError(f"empty query region {box}")
-    for j, (lo, hi, n) in enumerate(zip(box.lo, box.hi, cube.shape)):
-        if not 0 <= lo <= hi < n:
-            raise ValueError(
-                f"range {lo}:{hi} outside dimension {j} of size {n}"
-            )

@@ -37,6 +37,11 @@ class SparseCube:
             key = tuple(int(i) for i in index)
             if len(key) != len(self.shape) or not bounds.contains_point(key):
                 raise ValueError(f"cell {index} outside shape {self.shape}")
+            # Coerce numpy scalars to Python numbers: downstream running
+            # sums (`a + b` chains in the sparse engines) must use
+            # arbitrary-precision arithmetic, not wrap in e.g. int8.
+            if isinstance(value, np.generic):
+                value = value.item()
             self.cells[key] = value
 
     @classmethod
@@ -82,12 +87,28 @@ class SparseCube:
         """Iterate ``(index, value)`` pairs of the non-empty cells."""
         return self.cells.items()
 
-    def densify(self, box: Box, dtype=np.int64) -> np.ndarray:
+    def value_dtype(self) -> np.dtype:
+        """The dense dtype that represents every stored value exactly.
+
+        ``float64`` when any cell holds a float, else ``int64`` — an
+        ``int64`` densification of float cells would silently truncate.
+        """
+        if any(
+            isinstance(value, (float, np.floating))
+            for value in self.cells.values()
+        ):
+            return np.dtype(np.float64)
+        return np.dtype(np.int64)
+
+    def densify(self, box: Box, dtype=None) -> np.ndarray:
         """Materialize the dense sub-array of one region.
 
         Used per dense region by the sparse range-sum engine; the full
-        cube is never materialized.
+        cube is never materialized.  ``dtype=None`` infers
+        :meth:`value_dtype`.
         """
+        if dtype is None:
+            dtype = self.value_dtype()
         array = np.zeros(box.lengths, dtype=dtype)
         for index, value in self.cells.items():
             if box.contains_point(index):
@@ -95,7 +116,7 @@ class SparseCube:
                 array[offset] = value
         return array
 
-    def to_dense(self, dtype=np.int64) -> np.ndarray:
+    def to_dense(self, dtype=None) -> np.ndarray:
         """Materialize the entire cube (test oracles only)."""
         return self.densify(full_box(self.shape), dtype)
 

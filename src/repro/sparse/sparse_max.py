@@ -14,16 +14,41 @@ best-first from the root (see :meth:`RStarTree.max_in_region`).
 
 from __future__ import annotations
 
-from repro._util import Box
+from repro._util import Box, check_query_box
 from repro.index.protocol import RangeMaxIndexMixin
-from repro.index.registry import register_index
+from repro.index.registry import FuzzProfile, register_index
 from repro.instrumentation import NULL_COUNTER, AccessCounter
 from repro.sparse.rtree import Rect, RStarTree
 from repro.sparse.sparse_cube import SparseCube
 
 
+def _sample_sparse_max_params(rng, shape: tuple) -> dict:
+    """Draw a small R*-tree node capacity."""
+    return {"rtree_max_entries": int(rng.choice((4, 16)))}
+
+
 @register_index(
-    "sparse_max_rtree", kind="max", persistable=False, sparse_input=True
+    "sparse_max_rtree",
+    kind="max",
+    persistable=False,
+    sparse_input=True,
+    fuzz_profile=FuzzProfile(
+        dtypes=(
+            "int8",
+            "int16",
+            "int32",
+            "int64",
+            "uint8",
+            "uint16",
+            "uint32",
+            "uint64",
+            "float32",
+            "float64",
+        ),
+        operators=(),
+        supports_updates=False,
+        sample_params=_sample_sparse_max_params,
+    ),
 )
 class SparseRangeMaxEngine(RangeMaxIndexMixin):
     """Range-max over a sparse cube's non-empty cells.
@@ -60,10 +85,11 @@ class SparseRangeMaxEngine(RangeMaxIndexMixin):
         """``(index, value)`` of the max non-empty cell in ``box``.
 
         Returns ``None`` when the region holds no non-empty cell (an
-        all-empty region has no defined max index in a sparse cube).
+        all-empty region has no defined max index in a sparse cube) —
+        and likewise for an empty box, which covers no cell at all.
         """
-        if box.ndim != self.cube.ndim:
-            raise ValueError("query dimensionality mismatch")
+        if check_query_box(box, self.shape):
+            return None
         hit = self.rtree.max_in_region(Rect.from_box(box), counter)
         if hit is None:
             return None

@@ -18,20 +18,51 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro._util import Box
+from repro._util import Box, check_query_box
 from repro.core.blocked import BlockedPrefixSumCube
 from repro.core.prefix_sum import PrefixSumCube
 from repro.index.protocol import RangeSumIndexMixin
-from repro.index.registry import register_index
+from repro.index.registry import FuzzProfile, register_index
 from repro.instrumentation import NULL_COUNTER, AccessCounter
 from repro.sparse.btree import BPlusTree
 from repro.sparse.dense_regions import DenseRegionConfig, find_dense_regions
 from repro.sparse.rtree import Rect, RStarTree
 from repro.sparse.sparse_cube import SparseCube
 
+#: Dtypes the sparse engines accept: stored values are coerced to exact
+#: Python numbers, so any integer dtype works; float64 covers floats.
+SPARSE_FUZZ_DTYPES = (
+    "int8",
+    "int16",
+    "int32",
+    "int64",
+    "uint8",
+    "uint16",
+    "uint32",
+    "uint64",
+    "float64",
+)
+
+
+def _sample_sparse_1d_params(rng, shape: tuple) -> dict:
+    """Draw a blocking factor and a small B-tree order."""
+    return {
+        "block_size": int(rng.integers(1, 5)),
+        "btree_order": int(rng.choice((4, 32))),
+    }
+
 
 @register_index(
-    "sparse_sum_1d", kind="sum", persistable=False, sparse_input=True
+    "sparse_sum_1d",
+    kind="sum",
+    persistable=False,
+    sparse_input=True,
+    fuzz_profile=FuzzProfile(
+        dtypes=SPARSE_FUZZ_DTYPES,
+        max_ndim=1,
+        supports_updates=False,
+        sample_params=_sample_sparse_1d_params,
+    ),
 )
 class SparseRangeSum1D(RangeSumIndexMixin):
     """Sparse one-dimensional prefix sums under a B-tree (§10.1).
@@ -115,12 +146,13 @@ class SparseRangeSum1D(RangeSumIndexMixin):
     def range_sum(
         self, box: Box, counter: AccessCounter = NULL_COUNTER
     ) -> object:
-        """``Sum(l:h)`` via predecessor searches on the sparse ``P``."""
-        if box.ndim != 1:
-            raise ValueError("query must be one-dimensional")
+        """``Sum(l:h)`` via predecessor searches on the sparse ``P``.
+
+        An empty range yields 0 (the SUM identity).
+        """
+        if check_query_box(box, self.shape):
+            return 0
         (lo,), (hi,) = box.lo, box.hi
-        if not 0 <= lo <= hi < self.cube.shape[0]:
-            raise ValueError(f"range {lo}:{hi} outside the cube")
         if self.block_size > 1:
             total = self._prefix_through(hi, counter)
             if lo > 0:
@@ -144,8 +176,24 @@ class _RegionIndex:
     structure: PrefixSumCube | BlockedPrefixSumCube
 
 
+def _sample_sparse_region_params(rng, shape: tuple) -> dict:
+    """Draw a region block size and a small R*-tree node capacity."""
+    return {
+        "block_size": int(rng.integers(1, 3)),
+        "rtree_max_entries": int(rng.choice((4, 16))),
+    }
+
+
 @register_index(
-    "sparse_region_sum", kind="sum", persistable=False, sparse_input=True
+    "sparse_region_sum",
+    kind="sum",
+    persistable=False,
+    sparse_input=True,
+    fuzz_profile=FuzzProfile(
+        dtypes=SPARSE_FUZZ_DTYPES,
+        max_ndim=3,
+        sample_params=_sample_sparse_region_params,
+    ),
 )
 class SparseRangeSumEngine(RangeSumIndexMixin):
     """Dense regions + per-region prefix sums + R*-tree outliers (§10.2).
@@ -234,9 +282,12 @@ class SparseRangeSumEngine(RangeSumIndexMixin):
     def range_sum(
         self, box: Box, counter: AccessCounter = NULL_COUNTER
     ) -> object:
-        """``Sum(box)``: per-region prefix sums plus in-range outliers."""
-        if box.ndim != self.cube.ndim:
-            raise ValueError("query dimensionality mismatch")
+        """``Sum(box)``: per-region prefix sums plus in-range outliers.
+
+        An empty box yields 0 (the SUM identity).
+        """
+        if check_query_box(box, self.shape):
+            return 0
         total = 0
         query_rect = Rect.from_box(box)
         for rect, payload in self.rtree.search(query_rect, counter):

@@ -1,0 +1,66 @@
+"""Shadow-cube oracles the harness diffs every index answer against.
+
+The driver mirrors the source cube into a *shadow* array held in a wide
+exact dtype (int64, or float64 when the domain is floating).  Scenario
+values are chosen so every aggregate is exactly representable there —
+small integers for SUM/XOR, powers of two for PRODUCT — which is what
+lets :func:`repro.index.protocol.values_match` demand bit-exact
+agreement with no tolerance.
+
+These reducers intentionally mirror :func:`repro.query.naive` semantics
+(empty range → operator identity; max over an empty or all-zero sparse
+region → ``None``) while staying an *independent* implementation: the
+oracle windows the shadow array directly and never touches ``Box``
+validation, prefix arrays, or any code under test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import Box
+
+#: Operator identities, keyed by operator name (empty range answers).
+IDENTITIES = {"sum": 0, "xor": 0, "product": 1}
+
+_REDUCERS = {
+    "sum": lambda window: window.sum(),
+    "xor": lambda window: np.bitwise_xor.reduce(window, axis=None),
+    "product": lambda window: window.prod(),
+}
+
+
+def shadow_dtype(dtype: object, operator: str) -> np.dtype:
+    """The wide exact dtype the shadow mirror is held in."""
+    if operator == "product" or np.issubdtype(
+        np.dtype(dtype), np.floating
+    ):
+        return np.dtype(np.float64)
+    return np.dtype(np.int64)
+
+
+def oracle_aggregate(
+    shadow: np.ndarray, box: Box, operator: str
+) -> object:
+    """The SUM-family answer for ``box`` by direct scan of the shadow."""
+    window = shadow[box.slices()]
+    if window.size == 0:
+        return IDENTITIES[operator]
+    return _REDUCERS[operator](window)
+
+
+def oracle_max_value(shadow: np.ndarray, box: Box) -> object:
+    """The dense MAX answer: the max cell value, or ``None`` if empty."""
+    window = shadow[box.slices()]
+    if window.size == 0:
+        return None
+    return window.max()
+
+
+def oracle_sparse_max_value(shadow: np.ndarray, box: Box) -> object:
+    """The sparse MAX answer: max over *stored* (non-zero) cells only."""
+    window = shadow[box.slices()]
+    stored = window[window != 0]
+    if stored.size == 0:
+        return None
+    return stored.max()

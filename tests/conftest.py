@@ -9,6 +9,21 @@ from hypothesis import strategies as st
 from repro._util import Box
 
 
+def pytest_addoption(parser) -> None:
+    """``--fuzz``: run the differential suite at its full trial budget.
+
+    Without the flag ``tests/verify`` runs a small fixed-seed budget
+    sized for tier-1; with it, the same parametrized tests sweep the
+    full budget (minutes, not seconds).
+    """
+    parser.addoption(
+        "--fuzz",
+        action="store_true",
+        default=False,
+        help="run the differential fuzz suite at full budget",
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic random generator per test."""

@@ -202,10 +202,9 @@ class TestValidation:
         with pytest.raises(ValueError, match="outside"):
             structure.sum_range([(0, 4), (0, 3)])
 
-    def test_empty_region(self, rng):
+    def test_empty_region_returns_identity(self, rng):
         structure = PrefixSumCube(make_cube((4, 4), rng))
-        with pytest.raises(ValueError, match="empty"):
-            structure.range_sum(Box((2, 0), (1, 3)))
+        assert structure.range_sum(Box((2, 0), (1, 3))) == 0
 
     def test_negative_low(self, rng):
         structure = PrefixSumCube(make_cube((4, 4), rng))

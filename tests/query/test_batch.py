@@ -161,10 +161,19 @@ class TestBatchInputValidation:
         with pytest.raises(ValueError, match=r"\(K, 2\)"):
             engine.sum_many(np.zeros((3, 3), int), np.ones((3, 3), int))
 
-    def test_lo_above_hi(self, rng):
-        engine = RangeQueryEngine(make_cube((6, 6), rng), max_fanout=None)
+    def test_lo_above_hi_yields_identity(self, rng):
+        cube = make_cube((6, 6), rng)
+        engine = RangeQueryEngine(cube, max_fanout=None)
+        sums = engine.sum_many(
+            np.array([[0, 0], [3, 3]]), np.array([[5, 5], [2, 5]])
+        )
+        assert sums[0] == cube.sum()
+        assert sums[1] == 0  # empty row: the SUM identity
+
+    def test_lo_above_hi_rejected_for_max(self, rng):
+        engine = RangeQueryEngine(make_cube((6, 6), rng), max_fanout=3)
         with pytest.raises(ValueError, match="empty query region at row 1"):
-            engine.sum_many(
+            engine.max_many(
                 np.array([[0, 0], [3, 3]]), np.array([[5, 5], [2, 5]])
             )
 
@@ -190,12 +199,17 @@ class TestBatchInputValidation:
         indices, values = engine.max_many(empty, empty)
         assert indices.shape == (0, 2) and values.shape == (0,)
 
-    def test_average_many_zero_count(self, rng):
+    def test_average_many_zero_count_is_none(self, rng):
         cube = make_cube((4, 4), rng)
         counts = np.zeros((4, 4), dtype=np.int64)
+        counts[2, 2] = 3
         engine = RangeQueryEngine(cube, counts=counts, max_fanout=None)
-        with pytest.raises(ZeroDivisionError):
-            engine.average_many(np.array([[0, 0]]), np.array([[1, 1]]))
+        averages = engine.average_many(
+            np.array([[0, 0], [2, 2]]), np.array([[1, 1], [2, 2]])
+        )
+        assert averages.dtype == object
+        assert averages[0] is None  # zero records under the region
+        assert averages[1] == float(cube[2, 2]) / 3.0
 
     def test_range_query_objects_accepted(self, rng):
         cube = make_cube((10, 10), rng)

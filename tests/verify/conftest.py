@@ -1,0 +1,29 @@
+"""Budgets and helpers for the differential suite.
+
+The suite is the harness wearing its pytest hat: the same scenario
+generator and driver as ``python -m repro.verify``, parametrized over
+the registry.  Tier-1 runs a small fixed-seed budget; ``--fuzz`` (see
+the root conftest) raises it to a real sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Scenarios per index in the tier-1 (default) run.
+TIER1_TRIALS = 4
+
+#: Scenarios per index under ``pytest --fuzz``.
+FULL_TRIALS = 50
+
+#: Seed base distinct from the CLI's stride so the suites don't
+#: duplicate the CI smoke job's coverage.
+SEED_BASE = 7_000_000
+
+
+@pytest.fixture(scope="session")
+def trial_budget(request) -> int:
+    """Scenarios per index, honoring ``--fuzz``."""
+    if request.config.getoption("--fuzz"):
+        return FULL_TRIALS
+    return TIER1_TRIALS

@@ -1,0 +1,136 @@
+"""Tests for the greedy scenario shrinker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import check_query_box
+from repro.core.operators import SUM
+from repro.index.protocol import NULL_COUNTER, RangeSumIndexMixin
+from repro.index.registry import (
+    _REGISTRY,
+    FuzzProfile,
+    register_index,
+)
+from repro.verify import (
+    Scenario,
+    run_scenario,
+    scenario_for,
+    shrink_scenario,
+)
+from repro.verify.driver import Divergence
+
+
+def _base_scenario() -> Scenario:
+    return Scenario(
+        index="prefix_sum",
+        seed=1,
+        shape=(4, 4),
+        dtype="int64",
+        operator="sum",
+        params=(),
+        backend="memmap",
+        steps=(("query", 1), ("update", 2), ("query", 3)),
+        engine=True,
+    )
+
+
+class TestGreedyDescent:
+    def test_drops_everything_irrelevant(self):
+        """With a synthetic runner the shrinker strips the scenario to
+        the one step that matters, drops the memmap backend, the engine
+        phase, and shrinks every axis to 1."""
+
+        def runner(scenario):
+            if ("update", 2) in scenario.steps:
+                return Divergence(scenario, {"kind": "synthetic"})
+            return None
+
+        small, failure = shrink_scenario(
+            _base_scenario(), runner=runner
+        )
+        assert small.steps == (("update", 2),)
+        assert small.backend == "memory"
+        assert small.engine is False
+        assert small.shape == (1, 1)
+        assert failure.detail == {"kind": "synthetic"}
+
+    def test_passing_scenario_is_rejected(self):
+        with pytest.raises(ValueError, match="does not fail"):
+            shrink_scenario(_base_scenario(), runner=lambda s: None)
+
+    def test_attempt_cap_is_respected(self):
+        calls = []
+
+        def runner(scenario):
+            calls.append(scenario)
+            return Divergence(scenario, {})
+
+        shrink_scenario(_base_scenario(), runner=runner, max_attempts=5)
+        # 1 initial evaluation + at most max_attempts candidates.
+        assert len(calls) <= 6
+
+
+class TestEndToEndOnBrokenIndex:
+    """Register a deliberately buggy index and shrink a real failure."""
+
+    def test_shrinks_to_single_step(self, rng):
+        name = "_verify_broken_sum"
+
+        try:
+
+            @register_index(
+                name,
+                kind="sum",
+                persistable=False,
+                fuzz_profile=FuzzProfile(
+                    dtypes=("int64",),
+                    operators=("sum",),
+                    max_ndim=3,
+                    supports_updates=False,
+                ),
+            )
+            class BrokenSum(RangeSumIndexMixin):
+                """Correct except on totals congruent to 3 mod 7."""
+
+                def __init__(self, cube, operator=SUM, backend=None):
+                    self.cube = np.asarray(cube)
+                    self.shape = self.cube.shape
+                    self.operator = operator
+
+                def range_sum(self, box, counter=NULL_COUNTER):
+                    if check_query_box(box, self.shape):
+                        return 0
+                    total = int(self.cube[box.slices()].sum())
+                    return total + 1 if total % 7 == 3 else total
+
+                def memory_cells(self):
+                    return 0
+
+            failure = None
+            for seed in range(100):
+                scenario = scenario_for(name, seed)
+                failure = run_scenario(scenario)
+                if failure is not None:
+                    break
+            assert failure is not None, "seeded bug never triggered"
+
+            small, small_failure = shrink_scenario(failure.scenario)
+            # Steps are independent (no updates), so greedy descent
+            # reaches a single failing probe: one step, or none when
+            # the engine phase alone reproduces the bug.
+            if small.steps:
+                assert len(small.steps) == 1
+                assert small_failure.detail["kind"] in (
+                    "query",
+                    "query_many",
+                )
+            else:
+                assert small.engine
+                assert small_failure.detail["kind"].startswith("engine_")
+            # The shrunk scenario replays from its token.
+            replayed = run_scenario(Scenario.from_token(small.to_token()))
+            assert replayed is not None
+        finally:
+            _REGISTRY.pop(name, None)
