@@ -6,7 +6,7 @@ regenerates; EXPERIMENTS.md records the paper-vs-measured comparison.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 
 def format_table(

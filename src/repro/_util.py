@@ -9,7 +9,7 @@ This module centralizes the box arithmetic so the query-path code in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 
 @dataclass(frozen=True)
@@ -66,7 +66,7 @@ class Box:
             l <= p <= h for l, p, h in zip(self.lo, point, self.hi)
         )
 
-    def contains_box(self, other: "Box") -> bool:
+    def contains_box(self, other: Box) -> bool:
         """True when ``other`` is entirely inside this box.
 
         An empty ``other`` is contained in every box.
@@ -78,13 +78,13 @@ class Box:
             for sl, ol, oh, sh in zip(self.lo, other.lo, other.hi, self.hi)
         )
 
-    def intersect(self, other: "Box") -> "Box":
+    def intersect(self, other: Box) -> Box:
         """The (possibly empty) intersection of two boxes."""
         lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
         hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
         return Box(lo, hi)
 
-    def intersects(self, other: "Box") -> bool:
+    def intersects(self, other: Box) -> bool:
         """True when the two boxes share at least one cell."""
         return not self.intersect(other).is_empty
 

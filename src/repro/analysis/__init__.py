@@ -1,0 +1,68 @@
+"""cubelint — the repo-specific static-analysis pass.
+
+PR 3's differential fuzzer kept rediscovering the same *classes* of bug:
+narrow-dtype accumulation wrap, entry points that skip
+:func:`~repro._util.check_query_box`, memmap mutations that never reach
+``backend.flush()``.  Each one breaks an invariant that follows directly
+from the paper's Theorem-1 inclusion–exclusion algebra — a wrong dtype or
+an unvalidated box makes the ``⊕``/``⊖`` cancellation silently wrong.
+cubelint turns those invariants into AST-level lint rules so they are
+enforced at review time instead of being re-found by fuzzing every PR.
+
+The package is a small rule engine (:mod:`repro.analysis.engine`) plus
+five repo-specific rules (:mod:`repro.analysis.rules`):
+
+========================  ====================================================
+rule id                   invariant
+========================  ====================================================
+``dtype-safety``          numpy allocations/reductions in the hot layers
+                          carry an explicit ``dtype=`` (routed through
+                          ``InvertibleOperator.accumulation_dtype``)
+``box-validation``        public query entry points on registered indexes
+                          validate via ``check_query_box`` first
+``registry-contract``     ``@register_index`` classes implement the protocol
+                          surface their ``FuzzProfile`` declares
+``memmap-flush``          update paths that mutate backend-held arrays call
+                          ``backend.flush()`` on every return path
+``determinism``           no unseeded global randomness in ``repro/verify``
+                          and ``benchmarks/``
+========================  ====================================================
+
+Run it as ``python -m repro.analysis [paths ...]``; see
+``docs/ANALYSIS.md`` for the full rule reference, the
+``# cubelint: allow[rule-id]`` suppression syntax, and the baseline
+workflow.
+"""
+
+from repro.analysis.baseline import (
+    baseline_key,
+    load_baseline,
+    partition_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import (
+    LintContext,
+    LintReport,
+    Rule,
+    Violation,
+    iter_python_files,
+    lint_file,
+    run_paths,
+)
+from repro.analysis.rules import default_rules, rules_by_id
+
+__all__ = [
+    "LintContext",
+    "LintReport",
+    "Rule",
+    "Violation",
+    "baseline_key",
+    "default_rules",
+    "iter_python_files",
+    "lint_file",
+    "load_baseline",
+    "partition_baseline",
+    "rules_by_id",
+    "run_paths",
+    "write_baseline",
+]

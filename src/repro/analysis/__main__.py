@@ -1,0 +1,165 @@
+"""``python -m repro.analysis`` — the cubelint CLI.
+
+Exit codes: ``0`` when no new violations (baselined and suppressed
+findings do not fail the run), ``1`` when new violations exist, ``2``
+on usage errors.  ``--format json`` emits a machine-readable report;
+``--write-baseline`` regenerates the grandfather file instead of
+failing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    load_baseline,
+    partition_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import run_paths
+from repro.analysis.rules import default_rules, rules_by_id
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="cubelint: the repo-specific static-analysis pass "
+        "(see docs/ANALYSIS.md)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "benchmarks"],
+        help="files or directories to lint (default: src benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=None,
+        metavar="RULE-ID",
+        help="run only these rules (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline file of grandfathered violations "
+        f"(default: ./{DEFAULT_BASELINE_NAME} when it exists)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the shipped rules and exit",
+    )
+    return parser
+
+
+def _selected_rules(select: Sequence[str] | None) -> list:
+    rules = default_rules()
+    if not select:
+        return rules
+    wanted: set[str] = set()
+    for entry in select:
+        wanted.update(part.strip() for part in entry.split(",") if part.strip())
+    known = rules_by_id()
+    unknown = wanted - set(known)
+    if unknown:
+        raise SystemExit(
+            f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return [rule for rule in rules if rule.rule_id in wanted]
+
+
+def _resolve_baseline(argument: str | None) -> Path | None:
+    if argument is not None:
+        return Path(argument)
+    default = Path(DEFAULT_BASELINE_NAME)
+    return default if default.exists() else None
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            scope = ", ".join(rule.scope) if rule.scope else "all files"
+            print(f"{rule.rule_id:18s} [{scope}]\n    {rule.description}")
+        return 0
+
+    try:
+        rules = _selected_rules(args.select)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    report = run_paths(args.paths, rules)
+    baseline_path = _resolve_baseline(args.baseline)
+
+    if args.write_baseline:
+        target = baseline_path or Path(DEFAULT_BASELINE_NAME)
+        count = write_baseline(target, report.violations)
+        print(f"cubelint: wrote {count} baseline entrie(s) to {target}")
+        return 0
+
+    baseline = load_baseline(baseline_path) if baseline_path else set()
+    new, grandfathered = partition_baseline(report.violations, baseline)
+
+    if args.format == "json":
+        payload = {
+            "violations": [v.as_json() for v in new],
+            "baselined": [v.as_json() for v in grandfathered],
+            "counts": {
+                "files": report.files,
+                "violations": len(new),
+                "baselined": len(grandfathered),
+                "suppressed": report.suppressed,
+            },
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for violation in new:
+            print(violation.format())
+        summary = (
+            f"cubelint: {len(new)} violation(s) in {report.files} file(s)"
+        )
+        extras = []
+        if report.suppressed:
+            extras.append(f"{report.suppressed} suppressed")
+        if grandfathered:
+            extras.append(f"{len(grandfathered)} baselined")
+        if extras:
+            summary += f" ({', '.join(extras)})"
+        print(summary)
+
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    try:
+        code = main()
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # Downstream pager/`head` closed the pipe: exit quietly, the
+        # way every well-behaved CLI does.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    raise SystemExit(code)

@@ -1,0 +1,66 @@
+"""Baseline handling: grandfather known violations, fail on new ones.
+
+The baseline is a checked-in JSON file listing violation keys
+(``path:rule-id:line``).  A lint run compares its findings against the
+baseline: grandfathered entries are reported separately and do not fail
+the run, anything new does.  ``python -m repro.analysis
+--write-baseline`` regenerates the file; the project keeps it
+(near-)empty — real violations get fixed, deliberate exceptions use
+inline ``# cubelint: allow[...]`` suppressions instead.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.engine import Violation
+
+#: Default baseline location (repo root, next to ``pyproject.toml``).
+DEFAULT_BASELINE_NAME = "cubelint.baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+def baseline_key(violation: Violation) -> str:
+    """The stable identity of a violation for baseline matching.
+
+    Line numbers are part of the key on purpose: when surrounding code
+    moves a grandfathered violation, the move surfaces it for review
+    instead of hiding it forever.
+    """
+    return f"{violation.path}:{violation.rule_id}:{violation.line}"
+
+
+def load_baseline(path: Path | str) -> set[str]:
+    """Read a baseline file; a missing file is an empty baseline."""
+    file_path = Path(path)
+    if not file_path.exists():
+        return set()
+    payload = json.loads(file_path.read_text(encoding="utf-8"))
+    entries = payload.get("entries", [])
+    return {str(entry) for entry in entries}
+
+
+def write_baseline(path: Path | str, violations: list[Violation]) -> int:
+    """Write ``violations`` as the new baseline; returns the entry count."""
+    entries = sorted({baseline_key(v) for v in violations})
+    payload = {"version": _FORMAT_VERSION, "entries": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+def partition_baseline(
+    violations: list[Violation], baseline: set[str]
+) -> tuple[list[Violation], list[Violation]]:
+    """Split findings into ``(new, grandfathered)`` against a baseline."""
+    new: list[Violation] = []
+    grandfathered: list[Violation] = []
+    for violation in violations:
+        if baseline_key(violation) in baseline:
+            grandfathered.append(violation)
+        else:
+            new.append(violation)
+    return new, grandfathered

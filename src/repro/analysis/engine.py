@@ -1,0 +1,234 @@
+"""The cubelint rule engine: contexts, suppressions, file runner.
+
+A :class:`Rule` inspects one parsed module and yields
+:class:`Violation` records.  The engine owns everything rules should not
+have to care about: discovering files, parsing once per file, scoping
+rules to path fragments, and honouring ``# cubelint: allow[rule-id]``
+suppression comments (same line, or an immediately preceding
+comment-only line).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import ClassVar
+
+#: Matches the suppression directive inside a comment token.
+_ALLOW_RE = re.compile(r"cubelint:\s*allow\[([^\]]*)\]")
+
+#: Rule id reserved for files the engine cannot parse.
+SYNTAX_ERROR_RULE = "syntax-error"
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: a rule, a location, and a human-readable message."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """The canonical one-line human rendering."""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule_id}] {self.message}"
+
+    def as_json(self) -> dict[str, object]:
+        """The JSON-output rendering (stable key order via dict literal)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may inspect about one file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: Sequence[str] = field(default_factory=tuple)
+
+    @classmethod
+    def from_source(cls, path: str, source: str) -> LintContext:
+        """Parse ``source`` once and package it for the rules.
+
+        Raises:
+            SyntaxError: If the file is not valid Python.
+        """
+        tree = ast.parse(source, filename=path)
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            lines=tuple(source.splitlines()),
+        )
+
+
+class Rule:
+    """Base class for cubelint rules.
+
+    Subclasses set :attr:`rule_id`, :attr:`description`, optionally a
+    path :attr:`scope`, and implement :meth:`check`.
+    """
+
+    #: Stable kebab-case identifier (used in suppressions and baselines).
+    rule_id: ClassVar[str] = ""
+    #: One-line summary shown by ``--list-rules``.
+    description: ClassVar[str] = ""
+    #: POSIX path fragments the rule is restricted to; empty = every file.
+    scope: ClassVar[tuple[str, ...]] = ()
+
+    def applies_to(self, path: str) -> bool:
+        """Whether ``path`` (POSIX-style) falls inside the rule's scope."""
+        if not self.scope:
+            return True
+        return any(fragment in path for fragment in self.scope)
+
+    def check(self, context: LintContext) -> Iterator[Violation]:
+        """Yield violations found in ``context``."""
+        raise NotImplementedError
+
+    def violation(
+        self, context: LintContext, node: ast.AST, message: str
+    ) -> Violation:
+        """Convenience constructor anchored at ``node``."""
+        return Violation(
+            path=context.path,
+            line=int(getattr(node, "lineno", 1)),
+            col=int(getattr(node, "col_offset", 0)) + 1,
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+@dataclass
+class LintReport:
+    """Aggregate result of linting a set of files."""
+
+    violations: list[Violation] = field(default_factory=list)
+    suppressed: int = 0
+    files: int = 0
+
+    def extend(self, other: LintReport) -> None:
+        """Merge another report (one file's results) into this one."""
+        self.violations.extend(other.violations)
+        self.suppressed += other.suppressed
+        self.files += other.files
+
+
+def suppressed_rules_by_line(source: str) -> dict[int, set[str]]:
+    """Map line number → rule ids allowed there.
+
+    Directives are comments of the form ``# cubelint: allow[rule-id]``
+    (several ids may be comma-separated).  Comments are located with
+    :mod:`tokenize` so directive text inside string literals is ignored.
+    Files that fail to tokenize return an empty map — the parse error is
+    reported separately.
+    """
+    allowed: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_RE.search(token.string)
+            if match is None:
+                continue
+            ids = {
+                part.strip()
+                for part in match.group(1).split(",")
+                if part.strip()
+            }
+            if ids:
+                allowed.setdefault(token.start[0], set()).update(ids)
+    except tokenize.TokenError:
+        return {}
+    return allowed
+
+
+def _is_suppressed(
+    violation: Violation,
+    allowed: dict[int, set[str]],
+    lines: Sequence[str],
+) -> bool:
+    """Same-line directives always apply; a directive on the previous
+    line applies when that line holds nothing but the comment."""
+    same_line = allowed.get(violation.line, set())
+    if violation.rule_id in same_line:
+        return True
+    previous = allowed.get(violation.line - 1, set())
+    if violation.rule_id in previous and 0 < violation.line - 1 <= len(lines):
+        return lines[violation.line - 2].lstrip().startswith("#")
+    return False
+
+
+def lint_source(
+    path: str, source: str, rules: Sequence[Rule]
+) -> LintReport:
+    """Lint one in-memory module with every applicable rule."""
+    report = LintReport(files=1)
+    try:
+        context = LintContext.from_source(path, source)
+    except SyntaxError as exc:
+        report.violations.append(
+            Violation(
+                path=path,
+                line=int(exc.lineno or 1),
+                col=int(exc.offset or 0) + 1,
+                rule_id=SYNTAX_ERROR_RULE,
+                message=f"cannot parse file: {exc.msg}",
+            )
+        )
+        return report
+    allowed = suppressed_rules_by_line(source)
+    findings: list[Violation] = []
+    for rule in rules:
+        if not rule.applies_to(path):
+            continue
+        findings.extend(rule.check(context))
+    for violation in sorted(findings):
+        if _is_suppressed(violation, allowed, context.lines):
+            report.suppressed += 1
+        else:
+            report.violations.append(violation)
+    return report
+
+
+def lint_file(path: Path | str, rules: Sequence[Rule]) -> LintReport:
+    """Lint one file from disk."""
+    file_path = Path(path)
+    source = file_path.read_text(encoding="utf-8")
+    return lint_source(file_path.as_posix(), source, rules)
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
+    """Expand files and directories into a sorted stream of ``.py`` files."""
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def run_paths(
+    paths: Iterable[Path | str], rules: Sequence[Rule]
+) -> LintReport:
+    """Lint every Python file under ``paths`` and merge the reports."""
+    total = LintReport()
+    for file_path in iter_python_files(paths):
+        total.extend(lint_file(file_path, rules))
+    total.violations.sort()
+    return total

@@ -1,0 +1,44 @@
+"""The cubelint rule set.
+
+Each rule lives in its own module; :func:`default_rules` assembles the
+canonical instances in reporting order.  Adding a rule means adding a
+module here and appending it to :data:`_RULE_CLASSES` — the engine,
+CLI, suppression and baseline machinery pick it up automatically.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.box_validation import BoxValidationRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.dtype_safety import DtypeSafetyRule
+from repro.analysis.rules.memmap_flush import MemmapFlushRule
+from repro.analysis.rules.registry_contract import RegistryContractRule
+
+_RULE_CLASSES: tuple[type[Rule], ...] = (
+    DtypeSafetyRule,
+    BoxValidationRule,
+    RegistryContractRule,
+    MemmapFlushRule,
+    DeterminismRule,
+)
+
+__all__ = [
+    "BoxValidationRule",
+    "DeterminismRule",
+    "DtypeSafetyRule",
+    "MemmapFlushRule",
+    "RegistryContractRule",
+    "default_rules",
+    "rules_by_id",
+]
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every shipped rule."""
+    return [cls() for cls in _RULE_CLASSES]
+
+
+def rules_by_id() -> dict[str, Rule]:
+    """The shipped rules keyed by their stable ids."""
+    return {rule.rule_id: rule for rule in default_rules()}

@@ -1,0 +1,130 @@
+"""Small AST helpers shared by the cubelint rules."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def terminal_name(node: ast.AST) -> str | None:
+    """The last component of a Name/Attribute chain (``c`` of ``a.b.c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def numpy_aliases(tree: ast.Module) -> set[str]:
+    """Names the module binds to the numpy package (``np``, ``numpy``...)."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+    return aliases
+
+
+def keyword_names(call: ast.Call) -> set[str]:
+    """Explicit keyword argument names of a call (``**kwargs`` excluded)."""
+    return {kw.arg for kw in call.keywords if kw.arg is not None}
+
+
+def keyword_value(call: ast.Call, name: str) -> ast.expr | None:
+    """The AST value of keyword ``name``, if passed explicitly."""
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def constant_bool(node: ast.expr | None, default: bool) -> bool:
+    """A literal True/False keyword value; anything dynamic → default."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, bool):
+        return node.value
+    return default
+
+
+def decorator_call(
+    node: ast.ClassDef | ast.FunctionDef | ast.AsyncFunctionDef,
+    suffix: str,
+) -> ast.Call | None:
+    """The first decorator that is a call to ``...<suffix>``, if any."""
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Call):
+            name = dotted_name(decorator.func)
+            if name is not None and name.split(".")[-1] == suffix:
+                return decorator
+    return None
+
+
+def has_decorator(node: ast.FunctionDef, *names: str) -> bool:
+    """Whether any decorator's terminal name is one of ``names``."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        terminal = terminal_name(target)
+        if terminal in names:
+            return True
+    return False
+
+
+def iter_calls(node: ast.AST) -> Iterator[ast.Call]:
+    """Every Call node under ``node`` (nested functions included)."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            yield child
+
+
+def walk_function_body(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.AST]:
+    """Walk a function's own statements, skipping nested function defs."""
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+
+
+def is_abstract_body(func: ast.FunctionDef) -> bool:
+    """Whether a function body is (docstring +) ``raise NotImplementedError``.
+
+    Used to tell protocol *defaults* from protocol *placeholders* when
+    deciding which mixin methods count as provided.
+    """
+    body = list(func.body)
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+        body[0].value, ast.Constant
+    ):
+        body = body[1:]
+    if not body:
+        return True
+    if len(body) == 1 and isinstance(body[0], (ast.Pass, ast.Expr)):
+        return True
+    return all(_raises_not_implemented(stmt) for stmt in body)
+
+
+def _raises_not_implemented(stmt: ast.stmt) -> bool:
+    if not isinstance(stmt, ast.Raise) or stmt.exc is None:
+        return False
+    target = stmt.exc.func if isinstance(stmt.exc, ast.Call) else stmt.exc
+    return terminal_name(target) == "NotImplementedError"

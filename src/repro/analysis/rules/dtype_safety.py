@@ -1,0 +1,126 @@
+"""Rule ``dtype-safety`` — explicit dtypes on hot-path numpy calls.
+
+The shipped bug class (PR 3): prefix accumulation in the source dtype
+silently wraps ``int8`` cubes and loses ``float32`` precision, breaking
+the Theorem-1 ``⊕``/``⊖`` cancellation.  The normative policy lives in
+:meth:`repro.core.operators.InvertibleOperator.accumulation_dtype`; this
+rule makes sure the numpy calls that allocate or reduce aggregate
+storage in ``repro/{core,sparse,query}`` state their dtype explicitly
+(``dtype=`` or ``out=``) instead of inheriting whatever numpy infers.
+
+Deliberately dtype-polymorphic call sites (the raw ``accumulate``
+lambdas that :meth:`accumulation_dtype` itself probes) carry a
+``# cubelint: allow[dtype-safety]`` suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import LintContext, Rule, Violation
+from repro.analysis.rules._astutil import (
+    dotted_name,
+    keyword_names,
+    numpy_aliases,
+    terminal_name,
+)
+
+#: numpy module-level callables that take ``dtype`` (positional index of
+#: the dtype parameter, for calls passing it positionally).
+_NUMPY_FUNCTIONS = {
+    "zeros": 1,
+    "empty": 1,
+    "ones": 1,
+    "full": 2,
+    "cumsum": 2,
+    "cumprod": 2,
+}
+
+#: ufunc methods that take ``dtype`` (again: its positional index).
+_UFUNC_METHODS = {
+    "reduce": 2,
+    "accumulate": 2,
+    "reduceat": 3,
+}
+
+#: Terminal names a ufunc-valued expression may have in this codebase:
+#: the numpy ufuncs the operators use, the ``InvertibleOperator.apply``
+#: attribute, and the local ``apply_ufunc`` convention of the batch
+#: kernels.  ``operator.accumulate`` (the dtype-polymorphic wrapper) is
+#: deliberately *not* matched — its callers pre-promote their arrays.
+_UFUNC_BASES = {
+    "add",
+    "subtract",
+    "multiply",
+    "divide",
+    "true_divide",
+    "bitwise_xor",
+    "bitwise_and",
+    "bitwise_or",
+    "maximum",
+    "minimum",
+    "apply",
+    "apply_ufunc",
+}
+
+
+class DtypeSafetyRule(Rule):
+    """Flag dtype-inferring numpy allocations/reductions in hot layers."""
+
+    rule_id = "dtype-safety"
+    description = (
+        "numpy allocation/reduction calls in repro/{core,sparse,query} "
+        "must pass an explicit dtype= (routed through "
+        "InvertibleOperator.accumulation_dtype) or out="
+    )
+    scope = ("repro/core", "repro/sparse", "repro/query")
+
+    def check(self, context: LintContext) -> Iterator[Violation]:
+        aliases = numpy_aliases(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            hit = self._match(node, aliases)
+            if hit is None:
+                continue
+            name, dtype_position = hit
+            if self._has_explicit_dtype(node, dtype_position):
+                continue
+            yield self.violation(
+                context,
+                node,
+                f"'{name}' call without explicit dtype=; route the "
+                "accumulation dtype through "
+                "InvertibleOperator.accumulation_dtype (or pass out=)",
+            )
+
+    def _match(
+        self, call: ast.Call, aliases: set[str]
+    ) -> tuple[str, int] | None:
+        """``(display name, dtype positional index)`` for covered calls."""
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        # np.zeros / np.cumsum / ... on a numpy alias.
+        if isinstance(func.value, ast.Name) and func.value.id in aliases:
+            position = _NUMPY_FUNCTIONS.get(func.attr)
+            if position is not None:
+                return f"{func.value.id}.{func.attr}", position
+        # <ufunc>.reduce / .accumulate / .reduceat.
+        position = _UFUNC_METHODS.get(func.attr)
+        if position is not None:
+            base = terminal_name(func.value)
+            if base in _UFUNC_BASES:
+                return (
+                    dotted_name(func) or f"<expr>.{func.attr}",
+                    position,
+                )
+        return None
+
+    @staticmethod
+    def _has_explicit_dtype(call: ast.Call, dtype_position: int) -> bool:
+        keywords = keyword_names(call)
+        if "dtype" in keywords or "out" in keywords:
+            return True
+        return len(call.args) > dtype_position

@@ -1,0 +1,254 @@
+"""Rule ``memmap-flush`` — update paths flush backend-held arrays.
+
+The shipped bug class (PR 3): ``apply_updates`` mutated a
+``MemmapBackend`` spill file's pages but never called
+``backend.flush()``, so a crash — or a reader opening the spill file by
+path — saw stale pre-update values.  The contract since then: every
+public update entry point that writes into backend-held storage syncs
+the backend before returning, on *every* return path.
+
+Statically, "backend-held storage" is the repo's known inventory of
+backend-materialized array attributes (``source``, ``prefix``,
+``blocked_prefix``, ``values``, ``positions``).  The rule triggers on
+public functions/methods named ``apply*`` that subscript-store into
+``self.<attr>[...]`` or ``<param>.<attr>[...]`` (one level of local
+view aliasing like ``view = self.prefix[i]; view[...] = x`` is
+tracked), and then requires a ``*.flush()`` call to precede every
+``return`` (and the implicit end of the function).  Private helpers are
+exempt: flushing is the public boundary's job.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import LintContext, Rule, Violation
+
+#: Attribute names the backends materialize (see ``index/backend.py``
+#: call sites): mutating one of these must be followed by a flush.
+BACKED_ARRAY_ATTRS = frozenset(
+    {"source", "prefix", "blocked_prefix", "values", "positions"}
+)
+
+
+class MemmapFlushRule(Rule):
+    """Public ``apply*`` mutators must ``backend.flush()`` before returning."""
+
+    rule_id = "memmap-flush"
+    description = (
+        "public apply* functions that mutate backend-held arrays "
+        "(source/prefix/blocked_prefix/values/positions) must call "
+        "backend.flush() on every return path"
+    )
+
+    def check(self, context: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if node.name.startswith("_") or not node.name.startswith(
+                "apply"
+            ):
+                continue
+            yield from self._check_function(context, node)
+
+    def _check_function(
+        self, context: LintContext, func: ast.FunctionDef
+    ) -> Iterator[Violation]:
+        mutated = self._mutated_backed_attrs(func)
+        if not mutated:
+            return
+        attrs = ", ".join(sorted(mutated))
+        for node in self._unflushed_returns(func):
+            yield self.violation(
+                context,
+                node,
+                f"'{func.name}' mutates backend-held array(s) [{attrs}] "
+                "but returns without calling backend.flush()",
+            )
+        if not self._implicit_end_flushed(func):
+            yield self.violation(
+                context,
+                func,
+                f"'{func.name}' mutates backend-held array(s) [{attrs}] "
+                "but can fall off the end without calling "
+                "backend.flush()",
+            )
+
+    # -- mutation detection ---------------------------------------------
+
+    def _mutated_backed_attrs(self, func: ast.FunctionDef) -> set[str]:
+        """Backed attribute names this function subscript-stores into."""
+        params = {arg.arg for arg in func.args.args}
+        params.discard("self")
+        aliases: dict[str, str] = {}
+        mutated: set[str] = set()
+        nodes = list(_own_statements(func))
+        for node in nodes:
+            if isinstance(node, ast.Assign):
+                self._track_alias(node, params, aliases)
+        for node in nodes:
+            for target in _store_subscript_targets(node):
+                attr = self._backed_attr(target.value, params, aliases)
+                if attr is not None:
+                    mutated.add(attr)
+        return mutated
+
+    def _track_alias(
+        self,
+        node: ast.Assign,
+        params: set[str],
+        aliases: dict[str, str],
+    ) -> None:
+        """Record ``view = self.prefix[...]``-style local aliases."""
+        if len(node.targets) != 1 or not isinstance(
+            node.targets[0], ast.Name
+        ):
+            return
+        attr = self._backed_attr(node.value, params, aliases)
+        if attr is not None:
+            aliases[node.targets[0].id] = attr
+
+    def _backed_attr(
+        self,
+        node: ast.expr,
+        params: set[str],
+        aliases: dict[str, str],
+    ) -> str | None:
+        """The backed attribute an expression reads from, if any."""
+        current = node
+        while isinstance(current, ast.Subscript):
+            current = current.value
+        if isinstance(current, ast.Name):
+            return aliases.get(current.id)
+        if isinstance(current, ast.Attribute):
+            base = current.value
+            while isinstance(base, ast.Subscript):
+                base = base.value
+            if isinstance(base, ast.Name) and (
+                base.id == "self" or base.id in params
+            ):
+                if current.attr in BACKED_ARRAY_ATTRS:
+                    return current.attr
+        return None
+
+    # -- return-path analysis -------------------------------------------
+
+    def _unflushed_returns(
+        self, func: ast.FunctionDef
+    ) -> Iterator[ast.Return]:
+        parents = _parent_map(func)
+        for node in _own_statements(func):
+            if isinstance(node, ast.Return) and not _flush_precedes(
+                node, func, parents
+            ):
+                yield node
+
+    @staticmethod
+    def _implicit_end_flushed(func: ast.FunctionDef) -> bool:
+        """Whether falling off the end of the body passes a flush.
+
+        Only unconditionally executed statements count: the top-level
+        statement list, expanded through ``try``/``with`` wrappers.  If
+        the body always returns/raises before the end, the implicit
+        path is unreachable and vacuously fine.
+        """
+        statements = _unconditional_statements(func.body)
+        if any(
+            isinstance(stmt, (ast.Return, ast.Raise)) for stmt in statements
+        ):
+            return True
+        return any(_contains_flush(stmt) for stmt in statements)
+
+
+def _own_statements(func: ast.FunctionDef) -> Iterator[ast.AST]:
+    """Walk the function, skipping nested function/lambda subtrees."""
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.append(child)
+
+
+def _store_subscript_targets(node: ast.AST) -> Iterator[ast.Subscript]:
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    for target in targets:
+        if isinstance(target, ast.Subscript):
+            yield target
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            yield from (
+                element
+                for element in target.elts
+                if isinstance(element, ast.Subscript)
+            )
+
+
+def _unconditional_statements(body: list[ast.stmt]) -> list[ast.stmt]:
+    """Statements that always execute: the block itself, with
+    ``try``/``with`` wrappers expanded (their bodies run on the happy
+    path)."""
+    statements: list[ast.stmt] = []
+    for stmt in body:
+        statements.append(stmt)
+        if isinstance(stmt, ast.Try):
+            statements.extend(_unconditional_statements(stmt.body))
+            statements.extend(_unconditional_statements(stmt.finalbody))
+        elif isinstance(stmt, ast.With):
+            statements.extend(_unconditional_statements(stmt.body))
+    return statements
+
+
+def _parent_map(func: ast.FunctionDef) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(func):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _contains_flush(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Call)
+            and isinstance(child.func, ast.Attribute)
+            and child.func.attr == "flush"
+        ):
+            return True
+    return False
+
+
+def _flush_precedes(
+    node: ast.Return,
+    func: ast.FunctionDef,
+    parents: dict[ast.AST, ast.AST],
+) -> bool:
+    """Whether some statement textually dominating ``node`` flushes.
+
+    Walks up the block structure: for each enclosing block, every
+    statement *before* the one containing the return is inspected.  A
+    flush in a sibling branch does not count; a flush anywhere inside a
+    preceding statement (loop, conditional) optimistically does.
+    """
+    current: ast.AST = node
+    while current is not func:
+        parent = parents.get(current)
+        if parent is None:
+            break
+        for field_value in ast.iter_fields(parent):
+            block = field_value[1]
+            if not isinstance(block, list) or current not in block:
+                continue
+            index = block.index(current)
+            if any(_contains_flush(stmt) for stmt in block[:index]):
+                return True
+        current = parent
+    return False

@@ -26,7 +26,7 @@ the contracted index space against the blocked prefix array.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

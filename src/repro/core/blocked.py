@@ -28,7 +28,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from itertools import product
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.batch_update import PointUpdate
@@ -87,7 +88,7 @@ class _DimensionPlan:
     pieces: tuple[tuple[int, int, int, int, bool], ...]
 
 
-def _sample_blocked_params(rng: np.random.Generator, shape: tuple) -> dict:
+def _sample_blocked_params(rng: np.random.Generator, shape: tuple[int, ...]) -> dict[str, Any]:
     """Draw a fuzzable blocking factor for a cube of ``shape``."""
     return {"block_size": int(rng.integers(1, 6))}
 
@@ -120,7 +121,7 @@ class BlockedPrefixSumCube(RangeSumIndexMixin):
         cube: np.ndarray,
         block_size: int,
         operator: InvertibleOperator = SUM,
-        backend: "ArrayBackend | None" = None,
+        backend: ArrayBackend | None = None,
     ) -> None:
         if block_size < 1:
             raise ValueError(f"block size must be >= 1, got {block_size}")
@@ -151,14 +152,14 @@ class BlockedPrefixSumCube(RangeSumIndexMixin):
         """Protocol spelling of :attr:`storage_cells`."""
         return int(self.storage_cells)
 
-    def index_params(self) -> dict:
+    def index_params(self) -> dict[str, Any]:
         """Construction parameters (reported and persisted)."""
         return {
             "block_size": self.block_size,
             "operator": self.operator.name,
         }
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         """Defining arrays + scalars for generic persistence."""
         return {
             "operator": self.operator.name,
@@ -169,8 +170,8 @@ class BlockedPrefixSumCube(RangeSumIndexMixin):
 
     @classmethod
     def from_state(
-        cls, state: dict, backend: "ArrayBackend | None" = None
-    ) -> "BlockedPrefixSumCube":
+        cls, state: dict[str, Any], backend: ArrayBackend | None = None
+    ) -> BlockedPrefixSumCube:
         """Rebuild from :meth:`state_dict` without recontracting."""
         from repro.core.operators import get_operator
 
@@ -443,7 +444,7 @@ class BlockedPrefixSumCube(RangeSumIndexMixin):
         )
         return "\n".join(lines)
 
-    def apply_updates(self, updates: Sequence["PointUpdate"]) -> int:
+    def apply_updates(self, updates: Sequence[PointUpdate]) -> int:
         """Apply a batch of point updates with the two-phase §5.2 scheme.
 
         Phase 1 contracts the updates block-wise; phase 2 runs the basic

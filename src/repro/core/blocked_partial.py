@@ -25,7 +25,8 @@ from __future__ import annotations
 
 import math
 from itertools import product
-from typing import Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -42,10 +43,13 @@ from repro.index.protocol import RangeSumIndexMixin
 from repro.index.registry import FuzzProfile, register_index
 from repro.instrumentation import NULL_COUNTER, AccessCounter
 
+if TYPE_CHECKING:
+    from repro.core.batch_update import PointUpdate
+
 
 def _sample_blocked_partial_params(
-    rng: np.random.Generator, shape: tuple
-) -> dict:
+    rng: np.random.Generator, shape: tuple[int, ...]
+) -> dict[str, Any]:
     """Draw a prefix-dimension subset plus a blocking factor."""
     ndim = len(shape)
     mask = rng.integers(0, 2, size=ndim)
@@ -88,7 +92,7 @@ class BlockedPartialPrefixSumCube(RangeSumIndexMixin):
         prefix_dims: Sequence[int],
         block_size: int,
         operator: InvertibleOperator = SUM,
-        backend: "ArrayBackend | None" = None,
+        backend: ArrayBackend | None = None,
     ) -> None:
         if block_size < 1:
             raise ValueError(f"block size must be >= 1, got {block_size}")
@@ -140,7 +144,7 @@ class BlockedPartialPrefixSumCube(RangeSumIndexMixin):
         """Protocol spelling of :attr:`storage_cells`."""
         return int(self.storage_cells)
 
-    def index_params(self) -> dict:
+    def index_params(self) -> dict[str, Any]:
         """Construction parameters (reported and persisted)."""
         return {
             "prefix_dims": self.prefix_dims,
@@ -148,7 +152,7 @@ class BlockedPartialPrefixSumCube(RangeSumIndexMixin):
             "operator": self.operator.name,
         }
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         """Defining arrays + scalars for generic persistence."""
         return {
             "operator": self.operator.name,
@@ -160,8 +164,8 @@ class BlockedPartialPrefixSumCube(RangeSumIndexMixin):
 
     @classmethod
     def from_state(
-        cls, state: dict, backend: "ArrayBackend | None" = None
-    ) -> "BlockedPartialPrefixSumCube":
+        cls, state: dict[str, Any], backend: ArrayBackend | None = None
+    ) -> BlockedPartialPrefixSumCube:
         """Rebuild from :meth:`state_dict` without recontracting."""
         from repro.core.operators import get_operator
 
@@ -251,7 +255,7 @@ class BlockedPartialPrefixSumCube(RangeSumIndexMixin):
             counter,
         )
 
-    def apply_updates(self, updates: Sequence["PointUpdate"]) -> int:
+    def apply_updates(self, updates: Sequence[PointUpdate]) -> int:
         """Batch-update the structure (§5.2 along ``X'``, raw elsewhere).
 
         Updates are applied point-wise to the raw cube, contracted to
@@ -326,7 +330,9 @@ class BlockedPartialPrefixSumCube(RangeSumIndexMixin):
     # Internals (chosen-dimension geometry mirrors repro.core.blocked)
     # ------------------------------------------------------------------
 
-    def _plan_dimension(self, lo: int, hi: int, size: int):
+    def _plan_dimension(
+        self, lo: int, hi: int, size: int
+    ) -> tuple[tuple[int, int, int, int, bool], ...]:
         b = self.block_size
         low_aligned = b * (lo // b)
         low_up = b * math.ceil(lo / b)
@@ -342,7 +348,11 @@ class BlockedPartialPrefixSumCube(RangeSumIndexMixin):
             )
         return ((lo, hi, low_aligned, high_up - 1, False),)
 
-    def _index_for(self, chosen_values, passive_slices):
+    def _index_for(
+        self,
+        chosen_values: Sequence[object],
+        passive_slices: Sequence[slice],
+    ) -> tuple[object, ...]:
         """Assemble a full-array index from chosen coords + passive slabs."""
         index: list[object] = [None] * self.ndim
         for j, value in zip(self.prefix_dims, chosen_values):
@@ -352,8 +362,12 @@ class BlockedPartialPrefixSumCube(RangeSumIndexMixin):
         return tuple(index)
 
     def _aligned_sum(
-        self, region: Box, passive_slices, passive_cells, counter
-    ):
+        self,
+        region: Box,
+        passive_slices: tuple[slice, ...],
+        passive_cells: int,
+        counter: AccessCounter,
+    ) -> object:
         """Block-aligned region from ``P``: inclusion–exclusion slabs."""
         b = self.block_size
         block_lo = tuple(l // b for l in region.lo)
@@ -381,7 +395,13 @@ class BlockedPartialPrefixSumCube(RangeSumIndexMixin):
                 negative = op.apply(negative, value)
         return op.invert(positive, negative)
 
-    def _scan(self, region: Box, passive_slices, passive_cells, counter):
+    def _scan(
+        self,
+        region: Box,
+        passive_slices: tuple[slice, ...],
+        passive_cells: int,
+        counter: AccessCounter,
+    ) -> object:
         """Raw-cube slab scan of a chosen-dimension box."""
         counter.count_cube(region.volume * passive_cells)
         chosen_slices = tuple(
@@ -392,8 +412,13 @@ class BlockedPartialPrefixSumCube(RangeSumIndexMixin):
         )
 
     def _boundary_sum(
-        self, region, superblock, passive_slices, passive_cells, counter
-    ):
+        self,
+        region: Box,
+        superblock: Box,
+        passive_slices: tuple[slice, ...],
+        passive_cells: int,
+        counter: AccessCounter,
+    ) -> object:
         """The §4.2 method choice, per boundary region."""
         op = self.operator
         direct_cost = region.volume

@@ -28,7 +28,7 @@ index pointing at a live maximum cell.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -101,6 +101,7 @@ def apply_max_updates(
     if not merged or tree.height == 0:
         for assignment in merged:
             tree.source[assignment.index] = assignment.value
+        tree.backend.flush()
         return stats
 
     # Phase items: (child_node_index, old_pos, old_val, new_pos, new_val)
@@ -128,6 +129,9 @@ def apply_max_updates(
         # Updates reached the root level: apply them (no parents above).
         stats.items_per_phase.append(len(items))
         _apply_items(tree, tree.height, items, stats)
+    # Sync spill files before handing back: callers (and crash recovery)
+    # may read the backend's storage by path, not through this process.
+    tree.backend.flush()
     return stats
 
 

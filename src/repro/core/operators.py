@@ -17,7 +17,7 @@ executable and testable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
@@ -107,13 +107,18 @@ def _checked_divide(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return np.divide(a, b)
 
 
+# The ``accumulate`` lambdas below are *deliberately* dtype-polymorphic:
+# they are the raw sweeps that ``accumulation_dtype`` itself probes, and
+# every caller pre-promotes its array before sweeping — so they must not
+# force a dtype of their own.
+
 #: The paper's headline operator pair ``(+, −)``.
 SUM = InvertibleOperator(
     name="sum",
     apply=np.add,
     invert=np.subtract,
     identity=0,
-    accumulate=lambda arr, axis: np.cumsum(arr, axis=axis),
+    accumulate=lambda arr, axis: np.cumsum(arr, axis=axis),  # cubelint: allow[dtype-safety]
 )
 
 #: ``(xor, xor)`` — self-inverse, integer domains only.
@@ -122,7 +127,7 @@ XOR = InvertibleOperator(
     apply=np.bitwise_xor,
     invert=np.bitwise_xor,
     identity=0,
-    accumulate=lambda arr, axis: np.bitwise_xor.accumulate(arr, axis=axis),
+    accumulate=lambda arr, axis: np.bitwise_xor.accumulate(arr, axis=axis),  # cubelint: allow[dtype-safety]
     widening=False,
 )
 
@@ -132,7 +137,7 @@ PRODUCT = InvertibleOperator(
     apply=np.multiply,
     invert=_checked_divide,
     identity=1,
-    accumulate=lambda arr, axis: np.multiply.accumulate(arr, axis=axis),
+    accumulate=lambda arr, axis: np.multiply.accumulate(arr, axis=axis),  # cubelint: allow[dtype-safety]
 )
 
 #: Registry keyed by name for config-style lookups.

@@ -19,7 +19,8 @@ model the §9.1 selection algorithms optimize.
 from __future__ import annotations
 
 from itertools import product
-from typing import Sequence
+from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -37,7 +38,7 @@ from repro.index.registry import FuzzProfile, register_index
 from repro.instrumentation import NULL_COUNTER, AccessCounter
 
 
-def _sample_partial_params(rng: np.random.Generator, shape: tuple) -> dict:
+def _sample_partial_params(rng: np.random.Generator, shape: tuple[int, ...]) -> dict[str, Any]:
     """Draw a random (possibly empty) prefix-dimension subset."""
     ndim = len(shape)
     mask = rng.integers(0, 2, size=ndim)
@@ -71,7 +72,7 @@ class PartialPrefixSumCube(RangeSumIndexMixin):
         cube: np.ndarray,
         prefix_dims: Sequence[int],
         operator: InvertibleOperator = SUM,
-        backend: "ArrayBackend | None" = None,
+        backend: ArrayBackend | None = None,
     ) -> None:
         cube = np.asarray(cube)
         self.operator = operator
@@ -112,14 +113,14 @@ class PartialPrefixSumCube(RangeSumIndexMixin):
         """Protocol spelling of :attr:`storage_cells`."""
         return int(self.storage_cells)
 
-    def index_params(self) -> dict:
+    def index_params(self) -> dict[str, Any]:
         """Construction parameters (reported and persisted)."""
         return {
             "prefix_dims": self.prefix_dims,
             "operator": self.operator.name,
         }
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         """Defining arrays + scalars for generic persistence."""
         return {
             "operator": self.operator.name,
@@ -129,8 +130,8 @@ class PartialPrefixSumCube(RangeSumIndexMixin):
 
     @classmethod
     def from_state(
-        cls, state: dict, backend: "ArrayBackend | None" = None
-    ) -> "PartialPrefixSumCube":
+        cls, state: dict[str, Any], backend: ArrayBackend | None = None
+    ) -> PartialPrefixSumCube:
         """Rebuild from :meth:`state_dict` without re-accumulating."""
         from repro.core.operators import get_operator
 
@@ -271,7 +272,7 @@ class PartialPrefixSumCube(RangeSumIndexMixin):
             ),
         )
 
-    def apply_updates(self, updates: Sequence["PointUpdate"]) -> int:
+    def apply_updates(self, updates: Sequence[PointUpdate]) -> int:
         """Batch-update the partial prefix array (§5 along ``X'`` only).
 
         An update at ``x`` dirties exactly the cells with ``y_j >= x_j``

@@ -21,7 +21,8 @@ become applications of ``⊕`` / ``⊖``.
 from __future__ import annotations
 
 from itertools import product
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -89,7 +90,7 @@ def accumulate_axis_inplace(
 def compute_prefix_array(
     cube: np.ndarray,
     operator: InvertibleOperator = SUM,
-    backend: "ArrayBackend | None" = None,
+    backend: ArrayBackend | None = None,
     name: str = "prefix",
 ) -> np.ndarray:
     """Build the prefix array ``P`` from ``A`` with d axis sweeps (§3.3).
@@ -156,7 +157,7 @@ class PrefixSumCube(RangeSumIndexMixin):
         cube: np.ndarray,
         operator: InvertibleOperator = SUM,
         keep_source: bool = True,
-        backend: "ArrayBackend | None" = None,
+        backend: ArrayBackend | None = None,
     ) -> None:
         cube = np.asarray(cube)
         self.operator = operator
@@ -184,13 +185,13 @@ class PrefixSumCube(RangeSumIndexMixin):
         """Protocol spelling of :attr:`storage_cells`."""
         return int(self.storage_cells)
 
-    def index_params(self) -> dict:
+    def index_params(self) -> dict[str, Any]:
         """Construction parameters (reported and persisted)."""
         return {"operator": self.operator.name}
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         """Defining arrays + scalars for generic persistence."""
-        state: dict = {
+        state: dict[str, Any] = {
             "operator": self.operator.name,
             "prefix": self.prefix,
         }
@@ -200,8 +201,8 @@ class PrefixSumCube(RangeSumIndexMixin):
 
     @classmethod
     def from_state(
-        cls, state: dict, backend: "ArrayBackend | None" = None
-    ) -> "PrefixSumCube":
+        cls, state: dict[str, Any], backend: ArrayBackend | None = None
+    ) -> PrefixSumCube:
         """Rebuild from :meth:`state_dict` without recomputing ``P``."""
         from repro.core.operators import get_operator
 
@@ -335,7 +336,7 @@ class PrefixSumCube(RangeSumIndexMixin):
             )
         return cube
 
-    def apply_updates(self, updates: Sequence["PointUpdate"]) -> int:
+    def apply_updates(self, updates: Sequence[PointUpdate]) -> int:
         """Apply a batch of point updates (§5.1) to ``P`` (and ``A``).
 
         Args:

@@ -32,7 +32,8 @@ most ``b + 7 + 1/b`` — far below the worst case (validated empirically in
 from __future__ import annotations
 
 from itertools import product
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -99,7 +100,7 @@ def _contract_argmax(
     return next_vals, next_pos
 
 
-def _sample_max_tree_params(rng: np.random.Generator, shape: tuple) -> dict:
+def _sample_max_tree_params(rng: np.random.Generator, shape: tuple[int, ...]) -> dict[str, Any]:
     """Draw a fuzzable per-dimension fanout."""
     return {"fanout": int(rng.integers(2, 6))}
 
@@ -140,7 +141,7 @@ class RangeMaxTree(RangeMaxIndexMixin):
         self,
         cube: np.ndarray,
         fanout: int,
-        backend: "ArrayBackend | None" = None,
+        backend: ArrayBackend | None = None,
     ) -> None:
         cube = np.asarray(cube)
         if fanout < 2:
@@ -177,7 +178,7 @@ class RangeMaxTree(RangeMaxIndexMixin):
         """Protocol spelling of :attr:`node_count` (nodes held)."""
         return int(self.node_count)
 
-    def index_params(self) -> dict:
+    def index_params(self) -> dict[str, Any]:
         """Construction parameters (reported and persisted)."""
         return {"fanout": self.fanout}
 
@@ -187,7 +188,7 @@ class RangeMaxTree(RangeMaxIndexMixin):
 
     def query(
         self, box: Box, counter: AccessCounter = NULL_COUNTER
-    ) -> "tuple[tuple[int, ...], object] | None":
+    ) -> tuple[tuple[int, ...], object] | None:
         """Protocol spelling: the ``(index, value)`` witness pair.
 
         An empty ``box`` has no witness cell, so the answer is ``None``
@@ -208,7 +209,7 @@ class RangeMaxTree(RangeMaxIndexMixin):
         """Protocol batch path — the vectorized shared descent."""
         return self.max_index_many(lows, highs, counter)
 
-    def apply_updates(self, updates: Sequence["PointUpdate"]) -> object:
+    def apply_updates(self, updates: Sequence[PointUpdate]) -> object:
         """Absorb point *deltas* via the §7 assignment machinery.
 
         Duplicate deltas to one cell accumulate first — the same merge
@@ -241,9 +242,9 @@ class RangeMaxTree(RangeMaxIndexMixin):
         self.backend.flush()
         return stats
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         """Defining arrays + scalars for generic persistence."""
-        state: dict = {"fanout": self.fanout, "source": self.source}
+        state: dict[str, Any] = {"fanout": self.fanout, "source": self.source}
         for level in range(1, self.height + 1):
             state[f"values_{level}"] = self.values[level]
             state[f"positions_{level}"] = self.positions[level]
@@ -251,8 +252,8 @@ class RangeMaxTree(RangeMaxIndexMixin):
 
     @classmethod
     def from_state(
-        cls, state: dict, backend: "ArrayBackend | None" = None
-    ) -> "RangeMaxTree":
+        cls, state: dict[str, Any], backend: ArrayBackend | None = None
+    ) -> RangeMaxTree:
         """Rebuild from :meth:`state_dict` without recontracting."""
         backend = resolve_backend(backend)
         tree = cls.__new__(cls)
@@ -417,7 +418,7 @@ class RangeMaxTree(RangeMaxIndexMixin):
 
     def _iter_children(
         self, level: int, node: tuple[int, ...]
-    ) -> "product":
+    ) -> product:
         """Child node indices (at ``level − 1``) of a node at ``level``."""
         child_shape = self.level_shape(level - 1)
         ranges = []

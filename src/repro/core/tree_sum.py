@@ -21,7 +21,7 @@ measured, not just computed from the cost model:
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Iterator, Sequence
 
 import numpy as np
 
@@ -56,12 +56,16 @@ class TreeSumHierarchy:
         self.ndim = cube.ndim
         self.levels: list[np.ndarray | None] = [None]
         current = self.source
+        # Node sums run in the operator's accumulation dtype: a single
+        # node aggregates up to b^d cells, which already wraps an int8
+        # source (the same policy as the prefix sweeps).
+        target = operator.accumulation_dtype(cube.dtype)
         while any(n > 1 for n in current.shape):
             contracted = current
             for axis in range(contracted.ndim):
                 edges = np.arange(0, contracted.shape[axis], self.fanout)
                 contracted = operator.apply.reduceat(
-                    contracted, edges, axis=axis
+                    contracted, edges, axis=axis, dtype=target
                 )
             self.levels.append(contracted)
             current = contracted
@@ -178,7 +182,9 @@ class TreeSumHierarchy:
                 )
         return total
 
-    def _iter_children(self, node, child_shape):
+    def _iter_children(
+        self, node: tuple[int, ...], child_shape: tuple[int, ...]
+    ) -> Iterator[tuple[int, ...]]:
         from itertools import product
 
         ranges = [

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 #: A cuboid is identified by the sorted tuple of its dimension indices.
 CuboidKey = tuple[int, ...]
@@ -78,7 +78,7 @@ class Cuboid:
     @classmethod
     def from_shape(
         cls, key: Sequence[int], cube_shape: Sequence[int]
-    ) -> "Cuboid":
+    ) -> Cuboid:
         """Build a cuboid record from the parent cube's shape."""
         normalized = normalize_key(key)
         if normalized and normalized[-1] >= len(cube_shape):

@@ -16,7 +16,8 @@ singleton, or omitted for ``all`` — mirroring the paper's query model.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -67,7 +68,7 @@ class DataCube:
         dimensions: Sequence[Dimension],
         measure: str,
         dtype: np.dtype | type = np.int64,
-    ) -> "DataCube":
+    ) -> DataCube:
         """Aggregate raw records into a cube (see §1's MDDB construction)."""
         measures, counts = build_measure_array(
             records, dimensions, measure, dtype
@@ -97,9 +98,9 @@ class DataCube:
         block_size: int = 1,
         max_fanout: int | None = 4,
         prefix_dims: Sequence[str] | None = None,
-        sum_index: "str | IndexSpec | None" = None,
-        max_index: "str | IndexSpec | None" = None,
-        backend: "ArrayBackend | None" = None,
+        sum_index: str | IndexSpec | None = None,
+        max_index: str | IndexSpec | None = None,
+        backend: ArrayBackend | None = None,
     ) -> RangeQueryEngine:
         """Precompute the paper's structures over this cube.
 
@@ -269,7 +270,7 @@ class DataCube:
             self._engine.apply_updates(updates, counts)
         return len(measure_deltas)
 
-    def cuboid(self, names: Sequence[str]) -> "DataCube":
+    def cuboid(self, names: Sequence[str]) -> DataCube:
         """Project onto a cuboid: a group-by on the named dimensions (§9).
 
         The remaining dimensions take the value ``all`` — their axes are

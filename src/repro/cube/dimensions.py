@@ -19,7 +19,7 @@ type):
 from __future__ import annotations
 
 import datetime
-from typing import Hashable, Iterable, Sequence
+from collections.abc import Hashable, Iterable, Sequence
 
 
 class Dimension:

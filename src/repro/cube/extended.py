@@ -15,7 +15,7 @@ is exactly the behaviour reproduced (and benchmarked) here.
 from __future__ import annotations
 
 from itertools import product
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

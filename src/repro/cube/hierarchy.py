@@ -18,7 +18,7 @@ month's leaf-rank range.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Mapping, Sequence
+from collections.abc import Hashable, Iterable, Mapping, Sequence
 
 from repro.cube.dimensions import Dimension
 

@@ -11,7 +11,7 @@ every measure from a single count structure.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -55,7 +55,7 @@ class MeasureSet:
         dimensions: Sequence[Dimension],
         measures: Sequence[str],
         dtype: np.dtype | type = np.int64,
-    ) -> "MeasureSet":
+    ) -> MeasureSet:
         """Aggregate raw records into one cube per measure attribute."""
         if not measures:
             raise ValueError("at least one measure name is required")

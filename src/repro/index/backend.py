@@ -30,7 +30,8 @@ import itertools
 import os
 import re
 from pathlib import Path
-from typing import Sequence
+from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
@@ -60,7 +61,7 @@ class ArrayBackend:
     def flush(self) -> None:
         """Push pending writes to stable storage (no-op in memory)."""
 
-    def describe(self) -> dict:
+    def describe(self) -> dict[str, Any]:
         """A plain-dict summary (used by ``Index.describe()``)."""
         return {"backend": type(self).__name__}
 
@@ -91,7 +92,7 @@ class MemmapBackend(ArrayBackend):
     structure never aliases a live array from the previous build.
     """
 
-    def __init__(self, directory: str | os.PathLike, tag: str = "repro") -> None:
+    def __init__(self, directory: str | os.PathLike[str], tag: str = "repro") -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.tag = str(tag)
@@ -141,7 +142,7 @@ class MemmapBackend(ArrayBackend):
         """Total bytes currently on disk across spill files."""
         return sum(p.stat().st_size for p in self._allocated if p.exists())
 
-    def describe(self) -> dict:
+    def describe(self) -> dict[str, Any]:
         return {
             "backend": type(self).__name__,
             "directory": str(self.directory),
@@ -153,6 +154,6 @@ class MemmapBackend(ArrayBackend):
 MEMORY_BACKEND = MemoryBackend()
 
 
-def resolve_backend(backend: "ArrayBackend | None") -> ArrayBackend:
+def resolve_backend(backend: ArrayBackend | None) -> ArrayBackend:
     """``None`` means the shared in-memory default."""
     return MEMORY_BACKEND if backend is None else backend

@@ -29,7 +29,8 @@ instrumentation through a uniform protocol surface instead of forwarding
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -57,13 +58,13 @@ class RangeSumIndex(Protocol):
     ) -> np.ndarray:
         """Aggregates for ``K`` boxes given as ``(K, d)`` bound arrays."""
 
-    def apply_updates(self, updates: "Sequence[PointUpdate]") -> object:
+    def apply_updates(self, updates: Sequence[PointUpdate]) -> object:
         """Absorb a batch of point deltas into the structure."""
 
     def memory_cells(self) -> int:
         """Cells of auxiliary storage held (the paper's space measure)."""
 
-    def describe(self) -> dict:
+    def describe(self) -> dict[str, Any]:
         """A plain-dict self-description (name, params, space)."""
 
 
@@ -73,7 +74,7 @@ class RangeMaxIndex(Protocol):
 
     def query(
         self, box: Box, counter: AccessCounter = NULL_COUNTER
-    ) -> "tuple[tuple[int, ...], object] | None":
+    ) -> tuple[tuple[int, ...], object] | None:
         """``(index, value)`` of a maximum cell in ``box``."""
 
     def query_many(
@@ -84,13 +85,13 @@ class RangeMaxIndex(Protocol):
     ) -> tuple[np.ndarray, np.ndarray]:
         """``(indices, values)`` arrays for ``K`` boxes."""
 
-    def apply_updates(self, updates: "Sequence[PointUpdate]") -> object:
+    def apply_updates(self, updates: Sequence[PointUpdate]) -> object:
         """Absorb a batch of point deltas into the structure."""
 
     def memory_cells(self) -> int:
         """Cells/nodes of auxiliary storage held."""
 
-    def describe(self) -> dict:
+    def describe(self) -> dict[str, Any]:
         """A plain-dict self-description (name, params, space)."""
 
 
@@ -103,11 +104,11 @@ class _IndexBase:
     index_kind: str = "index"
 
     @classmethod
-    def build(cls, cube: object, **params: object) -> "_IndexBase":
+    def build(cls, cube: object, **params: object) -> _IndexBase:
         """Construct an index over ``cube`` (the protocol's factory)."""
         return cls(cube, **params)
 
-    def index_params(self) -> dict:
+    def index_params(self) -> dict[str, Any]:
         """Construction parameters worth reporting (and persisting)."""
         return {}
 
@@ -124,8 +125,8 @@ class _IndexBase:
             f"{type(self).__name__} does not report its storage"
         )
 
-    def describe(self) -> dict:
-        info: dict = {
+    def describe(self) -> dict[str, Any]:
+        info: dict[str, Any] = {
             "index": self.index_name or type(self).__name__,
             "class": type(self).__name__,
             "kind": self.index_kind,
@@ -142,14 +143,14 @@ class _IndexBase:
 
     # -- persistence hooks (see repro.io.save_index / load_index) -------
 
-    def state_dict(self) -> dict:
+    def state_dict(self) -> dict[str, Any]:
         """Defining arrays + scalar params, enough to reconstruct."""
         raise NotImplementedError(
             f"{type(self).__name__} does not support generic persistence"
         )
 
     @classmethod
-    def from_state(cls, state: dict, backend: object = None) -> "_IndexBase":
+    def from_state(cls, state: dict[str, Any], backend: object = None) -> _IndexBase:
         """Rebuild from :meth:`state_dict` output without recomputation."""
         raise NotImplementedError(
             f"{cls.__name__} does not support generic persistence"
@@ -316,7 +317,7 @@ class InstrumentedIndex:
         box: Box,
         expected: object,
         counter: AccessCounter = NULL_COUNTER,
-    ) -> "dict | None":
+    ) -> dict | None:
         """Run ``query`` and diff the answer against an oracle's.
 
         The differential harness's scalar probe for SUM-family indexes
@@ -343,7 +344,7 @@ class InstrumentedIndex:
         highs: object,
         expected: object,
         counter: AccessCounter = NULL_COUNTER,
-    ) -> "dict | None":
+    ) -> dict | None:
         """Run ``query_many`` and diff each row against oracle answers.
 
         Returns:
@@ -377,7 +378,7 @@ class InstrumentedIndex:
     def memory_cells(self) -> int:
         return self.index.memory_cells()
 
-    def describe(self) -> dict:
+    def describe(self) -> dict[str, Any]:
         return self.index.describe()
 
     def __getattr__(self, name: str) -> object:

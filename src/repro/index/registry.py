@@ -33,7 +33,8 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
+from typing import Any
 
 from repro.index.backend import ArrayBackend
 
@@ -71,7 +72,7 @@ class FuzzProfile:
     min_ndim: int = 1
     max_ndim: int = 5
     supports_updates: bool = True
-    sample_params: Callable[..., dict] | None = None
+    sample_params: Callable[..., dict[str, Any]] | None = None
 
 
 @dataclass(frozen=True)
@@ -80,13 +81,13 @@ class IndexInfo:
 
     name: str
     kind: str
-    cls: type
+    cls: type[Any]
     factory: Callable[..., object]
     persistable: bool
     accepts_backend: bool
     sparse_input: bool
     description: str = field(default="", compare=False)
-    fuzz_profile: "FuzzProfile | None" = field(default=None, compare=False)
+    fuzz_profile: FuzzProfile | None = field(default=None, compare=False)
 
 
 _REGISTRY: dict[str, IndexInfo] = {}
@@ -112,8 +113,8 @@ def register_index(
     sparse_input: bool = False,
     factory: Callable[..., object] | None = None,
     description: str = "",
-    fuzz_profile: "FuzzProfile | None" = None,
-) -> Callable[[type], type]:
+    fuzz_profile: FuzzProfile | None = None,
+) -> Callable[[type[Any]], type[Any]]:
     """Class decorator adding an index to the registry.
 
     Args:
@@ -133,7 +134,7 @@ def register_index(
     if kind not in INDEX_KINDS:
         raise ValueError(f"kind must be one of {INDEX_KINDS}, got {kind!r}")
 
-    def decorator(cls: type) -> type:
+    def decorator(cls: type[Any]) -> type[Any]:
         if name in _REGISTRY and _REGISTRY[name].cls is not cls:
             raise ValueError(
                 f"index name {name!r} already registered by "
@@ -254,7 +255,7 @@ class IndexSpec:
     params: tuple[tuple[str, object], ...] = ()
 
     @classmethod
-    def of(cls, name: str, **params: object) -> "IndexSpec":
+    def of(cls, name: str, **params: object) -> IndexSpec:
         """Convenience constructor: ``IndexSpec.of("blocked", b=8)``."""
         return cls(name, tuple(sorted(params.items())))
 
@@ -263,7 +264,7 @@ class IndexSpec:
         """The registered aggregate kind of the named index."""
         return get_index_info(self.name).kind
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, Any]:
         """The params as a plain dict."""
         return dict(self.params)
 

@@ -12,7 +12,7 @@ thrash-prone for cross-stride sweeps.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro._util import Box
 from repro.instrumentation.paging import flat_index

@@ -20,7 +20,7 @@ comparison in pages instead of cells.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro._util import Box
 

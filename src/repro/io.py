@@ -94,7 +94,7 @@ def save_index(
 
 def load_index(
     path: str | os.PathLike | BinaryIO,
-    backend: "ArrayBackend | None" = None,
+    backend: ArrayBackend | None = None,
 ) -> object:
     """Load any index archive without recomputation.
 
@@ -144,7 +144,7 @@ def load_index(
 def _load_expecting(
     expected: str,
     path: str | os.PathLike | BinaryIO,
-    backend: "ArrayBackend | None" = None,
+    backend: ArrayBackend | None = None,
 ) -> object:
     """Generic load + registry-name check (the legacy wrappers' guard)."""
     index = load_index(path, backend=backend)
@@ -157,7 +157,7 @@ def _load_expecting(
 
 
 def save_prefix_sum(
-    structure: "PrefixSumCube", path: str | os.PathLike | BinaryIO
+    structure: PrefixSumCube, path: str | os.PathLike | BinaryIO
 ) -> None:
     """Persist a :class:`PrefixSumCube` (source included when kept)."""
     save_index(structure, path)
@@ -165,13 +165,13 @@ def save_prefix_sum(
 
 def load_prefix_sum(
     path: str | os.PathLike | BinaryIO,
-) -> "PrefixSumCube":
+) -> PrefixSumCube:
     """Load a :class:`PrefixSumCube` without recomputing the prefix."""
     return _load_expecting("prefix_sum", path)  # type: ignore[return-value]
 
 
 def save_blocked(
-    structure: "BlockedPrefixSumCube", path: str | os.PathLike | BinaryIO
+    structure: BlockedPrefixSumCube, path: str | os.PathLike | BinaryIO
 ) -> None:
     """Persist a :class:`BlockedPrefixSumCube` (raw cube included —
     the blocked method cannot run without it)."""
@@ -180,7 +180,7 @@ def save_blocked(
 
 def load_blocked(
     path: str | os.PathLike | BinaryIO,
-) -> "BlockedPrefixSumCube":
+) -> BlockedPrefixSumCube:
     """Load a :class:`BlockedPrefixSumCube` without recomputation."""
     return _load_expecting(  # type: ignore[return-value]
         "blocked_prefix_sum", path
@@ -188,13 +188,13 @@ def load_blocked(
 
 
 def save_max_tree(
-    tree: "RangeMaxTree", path: str | os.PathLike | BinaryIO
+    tree: RangeMaxTree, path: str | os.PathLike | BinaryIO
 ) -> None:
     """Persist a :class:`RangeMaxTree` (all levels plus the cube)."""
     save_index(tree, path)
 
 
-def load_max_tree(path: str | os.PathLike | BinaryIO) -> "RangeMaxTree":
+def load_max_tree(path: str | os.PathLike | BinaryIO) -> RangeMaxTree:
     """Load a :class:`RangeMaxTree` without rebuilding its levels."""
     return _load_expecting(  # type: ignore[return-value]
         "range_max_tree", path

@@ -19,7 +19,8 @@ Typical use::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -59,7 +60,7 @@ class PhysicalDesign:
     def build(
         self,
         cube: np.ndarray,
-        backend: "ArrayBackend | None" = None,
+        backend: ArrayBackend | None = None,
     ) -> MaterializedCuboidSet:
         """Materialize the plan over a concrete cube.
 

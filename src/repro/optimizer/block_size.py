@@ -21,7 +21,7 @@ compared and the better one kept.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.optimizer.cost_model import (
     ancestor_constrained_optimum,

@@ -24,7 +24,8 @@ cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 from repro.cube.cuboid import CuboidKey, all_cuboids, is_ancestor
 from repro.optimizer.cost_model import (
@@ -58,7 +59,7 @@ class Materialization:
     space: float
     prefix_dims: CuboidKey | None = None
 
-    def index_spec(self) -> "IndexSpec":
+    def index_spec(self) -> IndexSpec:
         """The registry spec that executes this choice (cuboid-local).
 
         ``prefix_dims`` are base-cube dimension numbers; the spec carries

@@ -22,7 +22,7 @@ Three algorithms, exactly as surveyed in §9.1:
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -15,7 +15,8 @@ against real access counts (``benchmarks/bench_materialized_plan.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -37,7 +38,7 @@ class MaterializedCuboid:
     """One built cuboid: its key and the prefix structure over it."""
 
     key: CuboidKey
-    structure: "BlockedPrefixSumCube | BlockedPartialPrefixSumCube"
+    structure: BlockedPrefixSumCube | BlockedPartialPrefixSumCube
 
     @property
     def block_size(self) -> int:
@@ -60,7 +61,7 @@ class MaterializedCuboidSet:
         self,
         cube: np.ndarray,
         plan: Sequence[Materialization],
-        backend: "ArrayBackend | None" = None,
+        backend: ArrayBackend | None = None,
     ) -> None:
         self.base = np.array(cube, copy=True)
         self.shape = tuple(int(n) for n in cube.shape)
@@ -172,7 +173,7 @@ class MaterializedCuboidSet:
     # Maintenance
     # ------------------------------------------------------------------
 
-    def apply_updates(self, updates: Sequence["PointUpdate"]) -> None:
+    def apply_updates(self, updates: Sequence[PointUpdate]) -> None:
         """Propagate a batch of base-cube point updates to every
         materialized cuboid (§5 run per structure).
 

@@ -35,7 +35,8 @@ order.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import TYPE_CHECKING, Callable, Sequence
+from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -122,7 +123,7 @@ def solve_with_identity(
     lo: np.ndarray,
     hi: np.ndarray,
     identity: object,
-    solve: "Callable[[np.ndarray, np.ndarray], np.ndarray]",
+    solve: Callable[[np.ndarray, np.ndarray], np.ndarray],
 ) -> np.ndarray:
     """Run a batch solver on the non-empty rows, filling empty rows.
 
@@ -149,7 +150,7 @@ def solve_with_identity(
 
 
 def boxes_to_arrays(
-    queries: Sequence["Box | RangeQuery"],
+    queries: Sequence[Box | RangeQuery],
     shape: Sequence[int],
 ) -> tuple[np.ndarray, np.ndarray]:
     """Convert a sequence of :class:`Box` / ``RangeQuery`` to bound arrays.
@@ -259,11 +260,19 @@ def combine_corner_values(
             "the batch kernel requires a ufunc operator; "
             f"{operator.name!r} is not one"
         )
+    # ``values`` is gathered from a prefix array already promoted by
+    # ``accumulation_dtype``; stating the reduce dtype keeps the corner
+    # algebra in that dtype even if a caller hands in narrower corners.
+    target = operator.accumulation_dtype(values.dtype)
     positive = apply_ufunc.reduce(
-        np.where(positive_mask, values, operator.identity), axis=1
+        np.where(positive_mask, values, operator.identity),
+        axis=1,
+        dtype=target,
     )
     negative = apply_ufunc.reduce(
-        np.where(negative_mask, values, operator.identity), axis=1
+        np.where(negative_mask, values, operator.identity),
+        axis=1,
+        dtype=target,
     )
     return operator.invert(positive, negative)
 
@@ -397,7 +406,7 @@ def _child_offsets(fanout: int, ndim: int) -> np.ndarray:
 
 
 def batch_max_index(
-    tree: "RangeMaxTree",
+    tree: RangeMaxTree,
     lows: np.ndarray,
     highs: np.ndarray,
     counter: AccessCounter = NULL_COUNTER,

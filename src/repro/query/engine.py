@@ -25,7 +25,8 @@ The historical structure-selection kwargs (``block_size``,
 from __future__ import annotations
 
 import warnings
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -92,7 +93,7 @@ def _negated_delta(delta: object) -> object:
     return -delta
 
 
-def _as_spec(index: "str | IndexSpec", params: dict | None) -> IndexSpec:
+def _as_spec(index: str | IndexSpec, params: dict[str, Any] | None) -> IndexSpec:
     """Normalize a name-or-spec plus optional params into one IndexSpec."""
     if isinstance(index, IndexSpec):
         if params:
@@ -103,7 +104,7 @@ def _as_spec(index: "str | IndexSpec", params: dict | None) -> IndexSpec:
 
 
 def _legacy_sum_spec(
-    block_size: int, prefix_dims: "Sequence[int] | None"
+    block_size: int, prefix_dims: Sequence[int] | None
 ) -> IndexSpec:
     """The deprecation shim: map pre-registry kwargs to a sum spec.
 
@@ -166,12 +167,12 @@ class RangeQueryEngine:
     def __init__(
         self,
         cube: np.ndarray,
-        sum_index: "str | IndexSpec | None" = None,
-        sum_params: dict | None = None,
-        max_index: "str | IndexSpec | None" = _UNSET,
-        max_params: dict | None = None,
+        sum_index: str | IndexSpec | None = None,
+        sum_params: dict[str, Any] | None = None,
+        max_index: str | IndexSpec | None = _UNSET,
+        max_params: dict[str, Any] | None = None,
         counts: np.ndarray | None = None,
-        backend: "ArrayBackend | None" = None,
+        backend: ArrayBackend | None = None,
         counter: AccessCounter | None = None,
         block_size: object = _UNSET,
         max_fanout: object = _UNSET,
@@ -270,7 +271,7 @@ class RangeQueryEngine:
             )
         return self._routes[aggregate]
 
-    def describe(self) -> dict:
+    def describe(self) -> dict[str, Any]:
         """Per-aggregate descriptions of every built structure."""
         return {
             name: route.describe()
@@ -360,7 +361,7 @@ class RangeQueryEngine:
         self,
         query: RangeQuery | Box,
         counter: AccessCounter = NULL_COUNTER,
-    ) -> "float | None":
+    ) -> float | None:
         """Range-average from the (sum, count) pair (§1).
 
         Returns:
@@ -575,8 +576,8 @@ class RangeQueryEngine:
 
     def apply_updates(
         self,
-        updates: "Sequence[PointUpdate]",
-        count_updates: "Sequence[PointUpdate] | None" = None,
+        updates: Sequence[PointUpdate],
+        count_updates: Sequence[PointUpdate] | None = None,
     ) -> None:
         """Absorb a batch of measure deltas into every built structure.
 

@@ -15,9 +15,15 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Sequence
+from collections.abc import Sequence
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
 
 from repro.query.ranges import RangeQuery, RangeSpec, SpecKind
+
+if TYPE_CHECKING:
+    from repro.optimizer.cuboid_selection import CuboidWorkload
 
 
 class QueryLog:
@@ -51,13 +57,13 @@ class QueryLog:
         """The recorded queries, oldest first."""
         return tuple(self._queries)
 
-    def workloads(self):
+    def workloads(self) -> list[CuboidWorkload]:
         """Per-cuboid averaged statistics for the §9.2 selector."""
         from repro.optimizer.cuboid_selection import workloads_from_log
 
         return workloads_from_log(self._queries, self.shape)
 
-    def length_matrix(self):
+    def length_matrix(self) -> np.ndarray:
         """The §9.1 ``r_ij`` matrix for dimension selection."""
         from repro.optimizer.dimension_selection import (
             active_range_lengths,
@@ -84,13 +90,13 @@ class QueryLog:
         }
         return json.dumps(payload)
 
-    def save(self, path: str | os.PathLike) -> None:
+    def save(self, path: str | os.PathLike[str]) -> None:
         """Write the JSON serialization to a file."""
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_json())
 
     @classmethod
-    def from_json(cls, text: str) -> "QueryLog":
+    def from_json(cls, text: str) -> QueryLog:
         """Rebuild a log from :meth:`to_json` output."""
         payload = json.loads(text)
         log = cls(payload["shape"])
@@ -101,13 +107,13 @@ class QueryLog:
         return log
 
     @classmethod
-    def load(cls, path: str | os.PathLike) -> "QueryLog":
+    def load(cls, path: str | os.PathLike[str]) -> QueryLog:
         """Read a log previously written by :meth:`save`."""
-        with open(path, "r", encoding="utf-8") as handle:
+        with open(path, encoding="utf-8") as handle:
             return cls.from_json(handle.read())
 
 
-def _spec_to_json(spec: RangeSpec) -> list:
+def _spec_to_json(spec: RangeSpec) -> list[object]:
     if spec.kind is SpecKind.ALL:
         return ["all"]
     if spec.kind is SpecKind.SINGLETON:
@@ -115,7 +121,7 @@ def _spec_to_json(spec: RangeSpec) -> list:
     return ["between", spec.lo, spec.hi]
 
 
-def _spec_from_json(data: Sequence) -> RangeSpec:
+def _spec_from_json(data: Sequence[Any]) -> RangeSpec:
     kind = data[0]
     if kind == "all":
         return RangeSpec.all()

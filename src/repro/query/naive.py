@@ -8,7 +8,7 @@ equal to the query's volume, versus the prefix-sum method's constant
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro._util import Box, validate_range
 
@@ -44,17 +44,17 @@ class RangeSpec:
     hi: int | None = None
 
     @classmethod
-    def all(cls) -> "RangeSpec":
+    def all(cls) -> RangeSpec:
         """The dimension is unconstrained (the paper's ``all`` value)."""
         return cls(SpecKind.ALL)
 
     @classmethod
-    def at(cls, value: int) -> "RangeSpec":
+    def at(cls, value: int) -> RangeSpec:
         """The dimension is pinned to a single rank ``value``."""
         return cls(SpecKind.SINGLETON, value, value)
 
     @classmethod
-    def between(cls, lo: int, hi: int) -> "RangeSpec":
+    def between(cls, lo: int, hi: int) -> RangeSpec:
         """The dimension is constrained to ``lo <= i <= hi`` (inclusive)."""
         if lo > hi:
             raise ValueError(f"empty range {lo}:{hi}")
@@ -93,12 +93,12 @@ class RangeQuery:
     specs: tuple[RangeSpec, ...]
 
     @classmethod
-    def from_bounds(cls, bounds: Sequence[tuple[int, int]]) -> "RangeQuery":
+    def from_bounds(cls, bounds: Sequence[tuple[int, int]]) -> RangeQuery:
         """Build a query from explicit ``(lo, hi)`` pairs."""
         return cls(tuple(RangeSpec.between(lo, hi) for lo, hi in bounds))
 
     @classmethod
-    def full(cls, ndim: int) -> "RangeQuery":
+    def full(cls, ndim: int) -> RangeQuery:
         """The query selecting the entire cube."""
         return cls(tuple(RangeSpec.all() for _ in range(ndim)))
 

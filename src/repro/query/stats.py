@@ -15,7 +15,7 @@ whose maxima picks block sizes).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.query.ranges import RangeQuery
 
@@ -29,7 +29,7 @@ class QueryStatistics:
     @classmethod
     def from_query(
         cls, query: RangeQuery, shape: Sequence[int]
-    ) -> "QueryStatistics":
+    ) -> QueryStatistics:
         """Statistics of a concrete query against a concrete cube shape."""
         return cls(
             tuple(
@@ -39,7 +39,7 @@ class QueryStatistics:
         )
 
     @classmethod
-    def from_lengths(cls, lengths: Iterable[float]) -> "QueryStatistics":
+    def from_lengths(cls, lengths: Iterable[float]) -> QueryStatistics:
         """Statistics from per-dimension side lengths directly."""
         sides = tuple(float(x) for x in lengths)
         if any(x <= 0 for x in sides):
@@ -65,7 +65,7 @@ class QueryStatistics:
         vol = self.volume
         return sum(2.0 * vol / x for x in self.lengths)
 
-    def scaled(self, factor: float) -> "QueryStatistics":
+    def scaled(self, factor: float) -> QueryStatistics:
         """Statistics of the same query shape scaled by ``factor``."""
         return QueryStatistics(tuple(x * factor for x in self.lengths))
 

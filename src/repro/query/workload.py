@@ -12,7 +12,7 @@ experiment is reproducible from a seed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -88,7 +88,7 @@ def random_query_arrays(
 
 def run_query_log(
     engine: object,
-    queries: "Sequence[RangeQuery | Box]",
+    queries: Sequence[RangeQuery | Box],
     aggregate: str = "sum",
 ) -> np.ndarray:
     """Execute a query log through the engine's batch path.

@@ -15,7 +15,7 @@ and tests can reuse it for oracles.
 from __future__ import annotations
 
 import bisect
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.instrumentation import NULL_COUNTER, AccessCounter
 

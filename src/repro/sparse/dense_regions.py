@@ -18,7 +18,7 @@ small to be worth a prefix-sum array (its points become outliers).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

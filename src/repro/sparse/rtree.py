@@ -25,7 +25,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from collections.abc import Iterator, Sequence
 
 from repro._util import Box
 from repro.instrumentation import NULL_COUNTER, AccessCounter
@@ -48,7 +48,7 @@ class Rect:
             raise ValueError(f"inverted rectangle {self.mins}..{self.maxs}")
 
     @classmethod
-    def from_cell(cls, index: Sequence[int]) -> "Rect":
+    def from_cell(cls, index: Sequence[int]) -> Rect:
         """The unit box of one integer cell."""
         return cls(
             tuple(float(i) for i in index),
@@ -56,7 +56,7 @@ class Rect:
         )
 
     @classmethod
-    def from_box(cls, box: Box) -> "Rect":
+    def from_box(cls, box: Box) -> Rect:
         """The closed-open rectangle covering an inclusive integer box."""
         return cls(
             tuple(float(l) for l in box.lo),
@@ -88,14 +88,14 @@ class Rect:
             (a + b) / 2.0 for a, b in zip(self.mins, self.maxs)
         )
 
-    def union(self, other: "Rect") -> "Rect":
+    def union(self, other: Rect) -> Rect:
         """Smallest rectangle containing both."""
         return Rect(
             tuple(min(a, b) for a, b in zip(self.mins, other.mins)),
             tuple(max(a, b) for a, b in zip(self.maxs, other.maxs)),
         )
 
-    def intersects(self, other: "Rect") -> bool:
+    def intersects(self, other: Rect) -> bool:
         """True when the interiors share any point."""
         return all(
             a < d and c < b
@@ -104,7 +104,7 @@ class Rect:
             )
         )
 
-    def contains(self, other: "Rect") -> bool:
+    def contains(self, other: Rect) -> bool:
         """True when ``other`` lies entirely inside this rectangle."""
         return all(
             a <= c and d <= b
@@ -113,7 +113,7 @@ class Rect:
             )
         )
 
-    def overlap_area(self, other: "Rect") -> float:
+    def overlap_area(self, other: Rect) -> float:
         """Volume of the intersection."""
         area = 1.0
         for a, b, c, d in zip(self.mins, self.maxs, other.mins, other.maxs):
@@ -123,11 +123,11 @@ class Rect:
             area *= extent
         return area
 
-    def enlargement(self, other: "Rect") -> float:
+    def enlargement(self, other: Rect) -> float:
         """Area growth needed to absorb ``other``."""
         return self.union(other).area - self.area
 
-    def center_distance_sq(self, other: "Rect") -> float:
+    def center_distance_sq(self, other: Rect) -> float:
         """Squared distance between centers (reinsertion ordering)."""
         return sum(
             (a - b) ** 2 for a, b in zip(self.center, other.center)

@@ -8,7 +8,7 @@ need: extracting a dense sub-array for one region, and iterating points.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -45,7 +45,7 @@ class SparseCube:
             self.cells[key] = value
 
     @classmethod
-    def from_dense(cls, cube: np.ndarray) -> "SparseCube":
+    def from_dense(cls, cube: np.ndarray) -> SparseCube:
         """Extract the non-zero cells of a dense array."""
         cells = {}
         for index in zip(*np.nonzero(cube)):

@@ -16,7 +16,7 @@ Two engines:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro._util import Box, check_query_box
 from repro.core.blocked import BlockedPrefixSumCube
@@ -269,7 +269,7 @@ class SparseRangeSumEngine(RangeSumIndexMixin):
         """Construction parameters (reported)."""
         return {"block_size": self.block_size}
 
-    def apply_updates(self, updates: "Sequence[PointUpdate]") -> int:
+    def apply_updates(self, updates: Sequence[PointUpdate]) -> int:
         """Protocol batch path: route each delta via :meth:`apply_update`.
 
         Returns:

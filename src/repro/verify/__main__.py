@@ -82,7 +82,7 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _report(failure: Divergence, artifact: "str | None") -> None:
+def _report(failure: Divergence, artifact: str | None) -> None:
     token = failure.scenario.to_token()
     print("DIVERGENCE:", failure.describe())
     print(json.dumps(failure.detail, indent=2, default=str))
@@ -116,7 +116,7 @@ def _scenario_json(failure: Divergence) -> str:
     )
 
 
-def main(argv: "list[str] | None" = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.replay:

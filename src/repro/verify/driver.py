@@ -69,7 +69,7 @@ class Divergence:
         )
 
 
-def run_scenario(scenario: Scenario) -> "Divergence | None":
+def run_scenario(scenario: Scenario) -> Divergence | None:
     """Replay ``scenario`` and return its first divergence, if any.
 
     Exceptions raised by the structure under test are reported as
@@ -124,7 +124,7 @@ def build_source(scenario: Scenario) -> np.ndarray:
     return data.astype(dtype)
 
 
-def _run(scenario: Scenario, tmpdir: str) -> "Divergence | None":
+def _run(scenario: Scenario, tmpdir: str) -> Divergence | None:
     info = get_index_info(scenario.index)
     source = build_source(scenario)
     shadow = source.astype(
@@ -198,7 +198,7 @@ def _check_max_query(
     box: Box,
     *,
     kind: str = "query",
-) -> "dict | None":
+) -> dict | None:
     """Semantic witness validation for one MAX query.
 
     The index is free to return *any* cell attaining the maximum, so
@@ -396,7 +396,7 @@ _STEP_RUNNERS = {
 # Engine phase
 
 
-def _run_engine_phase(scenario: Scenario) -> "dict | None":
+def _run_engine_phase(scenario: Scenario) -> dict | None:
     """Drive a :class:`RangeQueryEngine` built on the scenario's index.
 
     This reuses the planner's routing table end to end: SUM routes to

@@ -21,7 +21,7 @@ import base64
 import json
 import zlib
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -94,7 +94,7 @@ class Scenario:
         return _TOKEN_PREFIX + body
 
     @classmethod
-    def from_token(cls, token: str) -> "Scenario":
+    def from_token(cls, token: str) -> Scenario:
         """Rebuild a scenario from :meth:`to_token` output (or raw JSON)."""
         token = token.strip()
         if token.startswith("{"):
@@ -129,7 +129,7 @@ def _freeze(value: object) -> object:
 
 
 def fuzzable_indexes(
-    names: "Sequence[str] | None" = None,
+    names: Sequence[str] | None = None,
 ) -> tuple[str, ...]:
     """Registered index names that advertise a fuzz profile.
 
@@ -167,8 +167,8 @@ def scenario_for(
     name: str,
     seed: int,
     *,
-    force_backend: "str | None" = None,
-) -> "Scenario | None":
+    force_backend: str | None = None,
+) -> Scenario | None:
     """Draw the scenario for ``(name, seed)`` from the index's profile.
 
     Args:

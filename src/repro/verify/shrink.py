@@ -12,7 +12,7 @@ practice is a one- or two-step reproducer on a tiny cube.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Iterator
+from collections.abc import Callable, Iterator
 
 from repro.verify.driver import Divergence, run_scenario
 from repro.verify.scenarios import Scenario
@@ -21,7 +21,7 @@ from repro.verify.scenarios import Scenario
 def shrink_scenario(
     scenario: Scenario,
     *,
-    runner: Callable[[Scenario], "Divergence | None"] = run_scenario,
+    runner: Callable[[Scenario], Divergence | None] = run_scenario,
     max_attempts: int = 200,
 ) -> tuple[Scenario, Divergence]:
     """Minimize a failing scenario while it keeps failing.

@@ -1,0 +1,26 @@
+"""Shared helpers for the cubelint test suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import LintReport, Rule, lint_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def fixtures() -> Path:
+    return FIXTURES
+
+
+def lint_fixture(relative: str, rule: Rule) -> LintReport:
+    """Lint one fixture file with a single rule."""
+    return lint_file(FIXTURES / relative, [rule])
+
+
+def rule_lines(report: LintReport, rule_id: str) -> list[int]:
+    """Line numbers of the report's violations for ``rule_id``."""
+    return [v.line for v in report.violations if v.rule_id == rule_id]

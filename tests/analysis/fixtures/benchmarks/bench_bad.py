@@ -1,0 +1,7 @@
+"""Seeded ``determinism`` violation under a benchmarks/ path."""
+
+import numpy as np
+
+
+def make_workload(shape):
+    return np.random.standard_normal(shape)  # VIOLATION: global stream

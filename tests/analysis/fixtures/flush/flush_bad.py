@@ -1,0 +1,29 @@
+"""Seeded ``memmap-flush`` violations (must-flag fixture)."""
+
+
+class LeakyCube:
+    def __init__(self, cube, backend):
+        self.backend = backend
+        self.prefix = backend.materialize("prefix", cube)
+
+    def apply_updates(self, updates):
+        if not updates:
+            return 0  # VIOLATION: early return after no mutation is
+            # fine per se, but the main path below mutates and the
+            # function never flushes at all.
+        for point, delta in updates:
+            self.prefix[point] += delta
+        return len(updates)  # VIOLATION: mutation without flush
+
+
+def apply_assignments(tree, assignments):
+    for index, value in assignments:
+        tree.source[index] = value
+    return len(assignments)  # VIOLATION: free function, no flush
+
+
+def apply_view_updates(structure, updates):
+    view = structure.values[0]
+    for node, value in updates:
+        view[node] = value  # aliased backend array
+    return len(updates)  # VIOLATION: alias mutation without flush

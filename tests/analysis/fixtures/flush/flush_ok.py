@@ -1,0 +1,47 @@
+"""Compliant flush discipline (must-not-flag fixture)."""
+
+
+class TidyCube:
+    def __init__(self, cube, backend):
+        self.backend = backend
+        self.prefix = backend.materialize("prefix", cube)
+
+    def apply_updates(self, updates):
+        if not updates:
+            self.backend.flush()
+            return 0
+        for point, delta in updates:
+            self.prefix[point] += delta
+        self.backend.flush()
+        return len(updates)
+
+    def apply_reset(self, value):
+        self.prefix[...] = value
+        self.backend.flush()
+        return None
+
+    def _apply_items(self, items):
+        # Private helper: flushing is the public boundary's job.
+        for point, delta in items:
+            self.prefix[point] += delta
+
+
+def apply_assignments(tree, assignments):
+    for index, value in assignments:
+        tree.source[index] = value
+    tree.backend.flush()
+    return len(assignments)
+
+
+def apply_batch_to_raw(prefix, updates):
+    # A raw ndarray parameter is not backend-held storage.
+    for point, delta in updates:
+        prefix[point] += delta
+    return len(updates)
+
+
+def apply_bookkeeping(registry, updates):
+    # Subscript stores into non-backed attributes are out of scope.
+    for key, value in updates:
+        registry.cells[key] = value
+    return len(updates)

@@ -1,0 +1,77 @@
+"""Compliant registrations (must-not-flag fixture)."""
+
+from repro._util import check_query_box
+from repro.index.protocol import RangeSumIndexMixin
+from repro.index.registry import FuzzProfile, register_index
+
+
+@register_index(
+    "fixture_complete_sum",
+    kind="sum",
+    fuzz_profile=FuzzProfile(dtypes=("int64",)),
+)
+class CompleteSum(RangeSumIndexMixin):
+    def __init__(self, cube):
+        self.shape = cube.shape
+
+    def range_sum(self, box, counter=None):
+        check_query_box(box, self.shape)
+        return 0
+
+    def apply_updates(self, updates):
+        return len(updates)
+
+    def memory_cells(self):
+        return 0
+
+    def state_dict(self):
+        return {}
+
+    @classmethod
+    def from_state(cls, state, backend=None):
+        return cls(state["cube"])
+
+
+@register_index(
+    "fixture_readonly_sum",
+    kind="sum",
+    persistable=False,
+    fuzz_profile=FuzzProfile(dtypes=("int64",), supports_updates=False),
+)
+class ReadOnlySum(RangeSumIndexMixin):
+    """supports_updates=False: the abstract apply_updates default is the
+    declared behaviour, and persistable=False waives persistence."""
+
+    def __init__(self, cube):
+        self.shape = cube.shape
+
+    def range_sum(self, box, counter=None):
+        check_query_box(box, self.shape)
+        return 0
+
+    def memory_cells(self):
+        return 0
+
+
+class LocalBase:
+    def state_dict(self):
+        return {}
+
+    @classmethod
+    def from_state(cls, state, backend=None):
+        return cls(state["cube"])
+
+
+@register_index("fixture_inherited_sum", kind="sum")
+class InheritedSum(LocalBase, RangeSumIndexMixin):
+    """Persistence satisfied through a same-module base class."""
+
+    def __init__(self, cube):
+        self.shape = cube.shape
+
+    def range_sum(self, box, counter=None):
+        check_query_box(box, self.shape)
+        return 0
+
+    def memory_cells(self):
+        return 0

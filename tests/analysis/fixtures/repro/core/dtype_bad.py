@@ -1,0 +1,24 @@
+"""Seeded ``dtype-safety`` violations (must-flag fixture).
+
+Never imported; linted by path so the ``repro/core`` scope applies.
+"""
+
+import numpy as np
+
+
+def build_prefix(cube):
+    prefix = np.zeros(cube.shape)  # VIOLATION: no dtype
+    running = np.cumsum(cube, axis=0)  # VIOLATION: no dtype
+    return prefix, running
+
+
+def contract(cube, edges):
+    return np.add.reduceat(cube, edges, axis=0)  # VIOLATION: no dtype
+
+
+def combine(values):
+    return np.add.reduce(values, axis=1)  # VIOLATION: no dtype
+
+
+def suppressed(cube):
+    return np.cumsum(cube, axis=0)  # cubelint: allow[dtype-safety]

@@ -1,0 +1,31 @@
+"""Compliant dtype usage (must-not-flag fixture)."""
+
+import numpy as np
+
+
+def build_prefix(cube, operator):
+    target = operator.accumulation_dtype(cube.dtype)
+    prefix = np.zeros(cube.shape, dtype=target)
+    prefix[...] = np.cumsum(cube, axis=0, dtype=target)
+    return prefix
+
+
+def contract(cube, edges, operator):
+    target = operator.accumulation_dtype(cube.dtype)
+    return operator.apply.reduceat(cube, edges, axis=0, dtype=target)
+
+
+def sweep_inplace(prefix, operator):
+    # dtype implied by the output array.
+    operator.apply.accumulate(prefix, axis=0, out=prefix)
+    return prefix
+
+
+def polymorphic_sweep(arr, operator):
+    # ``operator.accumulate`` is the dtype-polymorphic wrapper the rule
+    # deliberately does not match: callers pre-promote their arrays.
+    return operator.accumulate(arr, 0)
+
+
+def positional_dtype(shape):
+    return np.zeros(shape, np.int64)

@@ -1,0 +1,26 @@
+"""Seeded ``determinism`` violations (must-flag fixture)."""
+
+import random
+
+import numpy as np
+
+
+def draw_global():
+    return np.random.rand(3)  # VIOLATION: global numpy stream
+
+
+def shuffle_global(items):
+    np.random.shuffle(items)  # VIOLATION: global numpy stream
+    return items
+
+
+def entropy_seeded():
+    return np.random.default_rng()  # VIOLATION: no seed
+
+
+def stdlib_draw():
+    return random.randint(0, 10)  # VIOLATION: stdlib global stream
+
+
+def stdlib_unseeded_instance():
+    return random.Random()  # VIOLATION: no seed

@@ -1,0 +1,26 @@
+"""Compliant, replayable randomness (must-not-flag fixture)."""
+
+import random
+
+import numpy as np
+
+
+def seeded_generator(seed):
+    return np.random.default_rng(seed)
+
+
+def keyword_seeded():
+    return np.random.default_rng(seed=20260806)
+
+
+def derived_streams(seed):
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.Generator(np.random.PCG64(s)) for s in sequence.spawn(4)]
+
+
+def seeded_stdlib_instance(seed):
+    return random.Random(seed)
+
+
+def draw(rng):
+    return rng.integers(0, 10)

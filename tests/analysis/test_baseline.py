@@ -1,0 +1,57 @@
+"""Baseline round-trip, key stability, and partitioning."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.baseline import (
+    baseline_key,
+    load_baseline,
+    partition_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import Violation
+
+
+def _violation(path="a.py", line=3, rule="dtype-safety"):
+    return Violation(path=path, line=line, col=1, rule_id=rule, message="m")
+
+
+def test_key_includes_path_rule_and_line():
+    assert baseline_key(_violation()) == "a.py:dtype-safety:3"
+
+
+def test_missing_file_is_empty_baseline(tmp_path):
+    assert load_baseline(tmp_path / "nope.json") == set()
+
+
+def test_write_then_load_round_trip(tmp_path):
+    target = tmp_path / "cubelint.baseline.json"
+    count = write_baseline(target, [_violation(), _violation(line=9)])
+    assert count == 2
+    payload = json.loads(target.read_text())
+    assert payload["version"] == 1
+    assert payload["entries"] == ["a.py:dtype-safety:3", "a.py:dtype-safety:9"]
+    assert load_baseline(target) == set(payload["entries"])
+
+
+def test_write_deduplicates_keys(tmp_path):
+    target = tmp_path / "b.json"
+    assert write_baseline(target, [_violation(), _violation()]) == 1
+
+
+def test_partition_splits_new_from_grandfathered():
+    old = _violation(line=3)
+    fresh = _violation(line=7)
+    new, grandfathered = partition_baseline(
+        [old, fresh], {baseline_key(old)}
+    )
+    assert new == [fresh]
+    assert grandfathered == [old]
+
+
+def test_moved_violation_counts_as_new():
+    moved = _violation(line=4)
+    new, grandfathered = partition_baseline([moved], {"a.py:dtype-safety:3"})
+    assert new == [moved]
+    assert grandfathered == []

@@ -1,0 +1,123 @@
+"""The ``python -m repro.analysis`` CLI: exit codes, formats, baseline flow."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+from tests.analysis.conftest import FIXTURES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def in_tmp_cwd(tmp_path, monkeypatch):
+    """Run the CLI from an empty cwd so no repo baseline is picked up."""
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def test_clean_tree_exits_zero(in_tmp_cwd, capsys):
+    code = main([str(REPO_ROOT / "src"), str(REPO_ROOT / "benchmarks")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "cubelint: 0 violation(s)" in out
+
+
+def test_seeded_fixtures_fail_with_locations(in_tmp_cwd, capsys):
+    code = main([str(FIXTURES)])
+    out = capsys.readouterr().out
+    assert code == 1
+    # Every rule id shows up, each with a file:line:col anchor.
+    for rule_id in (
+        "dtype-safety",
+        "box-validation",
+        "registry-contract",
+        "memmap-flush",
+        "determinism",
+    ):
+        assert f"[{rule_id}]" in out
+    assert "dtype_bad.py:10:" in out
+
+
+def test_json_format_payload(in_tmp_cwd, capsys):
+    code = main([str(FIXTURES), "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["counts"]["violations"] == len(payload["violations"])
+    assert payload["counts"]["violations"] > 0
+    assert payload["counts"]["suppressed"] >= 1
+    sample = payload["violations"][0]
+    assert set(sample) == {"path", "line", "col", "rule", "message"}
+    rules_seen = {v["rule"] for v in payload["violations"]}
+    assert "dtype-safety" in rules_seen
+    assert "determinism" in rules_seen
+
+
+def test_select_restricts_rules(in_tmp_cwd, capsys):
+    code = main([str(FIXTURES), "--select", "determinism", "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert {v["rule"] for v in payload["violations"]} == {"determinism"}
+
+
+def test_unknown_rule_id_is_usage_error(in_tmp_cwd, capsys):
+    code = main([str(FIXTURES), "--select", "no-such-rule"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "unknown rule id" in err
+
+
+def test_write_baseline_then_rerun_passes(in_tmp_cwd, capsys):
+    baseline = in_tmp_cwd / "cubelint.baseline.json"
+    code = main([str(FIXTURES), "--write-baseline", "--baseline", str(baseline)])
+    assert code == 0
+    assert baseline.exists()
+    capsys.readouterr()
+
+    code = main([str(FIXTURES), "--baseline", str(baseline)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "baselined" in out
+
+
+def test_default_baseline_in_cwd_is_picked_up(in_tmp_cwd, capsys):
+    assert main([str(FIXTURES), "--write-baseline"]) == 0
+    assert (in_tmp_cwd / "cubelint.baseline.json").exists()
+    capsys.readouterr()
+    assert main([str(FIXTURES)]) == 0
+
+
+def test_list_rules(in_tmp_cwd, capsys):
+    code = main(["--list-rules"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for rule_id in (
+        "dtype-safety",
+        "box-validation",
+        "registry-contract",
+        "memmap-flush",
+        "determinism",
+    ):
+        assert rule_id in out
+
+
+def test_module_entry_point_subprocess(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(FIXTURES)],
+        capture_output=True,
+        text=True,
+        cwd=tmp_path,
+        env=env,
+    )
+    assert result.returncode == 1
+    assert "[memmap-flush]" in result.stdout

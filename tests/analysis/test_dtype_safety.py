@@ -1,0 +1,56 @@
+"""The ``dtype-safety`` rule: flag dtype-inferring hot-path numpy calls."""
+
+from __future__ import annotations
+
+from repro.analysis.engine import lint_source
+from repro.analysis.rules import DtypeSafetyRule
+
+from tests.analysis.conftest import lint_fixture
+
+
+def test_flags_every_seeded_violation():
+    report = lint_fixture("repro/core/dtype_bad.py", DtypeSafetyRule())
+    assert len(report.violations) == 4
+    assert {v.rule_id for v in report.violations} == {"dtype-safety"}
+    messages = " ".join(v.message for v in report.violations)
+    assert "accumulation_dtype" in messages
+
+
+def test_suppression_comment_is_honoured():
+    report = lint_fixture("repro/core/dtype_bad.py", DtypeSafetyRule())
+    assert report.suppressed == 1
+
+
+def test_compliant_fixture_is_clean():
+    report = lint_fixture("repro/core/dtype_ok.py", DtypeSafetyRule())
+    assert report.violations == []
+
+
+def test_scope_excludes_other_layers():
+    rule = DtypeSafetyRule()
+    assert rule.applies_to("src/repro/core/prefix_sum.py")
+    assert rule.applies_to("src/repro/sparse/sparse_sum.py")
+    assert rule.applies_to("src/repro/query/batch.py")
+    assert not rule.applies_to("src/repro/verify/driver.py")
+    assert not rule.applies_to("benchmarks/bench_operators.py")
+
+
+def test_numpy_alias_tracking():
+    source = (
+        "import numpy\n"
+        "import numpy as xp\n"
+        "a = numpy.zeros((3,))\n"
+        "b = xp.empty((3,))\n"
+    )
+    report = lint_source("repro/core/x.py", source, [DtypeSafetyRule()])
+    assert len(report.violations) == 2
+
+
+def test_non_numpy_names_are_ignored():
+    source = (
+        "import functools\n"
+        "def fold(items):\n"
+        "    return functools.reduce(lambda a, b: a + b, items)\n"
+    )
+    report = lint_source("repro/core/x.py", source, [DtypeSafetyRule()])
+    assert report.violations == []

@@ -1,0 +1,121 @@
+"""Engine behavior: suppressions, scoping, syntax errors, file discovery."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import (
+    LintContext,
+    LintReport,
+    Rule,
+    Violation,
+    iter_python_files,
+    lint_source,
+    run_paths,
+    suppressed_rules_by_line,
+)
+
+
+class FlagEveryCall(Rule):
+    """Test rule: one violation per function call."""
+
+    rule_id = "flag-call"
+    description = "flags every call expression"
+
+    def check(self, context: LintContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Call):
+                yield self.violation(context, node, "call found")
+
+
+class TestSuppressions:
+    def test_same_line_directive(self):
+        source = "f()  # cubelint: allow[flag-call]\ng()\n"
+        report = lint_source("x.py", source, [FlagEveryCall()])
+        assert [v.line for v in report.violations] == [2]
+        assert report.suppressed == 1
+
+    def test_preceding_comment_line_directive(self):
+        source = "# cubelint: allow[flag-call]\nf()\ng()\n"
+        report = lint_source("x.py", source, [FlagEveryCall()])
+        assert [v.line for v in report.violations] == [3]
+        assert report.suppressed == 1
+
+    def test_preceding_code_line_does_not_suppress(self):
+        source = "x = 1  # cubelint: allow[flag-call]\nf()\n"
+        report = lint_source("x.py", source, [FlagEveryCall()])
+        assert [v.line for v in report.violations] == [2]
+        assert report.suppressed == 0
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        source = "f()  # cubelint: allow[other-rule]\n"
+        report = lint_source("x.py", source, [FlagEveryCall()])
+        assert len(report.violations) == 1
+        assert report.suppressed == 0
+
+    def test_comma_separated_ids(self):
+        source = "f()  # cubelint: allow[other-rule, flag-call]\n"
+        report = lint_source("x.py", source, [FlagEveryCall()])
+        assert report.violations == []
+        assert report.suppressed == 1
+
+    def test_directive_inside_string_is_ignored(self):
+        source = 's = "cubelint: allow[flag-call]"\nf()\n'
+        assert suppressed_rules_by_line(source) == {}
+        report = lint_source("x.py", source, [FlagEveryCall()])
+        assert len(report.violations) == 1
+
+
+class TestScopeAndErrors:
+    def test_scoped_rule_skips_out_of_scope_files(self):
+        class Scoped(FlagEveryCall):
+            scope = ("repro/core",)
+
+        in_scope = lint_source("src/repro/core/a.py", "f()\n", [Scoped()])
+        out_of_scope = lint_source("src/repro/query/a.py", "f()\n", [Scoped()])
+        assert len(in_scope.violations) == 1
+        assert out_of_scope.violations == []
+
+    def test_syntax_error_becomes_violation(self):
+        report = lint_source("bad.py", "def broken(:\n", [FlagEveryCall()])
+        assert len(report.violations) == 1
+        assert report.violations[0].rule_id == "syntax-error"
+        assert "cannot parse" in report.violations[0].message
+
+    def test_violation_format(self):
+        violation = Violation(
+            path="a.py", line=3, col=5, rule_id="demo", message="msg"
+        )
+        assert violation.format() == "a.py:3:5: [demo] msg"
+        assert violation.as_json() == {
+            "path": "a.py",
+            "line": 3,
+            "col": 5,
+            "rule": "demo",
+            "message": "msg",
+        }
+
+
+class TestFileRunner:
+    def test_iter_python_files_expands_directories(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "b.py").write_text("f()\n")
+        (tmp_path / "pkg" / "a.py").write_text("g()\n")
+        (tmp_path / "pkg" / "notes.txt").write_text("not python\n")
+        found = list(iter_python_files([tmp_path]))
+        assert [p.name for p in found] == ["a.py", "b.py"]
+
+    def test_run_paths_merges_reports(self, tmp_path):
+        (tmp_path / "a.py").write_text("f()\n")
+        (tmp_path / "b.py").write_text("g()  # cubelint: allow[flag-call]\n")
+        report = run_paths([tmp_path], [FlagEveryCall()])
+        assert report.files == 2
+        assert len(report.violations) == 1
+        assert report.suppressed == 1
+
+    def test_report_extend(self):
+        total = LintReport()
+        total.extend(LintReport(violations=[], suppressed=2, files=1))
+        assert total.files == 1
+        assert total.suppressed == 2

@@ -1,0 +1,25 @@
+"""The ``memmap-flush`` rule: update paths sync backend-held arrays."""
+
+from __future__ import annotations
+
+from repro.analysis.rules import MemmapFlushRule
+
+from tests.analysis.conftest import lint_fixture
+
+
+def test_flags_every_unflushed_return_path():
+    report = lint_fixture("flush/flush_bad.py", MemmapFlushRule())
+    per_function: dict[str, int] = {}
+    for violation in report.violations:
+        name = violation.message.split("'")[1]
+        per_function[name] = per_function.get(name, 0) + 1
+    assert per_function == {
+        "apply_updates": 2,  # both return statements
+        "apply_assignments": 1,
+        "apply_view_updates": 1,  # via the local view alias
+    }
+
+
+def test_compliant_fixture_is_clean():
+    report = lint_fixture("flush/flush_ok.py", MemmapFlushRule())
+    assert report.violations == []

@@ -231,3 +231,43 @@ class TestBatchMechanics:
         assert stats.assignments == 2
         assert stats.total_items >= 2
         assert stats.nodes_written >= 2
+
+
+class TestMemmapFlush:
+    """Regression: ``apply_max_updates`` mutated spill-backed arrays but
+    never synced the backend (cubelint ``memmap-flush``)."""
+
+    def _spy(self, monkeypatch):
+        flushed = []
+        original = np.memmap.flush
+
+        def spy(self):
+            flushed.append(self.filename)
+            return original(self)
+
+        monkeypatch.setattr(np.memmap, "flush", spy)
+        return flushed
+
+    def test_direct_call_flushes_backend(self, rng, tmp_path, monkeypatch):
+        from repro.index.backend import MemmapBackend
+
+        flushed = self._spy(monkeypatch)
+        cube = make_cube((16,), rng, high=100)
+        tree = RangeMaxTree(cube, fanout=4, backend=MemmapBackend(tmp_path))
+        flushed.clear()
+        apply_max_updates(tree, [MaxAssignment((3,), 500)])
+        assert flushed, "apply_max_updates never flushed its spill files"
+
+    def test_height_zero_path_flushes_backend(
+        self, tmp_path, monkeypatch
+    ):
+        """The early-return path (no tree levels) also writes ``source``."""
+        from repro.index.backend import MemmapBackend
+
+        flushed = self._spy(monkeypatch)
+        cube = np.array([7], dtype=np.int64)
+        tree = RangeMaxTree(cube, fanout=2, backend=MemmapBackend(tmp_path))
+        flushed.clear()
+        apply_max_updates(tree, [MaxAssignment((0,), 11)])
+        assert tree.source[0] == 11
+        assert flushed, "height-0 early return skipped the backend flush"

@@ -122,3 +122,29 @@ class TestValidation:
         tree = TreeSumHierarchy(make_cube((5, 5), rng), 2)
         with pytest.raises(ValueError):
             tree.range_sum(Box((3, 0), (2, 4)))
+
+
+class TestAccumulationDtype:
+    """Regression: node contraction ran in the source dtype, so an int8
+    cube's node sums wrapped (cubelint ``dtype-safety``)."""
+
+    def test_int8_node_sums_do_not_wrap(self):
+        cube = np.full((16,), 100, dtype=np.int8)
+        tree = TreeSumHierarchy(cube, 4)
+        box = Box((0,), (15,))
+        assert tree.range_sum(box) == naive_range_sum(cube, box) == 1600
+
+    def test_levels_use_accumulation_dtype(self):
+        cube = np.ones((8, 8), dtype=np.int8)
+        tree = TreeSumHierarchy(cube, 2)
+        for level in tree.levels[1:]:
+            assert level is not None
+            assert level.dtype == np.int64
+
+    def test_float32_node_sums_keep_integer_precision(self):
+        cube = np.full((32,), 2.0**24, dtype=np.float32)
+        tree = TreeSumHierarchy(cube, 4)
+        box = Box((0,), (31,))
+        # 32 · 2^24 is exactly representable in float64, but float32
+        # accumulation would round each partial sum.
+        assert tree.range_sum(box) == float(32 * 2.0**24)

@@ -21,6 +21,7 @@ from repro.core.prefix_sum import PrefixSumCube
 from repro.instrumentation import AccessCounter
 from repro.query.batch import (
     boxes_to_arrays,
+    combine_corner_values,
     corner_table,
     normalize_query_arrays,
     rolling_window_bounds,
@@ -397,3 +398,27 @@ class TestPythonScalarReturns:
             rng.standard_normal((6, 6)), max_fanout=None
         )
         assert type(engine.sum(Box((0, 0), (3, 3)))) is float
+
+
+class TestCombineCornerDtype:
+    """Regression companion to cubelint ``dtype-safety``: the corner
+    reduction states its dtype explicitly, so narrow corner values can
+    never wrap even if a caller skips the prefix-layer promotion."""
+
+    def test_narrow_corner_values_promote(self):
+        from repro.core.operators import SUM
+
+        values = np.array([[120, -120]], dtype=np.int8)
+        valid = np.ones((1, 2), dtype=bool)
+        signs = np.array([1, -1], dtype=np.int64)
+        result = combine_corner_values(values, valid, signs, SUM)
+        assert result.dtype == np.int64
+        assert result[0] == 240
+
+    def test_xor_stays_in_source_dtype(self):
+        values = np.array([[0x5A, 0x0F]], dtype=np.int8)
+        valid = np.ones((1, 2), dtype=bool)
+        signs = np.array([1, -1], dtype=np.int64)
+        result = combine_corner_values(values, valid, signs, XOR)
+        assert result.dtype == np.int8
+        assert result[0] == (0x5A ^ 0x0F)
