@@ -30,11 +30,13 @@ import sys
 import time
 from pathlib import Path
 
-import numpy as np
-
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks._env import thread_config  # noqa: E402  (pins thread env)
+
+import numpy as np  # noqa: E402
 
 from repro.query.engine import RangeQueryEngine  # noqa: E402
 from repro.query.workload import make_cube, random_query_arrays  # noqa: E402
@@ -209,6 +211,7 @@ def run(smoke: bool = False, out: Path | None = None) -> dict:
             "batch_sizes": list(batch_sizes),
             "repeats": REPEATS,
             "smoke": smoke,
+            "threads": thread_config(),
         },
         "sum": sum_results,
         "max": max_results,

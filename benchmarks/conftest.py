@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from benchmarks import _env  # noqa: F401  (pins thread env before numpy)
+
 import numpy as np
 import pytest
 

@@ -6,16 +6,22 @@ every benchmark pins its generator so numbers are comparable across
 runs.  One ``np.random.rand()`` — or a ``default_rng()`` with no seed —
 quietly breaks both.
 
-The rule flags, inside ``src/repro/verify`` and ``benchmarks/``:
+The rule flags, inside ``src/repro/verify``, ``src/repro/kernels`` and
+``benchmarks/``:
 
 * any draw from the numpy *global* stream (``np.random.<fn>`` other
   than constructing generators/bit-generators/seed-sequences),
 * ``np.random.default_rng()`` / ``SeedSequence()`` called with no seed,
 * any use of the stdlib ``random`` module's global stream (and
-  ``random.Random()`` with no seed).
+  ``random.Random()`` with no seed),
+* worker pools sized implicitly: a ``ThreadPoolExecutor`` /
+  ``ProcessPoolExecutor`` constructed without an explicit worker count
+  scales with the host's core count, so kernel benchmark numbers (shard
+  counts, speedups) silently change between runners.
 
 The repo convention is a locally constructed, explicitly seeded
-``np.random.Generator`` passed down as ``rng``.
+``np.random.Generator`` passed down as ``rng``, and pool sizes pinned
+through ``REPRO_KERNEL_WORKERS`` (see ``benchmarks/_env.py``).
 """
 
 from __future__ import annotations
@@ -24,7 +30,10 @@ import ast
 from collections.abc import Iterator
 
 from repro.analysis.engine import LintContext, Rule, Violation
-from repro.analysis.rules._astutil import numpy_aliases
+from repro.analysis.rules._astutil import numpy_aliases, terminal_name
+
+#: Executor constructors whose worker count must be explicit.
+_POOL_CONSTRUCTORS = {"ThreadPoolExecutor", "ProcessPoolExecutor"}
 
 #: ``np.random`` attributes that *construct* seedable objects.
 _CONSTRUCTORS = {
@@ -48,11 +57,12 @@ class DeterminismRule(Rule):
 
     rule_id = "determinism"
     description = (
-        "repro/verify and benchmarks must not draw from unseeded global "
-        "random streams; construct an explicitly seeded "
-        "np.random.default_rng(seed) and pass it down"
+        "repro/verify, repro/kernels and benchmarks must not draw from "
+        "unseeded global random streams or size worker pools off the "
+        "host's core count; seed every generator explicitly and pin "
+        "max_workers"
     )
-    scope = ("repro/verify", "benchmarks")
+    scope = ("repro/verify", "repro/kernels", "benchmarks")
 
     def check(self, context: LintContext) -> Iterator[Violation]:
         np_names = numpy_aliases(context.tree)
@@ -64,6 +74,7 @@ class DeterminismRule(Rule):
             yield from self._check_stdlib(
                 context, node, random_modules, random_names
             )
+            yield from self._check_pool(context, node)
 
     def _check_numpy(
         self, context: LintContext, call: ast.Call, np_names: set[str]
@@ -94,6 +105,25 @@ class DeterminismRule(Rule):
                 f"'{name}()' without a seed is entropy-seeded; pass an "
                 "explicit seed for replayable runs",
             )
+
+    def _check_pool(
+        self, context: LintContext, call: ast.Call
+    ) -> Iterator[Violation]:
+        """Flag executor constructions with no explicit worker count."""
+        name = terminal_name(call.func)
+        if name not in _POOL_CONSTRUCTORS:
+            return
+        if call.args:
+            return  # first positional argument is max_workers
+        if any(k.arg == "max_workers" for k in call.keywords):
+            return
+        yield self.violation(
+            context,
+            call,
+            f"'{name}()' without max_workers sizes the pool from the "
+            "host's core count; pin it explicitly (e.g. via "
+            "REPRO_KERNEL_WORKERS) so shard counts replay across runners",
+        )
 
     def _check_stdlib(
         self,

@@ -243,13 +243,17 @@ class BlockedPrefixSumCube(RangeSumIndexMixin):
         highs: object,
         counter: AccessCounter = NULL_COUNTER,
     ) -> np.ndarray:
-        """Answer ``K`` range-sums, vectorizing the internal regions.
+        """Answer ``K`` range-sums, vectorizing per the selected kernel.
 
         The block-aligned internal region of every query (the all-middle
         member of its ``3^d`` decomposition) is resolved for the whole
-        batch with a single gather on the blocked prefix array; boundary
-        regions — whose raw-cube scans have per-query shapes — fall back
-        to the scalar machinery query by query.
+        batch with a single gather on the blocked prefix array.  What
+        happens to the boundary regions depends on the resolved execution
+        kernel: backends with ``serial_boundaries`` (the ``numpy``
+        oracle) fall back to the scalar machinery query by query — the
+        historical code path, bit for bit — while the others run the
+        one-pass vectorized boundary machinery of
+        :mod:`repro.kernels.boundary`.
 
         Args:
             lows: ``(K, d)`` inclusive lower bounds (array-like, ints).
@@ -260,20 +264,33 @@ class BlockedPrefixSumCube(RangeSumIndexMixin):
             A ``(K,)`` array of aggregates; empty rows (``hi < lo``)
             yield the operator identity.
         """
+        from repro.kernels import blocked_sum_many_vectorized, resolve_kernel
         from repro.query.batch import (
             blocked_sum_many,
             normalize_query_arrays,
             solve_with_identity,
         )
 
+        kern = resolve_kernel(override=self.kernel)
         lo, hi = normalize_query_arrays(
             lows, highs, self.shape, allow_empty=True
         )
+        if kern.serial_boundaries:
+            return solve_with_identity(
+                lo,
+                hi,
+                self.operator.identity,
+                lambda l, h: blocked_sum_many(
+                    self, l, h, counter, kernel=kern
+                ),
+            )
         return solve_with_identity(
             lo,
             hi,
             self.operator.identity,
-            lambda l, h: blocked_sum_many(self, l, h, counter),
+            lambda l, h: blocked_sum_many_vectorized(
+                self, l, h, kern, counter
+            ),
         )
 
     def total(self, counter: AccessCounter = NULL_COUNTER) -> object:
@@ -459,10 +476,13 @@ class BlockedPrefixSumCube(RangeSumIndexMixin):
             apply_batch_to_prefix,
             contract_updates_to_blocks,
         )
+        from repro.kernels import resolve_kernel
+        from repro.kernels.segments import flatten_updates
 
-        for update in updates:
-            self.source[update.index] = self.operator.apply(
-                self.source[update.index], update.delta
+        if len(updates):
+            flat, deltas = flatten_updates(updates, self.shape)
+            resolve_kernel(self.kernel).scatter(
+                self.source.reshape(-1), flat, deltas, self.operator
             )
         contracted = contract_updates_to_blocks(
             updates, self.block_size, self.operator

@@ -71,10 +71,13 @@ def _sample_blocked_partial_params(
 class BlockedPartialPrefixSumCube(RangeSumIndexMixin):
     """Prefix sums blocked with factor ``b`` along a subset ``X'``.
 
-    ``sum_many`` is deliberately *not* defined here: the protocol mixin's
-    scalar-loop default supplies the batch API, which is what lets
-    :func:`~repro.query.workload.run_query_log` drive this structure
-    through the same ``*_many`` dispatch as the vectorized ones.
+    ``sum_many`` routes through the execution-kernel layer: under a
+    kernel with ``serial_boundaries`` (the ``numpy`` oracle) it falls
+    back to the protocol mixin's scalar loop — the historical behaviour,
+    query by query — while the vectorizing backends answer the whole
+    batch through :func:`repro.kernels.blocked_sum_many_vectorized`,
+    reducing every boundary region of the batch in one
+    ``np.add.reduceat``-style pass.
 
     Args:
         cube: The raw data cube ``A`` (retained for boundary scans).
@@ -203,6 +206,12 @@ class BlockedPartialPrefixSumCube(RangeSumIndexMixin):
         """
         if self._check_box(box):
             return self.operator.identity
+        return self.range_sum_unchecked(box, counter)
+
+    def range_sum_unchecked(
+        self, box: Box, counter: AccessCounter = NULL_COUNTER
+    ) -> object:
+        """:meth:`range_sum` minus validation (batch default hook)."""
         op = self.operator
         passive_slices = tuple(
             slice(box.lo[j], box.hi[j] + 1) for j in self.passive_dims
@@ -253,6 +262,50 @@ class BlockedPartialPrefixSumCube(RangeSumIndexMixin):
         return self.range_sum(
             Box(tuple(lo for lo, _ in bounds), tuple(hi for _, hi in bounds)),
             counter,
+        )
+
+    def sum_many(
+        self,
+        lows: object,
+        highs: object,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> np.ndarray:
+        """Answer ``K`` range-sums, vectorizing per the selected kernel.
+
+        Backends with ``serial_boundaries`` (the ``numpy`` oracle)
+        delegate to the protocol mixin's scalar loop — the historical
+        code path, bit for bit — while the others reduce every boundary
+        region of the batch in one pass through
+        :func:`repro.kernels.blocked_sum_many_vectorized`.
+
+        Args:
+            lows: ``(K, d)`` inclusive lower bounds (array-like, ints).
+            highs: ``(K, d)`` inclusive upper bounds.
+            counter: Standard access counter (same charges as scalar).
+
+        Returns:
+            A ``(K,)`` array of aggregates; empty rows (``hi < lo``)
+            yield the operator identity.
+        """
+        from repro.kernels import blocked_sum_many_vectorized, resolve_kernel
+        from repro.query.batch import (
+            normalize_query_arrays,
+            solve_with_identity,
+        )
+
+        kern = resolve_kernel(override=self.kernel)
+        if kern.serial_boundaries:
+            return super().sum_many(lows, highs, counter)
+        lo, hi = normalize_query_arrays(
+            lows, highs, self.shape, allow_empty=True
+        )
+        return solve_with_identity(
+            lo,
+            hi,
+            self.operator.identity,
+            lambda l, h: blocked_sum_many_vectorized(
+                self, l, h, kern, counter
+            ),
         )
 
     def apply_updates(self, updates: Sequence[PointUpdate]) -> int:

@@ -268,7 +268,8 @@ class PartialPrefixSumCube(RangeSumIndexMixin):
             hi,
             self.operator.identity,
             lambda l, h: prefix_sum_many(
-                self._batch_prefix_array(), l, h, self.operator, counter
+                self._batch_prefix_array(), l, h, self.operator, counter,
+                kernel=self.kernel,
             ),
         )
 

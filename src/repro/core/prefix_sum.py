@@ -303,7 +303,8 @@ class PrefixSumCube(RangeSumIndexMixin):
             hi,
             self.operator.identity,
             lambda l, h: prefix_sum_many(
-                self.prefix, l, h, self.operator, counter
+                self.prefix, l, h, self.operator, counter,
+                kernel=self.kernel,
             ),
         )
 
@@ -347,12 +348,14 @@ class PrefixSumCube(RangeSumIndexMixin):
             (bounded by Theorem 2).
         """
         from repro.core.batch_update import apply_batch_to_prefix
+        from repro.kernels import resolve_kernel
+        from repro.kernels.segments import flatten_updates
 
-        if self.source is not None:
-            for update in updates:
-                self.source[update.index] = self.operator.apply(
-                    self.source[update.index], update.delta
-                )
+        if self.source is not None and len(updates):
+            flat, deltas = flatten_updates(updates, self.shape)
+            resolve_kernel(self.kernel).scatter(
+                self.source.reshape(-1), flat, deltas, self.operator
+            )
         regions = apply_batch_to_prefix(self.prefix, updates, self.operator)
         self.backend.flush()
         return regions

@@ -102,6 +102,11 @@ class _IndexBase:
     index_name: str | None = None
     #: "sum" or "max" — set by the concrete mixin below.
     index_kind: str = "index"
+    #: Per-index execution-backend override (a registry name or a live
+    #: :class:`~repro.kernels.ExecutionKernel`).  ``None`` defers to
+    #: ``$REPRO_KERNEL`` and then the ``"numpy"`` default — see
+    #: :func:`repro.kernels.resolve_kernel` for the full precedence.
+    kernel: object | None = None
 
     @classmethod
     def build(cls, cube: object, **params: object) -> _IndexBase:
@@ -195,18 +200,45 @@ class RangeSumIndexMixin(_IndexBase):
         else gains a correct (if unvectorized) batch API for free.
         Empty rows are legal and come back as the scalar path answers
         them (the operator identity).
+
+        Validation is hoisted: the batch is checked once by
+        ``normalize_query_arrays``, and structures that expose a
+        ``range_sum_unchecked(box, counter)`` hook skip their per-query
+        ``check_query_box`` entirely (empty rows short-circuit to the
+        operator identity here).  Structures without the hook fall back
+        to ``range_sum`` row by row, which re-validates.
         """
         from repro.query.batch import normalize_query_arrays
 
         lo, hi = normalize_query_arrays(
             lows, highs, self.shape, allow_empty=True
         )
+        unchecked = getattr(self, "range_sum_unchecked", None)
+        if unchecked is None:
+            results = [
+                self.range_sum(
+                    Box(tuple(int(x) for x in l), tuple(int(x) for x in h)),
+                    counter,
+                )
+                for l, h in zip(lo, hi)
+            ]
+            return np.asarray(results)
+        empty = np.any(hi < lo, axis=1)
+        operator = getattr(self, "operator", None)
+        # Sparse SUM structures don't carry an operator object; their
+        # empty-range answer is the additive identity.
+        identity = operator.identity if operator is not None else 0
         results = [
-            self.range_sum(
-                Box(tuple(int(x) for x in l), tuple(int(x) for x in h)),
+            identity
+            if empty[k]
+            else unchecked(
+                Box(
+                    tuple(int(x) for x in lo[k]),
+                    tuple(int(x) for x in hi[k]),
+                ),
                 counter,
             )
-            for l, h in zip(lo, hi)
+            for k in range(lo.shape[0])
         ]
         return np.asarray(results)
 

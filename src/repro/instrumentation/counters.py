@@ -16,38 +16,53 @@ formulas (e.g. ``2^d + S·F(b)`` for the blocked prefix-sum method).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
 @dataclass
 class AccessCounter:
-    """Mutable tally of element accesses, grouped by storage structure."""
+    """Mutable tally of element accesses, grouped by storage structure.
+
+    Increments are serialized through an internal lock: the ``threaded``
+    execution kernel charges one shared counter from several worker
+    threads at once, and the plain ``int`` read-modify-write of ``+=``
+    would drop charges under that interleaving.  The lock is per-counter
+    and uncontended on the serial paths.
+    """
 
     cube_cells: int = 0
     prefix_cells: int = 0
     tree_nodes: int = 0
     index_nodes: int = 0
     enabled: bool = field(default=True, repr=False)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def count_cube(self, cells: int = 1) -> None:
         """Charge ``cells`` reads of the raw data cube ``A``."""
         if self.enabled:
-            self.cube_cells += cells
+            with self._lock:
+                self.cube_cells += cells
 
     def count_prefix(self, cells: int = 1) -> None:
         """Charge ``cells`` reads of a prefix-sum array ``P``."""
         if self.enabled:
-            self.prefix_cells += cells
+            with self._lock:
+                self.prefix_cells += cells
 
     def count_tree(self, nodes: int = 1) -> None:
         """Charge ``nodes`` reads of hierarchical-tree nodes."""
         if self.enabled:
-            self.tree_nodes += nodes
+            with self._lock:
+                self.tree_nodes += nodes
 
     def count_index(self, nodes: int = 1) -> None:
         """Charge ``nodes`` reads of secondary-index nodes."""
         if self.enabled:
-            self.index_nodes += nodes
+            with self._lock:
+                self.index_nodes += nodes
 
     @property
     def total(self) -> int:
@@ -61,20 +76,22 @@ class AccessCounter:
 
     def reset(self) -> None:
         """Zero every tally."""
-        self.cube_cells = 0
-        self.prefix_cells = 0
-        self.tree_nodes = 0
-        self.index_nodes = 0
+        with self._lock:
+            self.cube_cells = 0
+            self.prefix_cells = 0
+            self.tree_nodes = 0
+            self.index_nodes = 0
 
     def snapshot(self) -> dict[str, int]:
         """A plain-dict copy of the current tallies (for reporting)."""
-        return {
-            "cube_cells": self.cube_cells,
-            "prefix_cells": self.prefix_cells,
-            "tree_nodes": self.tree_nodes,
-            "index_nodes": self.index_nodes,
-            "total": self.total,
-        }
+        with self._lock:
+            return {
+                "cube_cells": self.cube_cells,
+                "prefix_cells": self.prefix_cells,
+                "tree_nodes": self.tree_nodes,
+                "index_nodes": self.index_nodes,
+                "total": self.total,
+            }
 
 
 class _NullCounter(AccessCounter):

@@ -1,0 +1,68 @@
+"""The ``numpy`` backend: the historical code path, factored out.
+
+This is the correctness oracle every other backend is differentially
+fuzzed and benchmarked against.  It is intentionally boring: the corner
+primitives are exactly the ones :mod:`repro.query.batch` always used,
+and ``serial_boundaries`` is True, so blocked structures keep their
+historical per-query boundary loops — an unconfigured process computes
+bit-for-bit what it did before the kernel layer existed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.operators import InvertibleOperator
+from repro.instrumentation import NULL_COUNTER, AccessCounter
+from repro.kernels.corner import (
+    combine_corner_values,
+    gather_corner_values,
+)
+from repro.kernels.registry import register_kernel
+from repro.kernels.segments import scatter_serial, segment_reduce_serial
+
+
+@register_kernel(
+    "numpy",
+    description="single-threaded numpy; the factored-out historical "
+    "path and the correctness oracle",
+)
+class NumpyKernel:
+    """Serial numpy implementation of the three kernel primitives."""
+
+    name = "numpy"
+    serial_boundaries = True
+
+    def corner_gather(
+        self,
+        prefix: np.ndarray,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        operator: InvertibleOperator,
+        counter: AccessCounter = NULL_COUNTER,
+    ) -> np.ndarray:
+        if len(lows) == 0:
+            target = operator.accumulation_dtype(prefix.dtype)
+            return np.zeros(0, dtype=target)
+        values, valid, signs = gather_corner_values(
+            prefix, lows, highs, counter
+        )
+        return combine_corner_values(values, valid, signs, operator)
+
+    def segment_reduce(
+        self,
+        flat: np.ndarray,
+        starts: np.ndarray,
+        lengths: np.ndarray,
+        operator: InvertibleOperator,
+    ) -> np.ndarray:
+        return segment_reduce_serial(flat, starts, lengths, operator)
+
+    def scatter(
+        self,
+        target: np.ndarray,
+        indices: np.ndarray,
+        deltas: np.ndarray,
+        operator: InvertibleOperator,
+    ) -> None:
+        scatter_serial(target, indices, deltas, operator)

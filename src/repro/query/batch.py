@@ -44,6 +44,15 @@ from repro._util import Box
 from repro.core.operators import InvertibleOperator
 from repro.instrumentation import NULL_COUNTER, AccessCounter
 
+# The corner primitives moved to repro.kernels.corner when the pluggable
+# backend layer was introduced (every backend builds on them); they are
+# re-exported here because this module is their historical home.
+from repro.kernels.corner import (
+    combine_corner_values as combine_corner_values,
+    corner_table as corner_table,
+    gather_corner_values as gather_corner_values,
+)
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.range_max import RangeMaxTree
     from repro.query.ranges import RangeQuery
@@ -177,112 +186,13 @@ def boxes_to_arrays(
 # ----------------------------------------------------------------------
 
 
-@lru_cache(maxsize=None)
-def corner_table(ndim: int) -> tuple[np.ndarray, np.ndarray]:
-    """The cached ``(2^d, d)`` corner choices and their Theorem-1 signs.
-
-    Row ``c`` of ``take_hi`` says, per dimension, whether corner ``c``
-    reads ``h_j`` (True) or ``l_j − 1`` (False); ``signs[c]`` is ``+1``
-    when the number of low choices is even, else ``−1``.
-
-    Returns:
-        ``(take_hi, signs)`` — a ``(2^d, d)`` bool array and a ``(2^d,)``
-        int8 array.  Both are cached; callers must not mutate them.
-    """
-    if ndim < 1:
-        raise ValueError("the corner table needs at least one dimension")
-    count = 1 << ndim
-    codes = np.arange(count, dtype=np.uint32)
-    take_hi = (
-        (codes[:, None] >> np.arange(ndim - 1, -1, -1)[None, :]) & 1
-    ).astype(bool)
-    low_choices = ndim - take_hi.sum(axis=1)
-    signs = np.where(low_choices % 2 == 0, 1, -1).astype(np.int8)
-    take_hi.setflags(write=False)
-    signs.setflags(write=False)
-    return take_hi, signs
-
-
-def gather_corner_values(
-    prefix: np.ndarray,
-    lows: np.ndarray,
-    highs: np.ndarray,
-    counter: AccessCounter = NULL_COUNTER,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Read all ``K · 2^d`` Theorem-1 corners of ``P`` in one gather.
-
-    Args:
-        prefix: The prefix array ``P`` (any number of dimensions).
-        lows: Validated ``(K, d)`` inclusive lower bounds.
-        highs: Validated ``(K, d)`` inclusive upper bounds.
-        counter: Charged one ``prefix_cells`` unit per *valid* corner
-            (corners with a ``−1`` coordinate are the implicit zero and
-            cost nothing), matching the scalar path's accounting.
-
-    Returns:
-        ``(values, valid, signs)``: a ``(K, 2^d)`` array of gathered
-        ``P`` cells (garbage where invalid), a ``(K, 2^d)`` bool validity
-        mask, and the shared ``(2^d,)`` sign row.
-    """
-    take_hi, signs = corner_table(prefix.ndim)
-    # (K, 2^d, d) corner coordinates: h_j where take_hi, else l_j − 1.
-    corners = np.where(
-        take_hi[None, :, :], highs[:, None, :], lows[:, None, :] - 1
-    )
-    valid = (corners >= 0).all(axis=2)
-    clipped = np.maximum(corners, 0)
-    flat = np.ravel_multi_index(
-        tuple(np.moveaxis(clipped, 2, 0)), prefix.shape
-    )
-    values = prefix.ravel()[flat.reshape(-1)].reshape(flat.shape)
-    counter.count_prefix(int(valid.sum()))
-    return values, valid, signs
-
-
-def combine_corner_values(
-    values: np.ndarray,
-    valid: np.ndarray,
-    signs: np.ndarray,
-    operator: InvertibleOperator,
-) -> np.ndarray:
-    """Reduce gathered corners to per-query aggregates (Theorem 1).
-
-    Positive and negative corners are reduced separately with the
-    operator's ufunc (invalid corners contribute the identity) and then
-    combined once with ``⊖`` — the exact algebra of the scalar path, so
-    integer results are bit-identical.
-    """
-    positive_mask = valid & (signs > 0)[None, :]
-    negative_mask = valid & (signs < 0)[None, :]
-    apply_ufunc = operator.apply
-    if not isinstance(apply_ufunc, np.ufunc):  # pragma: no cover
-        raise TypeError(
-            "the batch kernel requires a ufunc operator; "
-            f"{operator.name!r} is not one"
-        )
-    # ``values`` is gathered from a prefix array already promoted by
-    # ``accumulation_dtype``; stating the reduce dtype keeps the corner
-    # algebra in that dtype even if a caller hands in narrower corners.
-    target = operator.accumulation_dtype(values.dtype)
-    positive = apply_ufunc.reduce(
-        np.where(positive_mask, values, operator.identity),
-        axis=1,
-        dtype=target,
-    )
-    negative = apply_ufunc.reduce(
-        np.where(negative_mask, values, operator.identity),
-        axis=1,
-        dtype=target,
-    )
-    return operator.invert(positive, negative)
-
-
 def prefix_sum_many(
     prefix: np.ndarray,
     lows: np.ndarray,
     highs: np.ndarray,
     operator: InvertibleOperator,
     counter: AccessCounter = NULL_COUNTER,
+    kernel: object | None = None,
 ) -> np.ndarray:
     """Answer ``K`` range-sums against a full prefix array in O(1) ops.
 
@@ -295,16 +205,20 @@ def prefix_sum_many(
         highs: Validated ``(K, d)`` inclusive upper bounds.
         operator: The structure's invertible operator.
         counter: Charged per valid corner read, as in the scalar path.
+        kernel: Execution backend (name or instance); ``None`` resolves
+            via :func:`repro.kernels.resolve_kernel` (env var, then the
+            ``numpy`` default).
 
     Returns:
         A ``(K,)`` array of aggregates.
     """
+    from repro.kernels import resolve_kernel
+
     if lows.shape[0] == 0:
         return np.empty(0, dtype=prefix.dtype)
-    values, valid, signs = gather_corner_values(
-        prefix, lows, highs, counter
+    return resolve_kernel(kernel).corner_gather(
+        prefix, lows, highs, operator, counter
     )
-    return combine_corner_values(values, valid, signs, operator)
 
 
 # ----------------------------------------------------------------------
@@ -317,6 +231,7 @@ def blocked_sum_many(
     lows: np.ndarray,
     highs: np.ndarray,
     counter: AccessCounter = NULL_COUNTER,
+    kernel: object | None = None,
 ) -> np.ndarray:
     """Batch range-sums for :class:`BlockedPrefixSumCube` (§4).
 
@@ -327,6 +242,11 @@ def blocked_sum_many(
     per-query raw-cube scans of varying shape and fall back to the scalar
     machinery query by query.
 
+    This is the ``serial_boundaries`` oracle path; kernels that clear
+    that flag route to
+    :func:`repro.kernels.blocked_sum_many_vectorized` instead (the
+    structure's ``sum_many`` makes that choice).
+
     Args:
         structure: A ``BlockedPrefixSumCube`` (duck-typed: needs
             ``block_size``, ``shape``, ``operator``, ``blocked_prefix``,
@@ -334,6 +254,7 @@ def blocked_sum_many(
         lows: Validated ``(K, d)`` lower bounds.
         highs: Validated ``(K, d)`` upper bounds.
         counter: Standard access counter.
+        kernel: Execution backend for the internal-region gather.
 
     Returns:
         A ``(K,)`` array of aggregates.
@@ -355,7 +276,12 @@ def blocked_sum_many(
         block_lo = low_up[has_internal] // b
         block_hi = high_down[has_internal] // b - 1
         internal_values[has_internal] = prefix_sum_many(
-            structure.blocked_prefix, block_lo, block_hi, op, counter
+            structure.blocked_prefix,
+            block_lo,
+            block_hi,
+            op,
+            counter,
+            kernel=kernel,
         )
     results: list[object] = []
     for k in range(K):

@@ -154,6 +154,13 @@ class RangeQueryEngine:
             structure that supports out-of-core allocation.
         counter: Engine-level :class:`AccessCounter` observing every
             query; a counter passed to an individual call still wins.
+        kernel: Execution-kernel selection for the batch query path — a
+            registry name (``"numpy"``, ``"threaded"``, ``"numba"``,
+            ``"auto"``) or a live
+            :class:`~repro.kernels.ExecutionKernel`.  Installed as the
+            per-index override on every sum-family structure the engine
+            builds; ``None`` defers to ``$REPRO_KERNEL`` and the
+            registry default.
         block_size: **Deprecated** — use
             ``sum_index=IndexSpec.of("blocked_prefix_sum", block_size=b)``.
         max_fanout: **Deprecated** — use
@@ -174,6 +181,7 @@ class RangeQueryEngine:
         counts: np.ndarray | None = None,
         backend: ArrayBackend | None = None,
         counter: AccessCounter | None = None,
+        kernel: object | None = None,
         block_size: object = _UNSET,
         max_fanout: object = _UNSET,
         prefix_dims: object = _UNSET,
@@ -182,6 +190,7 @@ class RangeQueryEngine:
         self.shape = tuple(int(n) for n in cube.shape)
         self.backend = backend
         self.counter = NULL_COUNTER if counter is None else counter
+        self.kernel = kernel
 
         legacy_sum = block_size is not _UNSET or prefix_dims is not _UNSET
         if legacy_sum:
@@ -261,6 +270,8 @@ class RangeQueryEngine:
             )
 
     def _instrument(self, index: object) -> InstrumentedIndex:
+        if self.kernel is not None and hasattr(index, "kernel"):
+            index.kernel = self.kernel
         return InstrumentedIndex(index, self.counter)
 
     def route(self, aggregate: str) -> InstrumentedIndex | None:

@@ -21,6 +21,7 @@ from repro.verify.driver import Divergence, run_scenario
 from repro.verify.scenarios import (
     Scenario,
     fuzzable_indexes,
+    fuzzable_kernels,
     scenario_for,
 )
 from repro.verify.shrink import shrink_scenario
@@ -29,6 +30,7 @@ __all__ = [
     "Divergence",
     "Scenario",
     "fuzzable_indexes",
+    "fuzzable_kernels",
     "run_scenario",
     "scenario_for",
     "shrink_scenario",

@@ -58,6 +58,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="pin the array backend (default: generator's choice)",
     )
     parser.add_argument(
+        "--kernel",
+        metavar="NAME",
+        help="pin the execution kernel (default: cycle through "
+        "numpy/threaded, plus numba when importable)",
+    )
+    parser.add_argument(
         "--time-budget",
         type=float,
         default=None,
@@ -112,6 +118,7 @@ def _scenario_json(failure: Divergence) -> str:
             "backend": scenario.backend,
             "steps": [list(step) for step in scenario.steps],
             "engine": scenario.engine,
+            "kernel": scenario.kernel,
         }
     )
 
@@ -146,7 +153,10 @@ def main(argv: list[str] | None = None) -> int:
             break
         name = names[trial % len(names)]
         scenario = scenario_for(
-            name, args.seed * SEED_STRIDE + trial, force_backend=force
+            name,
+            args.seed * SEED_STRIDE + trial,
+            force_backend=force,
+            force_kernel=args.kernel,
         )
         completed += 1
         per_index[name] += 1

@@ -142,9 +142,10 @@ def _run(scenario: Scenario, tmpdir: str) -> Divergence | None:
         cube: object = SparseCube.from_dense(source)
     else:
         cube = source
-    index = InstrumentedIndex(
-        create_index(scenario.index, cube, backend=backend, **params)
-    )
+    inner = create_index(scenario.index, cube, backend=backend, **params)
+    if scenario.kernel != "numpy" and hasattr(inner, "kernel"):
+        inner.kernel = scenario.kernel
+    index = InstrumentedIndex(inner)
     for position, (kind, step_seed) in enumerate(scenario.steps):
         rng = np.random.default_rng(
             [STEP_TAG, scenario.seed, step_seed]
@@ -421,6 +422,7 @@ def _run_engine_phase(scenario: Scenario) -> dict | None:
         sum_index=IndexSpec.of(scenario.index, **scenario.param_dict()),
         counts=counts,
         max_index=IndexSpec.of("range_max_tree", fanout=4),
+        kernel=None if scenario.kernel == "numpy" else scenario.kernel,
     )
 
     def diff(kind, box, expected, actual):

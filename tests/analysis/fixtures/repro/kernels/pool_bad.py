@@ -1,0 +1,19 @@
+"""Seeded ``determinism`` violations under a repro/kernels path."""
+
+from concurrent.futures import ThreadPoolExecutor, ProcessPoolExecutor
+
+import numpy as np
+
+
+def run_shards(shards):
+    pool = ThreadPoolExecutor()  # VIOLATION: unpinned worker count
+    return list(pool.map(sum, shards))
+
+
+def run_processes(shards):
+    with ProcessPoolExecutor() as pool:  # VIOLATION: unpinned
+        return list(pool.map(sum, shards))
+
+
+def sample():
+    return np.random.default_rng()  # VIOLATION: entropy-seeded

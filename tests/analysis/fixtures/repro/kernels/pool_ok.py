@@ -1,0 +1,20 @@
+"""Pinned pools and seeded generators pass the ``determinism`` rule."""
+
+import concurrent.futures
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+
+def run_shards(shards, workers):
+    pool = ThreadPoolExecutor(max_workers=workers)
+    return list(pool.map(sum, shards))
+
+
+def run_positional(shards):
+    with concurrent.futures.ThreadPoolExecutor(4) as pool:
+        return list(pool.map(sum, shards))
+
+
+def sample():
+    return np.random.default_rng(1997)

@@ -33,9 +33,25 @@ def test_seeded_usage_passes():
     assert report.violations == []
 
 
+def test_flags_unpinned_worker_pools():
+    report = lint_fixture("repro/kernels/pool_bad.py", DeterminismRule())
+    assert len(report.violations) == 3
+    messages = " ".join(v.message for v in report.violations)
+    assert "ThreadPoolExecutor" in messages
+    assert "ProcessPoolExecutor" in messages
+    assert "max_workers" in messages
+    assert "default_rng" in messages
+
+
+def test_pinned_pools_pass():
+    report = lint_fixture("repro/kernels/pool_ok.py", DeterminismRule())
+    assert report.violations == []
+
+
 def test_scope_excludes_core_layers():
     rule = DeterminismRule()
     assert rule.applies_to("src/repro/verify/driver.py")
-    assert rule.applies_to("benchmarks/bench_operators.py")
+    assert rule.applies_to("src/repro/kernels/threaded.py")
+    assert rule.applies_to("benchmarks/bench_kernels.py")
     assert not rule.applies_to("src/repro/core/prefix_sum.py")
     assert not rule.applies_to("tests/conftest.py")

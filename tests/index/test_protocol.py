@@ -100,17 +100,42 @@ class TestDenseSumProtocol:
 
 
 class TestBlockedPartialBatchPath:
-    """Satellite: BlockedPartialPrefixSumCube gains ``sum_many`` purely
-    from the protocol default — no vectorized kernel of its own."""
+    """BlockedPartialPrefixSumCube's ``sum_many`` routes through the
+    execution-kernel layer: the ``numpy`` oracle delegates to the
+    protocol mixin's scalar loop, the vectorizing backends answer the
+    batch in one boundary pass."""
 
-    def test_sum_many_comes_from_the_mixin(self):
-        from repro.core.blocked_partial import BlockedPartialPrefixSumCube
+    def test_oracle_kernel_delegates_to_the_mixin(self, rng):
         from repro.index.protocol import RangeSumIndexMixin
+        from repro.kernels import get_kernel
 
-        assert (
-            BlockedPartialPrefixSumCube.sum_many
-            is RangeSumIndexMixin.sum_many
+        cube = make_cube((12, 9), rng)
+        index = create_index(
+            "blocked_partial_prefix_sum",
+            cube,
+            prefix_dims=(0,),
+            block_size=3,
         )
+        index.kernel = get_kernel("numpy")
+        lows, highs = random_query_arrays(cube.shape, 8, rng)
+        expected = RangeSumIndexMixin.sum_many(index, lows, highs)
+        assert np.array_equal(index.sum_many(lows, highs), expected)
+
+    def test_vectorized_kernel_matches_oracle(self, rng):
+        from repro.kernels import get_kernel
+
+        cube = make_cube((12, 9, 5), rng)
+        index = create_index(
+            "blocked_partial_prefix_sum",
+            cube,
+            prefix_dims=(0, 2),
+            block_size=3,
+        )
+        lows, highs = random_query_arrays(cube.shape, 25, rng)
+        index.kernel = get_kernel("numpy")
+        oracle = index.sum_many(lows, highs)
+        index.kernel = get_kernel("threaded")
+        assert np.array_equal(index.sum_many(lows, highs), oracle)
 
     def test_sum_many_matches_naive(self, rng):
         cube = make_cube((24, 18, 6), rng)

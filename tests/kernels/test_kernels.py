@@ -1,0 +1,179 @@
+"""Backend equivalence: every kernel answers bit-identically to the
+``numpy`` oracle — values *and* access-counter charges — on every dense
+sum structure, across operators and adversarial shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._util import Box
+from repro.core.operators import SUM, XOR
+from repro.index.registry import create_index
+from repro.instrumentation import AccessCounter
+from repro.kernels import get_kernel
+from repro.kernels.segments import (
+    exclusive_offsets,
+    expand_runs,
+    flatten_updates,
+    segment_reduce_serial,
+)
+from repro.query.naive import naive_range_sum
+from repro.query.workload import make_cube, random_query_arrays
+
+BACKENDS = ("numpy", "threaded", "numba")
+
+STRUCTURES = {
+    "prefix_sum": {},
+    "blocked_prefix_sum": {"block_size": 3},
+    "partial_prefix_sum": {"prefix_dims": (0, 2)},
+    "blocked_partial_prefix_sum": {
+        "prefix_dims": (0, 2),
+        "block_size": 3,
+    },
+}
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20260808)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", sorted(STRUCTURES))
+class TestBackendEquivalence:
+    def test_matches_naive_and_oracle(self, name, backend, rng):
+        cube = make_cube((11, 9, 7), rng)
+        index = create_index(name, cube, **STRUCTURES[name])
+        lows, highs = random_query_arrays(cube.shape, 40, rng)
+        index.kernel = get_kernel("numpy")
+        oracle = index.sum_many(lows, highs)
+        index.kernel = get_kernel(backend)
+        values = index.sum_many(lows, highs)
+        assert np.array_equal(values, oracle)
+        for k in range(5):
+            box = Box(tuple(lows[k]), tuple(highs[k]))
+            assert values[k] == naive_range_sum(cube, box)
+
+    def test_counter_charges_match_the_oracle(self, name, backend, rng):
+        """The §8 access-cost proxy is backend-independent: charging
+        fewer (or more) cells under one backend would silently change
+        every benchmark comparing counts to the paper's formulas."""
+        cube = make_cube((10, 8, 6), rng)
+        index = create_index(name, cube, **STRUCTURES[name])
+        lows, highs = random_query_arrays(cube.shape, 25, rng)
+        index.kernel = get_kernel("numpy")
+        oracle_counter = AccessCounter()
+        index.sum_many(lows, highs, oracle_counter)
+        index.kernel = get_kernel(backend)
+        counter = AccessCounter()
+        index.sum_many(lows, highs, counter)
+        assert counter.snapshot() == oracle_counter.snapshot()
+
+    def test_empty_and_degenerate_rows(self, name, backend, rng):
+        cube = make_cube((6, 1, 5), rng)
+        index = create_index(name, cube, **STRUCTURES[name])
+        index.kernel = get_kernel(backend)
+        lows = np.array([[0, 0, 0], [2, 0, 3], [5, 0, 4]])
+        highs = np.array([[5, 0, 4], [1, 0, 2], [5, 0, 4]])
+        values = index.sum_many(lows, highs)
+        assert values[1] == 0  # hi < lo on the first axis
+        assert values[0] == cube.sum()
+        assert values[2] == int(cube[5, 0, 4])
+
+    def test_xor_operator(self, name, backend, rng):
+        cube = rng.integers(0, 64, size=(8, 6, 4)).astype(np.int64)
+        index = create_index(name, cube, operator=XOR, **STRUCTURES[name])
+        lows, highs = random_query_arrays(cube.shape, 20, rng)
+        index.kernel = get_kernel("numpy")
+        oracle = index.sum_many(lows, highs)
+        index.kernel = get_kernel(backend)
+        assert np.array_equal(index.sum_many(lows, highs), oracle)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestKernelPrimitives:
+    def test_segment_reduce_matches_bruteforce(self, backend, rng):
+        kernel = get_kernel(backend)
+        flat = rng.integers(-9, 10, size=500).astype(np.int64)
+        lengths = rng.integers(1, 9, size=60).astype(np.int64)
+        starts = rng.integers(
+            0, len(flat) - 8, size=60
+        ).astype(np.int64)
+        out = kernel.segment_reduce(flat, starts, lengths, SUM)
+        expected = np.array(
+            [
+                flat[s : s + n].sum()
+                for s, n in zip(starts, lengths)
+            ]
+        )
+        assert np.array_equal(out, expected)
+
+    def test_corner_gather_matches_prefix_differences(self, backend, rng):
+        from repro.core.prefix_sum import PrefixSumCube
+
+        kernel = get_kernel(backend)
+        cube = rng.integers(-5, 6, size=(9, 7)).astype(np.int64)
+        structure = PrefixSumCube(cube)
+        lows, highs = random_query_arrays(cube.shape, 30, rng)
+        values = kernel.corner_gather(
+            np.asarray(structure.prefix), lows, highs, SUM
+        )
+        for k in range(30):
+            box = Box(tuple(lows[k]), tuple(highs[k]))
+            assert values[k] == naive_range_sum(cube, box)
+
+    def test_scatter_applies_duplicates_sequentially(self, backend):
+        kernel = get_kernel(backend)
+        target = np.zeros(6, dtype=np.int64)
+        indices = np.array([1, 1, 4, 1])
+        deltas = np.array([2, 3, 7, -1])
+        kernel.scatter(target, indices, deltas, SUM)
+        assert target.tolist() == [0, 4, 0, 0, 7, 0]
+
+
+class TestSegmentHelpers:
+    def test_exclusive_offsets(self):
+        counts = np.array([3, 1, 0, 2], dtype=np.int64)
+        assert exclusive_offsets(counts).tolist() == [0, 3, 4, 4]
+
+    def test_expand_runs(self):
+        starts = np.array([10, 50], dtype=np.int64)
+        lengths = np.array([3, 2], dtype=np.int64)
+        cells, offsets = expand_runs(starts, lengths)
+        assert cells.tolist() == [10, 11, 12, 50, 51]
+        assert offsets.tolist() == [0, 3]
+
+    def test_segment_reduce_empty(self):
+        out = segment_reduce_serial(
+            np.zeros(4, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            SUM,
+        )
+        assert out.shape == (0,)
+
+    def test_flatten_updates(self):
+        from repro.core.batch_update import PointUpdate
+
+        flat, deltas = flatten_updates(
+            [PointUpdate((1, 2), 5), PointUpdate((0, 3), -2)],
+            (4, 4),
+        )
+        assert flat.tolist() == [6, 3]
+        assert deltas.tolist() == [5, -2]
+
+
+class TestScatterFallback:
+    def test_unsafe_cast_falls_back_to_item_loop(self):
+        """Negative int deltas into an unsigned target must keep the
+        historical per-item semantics, not wrap through ufunc.at."""
+        kernel = get_kernel("numpy")
+        target = np.array([10, 20, 30], dtype=np.uint32)
+        kernel.scatter(
+            target,
+            np.array([0, 2]),
+            np.array([-3, -5]),
+            SUM,
+        )
+        assert target.tolist() == [7, 20, 25]

@@ -1,0 +1,84 @@
+"""The ``numba`` backend degrades gracefully when the JIT is absent.
+
+CI runs one matrix leg without numba installed and with
+``PYTHONWARNINGS=error``: the fallback path must not merely work, it
+must be *silent* — no ImportWarning, no DeprecationWarning, nothing.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.operators import SUM
+from repro.kernels import NumbaKernel, get_kernel, numba_available
+from repro.kernels.numba_kernel import ENV_DISABLE
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+def test_backend_is_always_registered():
+    """Registration never depends on the dependency being importable."""
+    kernel = get_kernel("numba")
+    assert kernel.name == "numba"
+    assert kernel.jit_active == numba_available()
+
+
+def test_fallback_is_warning_free(rng):
+    """The degraded path raises nothing even with warnings-as-errors."""
+    flat = rng.integers(-9, 10, size=400).astype(np.int64)
+    lengths = rng.integers(1, 8, size=50).astype(np.int64)
+    starts = rng.integers(0, 390, size=50).astype(np.int64)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        kernel = NumbaKernel()
+        out = kernel.segment_reduce(flat, starts, lengths, SUM)
+    expected = np.array(
+        [flat[s : s + n].sum() for s, n in zip(starts, lengths)]
+    )
+    assert np.array_equal(out, expected)
+
+
+def test_disable_env_forces_the_fallback(monkeypatch):
+    monkeypatch.setenv(ENV_DISABLE, "1")
+    assert not numba_available()
+    kernel = NumbaKernel()
+    assert not kernel.jit_active
+
+
+def test_matches_oracle_on_structures(rng):
+    from repro.index.registry import create_index
+    from repro.query.workload import make_cube, random_query_arrays
+
+    cube = make_cube((14, 10), rng)
+    index = create_index("blocked_prefix_sum", cube, block_size=4)
+    lows, highs = random_query_arrays(cube.shape, 20, rng)
+    index.kernel = get_kernel("numpy")
+    oracle = index.sum_many(lows, highs)
+    index.kernel = get_kernel("numba")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        values = index.sum_many(lows, highs)
+    assert np.array_equal(values, oracle)
+
+
+def test_jit_path_when_available(rng):
+    """When numba IS importable the JIT path must agree too (this
+    branch only runs on hosts/CI legs that install the dependency)."""
+    if not numba_available():
+        pytest.skip("numba not importable on this host")
+    kernel = NumbaKernel()
+    assert kernel.jit_active
+    flat = rng.integers(-9, 10, size=400).astype(np.int64)
+    lengths = rng.integers(1, 8, size=50).astype(np.int64)
+    starts = rng.integers(0, 390, size=50).astype(np.int64)
+    out = kernel.segment_reduce(flat, starts, lengths, SUM)
+    expected = np.array(
+        [flat[s : s + n].sum() for s, n in zip(starts, lengths)]
+    )
+    assert np.array_equal(out, expected)

@@ -1,0 +1,96 @@
+"""Registry and selection-precedence behaviour of the kernel layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernels import (
+    ENV_KERNEL,
+    available_kernels,
+    get_kernel,
+    kernel_info,
+    register_kernel,
+    resolve_kernel,
+)
+from repro.kernels.protocol import ExecutionKernel
+
+
+class TestRegistry:
+    def test_builtin_backends_are_registered(self):
+        names = available_kernels()
+        for expected in ("auto", "numba", "numpy", "threaded"):
+            assert expected in names
+
+    def test_get_kernel_caches_instances(self):
+        assert get_kernel("numpy") is get_kernel("numpy")
+        assert get_kernel("threaded") is get_kernel("threaded")
+
+    def test_instances_satisfy_the_protocol(self):
+        for name in ("numpy", "threaded", "numba"):
+            assert isinstance(get_kernel(name), ExecutionKernel)
+
+    def test_unknown_name_raises_keyerror_with_listing(self):
+        with pytest.raises(KeyError, match="available"):
+            kernel_info("no-such-backend")
+        with pytest.raises(KeyError):
+            get_kernel("no-such-backend")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_kernel("numpy")(lambda: get_kernel("numpy"))
+
+    def test_auto_resolves_to_a_concrete_backend(self):
+        auto = get_kernel("auto")
+        assert auto.name in ("numpy", "threaded")
+
+
+class TestResolutionPrecedence:
+    """Call-site choice > per-index override > $REPRO_KERNEL > default."""
+
+    def test_default_is_the_numpy_oracle(self, monkeypatch):
+        monkeypatch.delenv(ENV_KERNEL, raising=False)
+        assert resolve_kernel() is get_kernel("numpy")
+
+    def test_env_variable_beats_the_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_KERNEL, "threaded")
+        assert resolve_kernel() is get_kernel("threaded")
+
+    def test_override_beats_the_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_KERNEL, "threaded")
+        assert resolve_kernel(override="numpy") is get_kernel("numpy")
+
+    def test_selected_beats_everything(self, monkeypatch):
+        monkeypatch.setenv(ENV_KERNEL, "numpy")
+        resolved = resolve_kernel(
+            selected="threaded", override="numpy"
+        )
+        assert resolved is get_kernel("threaded")
+
+    def test_live_instances_pass_through_unchanged(self):
+        instance = get_kernel("threaded")
+        assert resolve_kernel(selected=instance) is instance
+        assert resolve_kernel(override=instance) is instance
+
+    def test_unknown_env_name_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(ENV_KERNEL, "not-a-backend")
+        with pytest.raises(KeyError):
+            resolve_kernel()
+
+    def test_empty_env_means_unset(self, monkeypatch):
+        monkeypatch.setenv(ENV_KERNEL, "")
+        assert resolve_kernel() is get_kernel("numpy")
+
+    def test_env_routes_structures_end_to_end(self, monkeypatch):
+        import numpy as np
+
+        from repro.core.blocked import BlockedPrefixSumCube
+
+        rng = np.random.default_rng(7)
+        cube = rng.integers(0, 50, size=(18, 12)).astype(np.int64)
+        index = BlockedPrefixSumCube(cube, 4)
+        lows = np.array([[0, 0], [3, 2], [7, 1]])
+        highs = np.array([[17, 11], [9, 9], [15, 4]])
+        monkeypatch.delenv(ENV_KERNEL, raising=False)
+        oracle = index.sum_many(lows, highs)
+        monkeypatch.setenv(ENV_KERNEL, "threaded")
+        assert np.array_equal(index.sum_many(lows, highs), oracle)

@@ -1,0 +1,92 @@
+"""Sharding behaviour of the ``threaded`` backend and its auto heuristic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.operators import SUM
+from repro.kernels import ENV_WORKERS, ThreadedKernel, get_kernel
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+def test_small_batches_run_inline(rng):
+    """Below the size threshold the pool is skipped (last_shards == 0)."""
+    kernel = ThreadedKernel(max_workers=4)
+    prefix = np.cumsum(rng.integers(0, 9, size=(20, 20)), axis=0).cumsum(axis=1)
+    lows = np.array([[0, 0], [2, 3]])
+    highs = np.array([[10, 10], [5, 5]])
+    kernel.corner_gather(prefix, lows, highs, SUM)
+    assert kernel.last_shards == 0
+
+
+def test_large_batches_shard_across_workers(rng):
+    kernel = ThreadedKernel(max_workers=2, min_parallel_items=0)
+    cube = rng.integers(0, 9, size=(30, 30)).astype(np.int64)
+    prefix = cube.cumsum(axis=0).cumsum(axis=1)
+    lows, highs = [], []
+    for _ in range(64):
+        a = rng.integers(0, 30, size=2)
+        b = rng.integers(0, 30, size=2)
+        lows.append(np.minimum(a, b))
+        highs.append(np.maximum(a, b))
+    lows, highs = np.array(lows), np.array(highs)
+    values = kernel.corner_gather(prefix, lows, highs, SUM)
+    assert kernel.last_shards == 2
+    expected = get_kernel("numpy").corner_gather(prefix, lows, highs, SUM)
+    assert np.array_equal(values, expected)
+
+
+def test_single_worker_never_pools(rng):
+    kernel = ThreadedKernel(max_workers=1, min_parallel_items=0)
+    prefix = np.cumsum(rng.integers(0, 9, size=(40,)))
+    lows = np.arange(30).reshape(-1, 1)
+    highs = lows + 5
+    kernel.corner_gather(prefix, lows, np.minimum(highs, 39), SUM)
+    assert kernel.last_shards == 0
+    assert kernel._pool is None
+
+
+def test_segment_reduce_shards_by_cell_count(rng):
+    kernel = ThreadedKernel(max_workers=3, min_parallel_items=0)
+    flat = rng.integers(-9, 10, size=2000).astype(np.int64)
+    lengths = rng.integers(1, 20, size=100).astype(np.int64)
+    starts = rng.integers(0, 1900, size=100).astype(np.int64)
+    out = kernel.segment_reduce(flat, starts, lengths, SUM)
+    assert 2 <= kernel.last_shards <= 3
+    expected = np.array(
+        [flat[s : s + n].sum() for s, n in zip(starts, lengths)]
+    )
+    assert np.array_equal(out, expected)
+
+
+def test_env_pins_the_worker_count(monkeypatch):
+    monkeypatch.setenv(ENV_WORKERS, "3")
+    assert ThreadedKernel().max_workers == 3
+    monkeypatch.setenv(ENV_WORKERS, "0")
+    with pytest.raises(ValueError, match=ENV_WORKERS):
+        ThreadedKernel()
+
+
+def test_shard_bounds_cover_the_range():
+    kernel = ThreadedKernel(max_workers=4)
+    bounds = kernel._shard_bounds(10)
+    assert bounds[0][0] == 0
+    assert bounds[-1][1] == 10
+    for (_, a_hi), (b_lo, _) in zip(bounds, bounds[1:]):
+        assert a_hi == b_lo
+
+
+def test_auto_heuristic_matches_core_count(monkeypatch):
+    """The ``auto`` factory picks threaded only when >1 worker would
+    actually run; the registry caches instances, so probe the factory."""
+    import repro.kernels as kernels
+
+    monkeypatch.setenv(ENV_WORKERS, "1")
+    assert kernels._auto_kernel().name == "numpy"
+    monkeypatch.setenv(ENV_WORKERS, "8")
+    assert kernels._auto_kernel().name == "threaded"

@@ -14,6 +14,7 @@ from repro.index.registry import available_indexes, get_index_info
 from repro.verify import (
     Scenario,
     fuzzable_indexes,
+    fuzzable_kernels,
     run_scenario,
     scenario_for,
 )
@@ -61,6 +62,33 @@ def test_differential_agreement_on_memmap(name, trial_budget):
         )
 
 
+def test_fuzzable_kernels_cover_oracle_and_vectorized():
+    """The kernel sweep always includes the oracle and ``threaded``;
+    ``numba`` joins exactly when the optional dependency imports."""
+    kernels = fuzzable_kernels()
+    assert kernels[:2] == ("numpy", "threaded")
+    from repro.kernels.numba_kernel import numba_available
+
+    assert ("numba" in kernels) == numba_available()
+
+
+@pytest.mark.parametrize("kernel", fuzzable_kernels())
+@pytest.mark.parametrize("name", fuzzable_indexes())
+def test_differential_agreement_per_kernel(name, kernel, trial_budget):
+    """Every registered index agrees with the oracle under every
+    fuzzable execution kernel (bit-identical answers)."""
+    budget = max(2, trial_budget // 2)
+    for seed in range(SEED_BASE + 900, SEED_BASE + 900 + budget):
+        scenario = scenario_for(name, seed, force_kernel=kernel)
+        assert scenario.kernel == kernel
+        failure = run_scenario(scenario)
+        assert failure is None, (
+            f"divergence under kernel {kernel}: {failure.detail}\n"
+            f"replay with: python -m repro.verify --replay "
+            f"{failure.scenario.to_token()}"
+        )
+
+
 @pytest.mark.parametrize("name", fuzzable_indexes())
 def test_token_round_trip(name):
     """A scenario survives serialization bit-identically."""
@@ -83,9 +111,37 @@ def test_token_accepts_raw_json():
             "backend": scenario.backend,
             "steps": [list(s) for s in scenario.steps],
             "engine": scenario.engine,
+            "kernel": scenario.kernel,
         }
     )
     assert Scenario.from_token(payload) == scenario
+
+
+def test_pre_kernel_token_replays_as_numpy():
+    """Tokens minted before the kernel layer carry no ``kernel`` field;
+    they must replay under the oracle kernel, not error."""
+    import dataclasses
+    import json
+
+    scenario = scenario_for("prefix_sum", SEED_BASE)
+    payload = json.loads(
+        json.dumps(
+            {
+                "index": scenario.index,
+                "seed": scenario.seed,
+                "shape": list(scenario.shape),
+                "dtype": scenario.dtype,
+                "operator": scenario.operator,
+                "params": [list(p) for p in scenario.params],
+                "backend": scenario.backend,
+                "steps": [list(s) for s in scenario.steps],
+                "engine": scenario.engine,
+            }
+        )
+    )
+    rebuilt = Scenario.from_token(json.dumps(payload))
+    assert rebuilt.kernel == "numpy"
+    assert rebuilt == dataclasses.replace(scenario, kernel="numpy")
 
 
 def test_generation_is_deterministic():
