@@ -6,8 +6,12 @@ every benchmark pins its generator so numbers are comparable across
 runs.  One ``np.random.rand()`` — or a ``default_rng()`` with no seed —
 quietly breaks both.
 
-The rule flags, inside ``src/repro/verify``, ``src/repro/kernels`` and
-``benchmarks/``:
+The serving layer is held to the same standard: its load generator
+(``repro.serving.loadgen``) feeds benchmark numbers and overload tests,
+and its worker pool sizes must not float with the host's core count.
+
+The rule flags, inside ``src/repro/verify``, ``src/repro/kernels``,
+``src/repro/serving`` and ``benchmarks/``:
 
 * any draw from the numpy *global* stream (``np.random.<fn>`` other
   than constructing generators/bit-generators/seed-sequences),
@@ -57,12 +61,12 @@ class DeterminismRule(Rule):
 
     rule_id = "determinism"
     description = (
-        "repro/verify, repro/kernels and benchmarks must not draw from "
-        "unseeded global random streams or size worker pools off the "
-        "host's core count; seed every generator explicitly and pin "
-        "max_workers"
+        "repro/verify, repro/kernels, repro/serving and benchmarks must "
+        "not draw from unseeded global random streams or size worker "
+        "pools off the host's core count; seed every generator "
+        "explicitly and pin max_workers"
     )
-    scope = ("repro/verify", "repro/kernels", "benchmarks")
+    scope = ("repro/verify", "repro/kernels", "repro/serving", "benchmarks")
 
     def check(self, context: LintContext) -> Iterator[Violation]:
         np_names = numpy_aliases(context.tree)

@@ -97,6 +97,17 @@ class ThreadedKernel:
                 )
             return self._pool
 
+    def executor(self) -> ThreadPoolExecutor:
+        """The backend's worker pool, created on first use.
+
+        Public so co-operating layers can share one pool instead of
+        stacking their own threads on top — the serving layer offloads
+        blocking query execution onto this executor, keeping the total
+        thread count at ``max_workers`` whether a query runs through the
+        event loop or straight through the kernel.
+        """
+        return self._ensure_pool()
+
     def _shard_bounds(self, count: int) -> list[tuple[int, int]]:
         """Split ``count`` rows into ≤ ``max_workers`` even spans."""
         shards = min(self.max_workers, count)

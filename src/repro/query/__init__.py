@@ -15,7 +15,12 @@ from repro.query.naive import (
     naive_range_sum,
     naive_sum_range,
 )
-from repro.query.ranges import RangeQuery, RangeSpec, SpecKind
+from repro.query.ranges import (
+    RangeQuery,
+    RangeSpec,
+    SpecKind,
+    canonical_box,
+)
 from repro.query.stats import QueryStatistics, average_statistics
 from repro.query.workload import (
     WorkloadProfile,
@@ -40,6 +45,7 @@ __all__ = [
     "average_statistics",
     "batch_max_index",
     "boxes_to_arrays",
+    "canonical_box",
     "clustered_points",
     "fixed_size_box",
     "generate_query_log",

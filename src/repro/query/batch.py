@@ -171,11 +171,13 @@ def boxes_to_arrays(
     Returns:
         ``(lows, highs)`` int64 arrays of shape ``(K, d)``.
     """
+    from repro.query.ranges import canonical_box
+
     ndim = len(shape)
     lows = np.empty((len(queries), ndim), dtype=np.int64)
     highs = np.empty((len(queries), ndim), dtype=np.int64)
     for k, query in enumerate(queries):
-        box = query if isinstance(query, Box) else query.to_box(shape)
+        box = canonical_box(query, shape)
         lows[k] = box.lo
         highs[k] = box.hi
     return lows, highs

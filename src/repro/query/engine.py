@@ -35,7 +35,7 @@ from repro.index.backend import ArrayBackend
 from repro.index.protocol import InstrumentedIndex
 from repro.index.registry import IndexSpec
 from repro.instrumentation import NULL_COUNTER, AccessCounter
-from repro.query.ranges import RangeQuery
+from repro.query.ranges import RangeQuery, canonical_box
 
 #: Sentinel distinguishing "not passed" from an explicit legacy value, so
 #: default construction stays warning-free.
@@ -342,9 +342,7 @@ class RangeQueryEngine:
     # ------------------------------------------------------------------
 
     def _resolve(self, query: RangeQuery | Box) -> Box:
-        if isinstance(query, Box):
-            return query
-        return query.to_box(self.shape)
+        return canonical_box(query, self.shape)
 
     def sum(
         self,

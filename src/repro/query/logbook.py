@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro._util import Box
 from repro.query.ranges import RangeQuery, RangeSpec, SpecKind
 
 if TYPE_CHECKING:
@@ -51,6 +52,20 @@ class QueryLog:
         query.to_box(self.shape)  # validates every spec's bounds
         self._queries.append(query)
         return query
+
+    def record_box(self, box: Box) -> RangeQuery | None:
+        """Record a served box, recovering its all/singleton/range form.
+
+        The serving layer (:mod:`repro.serving`) answers canonical
+        :class:`~repro._util.Box` regions; this classifies them back
+        through :meth:`RangeQuery.from_box` so the §9 optimizers see the
+        cuboid assignment live traffic implies.  Empty boxes are legal
+        queries but carry no workload signal, so they are skipped
+        (returns ``None``).
+        """
+        if box.is_empty:
+            return None
+        return self.record(RangeQuery.from_box(box, self.shape))
 
     @property
     def queries(self) -> tuple[RangeQuery, ...]:

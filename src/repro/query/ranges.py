@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from enum import Enum
 from collections.abc import Sequence
 
-from repro._util import Box, validate_range
+from repro._util import Box, check_query_box, validate_range
 
 
 class SpecKind(Enum):
@@ -98,6 +98,35 @@ class RangeQuery:
         return cls(tuple(RangeSpec.between(lo, hi) for lo, hi in bounds))
 
     @classmethod
+    def from_box(cls, box: Box, shape: Sequence[int]) -> RangeQuery:
+        """Recover the §9.1 all/singleton/range classification of a box.
+
+        The inverse of :meth:`to_box` up to classification: a dimension
+        spanning its full extent becomes ``all``, a single rank becomes a
+        singleton, anything else an active range.  The distinction feeds
+        the §9 physical-design statistics, so query logs built from
+        served boxes (:mod:`repro.serving`) see the same cuboid
+        assignment a user-written :class:`RangeQuery` would.
+
+        Raises:
+            ValueError: On dimensionality mismatch or an empty box
+                (an empty range has no spec-level spelling).
+        """
+        if box.ndim != len(shape):
+            raise ValueError(
+                f"box has {box.ndim} dims but shape has {len(shape)}"
+            )
+        if box.is_empty:
+            raise ValueError(f"empty box {box} has no RangeSpec form")
+        specs = []
+        for lo, hi, size in zip(box.lo, box.hi, shape):
+            if lo == 0 and hi == size - 1:
+                specs.append(RangeSpec.all())
+            else:
+                specs.append(RangeSpec.between(int(lo), int(hi)))
+        return cls(tuple(specs))
+
+    @classmethod
     def full(cls, ndim: int) -> RangeQuery:
         """The query selecting the entire cube."""
         return cls(tuple(RangeSpec.all() for _ in range(ndim)))
@@ -140,3 +169,54 @@ class RangeQuery:
             for j, spec in enumerate(self.specs)
             if spec.kind is not SpecKind.ALL
         )
+
+
+def canonical_box(
+    query: RangeQuery | Box | Sequence[tuple[int, int]],
+    shape: Sequence[int],
+    *,
+    allow_empty: bool = True,
+) -> Box:
+    """Resolve any query spelling to one validated, canonical :class:`Box`.
+
+    The single normalizer shared by the scalar engine path
+    (:meth:`~repro.query.engine.RangeQueryEngine.sum` and friends), the
+    batch conversion helpers of :mod:`repro.query.batch`, and the serving
+    layer's result-cache key (:mod:`repro.serving`): one query region has
+    exactly one canonical form, so equal queries hash equal no matter how
+    they were spelled (``Box``, ``RangeQuery``, raw ``(lo, hi)`` pairs,
+    numpy vs Python ints).
+
+    Args:
+        query: A :class:`Box`, a :class:`RangeQuery`, or a sequence of
+            per-dimension ``(lo, hi)`` pairs.
+        shape: The cube shape to resolve and validate against.
+        allow_empty: Forwarded to :func:`repro._util.check_query_box` —
+            identity-valued aggregates accept empty regions, witness
+            paths (MAX/MIN) reject them.
+
+    Returns:
+        The validated box with plain-``int`` bounds.
+
+    Raises:
+        ValueError: Dimensionality mismatch, non-empty bounds outside the
+            cube, or an empty region with ``allow_empty=False``.
+    """
+    if isinstance(query, RangeQuery):
+        box = query.to_box(shape)
+    elif isinstance(query, Box):
+        box = query
+    else:
+        pairs = [tuple(pair) for pair in query]
+        if any(len(pair) != 2 for pair in pairs):
+            raise ValueError(
+                "bounds must be (lo, hi) pairs, one per dimension"
+            )
+        box = Box(
+            tuple(lo for lo, _ in pairs), tuple(hi for _, hi in pairs)
+        )
+    box = Box(
+        tuple(int(v) for v in box.lo), tuple(int(v) for v in box.hi)
+    )
+    check_query_box(box, shape, allow_empty=allow_empty)
+    return box

@@ -1,0 +1,130 @@
+"""CLI entry point: ``python -m repro.serving``.
+
+Stands up a :class:`~repro.serving.QueryService` with one or more
+seeded demo cubes (or whatever shapes you pass via ``--cube``) and
+serves until interrupted.  ``--logbook PATH`` records all served
+traffic in the §9 advisor workload format and writes it on shutdown —
+the *serve → log → re-tune* loop's first leg.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+import numpy as np
+
+from repro.serving.http import ServingServer
+from repro.serving.service import QueryService, ServeConfig
+
+
+def _parse_cube(spec: str) -> tuple[str, tuple[int, ...]]:
+    """``name=16x16x8`` → ``("name", (16, 16, 8))``."""
+    name, _, dims = spec.partition("=")
+    if not name or not dims:
+        raise argparse.ArgumentTypeError(
+            f"cube spec {spec!r} must look like name=16x16x8"
+        )
+    try:
+        shape = tuple(int(d) for d in dims.lower().split("x"))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"cube spec {spec!r} has a non-integer extent"
+        ) from exc
+    if not shape or any(d < 1 for d in shape):
+        raise argparse.ArgumentTypeError(
+            f"cube spec {spec!r} needs positive extents"
+        )
+    return name, shape
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serving",
+        description="Serve OLAP range aggregates over HTTP/JSON.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8787)
+    parser.add_argument(
+        "--cube",
+        type=_parse_cube,
+        action="append",
+        metavar="NAME=SHAPE",
+        help="cube to register with seeded random data, e.g. "
+        "sales=64x64x16 (repeatable; default demo=32x32x16)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the demo cubes' data (default 0)",
+    )
+    parser.add_argument(
+        "--logbook",
+        metavar="PATH",
+        default=None,
+        help="record served traffic and write the §9 advisor "
+        "workload JSON here on shutdown",
+    )
+    parser.add_argument(
+        "--coalesce-window-ms",
+        type=float,
+        default=2.0,
+        help="scalar-coalescing window (0 disables; default 2ms)",
+    )
+    parser.add_argument("--cache-capacity", type=int, default=1024)
+    parser.add_argument("--max-inflight", type=int, default=64)
+    parser.add_argument("--max-queue", type=int, default=256)
+    parser.add_argument("--timeout-s", type=float, default=30.0)
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> None:
+    config = ServeConfig(
+        coalesce_window_s=args.coalesce_window_ms / 1e3,
+        cache_capacity=args.cache_capacity,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        timeout_s=args.timeout_s,
+        logbook_path=args.logbook,
+    )
+    service = QueryService(config)
+    rng = np.random.default_rng(args.seed)
+    cubes = args.cube or [("demo", (32, 32, 16))]
+    for name, shape in cubes:
+        data = rng.integers(0, 100, size=shape, dtype=np.int64)
+        service.register_cube(name, data)
+        print(
+            f"registered cube {name!r} shape={shape} "
+            f"dtype=int64 (seeded)",
+            file=sys.stderr,
+        )
+    server = ServingServer(service, host=args.host, port=args.port)
+    await server.start()
+    print(
+        f"serving on http://{server.host}:{server.port} "
+        f"(Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+        if args.logbook:
+            print(f"logbook written to {args.logbook}", file=sys.stderr)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

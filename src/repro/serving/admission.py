@@ -1,0 +1,140 @@
+"""Admission control: bounded concurrency, bounded queue, explicit shed.
+
+Without admission control an overloaded asyncio service degrades the
+worst possible way — every request is accepted, queues grow without
+bound, and *all* latencies (including already-running requests) head
+toward the timeout together.  The controller enforces the classic
+two-knob policy instead:
+
+* at most ``max_inflight`` requests execute concurrently;
+* at most ``max_queue`` more may wait for a slot;
+* anything beyond that is shed immediately with
+  :class:`~repro.serving.errors.Overloaded` (HTTP 429), keeping the
+  latency of *admitted* requests bounded.
+
+Slots hand over directly: a finishing request wakes the oldest waiter
+without the in-flight count ever dipping, so the service runs at full
+concurrency under sustained load.  Single event loop, no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+
+from repro.serving.errors import Overloaded
+
+
+class AdmissionController:
+    """A counting semaphore with a bounded wait queue and shed stats.
+
+    Args:
+        max_inflight: Concurrent requests allowed past admission.
+        max_queue: Requests allowed to wait for a slot; ``0`` sheds the
+            moment all slots are busy.
+    """
+
+    def __init__(self, max_inflight: int = 64, max_queue: int = 256) -> None:
+        if max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_inflight = int(max_inflight)
+        self.max_queue = int(max_queue)
+        self._inflight = 0
+        self._waiters: deque[asyncio.Future[None]] = deque()
+        self.admitted = 0
+        self.shed = 0
+        self.completed = 0
+        self.timeouts = 0
+        self.peak_inflight = 0
+        self.peak_queued = 0
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently holding a slot."""
+        return self._inflight
+
+    @property
+    def queued(self) -> int:
+        """Requests currently waiting for a slot."""
+        return len(self._waiters)
+
+    async def acquire(self) -> None:
+        """Take an execution slot, waiting in the bounded queue if needed.
+
+        Raises:
+            Overloaded: Both the in-flight set and the queue are full —
+                the request is shed without waiting.
+        """
+        if self._inflight < self.max_inflight:
+            self._inflight += 1
+            self.admitted += 1
+            self.peak_inflight = max(self.peak_inflight, self._inflight)
+            return
+        if len(self._waiters) >= self.max_queue:
+            self.shed += 1
+            raise Overloaded(
+                f"{self._inflight} requests in flight and "
+                f"{len(self._waiters)} queued; try again later"
+            )
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future[None] = loop.create_future()
+        self._waiters.append(future)
+        self.peak_queued = max(self.peak_queued, len(self._waiters))
+        try:
+            await future
+        except asyncio.CancelledError:
+            if future.done() and not future.cancelled():
+                # The slot was handed to us in the same tick we were
+                # cancelled (e.g. a deadline firing): pass it straight
+                # on so it is not leaked.
+                self._handoff()
+            else:
+                try:
+                    self._waiters.remove(future)
+                except ValueError:
+                    pass
+            raise
+        self.admitted += 1
+
+    def release(self) -> None:
+        """Return a slot: wake the oldest live waiter or free the slot."""
+        self.completed += 1
+        self._handoff()
+
+    def _handoff(self) -> None:
+        while self._waiters:
+            future = self._waiters.popleft()
+            if not future.done():
+                future.set_result(None)
+                return  # direct hand-off; in-flight count unchanged
+        self._inflight -= 1
+
+    async def __aenter__(self) -> AdmissionController:
+        await self.acquire()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def note_timeout(self) -> None:
+        """Record one admitted request cut off by its deadline."""
+        self.timeouts += 1
+
+    def stats(self) -> dict:
+        """A plain-dict snapshot for the ``/stats`` endpoint."""
+        return {
+            "max_inflight": self.max_inflight,
+            "max_queue": self.max_queue,
+            "inflight": self._inflight,
+            "queued": len(self._waiters),
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "timeouts": self.timeouts,
+            "peak_inflight": self.peak_inflight,
+            "peak_queued": self.peak_queued,
+        }

@@ -1,0 +1,189 @@
+"""Request coalescing — many concurrent scalar queries, one gather.
+
+The batch layer answers ``K`` range-sums in one fancy-indexed corner
+gather (:meth:`~repro.query.engine.RangeQueryEngine.sum_many`), but a
+network service receives those ``K`` queries as *separate* requests.
+The coalescer closes that gap: scalar sum/count/average requests that
+arrive within a small batching window against the same ``(cube,
+operator)`` pair are parked on futures, then answered together by a
+single kernel-backed ``*_many`` call whose results fan back out to the
+waiting requests.
+
+A batch flushes when its window timer fires or when it reaches
+``max_batch`` rows, whichever comes first.  The window is the service's
+latency/throughput dial: 0 disables coalescing (the service then
+dispatches per-query), a couple of milliseconds is enough to soak up a
+burst of concurrent dashboard panels.
+
+Only identity-valued aggregates coalesce (sum, count, average — empty
+boxes are legal rows).  MAX/MIN return witness cells whose scalar and
+batch tie-breaks may legitimately differ, so the service keeps them on
+the scalar path.
+
+Everything here runs on one event loop; state is only touched between
+``await`` points, so there are no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Awaitable, Callable, Sequence
+
+import numpy as np
+
+from repro._util import Box
+
+#: Aggregates safe to coalesce: identity-valued, witness-free.
+COALESCIBLE = ("sum", "count", "average")
+
+#: An async callable executing one coalesced batch:
+#: ``(cube, op, lows, highs) -> values`` (one entry per row).
+BatchRunner = Callable[
+    [str, str, np.ndarray, np.ndarray], Awaitable[Sequence[object]]
+]
+
+
+class _PendingBatch:
+    """Requests parked against one ``(cube, op)`` pair."""
+
+    __slots__ = ("cube", "op", "boxes", "futures", "timer")
+
+    def __init__(self, cube: str, op: str) -> None:
+        self.cube = cube
+        self.op = op
+        self.boxes: list[Box] = []
+        self.futures: list[asyncio.Future[object]] = []
+        self.timer: asyncio.Task[None] | None = None
+
+
+class RequestCoalescer:
+    """Batch concurrent scalar queries behind a small time window.
+
+    Args:
+        execute: Async callable that runs one batch and returns its
+            per-row answers (the service wires this to the engine's
+            ``*_many`` methods, possibly offloaded to a worker thread).
+        window_s: Batching window in seconds.  ``<= 0`` means every
+            submission flushes immediately as a batch of one.
+        max_batch: Rows at which a batch flushes early, bounding both
+            latency and the size of a single gather.
+    """
+
+    def __init__(
+        self,
+        execute: BatchRunner,
+        *,
+        window_s: float = 0.002,
+        max_batch: int = 256,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._execute = execute
+        self.window_s = float(window_s)
+        self.max_batch = int(max_batch)
+        self._pending: dict[tuple[str, str], _PendingBatch] = {}
+        self.submitted = 0
+        self.batches = 0
+        self.window_flushes = 0
+        self.size_flushes = 0
+        self.largest_batch = 0
+
+    async def submit(self, cube: str, op: str, box: Box) -> object:
+        """Park one scalar query; resolves with its answer.
+
+        The returned awaitable completes when the batch containing this
+        query executes.  A failing batch fails every parked request with
+        the same exception.
+        """
+        if op not in COALESCIBLE:
+            raise ValueError(
+                f"cannot coalesce {op!r}; one of {COALESCIBLE}"
+            )
+        self.submitted += 1
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future[object] = loop.create_future()
+        if self.window_s <= 0:
+            batch = _PendingBatch(cube, op)
+            batch.boxes.append(box)
+            batch.futures.append(future)
+            await self._run_batch(batch)
+            return await future
+        key = (cube, op)
+        batch = self._pending.get(key)
+        if batch is None:
+            batch = _PendingBatch(cube, op)
+            self._pending[key] = batch
+            batch.timer = loop.create_task(self._window_flush(key, batch))
+        batch.boxes.append(box)
+        batch.futures.append(future)
+        if len(batch.boxes) >= self.max_batch:
+            self.size_flushes += 1
+            self._detach(key, batch)
+            await self._run_batch(batch)
+        return await future
+
+    async def flush_all(self) -> None:
+        """Execute every pending batch now (shutdown/test hook)."""
+        while self._pending:
+            key, batch = next(iter(self._pending.items()))
+            self._detach(key, batch)
+            await self._run_batch(batch)
+
+    def pending_rows(self) -> int:
+        """Rows currently parked across all open batches."""
+        return sum(len(b.boxes) for b in self._pending.values())
+
+    def _detach(self, key: tuple[str, str], batch: _PendingBatch) -> None:
+        """Remove a batch from the pending map and disarm its timer."""
+        if self._pending.get(key) is batch:
+            del self._pending[key]
+        if batch.timer is not None:
+            batch.timer.cancel()
+            batch.timer = None
+
+    async def _window_flush(
+        self, key: tuple[str, str], batch: _PendingBatch
+    ) -> None:
+        await asyncio.sleep(self.window_s)
+        if self._pending.get(key) is not batch:
+            return  # already flushed on size
+        self.window_flushes += 1
+        self._detach(key, batch)
+        await self._run_batch(batch)
+
+    async def _run_batch(self, batch: _PendingBatch) -> None:
+        """Execute one batch and fan results (or the failure) back out.
+
+        Never raises: outcomes travel exclusively through the parked
+        futures, so the size-flush path (where a submitter awaits this
+        directly) and the timer path behave identically.
+        """
+        self.batches += 1
+        self.largest_batch = max(self.largest_batch, len(batch.boxes))
+        lows = np.array([b.lo for b in batch.boxes], dtype=np.int64)
+        highs = np.array([b.hi for b in batch.boxes], dtype=np.int64)
+        try:
+            values = await self._execute(
+                batch.cube, batch.op, lows, highs
+            )
+        except Exception as exc:  # noqa: BLE001 — fan out verbatim
+            for future in batch.futures:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for future, value in zip(batch.futures, values):
+            if not future.done():
+                future.set_result(value)
+
+    def stats(self) -> dict:
+        """A plain-dict snapshot for the ``/stats`` endpoint."""
+        return {
+            "window_s": self.window_s,
+            "max_batch": self.max_batch,
+            "submitted": self.submitted,
+            "batches": self.batches,
+            "window_flushes": self.window_flushes,
+            "size_flushes": self.size_flushes,
+            "largest_batch": self.largest_batch,
+            "pending_rows": self.pending_rows(),
+        }

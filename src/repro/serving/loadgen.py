@@ -1,0 +1,174 @@
+"""Seeded load generation for the serving layer.
+
+Drives the HTTP surface with a reproducible request stream: every box is
+drawn from an explicit :class:`numpy.random.Generator` (the determinism
+lint rule holds this module to the same no-unseeded-randomness standard
+as the verification harness), and a configurable fraction of requests
+re-ask a small hot pool of boxes so the result cache sees realistic
+dashboard-style repetition.
+
+:func:`run_load` fans the stream over ``concurrency`` keep-alive
+connections and reports admitted-request latency percentiles, shed/error
+counts, and throughput — the numbers ``benchmarks/bench_serving.py``
+publishes and the overload tests assert on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serving.client import ServingClient, ServingClientError
+
+
+def generate_requests(
+    rng: np.random.Generator,
+    shape: tuple[int, ...],
+    count: int,
+    *,
+    cube: str = "demo",
+    ops: tuple[str, ...] = ("sum",),
+    hot_fraction: float = 0.0,
+    hot_pool: int = 16,
+) -> list[dict]:
+    """A reproducible stream of ``/query`` payloads over one cube.
+
+    Args:
+        rng: Seeded generator — the only randomness source.
+        shape: The target cube's shape.
+        count: Requests to generate.
+        cube: Registered cube name.
+        ops: Operators drawn uniformly per request.
+        hot_fraction: Fraction of requests that re-ask a box from the
+            hot pool (cache-hit traffic); ``0`` makes every box fresh.
+        hot_pool: Size of the hot pool the repeated asks draw from.
+    """
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError(
+            f"hot_fraction must be in [0, 1], got {hot_fraction}"
+        )
+
+    def random_ranges() -> list[list[int]]:
+        ranges = []
+        for extent in shape:
+            lo = int(rng.integers(0, extent))
+            hi = int(rng.integers(lo, extent))
+            ranges.append([lo, hi])
+        return ranges
+
+    pool = [random_ranges() for _ in range(max(1, hot_pool))]
+    payloads = []
+    for _ in range(count):
+        if hot_fraction and rng.random() < hot_fraction:
+            ranges = pool[int(rng.integers(0, len(pool)))]
+        else:
+            ranges = random_ranges()
+        op = str(ops[int(rng.integers(0, len(ops)))])
+        payloads.append(
+            {"cube": cube, "op": op, "ranges": ranges}
+        )
+    return payloads
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one :func:`run_load` run."""
+
+    completed: int = 0
+    shed: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    duration_s: float = 0.0
+    latencies_s: list[float] = field(default_factory=list)
+
+    @property
+    def qps(self) -> float:
+        """Completed requests per second of wall time."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.completed / self.duration_s
+
+    def percentile_ms(self, q: float) -> float:
+        """Latency percentile (milliseconds) over completed requests."""
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(self.latencies_s, q) * 1e3)
+
+    @property
+    def p50_ms(self) -> float:
+        return self.percentile_ms(50)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.percentile_ms(99)
+
+    def summary(self) -> dict:
+        """A plain-dict report for benchmark JSON."""
+        return {
+            "completed": self.completed,
+            "shed": self.shed,
+            "timeouts": self.timeouts,
+            "errors": self.errors,
+            "duration_s": self.duration_s,
+            "qps": self.qps,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+        }
+
+
+async def run_load(
+    host: str,
+    port: int,
+    payloads: list[dict],
+    *,
+    concurrency: int = 8,
+) -> LoadReport:
+    """Replay ``payloads`` over ``concurrency`` keep-alive connections.
+
+    Each worker owns one connection and pulls from a shared queue, so
+    the stream's arrival pattern is work-conserving: the service always
+    sees ``concurrency`` outstanding requests until the stream drains.
+    Shed requests (429) and deadline expiries (504) are counted, not
+    raised; only completed requests contribute latency samples.
+    """
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    queue: asyncio.Queue[dict] = asyncio.Queue()
+    for payload in payloads:
+        queue.put_nowait(payload)
+    report = LoadReport()
+
+    async def worker() -> None:
+        client = ServingClient(host, port)
+        try:
+            await client.connect()
+            while True:
+                try:
+                    payload = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                started = time.perf_counter()
+                try:
+                    await client.request("POST", "/query", payload)
+                except ServingClientError as exc:
+                    if exc.status == 429:
+                        report.shed += 1
+                    elif exc.status == 504:
+                        report.timeouts += 1
+                    else:
+                        report.errors += 1
+                    continue
+                report.latencies_s.append(
+                    time.perf_counter() - started
+                )
+                report.completed += 1
+        finally:
+            await client.aclose()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker() for _ in range(concurrency)))
+    report.duration_s = time.perf_counter() - started
+    return report

@@ -1,0 +1,267 @@
+"""Tiered query routing: materialized plan → live indexes → naive scan.
+
+A served cube can carry up to three answering tiers, tried cheapest
+first:
+
+1. **materialized** — a §9 physical-design plan
+   (:class:`~repro.optimizer.materialize.MaterializedCuboidSet`); used
+   for SUM when the plan routes the query to a materialized ancestor
+   cuboid (``route()`` non-None, so the tier label is honest — the
+   plan's own base-scan fallback is never reported as tier 1).
+2. **indexed** — the cube's
+   :class:`~repro.query.engine.RangeQueryEngine` (prefix-sum family for
+   sum/count/average, max trees for max/min).  This is the only tier
+   with a vectorized batch path, so coalesced dispatch always lands
+   here.
+3. **fallback** — a naive scan of the retained base cube: the paper's
+   no-precomputation control arm, correct for every operator at
+   ``O(volume)`` cost.
+
+The router *chooses* a tier and *runs* the chosen computation
+synchronously; the service owns timing, offload to worker threads, and
+the cache/coalescer in front.  Per-``(cube, tier)`` latency totals are
+recorded via :meth:`TieredRouter.record` and surfaced under ``/stats``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro._util import Box, check_query_box
+from repro.query.naive import (
+    naive_max_index,
+    naive_range_sum,
+)
+from repro.query.ranges import RangeQuery
+from repro.serving.errors import Unsupported
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.serving.service import ServedCube
+
+#: Tier names, cheapest-first (the probe order for scalar routing).
+TIERS = ("materialized", "indexed", "fallback")
+
+#: Operators the scalar surface serves.
+SCALAR_OPS = ("sum", "count", "average", "max", "min")
+
+
+def _scalar(value: object) -> object:
+    """numpy scalar → plain Python scalar (mirrors the engine contract)."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray) and value.ndim == 0:
+        return value.item()
+    return value
+
+
+@dataclass
+class TierStats:
+    """Latency accounting for one ``(cube, tier)`` pair."""
+
+    queries: int = 0
+    seconds: float = 0.0
+    max_seconds: float = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.queries += 1
+        self.seconds += seconds
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    def snapshot(self) -> dict:
+        average = self.seconds / self.queries if self.queries else 0.0
+        return {
+            "queries": self.queries,
+            "total_ms": self.seconds * 1e3,
+            "avg_ms": average * 1e3,
+            "max_ms": self.max_seconds * 1e3,
+        }
+
+
+class TieredRouter:
+    """Choose and run the cheapest tier able to answer a request."""
+
+    def __init__(self) -> None:
+        self._stats: dict[tuple[str, str], TierStats] = {}
+
+    # ------------------------------------------------------------------
+    # Tier selection
+    # ------------------------------------------------------------------
+
+    def choose_scalar(
+        self,
+        cube: ServedCube,
+        op: str,
+        query: RangeQuery | None,
+        box: Box,
+    ) -> str:
+        """The tier a scalar ``op`` over ``box`` will execute on.
+
+        Raises:
+            Unsupported: No tier can answer (the cube was registered
+                with the naive fallback disabled and nothing else
+                covers the operator).
+        """
+        if (
+            op == "sum"
+            and query is not None
+            and cube.cuboids is not None
+            and cube.cuboids.route(query) is not None
+        ):
+            return "materialized"
+        if cube.engine is not None:
+            if op in ("sum", "count", "average"):
+                return "indexed"
+            if cube.engine.route("max") is not None:
+                return "indexed"
+        if cube.fallback:
+            return "fallback"
+        raise Unsupported(
+            f"cube {cube.name!r} has no tier for operator {op!r}"
+        )
+
+    def choose_batch(self, cube: ServedCube, op: str) -> str:
+        """The tier a ``K``-row batch of ``op`` executes on.
+
+        Batches skip the materialized tier (the §9 plan has no batch
+        surface); they run on the engine's vectorized ``*_many`` path
+        when available, else row-by-row on the fallback scan.
+        """
+        if cube.engine is not None:
+            if op in ("sum", "count", "average"):
+                return "indexed"
+            if cube.engine.route("max") is not None:
+                return "indexed"
+        if cube.fallback:
+            return "fallback"
+        raise Unsupported(
+            f"cube {cube.name!r} has no tier for operator {op!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Execution (synchronous — the service decides where this runs)
+    # ------------------------------------------------------------------
+
+    def run_scalar(
+        self,
+        cube: ServedCube,
+        tier: str,
+        op: str,
+        query: RangeQuery | None,
+        box: Box,
+    ) -> object:
+        """Run one scalar aggregate on the chosen tier.
+
+        Returns a plain scalar for sum/count, ``float | None`` for
+        average, and ``(index, value)`` for max/min — byte-identical to
+        the engine surface so served answers match direct calls.
+        """
+        if tier == "materialized":
+            assert query is not None and cube.cuboids is not None
+            return _scalar(cube.cuboids.range_sum(query))
+        if tier == "indexed":
+            engine = cube.engine
+            assert engine is not None
+            method = getattr(engine, op)
+            result = method(box)
+            if op in ("max", "min"):
+                index, value = result
+                return tuple(int(i) for i in index), value
+            return result
+        return self._run_fallback_scalar(cube, op, box)
+
+    def _run_fallback_scalar(
+        self, cube: ServedCube, op: str, box: Box
+    ) -> object:
+        base = cube.base
+        if op == "sum":
+            return _scalar(naive_range_sum(base, box))
+        if op == "count":
+            if cube.counts is not None:
+                return _scalar(naive_range_sum(cube.counts, box))
+            return box.volume
+        if op == "average":
+            total = _scalar(naive_range_sum(base, box))
+            if cube.counts is not None:
+                denominator = _scalar(naive_range_sum(cube.counts, box))
+            else:
+                denominator = box.volume
+            if denominator == 0:
+                return None
+            return float(total) / float(denominator)
+        if op == "max":
+            index = naive_max_index(base, box)
+            return index, _scalar(base[index])
+        if op == "min":
+            check_query_box(box, base.shape, allow_empty=False)
+            window = base[box.slices()]
+            local = np.unravel_index(
+                int(np.argmin(window)), window.shape
+            )
+            index = tuple(
+                int(l + o) for l, o in zip(local, box.lo)
+            )
+            return index, _scalar(base[index])
+        raise Unsupported(f"unknown operator {op!r}")
+
+    def run_batch(
+        self,
+        cube: ServedCube,
+        tier: str,
+        op: str,
+        lows: np.ndarray,
+        highs: np.ndarray,
+    ) -> object:
+        """Run a ``(K, d)`` batch on the chosen tier.
+
+        Returns a ``(K,)`` value array for sum/count/average and
+        ``(indices, values)`` for max/min, exactly as the engine's
+        ``*_many`` methods do.
+        """
+        if tier == "indexed":
+            engine = cube.engine
+            assert engine is not None
+            return getattr(engine, f"{op}_many")(lows, highs)
+        rows = [
+            Box(tuple(int(v) for v in lo), tuple(int(v) for v in hi))
+            for lo, hi in zip(lows, highs)
+        ]
+        if op in ("sum", "count", "average"):
+            values = [
+                self._run_fallback_scalar(cube, op, box) for box in rows
+            ]
+            if op == "average" and any(v is None for v in values):
+                out = np.empty(len(values), dtype=object)
+                out[:] = values
+                return out
+            return np.asarray(values)
+        indices = []
+        values = []
+        for box in rows:
+            index, value = self._run_fallback_scalar(cube, op, box)
+            indices.append(index)
+            values.append(value)
+        return (
+            np.asarray(indices, dtype=np.int64).reshape(len(rows), -1),
+            np.asarray(values),
+        )
+
+    # ------------------------------------------------------------------
+    # Latency accounting
+    # ------------------------------------------------------------------
+
+    def record(self, cube: str, tier: str, seconds: float) -> None:
+        """Add one served request's wall time to ``(cube, tier)``."""
+        stats = self._stats.get((cube, tier))
+        if stats is None:
+            stats = self._stats[(cube, tier)] = TierStats()
+        stats.record(seconds)
+
+    def stats(self) -> dict:
+        """Nested ``{cube: {tier: latency-snapshot}}`` for ``/stats``."""
+        out: dict[str, dict[str, dict]] = {}
+        for (cube, tier), stats in sorted(self._stats.items()):
+            out.setdefault(cube, {})[tier] = stats.snapshot()
+        return out

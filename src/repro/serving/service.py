@@ -1,0 +1,842 @@
+"""The async OLAP query service: cubes in, JSON aggregates out.
+
+:class:`QueryService` is the protocol-independent core of
+:mod:`repro.serving`.  Cubes register under a name with up to three
+answering tiers (a §9 materialized plan, a
+:class:`~repro.query.engine.RangeQueryEngine`, and the naive base-scan
+fallback); requests arrive as plain dicts (the HTTP layer's parsed JSON
+bodies) and leave as plain dicts.  Between the two sit, in order:
+
+1. **admission control** — bounded in-flight set and queue, explicit
+   :class:`~repro.serving.errors.Overloaded` shedding, a per-request
+   deadline covering queue wait plus execution;
+2. the **result cache** — exact LRU on canonical boxes, generations
+   bumped by :meth:`QueryService.update`;
+3. the **coalescer** — concurrent scalar sum/count/average misses
+   against one cube merge into a single kernel-backed ``*_many`` gather;
+4. the **tiered router** — materialized → indexed → fallback, with
+   per-``(cube, tier)`` latency accounting.
+
+Heavy computations (naive scans, large batches) are offloaded to a
+worker pool so the event loop keeps accepting requests; when a cube's
+engine resolves to the ``threaded`` execution kernel the service reuses
+*that* pool (:meth:`~repro.kernels.threaded.ThreadedKernel.executor`)
+instead of stacking a second one on top.
+
+Everything answers are computed from the same code paths library users
+call directly, so served results are bit-identical to
+:class:`RangeQueryEngine` answers — the property the differential tests
+in ``tests/serving/`` pin down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro._util import Box
+from repro.core.batch_update import PointUpdate
+from repro.index.backend import ArrayBackend
+from repro.instrumentation import AccessCounter
+from repro.kernels.registry import resolve_kernel
+from repro.kernels.threaded import ThreadedKernel
+from repro.optimizer.materialize import MaterializedCuboidSet
+from repro.query.engine import RangeQueryEngine
+from repro.query.logbook import QueryLog
+from repro.query.ranges import RangeQuery, RangeSpec, canonical_box
+from repro.serving.admission import AdmissionController
+from repro.serving.cache import ResultCache, cache_key
+from repro.serving.coalesce import COALESCIBLE, RequestCoalescer
+from repro.serving.errors import (
+    BadRequest,
+    QueryTimeout,
+    UnknownResource,
+)
+from repro.serving.router import SCALAR_OPS, TieredRouter
+
+#: Sentinel distinguishing "build a default engine" from an explicit
+#: ``engine=None`` (register with no indexed tier).
+_UNSET: Any = object()
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs for one :class:`QueryService`.
+
+    Attributes:
+        coalesce_window_s: Batching window for scalar coalescing;
+            ``0`` disables coalescing (per-query dispatch).
+        coalesce_max_batch: Rows at which a coalesced batch flushes
+            early.
+        cache_capacity: LRU result-cache entries; ``0`` disables.
+        max_inflight: Concurrent requests admitted to execution.
+        max_queue: Requests allowed to wait for an execution slot.
+        timeout_s: Per-request deadline (queue wait + execution);
+            ``0`` disables deadlines.
+        offload_cells: Estimated touched-cell count at or above which a
+            computation runs on the worker pool instead of the event
+            loop (matches the threaded kernel's parallel cutoff).
+        max_batch_rows: Largest accepted ``/query_batch`` request.
+        max_rollup_cells: Largest accepted roll-up result grid.
+        executor_workers: Worker threads for the service-owned pool
+            (only created when no registered engine provides a shareable
+            threaded-kernel pool); ``None`` means ``os.cpu_count()``.
+        logbook_path: When set, every registered cube records served
+            traffic to a :class:`~repro.query.logbook.QueryLog` and
+            :meth:`QueryService.save_logbooks` writes them next to this
+            path (the §9 advisor workload format).
+    """
+
+    coalesce_window_s: float = 0.002
+    coalesce_max_batch: int = 256
+    cache_capacity: int = 1024
+    max_inflight: int = 64
+    max_queue: int = 256
+    timeout_s: float = 30.0
+    offload_cells: int = 1 << 15
+    max_batch_rows: int = 4096
+    max_rollup_cells: int = 1 << 16
+    executor_workers: int | None = None
+    logbook_path: str | None = None
+
+
+@dataclass
+class ServedCube:
+    """One registered cube: its tiers, bookkeeping, and generation."""
+
+    name: str
+    base: np.ndarray
+    counts: np.ndarray | None
+    engine: RangeQueryEngine | None
+    cuboids: MaterializedCuboidSet | None
+    counter: AccessCounter
+    fallback: bool = True
+    generation: int = 0
+    queries: int = 0
+    updates_applied: int = 0
+    logbook: QueryLog | None = None
+    shape: tuple[int, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.shape = tuple(int(n) for n in self.base.shape)
+
+
+class QueryService:
+    """Serve range aggregates over registered cubes (asyncio core).
+
+    Args:
+        config: Service tuning; defaults are sensible for tests and
+            small deployments.
+    """
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.cubes: dict[str, ServedCube] = {}
+        self.cache = ResultCache(self.config.cache_capacity)
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            max_queue=self.config.max_queue,
+        )
+        self.router = TieredRouter()
+        self.coalescer = RequestCoalescer(
+            self._run_coalesced_batch,
+            window_s=self.config.coalesce_window_s,
+            max_batch=self.config.coalesce_max_batch,
+        )
+        self.started_at = time.time()
+        self._executor: ThreadPoolExecutor | None = None
+        self._owns_executor = False
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def register_cube(
+        self,
+        name: str,
+        cube: np.ndarray,
+        *,
+        engine: RangeQueryEngine | None = _UNSET,
+        sum_index: object = None,
+        sum_params: dict[str, Any] | None = None,
+        max_index: object = _UNSET,
+        max_params: dict[str, Any] | None = None,
+        counts: np.ndarray | None = None,
+        backend: ArrayBackend | None = None,
+        plan: Sequence[object] | None = None,
+        fallback: bool = True,
+        kernel: object | None = None,
+    ) -> ServedCube:
+        """Register ``cube`` under ``name`` and build its tiers.
+
+        Args:
+            name: URL-safe cube name (non-empty, no ``/``).
+            cube: The measure cube; copied, so later caller-side
+                mutation cannot silently diverge the tiers.
+            engine: A prebuilt :class:`RangeQueryEngine` to serve from
+                (it must cover the same data, and ``counts`` should
+                match what it was built with), or ``None`` for no
+                indexed tier.  Default: build one from ``sum_index`` /
+                ``max_index`` with a fresh per-cube access counter.
+            sum_index / sum_params / max_index / max_params / kernel:
+                Forwarded to the default-built engine.
+            counts: Optional record-count cube (AVERAGE denominators).
+            backend: Array backend for built structures.
+            plan: §9 materializations; builds the tier-1
+                :class:`MaterializedCuboidSet` when given.
+            fallback: Keep the naive base-scan tier (tier 2's safety
+                net); disable to make uncovered operators a 422.
+        """
+        if not name or "/" in name:
+            raise ValueError(f"cube name {name!r} must be non-empty, no '/'")
+        if name in self.cubes:
+            raise ValueError(f"cube {name!r} is already registered")
+        base = np.array(cube, copy=True)
+        held_counts = (
+            None if counts is None else np.array(counts, copy=True)
+        )
+        counter = AccessCounter()
+        if engine is _UNSET:
+            kwargs: dict[str, Any] = {
+                "sum_params": sum_params,
+                "max_params": max_params,
+                "counts": held_counts,
+                "backend": backend,
+                "counter": counter,
+                "kernel": kernel,
+            }
+            if sum_index is not None:
+                kwargs["sum_index"] = sum_index
+            if max_index is not _UNSET:
+                kwargs["max_index"] = max_index
+            engine = RangeQueryEngine(base, **kwargs)
+        elif engine is not None:
+            if tuple(engine.shape) != base.shape:
+                raise ValueError(
+                    f"engine shape {engine.shape} does not match cube "
+                    f"shape {base.shape}"
+                )
+            counter = engine.counter
+        cuboids = None
+        if plan is not None:
+            cuboids = MaterializedCuboidSet(base, plan, backend=backend)
+        served = ServedCube(
+            name=name,
+            base=base,
+            counts=held_counts,
+            engine=engine,
+            cuboids=cuboids,
+            counter=counter,
+            fallback=fallback,
+        )
+        if self.config.logbook_path is not None:
+            served.logbook = QueryLog(served.shape)
+        self.cubes[name] = served
+        return served
+
+    def _cube(self, name: object) -> ServedCube:
+        if not isinstance(name, str):
+            raise BadRequest("'cube' must be a string cube name")
+        cube = self.cubes.get(name)
+        if cube is None:
+            raise UnknownResource(
+                f"unknown cube {name!r}; registered: "
+                f"{sorted(self.cubes) or 'none'}"
+            )
+        return cube
+
+    # ------------------------------------------------------------------
+    # Endpoints (async, dict → dict)
+    # ------------------------------------------------------------------
+
+    async def query(self, payload: dict) -> dict:
+        """One scalar aggregate: ``{cube, op, ranges}`` → ``{value, ...}``."""
+        cube = self._cube(payload.get("cube"))
+        op = self._op(payload, SCALAR_OPS)
+        rq, box = _parse_region(payload.get("ranges"), cube.shape)
+        return await self._with_admission(
+            lambda: self._answer_scalar(cube, op, rq, box)
+        )
+
+    async def query_batch(self, payload: dict) -> dict:
+        """``K`` same-operator aggregates in one request (one gather)."""
+        cube = self._cube(payload.get("cube"))
+        op = self._op(payload, SCALAR_OPS)
+        raw = payload.get("queries")
+        if not isinstance(raw, list) or not raw:
+            raise BadRequest("'queries' must be a non-empty list")
+        if len(raw) > self.config.max_batch_rows:
+            raise BadRequest(
+                f"batch of {len(raw)} exceeds the row cap "
+                f"{self.config.max_batch_rows}"
+            )
+        boxes = [
+            _parse_region(entry, cube.shape)[1] for entry in raw
+        ]
+        lows = np.array([b.lo for b in boxes], dtype=np.int64)
+        highs = np.array([b.hi for b in boxes], dtype=np.int64)
+        return await self._with_admission(
+            lambda: self._answer_batch(cube, op, boxes, lows, highs)
+        )
+
+    async def slice(self, payload: dict) -> dict:
+        """A slice query: fix some dimensions, aggregate the rest.
+
+        ``{cube, op, fixed: {dim: rank}}`` is sugar for a ``/query``
+        whose fixed dimensions are singletons and whose free dimensions
+        span their full extent — it shares the cache, coalescer, and
+        admission path with ``/query``.
+        """
+        cube = self._cube(payload.get("cube"))
+        fixed = payload.get("fixed")
+        if not isinstance(fixed, dict):
+            raise BadRequest("'fixed' must be a {dim: rank} object")
+        ranges: list[object] = [None] * len(cube.shape)
+        for raw_dim, rank in fixed.items():
+            dim = _parse_int(raw_dim, "slice dimension")
+            if not 0 <= dim < len(cube.shape):
+                raise BadRequest(
+                    f"slice dimension {dim} out of range for "
+                    f"{len(cube.shape)}-d cube"
+                )
+            ranges[dim] = _parse_int(rank, "slice rank")
+        derived = {
+            "cube": cube.name,
+            "op": payload.get("op", "sum"),
+            "ranges": ranges,
+        }
+        return await self.query(derived)
+
+    async def rollup(self, payload: dict) -> dict:
+        """Group-by over kept dimensions (the data cube's roll-up view).
+
+        ``{cube, dims, op}`` answers one aggregate per coordinate of the
+        kept-dimension grid — executed as a single batch over the
+        engine's vectorized path.
+        """
+        cube = self._cube(payload.get("cube"))
+        op = self._op(payload, ("sum", "count", "average"))
+        raw_dims = payload.get("dims")
+        if not isinstance(raw_dims, list) or not raw_dims:
+            raise BadRequest("'dims' must be a non-empty list")
+        dims = [_parse_int(d, "rollup dimension") for d in raw_dims]
+        if len(set(dims)) != len(dims):
+            raise BadRequest(f"duplicate rollup dimensions in {dims}")
+        for dim in dims:
+            if not 0 <= dim < len(cube.shape):
+                raise BadRequest(
+                    f"rollup dimension {dim} out of range for "
+                    f"{len(cube.shape)}-d cube"
+                )
+        grid_shape = tuple(cube.shape[d] for d in dims)
+        cells = int(np.prod(grid_shape))
+        if cells > self.config.max_rollup_cells:
+            raise BadRequest(
+                f"rollup grid of {cells} cells exceeds the cap "
+                f"{self.config.max_rollup_cells}"
+            )
+        return await self._with_admission(
+            lambda: self._answer_rollup(cube, op, dims, grid_shape)
+        )
+
+    async def update(self, payload: dict) -> dict:
+        """Apply point deltas to every tier and bump the generation.
+
+        ``{cube, updates: [{index, delta}], count_updates?}``.  The
+        engine's §5/§7 batch-update machinery, the materialized plan,
+        and the retained base cube all absorb the same merged deltas, so
+        the tiers stay mutually consistent; the generation bump plus an
+        eager sweep invalidate the result cache.
+        """
+        cube = self._cube(payload.get("cube"))
+        updates = _parse_updates(payload.get("updates"), cube.shape)
+        count_updates = None
+        if payload.get("count_updates") is not None:
+            count_updates = _parse_updates(
+                payload["count_updates"], cube.shape
+            )
+            if cube.counts is None:
+                raise BadRequest(
+                    "count_updates require a cube registered with counts"
+                )
+        return await self._with_admission(
+            lambda: self._apply_update(cube, updates, count_updates)
+        )
+
+    def stats(self) -> dict:
+        """The ``/stats`` snapshot: tiers, cache, admission, coalescer,
+        and the index layer's element-access counters per cube."""
+        tier_stats = self.router.stats()
+        cubes = {}
+        for name, cube in sorted(self.cubes.items()):
+            cubes[name] = {
+                "shape": list(cube.shape),
+                "generation": cube.generation,
+                "queries": cube.queries,
+                "updates_applied": cube.updates_applied,
+                "tiers": tier_stats.get(name, {}),
+                "access_counts": cube.counter.snapshot(),
+                "logbook_entries": (
+                    None if cube.logbook is None else len(cube.logbook)
+                ),
+            }
+        return {
+            "uptime_s": time.time() - self.started_at,
+            "cubes": cubes,
+            "cache": self.cache.stats(),
+            "admission": self.admission.stats(),
+            "coalescer": self.coalescer.stats(),
+        }
+
+    def describe_cubes(self) -> dict:
+        """The ``/cubes`` catalog: names, shapes, dtypes, tiers."""
+        out = {}
+        for name, cube in sorted(self.cubes.items()):
+            tiers = []
+            if cube.cuboids is not None:
+                tiers.append("materialized")
+            if cube.engine is not None:
+                tiers.append("indexed")
+            if cube.fallback:
+                tiers.append("fallback")
+            out[name] = {
+                "shape": list(cube.shape),
+                "dtype": str(cube.base.dtype),
+                "tiers": tiers,
+                "generation": cube.generation,
+                "has_counts": cube.counts is not None,
+                "operators": list(SCALAR_OPS),
+            }
+        return out
+
+    # ------------------------------------------------------------------
+    # Execution plumbing
+    # ------------------------------------------------------------------
+
+    async def _with_admission(self, fn: Callable[[], Any]) -> dict:
+        """Admission + deadline around one request's execution."""
+        timeout = self.config.timeout_s
+        try:
+            if timeout and timeout > 0:
+                return await asyncio.wait_for(
+                    self._admitted(fn), timeout
+                )
+            return await self._admitted(fn)
+        except TimeoutError:
+            self.admission.note_timeout()
+            raise QueryTimeout(
+                f"request exceeded the {timeout:g}s deadline"
+            ) from None
+
+    async def _admitted(self, fn: Callable[[], Any]) -> dict:
+        async with self.admission:
+            return await fn()
+
+    async def _answer_scalar(
+        self,
+        cube: ServedCube,
+        op: str,
+        rq: RangeQuery | None,
+        box: Box,
+    ) -> dict:
+        started = time.perf_counter()
+        key = cache_key(cube.name, op, box)
+        hit, value = self.cache.get(key, cube.generation)
+        if hit:
+            tier = "cache"
+        else:
+            tier = self.router.choose_scalar(cube, op, rq, box)
+            try:
+                if (
+                    tier == "indexed"
+                    and op in COALESCIBLE
+                    and self.coalescer.window_s > 0
+                ):
+                    value = await self.coalescer.submit(
+                        cube.name, op, box
+                    )
+                else:
+                    work = self._scalar_work(tier, box)
+                    value = await self._run(
+                        lambda: self.router.run_scalar(
+                            cube, tier, op, rq, box
+                        ),
+                        work,
+                    )
+            except ValueError as exc:
+                raise BadRequest(str(exc)) from exc
+            self.router.record(
+                cube.name, tier, time.perf_counter() - started
+            )
+            self.cache.put(key, cube.generation, value)
+        if cube.logbook is not None:
+            cube.logbook.record_box(box)
+        cube.queries += 1
+        response = {
+            "cube": cube.name,
+            "op": op,
+            "tier": tier,
+            "cached": hit,
+            "generation": cube.generation,
+        }
+        if op in ("max", "min"):
+            index, scalar = value  # type: ignore[misc]
+            response["index"] = list(index)
+            response["value"] = scalar
+        else:
+            response["value"] = value
+        return response
+
+    async def _answer_batch(
+        self,
+        cube: ServedCube,
+        op: str,
+        boxes: Sequence[Box],
+        lows: np.ndarray,
+        highs: np.ndarray,
+    ) -> dict:
+        started = time.perf_counter()
+        tier = self.router.choose_batch(cube, op)
+        work = self._batch_work(tier, lows, highs)
+        try:
+            result = await self._run(
+                lambda: self.router.run_batch(
+                    cube, tier, op, lows, highs
+                ),
+                work,
+            )
+        except ValueError as exc:
+            raise BadRequest(str(exc)) from exc
+        self.router.record(
+            cube.name, tier, time.perf_counter() - started
+        )
+        if cube.logbook is not None:
+            for box in boxes:
+                cube.logbook.record_box(box)
+        cube.queries += len(boxes)
+        response = {
+            "cube": cube.name,
+            "op": op,
+            "tier": tier,
+            "generation": cube.generation,
+        }
+        if op in ("max", "min"):
+            indices, values = result  # type: ignore[misc]
+            response["indices"] = np.asarray(indices).tolist()
+            response["values"] = np.asarray(values).tolist()
+        else:
+            response["values"] = np.asarray(result).tolist()
+        return response
+
+    async def _answer_rollup(
+        self,
+        cube: ServedCube,
+        op: str,
+        dims: Sequence[int],
+        grid_shape: tuple[int, ...],
+    ) -> dict:
+        started = time.perf_counter()
+        ndim = len(cube.shape)
+        coords = np.stack(
+            np.meshgrid(
+                *[np.arange(cube.shape[d]) for d in dims],
+                indexing="ij",
+            ),
+            axis=-1,
+        ).reshape(-1, len(dims))
+        cells = len(coords)
+        lows = np.zeros((cells, ndim), dtype=np.int64)
+        highs = np.broadcast_to(
+            np.asarray(cube.shape, dtype=np.int64) - 1, (cells, ndim)
+        ).copy()
+        lows[:, dims] = coords
+        highs[:, dims] = coords
+        tier = self.router.choose_batch(cube, op)
+        work = self._batch_work(tier, lows, highs)
+        values = await self._run(
+            lambda: self.router.run_batch(cube, tier, op, lows, highs),
+            work,
+        )
+        self.router.record(
+            cube.name, tier, time.perf_counter() - started
+        )
+        cube.queries += cells
+        return {
+            "cube": cube.name,
+            "op": op,
+            "tier": tier,
+            "dims": list(dims),
+            "shape": list(grid_shape),
+            "values": np.asarray(values).tolist(),
+            "generation": cube.generation,
+        }
+
+    async def _apply_update(
+        self,
+        cube: ServedCube,
+        updates: list[PointUpdate],
+        count_updates: list[PointUpdate] | None,
+    ) -> dict:
+        def run() -> None:
+            if cube.engine is not None:
+                cube.engine.apply_updates(updates, count_updates)
+            if cube.cuboids is not None:
+                cube.cuboids.apply_updates(updates)
+            for update in updates:
+                cube.base[update.index] += update.delta
+            if count_updates is not None and cube.counts is not None:
+                for update in count_updates:
+                    cube.counts[update.index] += update.delta
+
+        try:
+            # Updates run inline on the event loop: they are the single
+            # writer, and keeping them off the pool means a read
+            # offloaded *before* this update still sees a consistent
+            # pre-update snapshot of every tier.
+            run()
+        except (ValueError, TypeError, OverflowError) as exc:
+            # OverflowError: numpy 2.x rejects e.g. negative deltas into
+            # unsigned cubes at assignment time.
+            raise BadRequest(str(exc)) from exc
+        cube.generation += 1
+        cube.updates_applied += len(updates)
+        self.cache.invalidate_cube(cube.name)
+        return {
+            "cube": cube.name,
+            "applied": len(updates),
+            "count_applied": (
+                0 if count_updates is None else len(count_updates)
+            ),
+            "generation": cube.generation,
+        }
+
+    async def _run_coalesced_batch(
+        self,
+        cube_name: str,
+        op: str,
+        lows: np.ndarray,
+        highs: np.ndarray,
+    ) -> list[object]:
+        """Execute one coalesced batch on the indexed tier."""
+        cube = self._cube(cube_name)
+        engine = cube.engine
+        assert engine is not None
+        work = self._batch_work("indexed", lows, highs)
+        values = await self._run(
+            lambda: getattr(engine, f"{op}_many")(lows, highs), work
+        )
+        return list(np.asarray(values).tolist())
+
+    def _scalar_work(self, tier: str, box: Box) -> int:
+        """Touched-cell estimate driving the offload decision."""
+        if tier == "fallback":
+            return box.volume
+        return 2 ** len(box.lo)
+
+    def _batch_work(
+        self, tier: str, lows: np.ndarray, highs: np.ndarray
+    ) -> int:
+        if tier == "fallback":
+            extents = np.maximum(highs - lows + 1, 0)
+            return int(np.prod(extents, axis=1).sum())
+        return len(lows) << lows.shape[1]
+
+    async def _run(self, fn: Callable[[], Any], work: int) -> Any:
+        """Run ``fn`` inline or on the worker pool, by estimated work."""
+        if work >= self.config.offload_cells:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(self._ensure_executor(), fn)
+        return fn()
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        """The offload pool — shared with the threaded kernel if one is
+        in play, otherwise a service-owned pool of explicit size."""
+        if self._executor is None:
+            for cube in self.cubes.values():
+                if cube.engine is None:
+                    continue
+                kernel = resolve_kernel(None, cube.engine.kernel)
+                if isinstance(kernel, ThreadedKernel):
+                    self._executor = kernel.executor()
+                    self._owns_executor = False
+                    break
+            if self._executor is None:
+                workers = self.config.executor_workers
+                if workers is None:
+                    workers = os.cpu_count() or 1
+                self._executor = ThreadPoolExecutor(
+                    max_workers=max(1, int(workers)),
+                    thread_name_prefix="repro-serving",
+                )
+                self._owns_executor = True
+        return self._executor
+
+    def _op(self, payload: dict, allowed: Sequence[str]) -> str:
+        op = payload.get("op", "sum")
+        if op not in allowed:
+            raise BadRequest(
+                f"unknown operator {op!r}; one of {tuple(allowed)}"
+            )
+        return str(op)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def save_logbooks(self) -> list[str]:
+        """Write every cube's query log (§9 advisor workload format).
+
+        A single registered cube writes exactly ``logbook_path``; with
+        several cubes each writes ``<stem>-<cube><suffix>``.  Returns
+        the written paths.
+        """
+        path = self.config.logbook_path
+        if path is None:
+            return []
+        logged = [
+            cube for cube in self.cubes.values() if cube.logbook
+        ]
+        written = []
+        if len(logged) == 1:
+            logged[0].logbook.save(path)  # type: ignore[union-attr]
+            written.append(path)
+            return written
+        stem, suffix = os.path.splitext(path)
+        for cube in logged:
+            target = f"{stem}-{cube.name}{suffix or '.json'}"
+            cube.logbook.save(target)  # type: ignore[union-attr]
+            written.append(target)
+        return written
+
+    async def close(self) -> None:
+        """Flush pending coalesced work and release owned resources."""
+        await self.coalescer.flush_all()
+        self.save_logbooks()
+        if self._executor is not None and self._owns_executor:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        self._executor = None
+
+
+# ----------------------------------------------------------------------
+# Payload parsing (wire dicts → query model, with 400s on bad shape)
+# ----------------------------------------------------------------------
+
+
+def _parse_int(value: object, what: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, (int, str)):
+        raise BadRequest(f"{what} must be an integer, got {value!r}")
+    try:
+        return int(value)
+    except ValueError as exc:
+        raise BadRequest(
+            f"{what} must be an integer, got {value!r}"
+        ) from exc
+
+
+def _parse_region(
+    raw: object, shape: tuple[int, ...]
+) -> tuple[RangeQuery | None, Box]:
+    """One wire-format range list → ``(RangeQuery | None, canonical Box)``.
+
+    Per dimension: ``null``/``"all"`` spans the full extent, an integer
+    is a singleton, and ``[lo, hi]`` is an inclusive range.  Empty
+    ranges (``hi < lo``) are legal under the normative empty-range rule
+    but have no :class:`RangeQuery` spelling, so they come back as the
+    box alone (``None`` query — skipping §9 routing and the logbook's
+    cuboid classification, neither of which an empty region informs).
+    """
+    ndim = len(shape)
+    if not isinstance(raw, list):
+        raise BadRequest(
+            "'ranges' must be a list with one entry per dimension "
+            "(null | rank | [lo, hi])"
+        )
+    if len(raw) != ndim:
+        raise BadRequest(
+            f"'ranges' has {len(raw)} entries, cube has {ndim} "
+            "dimensions"
+        )
+    specs: list[RangeSpec] | None = []
+    bounds: list[tuple[int, int]] = []
+    for dim, entry in enumerate(raw):
+        if entry is None or entry == "all":
+            bounds.append((0, shape[dim] - 1))
+            if specs is not None:
+                specs.append(RangeSpec.all())
+        elif isinstance(entry, bool):
+            raise BadRequest(
+                f"ranges[{dim}] must be null, a rank, or [lo, hi]"
+            )
+        elif isinstance(entry, int):
+            bounds.append((entry, entry))
+            if specs is not None:
+                specs.append(RangeSpec.at(entry))
+        elif isinstance(entry, (list, tuple)) and len(entry) == 2:
+            lo = _parse_int(entry[0], f"ranges[{dim}] lower bound")
+            hi = _parse_int(entry[1], f"ranges[{dim}] upper bound")
+            bounds.append((lo, hi))
+            if hi < lo:
+                specs = None  # empty: box-only spelling
+            elif specs is not None:
+                specs.append(RangeSpec.between(lo, hi))
+        else:
+            raise BadRequest(
+                f"ranges[{dim}] must be null, a rank, or [lo, hi]"
+            )
+    try:
+        box = canonical_box(bounds, shape)
+    except ValueError as exc:
+        raise BadRequest(str(exc)) from exc
+    rq = None if specs is None else RangeQuery(tuple(specs))
+    return rq, box
+
+
+def _parse_updates(
+    raw: object, shape: tuple[int, ...]
+) -> list[PointUpdate]:
+    """Wire-format update list → validated :class:`PointUpdate` batch."""
+    if not isinstance(raw, list) or not raw:
+        raise BadRequest(
+            "'updates' must be a non-empty list of {index, delta}"
+        )
+    updates = []
+    for position, entry in enumerate(raw):
+        if not isinstance(entry, dict):
+            raise BadRequest(
+                f"updates[{position}] must be an object with "
+                "'index' and 'delta'"
+            )
+        index_raw = entry.get("index")
+        if not isinstance(index_raw, (list, tuple)) or len(
+            index_raw
+        ) != len(shape):
+            raise BadRequest(
+                f"updates[{position}].index must list one coordinate "
+                f"per dimension ({len(shape)})"
+            )
+        index = tuple(
+            _parse_int(v, f"updates[{position}].index[{dim}]")
+            for dim, v in enumerate(index_raw)
+        )
+        for dim, (coordinate, extent) in enumerate(zip(index, shape)):
+            if not 0 <= coordinate < extent:
+                raise BadRequest(
+                    f"updates[{position}].index[{dim}] = {coordinate} "
+                    f"out of range [0, {extent})"
+                )
+        delta = entry.get("delta")
+        if isinstance(delta, bool) or not isinstance(
+            delta, (int, float)
+        ):
+            raise BadRequest(
+                f"updates[{position}].delta must be a number"
+            )
+        updates.append(PointUpdate(index, delta))
+    return updates

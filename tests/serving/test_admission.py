@@ -1,0 +1,131 @@
+"""Unit tests for admission control: slots, queue, shedding, hand-off."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serving.admission import AdmissionController
+from repro.serving.errors import Overloaded
+
+
+def test_admits_up_to_max_inflight() -> None:
+    async def run() -> None:
+        admission = AdmissionController(max_inflight=2, max_queue=0)
+        await admission.acquire()
+        await admission.acquire()
+        assert admission.inflight == 2
+        with pytest.raises(Overloaded):
+            await admission.acquire()
+        admission.release()
+        await admission.acquire()  # freed slot is reusable
+        assert admission.inflight == 2
+
+    asyncio.run(run())
+
+
+def test_queue_absorbs_then_sheds() -> None:
+    async def run() -> None:
+        admission = AdmissionController(max_inflight=1, max_queue=2)
+        await admission.acquire()
+        waiters = [
+            asyncio.ensure_future(admission.acquire()) for _ in range(2)
+        ]
+        await asyncio.sleep(0)
+        assert admission.queued == 2
+        with pytest.raises(Overloaded):
+            await admission.acquire()  # queue full: shed
+        assert admission.shed == 1
+        # Finishing hands the slot to the oldest waiter directly.
+        admission.release()
+        await waiters[0]
+        assert admission.inflight == 1
+        assert admission.queued == 1
+        admission.release()
+        await waiters[1]
+        admission.release()
+        assert admission.inflight == 0
+
+    asyncio.run(run())
+
+
+def test_cancelled_waiter_leaves_queue() -> None:
+    async def run() -> None:
+        admission = AdmissionController(max_inflight=1, max_queue=4)
+        await admission.acquire()
+        waiter = asyncio.ensure_future(admission.acquire())
+        await asyncio.sleep(0)
+        assert admission.queued == 1
+        waiter.cancel()
+        with pytest.raises(asyncio.CancelledError):
+            await waiter
+        assert admission.queued == 0
+        # The held slot is unaffected and still hands over cleanly.
+        follow = asyncio.ensure_future(admission.acquire())
+        await asyncio.sleep(0)
+        admission.release()
+        await follow
+        assert admission.inflight == 1
+        admission.release()
+
+    asyncio.run(run())
+
+
+def test_timed_out_waiter_does_not_leak_slot() -> None:
+    async def run() -> None:
+        admission = AdmissionController(max_inflight=1, max_queue=4)
+        await admission.acquire()
+        with pytest.raises(TimeoutError):
+            await asyncio.wait_for(admission.acquire(), timeout=0.02)
+        admission.release()
+        # Slot must be acquirable again after the timeout.
+        await asyncio.wait_for(admission.acquire(), timeout=1.0)
+        admission.release()
+        assert admission.inflight == 0
+
+    asyncio.run(run())
+
+
+def test_context_manager_releases_on_error() -> None:
+    async def run() -> None:
+        admission = AdmissionController(max_inflight=1, max_queue=0)
+        with pytest.raises(RuntimeError):
+            async with admission:
+                assert admission.inflight == 1
+                raise RuntimeError("handler blew up")
+        assert admission.inflight == 0
+        async with admission:
+            pass  # still usable afterwards
+
+    asyncio.run(run())
+
+
+def test_stats_shape_and_peaks() -> None:
+    async def run() -> None:
+        admission = AdmissionController(max_inflight=2, max_queue=2)
+        await admission.acquire()
+        await admission.acquire()
+        waiter = asyncio.ensure_future(admission.acquire())
+        await asyncio.sleep(0)
+        stats = admission.stats()
+        assert stats["peak_inflight"] == 2
+        assert stats["peak_queued"] == 1
+        assert stats["queued"] == 1
+        admission.release()
+        await waiter
+        admission.release()
+        admission.release()
+        final = admission.stats()
+        assert final["inflight"] == 0
+        assert final["completed"] == 3
+        assert final["admitted"] == 3
+
+    asyncio.run(run())
+
+
+def test_constructor_validation() -> None:
+    with pytest.raises(ValueError):
+        AdmissionController(max_inflight=0)
+    with pytest.raises(ValueError):
+        AdmissionController(max_queue=-1)

@@ -1,0 +1,197 @@
+"""Result-cache unit tests plus service-level invalidation coverage.
+
+The second half is the satellite the issue called out explicitly:
+``apply_updates`` must bump the cube generation and evict stale entries
+on both the scalar and batched read paths, for in-memory and memmapped
+structures alike.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro._util import Box
+from repro.index.backend import MemmapBackend
+from repro.serving.cache import ResultCache, cache_key
+from repro.serving.service import QueryService, ServeConfig
+
+
+def box(lo, hi) -> Box:
+    return Box(tuple(lo), tuple(hi))
+
+
+class TestResultCache:
+    def test_miss_then_hit(self) -> None:
+        cache = ResultCache(capacity=4)
+        key = cache_key("c", "sum", box((0, 0), (1, 1)))
+        hit, _ = cache.get(key, 0)
+        assert not hit
+        cache.put(key, 0, 42)
+        hit, value = cache.get(key, 0)
+        assert hit and value == 42
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_equal_regions_share_one_entry(self) -> None:
+        cache = ResultCache(capacity=4)
+        a = cache_key("c", "sum", box((0, 0), (1, 1)))
+        b = cache_key("c", "sum", box((0, 0), (1, 1)))
+        cache.put(a, 0, 7)
+        hit, value = cache.get(b, 0)
+        assert hit and value == 7
+
+    def test_lru_eviction_order(self) -> None:
+        cache = ResultCache(capacity=2)
+        k1 = cache_key("c", "sum", box((0,), (1,)))
+        k2 = cache_key("c", "sum", box((0,), (2,)))
+        k3 = cache_key("c", "sum", box((0,), (3,)))
+        cache.put(k1, 0, 1)
+        cache.put(k2, 0, 2)
+        cache.get(k1, 0)  # refresh k1 so k2 is the LRU victim
+        cache.put(k3, 0, 3)
+        assert cache.get(k1, 0)[0]
+        assert not cache.get(k2, 0)[0]
+        assert cache.get(k3, 0)[0]
+        assert cache.stats()["evictions"] == 1
+
+    def test_stale_generation_evicts_and_misses(self) -> None:
+        cache = ResultCache(capacity=4)
+        key = cache_key("c", "sum", box((0,), (1,)))
+        cache.put(key, 0, 10)
+        hit, _ = cache.get(key, 1)  # cube has moved on
+        assert not hit
+        assert len(cache) == 0
+        assert cache.stats()["stale_evictions"] == 1
+        # Re-stored at the new generation it hits again.
+        cache.put(key, 1, 11)
+        assert cache.get(key, 1) == (True, 11)
+
+    def test_invalidate_cube_is_per_cube(self) -> None:
+        cache = ResultCache(capacity=8)
+        mine = cache_key("mine", "sum", box((0,), (1,)))
+        other = cache_key("other", "sum", box((0,), (1,)))
+        cache.put(mine, 0, 1)
+        cache.put(other, 0, 2)
+        assert cache.invalidate_cube("mine") == 1
+        assert not cache.get(mine, 0)[0]
+        assert cache.get(other, 0)[0]
+
+    def test_capacity_zero_disables(self) -> None:
+        cache = ResultCache(capacity=0)
+        key = cache_key("c", "sum", box((0,), (1,)))
+        cache.put(key, 0, 5)
+        assert not cache.get(key, 0)[0]
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            ResultCache(capacity=-1)
+
+
+# ---------------------------------------------------------------------------
+# Service-level invalidation: updates must never leave stale answers
+# visible, on any read path, for any backend.
+# ---------------------------------------------------------------------------
+
+
+def _service(backend=None, window: float = 0.0) -> tuple[QueryService, np.ndarray]:
+    rng = np.random.default_rng(0xCA11)
+    data = rng.integers(-20, 21, size=(6, 5, 4)).astype(np.int64)
+    service = QueryService(ServeConfig(coalesce_window_s=window))
+    service.register_cube("c", data, counts=np.ones_like(data), backend=backend)
+    return service, data
+
+
+@pytest.mark.parametrize("backend_kind", ["memory", "memmap"])
+def test_update_invalidates_scalar_path(backend_kind, tmp_path) -> None:
+    backend = MemmapBackend(tmp_path) if backend_kind == "memmap" else None
+    service, data = _service(backend)
+    ranges = [[1, 4], None, [0, 2]]
+
+    async def run() -> None:
+        first = await service.query(
+            {"cube": "c", "op": "sum", "ranges": ranges}
+        )
+        assert first["value"] == int(data[1:5, :, 0:3].sum())
+        again = await service.query(
+            {"cube": "c", "op": "sum", "ranges": ranges}
+        )
+        assert again["cached"] and again["tier"] == "cache"
+
+        result = await service.update(
+            {"cube": "c", "updates": [{"index": [2, 2, 1], "delta": 100}]}
+        )
+        assert result["generation"] == 1
+
+        fresh = await service.query(
+            {"cube": "c", "op": "sum", "ranges": ranges}
+        )
+        assert not fresh["cached"]
+        assert fresh["generation"] == 1
+        assert fresh["value"] == int(data[1:5, :, 0:3].sum()) + 100
+
+    asyncio.run(run())
+    assert service.cache.stats()["invalidations"] >= 1
+
+
+@pytest.mark.parametrize("backend_kind", ["memory", "memmap"])
+def test_update_invalidates_coalesced_batch_path(
+    backend_kind, tmp_path
+) -> None:
+    """Stale answers must not survive updates on the batched read path."""
+    backend = MemmapBackend(tmp_path) if backend_kind == "memmap" else None
+    service, data = _service(backend, window=0.001)
+    queries = [
+        {"cube": "c", "op": "sum", "ranges": [[0, 3], [1, 3], None]},
+        {"cube": "c", "op": "sum", "ranges": [[2, 5], None, [1, 2]]},
+        {"cube": "c", "op": "average", "ranges": [None, None, [0, 1]]},
+    ]
+
+    async def ask_all() -> list:
+        results = await asyncio.gather(
+            *(service.query(q) for q in queries)
+        )
+        return [r["value"] for r in results]
+
+    async def run() -> None:
+        before = await ask_all()
+        assert before[0] == int(data[0:4, 1:4, :].sum())
+        await service.update(
+            {"cube": "c", "updates": [{"index": [3, 2, 1], "delta": -7}]}
+        )
+        after = await ask_all()
+        shifted = data.copy()
+        shifted[3, 2, 1] -= 7
+        assert after[0] == int(shifted[0:4, 1:4, :].sum())
+        assert after[1] == int(shifted[2:6, :, 1:3].sum())
+        assert after[2] == pytest.approx(
+            float(shifted[:, :, 0:2].sum()) / shifted[:, :, 0:2].size
+        )
+        # The coalescer actually ran batches (window > 0).
+        assert service.coalescer.batches >= 1
+
+    asyncio.run(run())
+
+
+def test_generation_survives_multiple_updates() -> None:
+    service, data = _service()
+
+    async def run() -> None:
+        for expected in (1, 2, 3):
+            result = await service.update(
+                {
+                    "cube": "c",
+                    "updates": [{"index": [0, 0, 0], "delta": 1}],
+                }
+            )
+            assert result["generation"] == expected
+        final = await service.query(
+            {"cube": "c", "op": "sum", "ranges": [0, 0, 0]}
+        )
+        assert final["value"] == int(data[0, 0, 0]) + 3
+        assert final["generation"] == 3
+
+    asyncio.run(run())

@@ -1,0 +1,154 @@
+"""Unit tests for the request coalescer's batching discipline."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro._util import Box
+from repro.serving.coalesce import RequestCoalescer
+
+
+class Recorder:
+    """A fake batch runner recording every dispatched batch."""
+
+    def __init__(self, fail: bool = False) -> None:
+        self.batches: list[tuple[str, str, np.ndarray, np.ndarray]] = []
+        self.fail = fail
+
+    async def __call__(self, cube, op, lows, highs):
+        self.batches.append((cube, op, lows, highs))
+        if self.fail:
+            raise RuntimeError("batch exploded")
+        # Answer each row with its lower-corner sum — enough to check
+        # results return to the right submitter.
+        return [int(lo.sum()) for lo in lows]
+
+
+def box(*pairs) -> Box:
+    return Box(tuple(p[0] for p in pairs), tuple(p[1] for p in pairs))
+
+
+def test_concurrent_submissions_form_one_batch() -> None:
+    runner = Recorder()
+    coalescer = RequestCoalescer(runner, window_s=0.005, max_batch=64)
+
+    async def run() -> list:
+        return await asyncio.gather(
+            *(
+                coalescer.submit("c", "sum", box((k, k + 1), (0, 3)))
+                for k in range(8)
+            )
+        )
+
+    values = asyncio.run(run())
+    assert values == [k for k in range(8)]
+    assert len(runner.batches) == 1
+    assert coalescer.batches == 1
+    assert coalescer.largest_batch == 8
+    assert coalescer.window_flushes == 1
+    cube, op, lows, highs = runner.batches[0]
+    assert (cube, op) == ("c", "sum")
+    assert lows.shape == (8, 2)
+
+
+def test_distinct_cubes_and_ops_batch_separately() -> None:
+    runner = Recorder()
+    coalescer = RequestCoalescer(runner, window_s=0.005, max_batch=64)
+
+    async def run() -> None:
+        await asyncio.gather(
+            coalescer.submit("a", "sum", box((0, 1))),
+            coalescer.submit("a", "count", box((0, 1))),
+            coalescer.submit("b", "sum", box((0, 1))),
+        )
+
+    asyncio.run(run())
+    keys = {(cube, op) for cube, op, _, _ in runner.batches}
+    assert keys == {("a", "sum"), ("a", "count"), ("b", "sum")}
+    assert coalescer.batches == 3
+
+
+def test_max_batch_flushes_early() -> None:
+    runner = Recorder()
+    coalescer = RequestCoalescer(runner, window_s=10.0, max_batch=4)
+
+    async def run() -> list:
+        # window is 10s: only the size cap can flush within the test.
+        return await asyncio.wait_for(
+            asyncio.gather(
+                *(
+                    coalescer.submit("c", "sum", box((k, k)))
+                    for k in range(4)
+                )
+            ),
+            timeout=2.0,
+        )
+
+    values = asyncio.run(run())
+    assert values == [0, 1, 2, 3]
+    assert coalescer.size_flushes == 1
+    assert coalescer.largest_batch == 4
+    assert coalescer.pending_rows() == 0
+
+
+def test_window_zero_dispatches_immediately() -> None:
+    runner = Recorder()
+    coalescer = RequestCoalescer(runner, window_s=0.0, max_batch=64)
+
+    async def run() -> None:
+        for k in range(3):
+            value = await coalescer.submit("c", "sum", box((k, k)))
+            assert value == k
+
+    asyncio.run(run())
+    assert coalescer.batches == 3
+    assert all(len(lows) == 1 for _, _, lows, _ in runner.batches)
+
+
+def test_failure_fans_out_to_every_submitter() -> None:
+    runner = Recorder(fail=True)
+    coalescer = RequestCoalescer(runner, window_s=0.005, max_batch=64)
+
+    async def run() -> list:
+        return await asyncio.gather(
+            *(
+                coalescer.submit("c", "sum", box((k, k)))
+                for k in range(3)
+            ),
+            return_exceptions=True,
+        )
+
+    results = asyncio.run(run())
+    assert len(results) == 3
+    assert all(isinstance(r, RuntimeError) for r in results)
+    assert len(runner.batches) == 1  # one failing dispatch, not three
+
+
+def test_flush_all_drains_pending() -> None:
+    runner = Recorder()
+    coalescer = RequestCoalescer(runner, window_s=30.0, max_batch=64)
+
+    async def run() -> int:
+        task = asyncio.ensure_future(
+            coalescer.submit("c", "sum", box((2, 3)))
+        )
+        await asyncio.sleep(0)  # let the submission park
+        assert coalescer.pending_rows() == 1
+        await coalescer.flush_all()
+        return await asyncio.wait_for(task, timeout=1.0)
+
+    assert asyncio.run(run()) == 2
+    assert coalescer.window_flushes == 0
+
+
+def test_non_coalescible_op_rejected() -> None:
+    coalescer = RequestCoalescer(Recorder(), window_s=0.001)
+
+    async def run() -> None:
+        await coalescer.submit("c", "max", box((0, 1)))
+
+    with pytest.raises(ValueError, match="cannot coalesce"):
+        asyncio.run(run())

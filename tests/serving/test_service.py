@@ -1,0 +1,390 @@
+"""QueryService endpoint semantics, error taxonomy, and logbook wiring."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.query import QueryLog, RangeQueryEngine
+from repro.query.ranges import SpecKind
+from repro.serving.errors import BadRequest, UnknownResource
+from repro.serving.service import QueryService, ServeConfig
+
+
+@pytest.fixture
+def data() -> np.ndarray:
+    rng = np.random.default_rng(0x5E4E)
+    return rng.integers(-25, 26, size=(9, 8, 7)).astype(np.int64)
+
+
+@pytest.fixture
+def service(data) -> QueryService:
+    service = QueryService(ServeConfig(coalesce_window_s=0.0))
+    service.register_cube("sales", data, counts=np.ones_like(data))
+    return service
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestQuery:
+    def test_sum_matches_numpy(self, service, data) -> None:
+        result = run(
+            service.query(
+                {"cube": "sales", "ranges": [[2, 6], None, [1, 3]]}
+            )
+        )
+        assert result["value"] == int(data[2:7, :, 1:4].sum())
+        assert result["tier"] == "indexed"
+        assert not result["cached"]
+
+    def test_singleton_and_all_ranges(self, service, data) -> None:
+        result = run(
+            service.query(
+                {"cube": "sales", "ranges": [4, None, [0, 6]]}
+            )
+        )
+        assert result["value"] == int(data[4, :, :].sum())
+
+    @pytest.mark.parametrize("op", ["max", "min"])
+    def test_witness_ops_return_index(self, service, data, op) -> None:
+        result = run(
+            service.query(
+                {
+                    "cube": "sales",
+                    "op": op,
+                    "ranges": [[1, 7], [0, 5], None],
+                }
+            )
+        )
+        window = data[1:8, 0:6, :]
+        extreme = int(window.max() if op == "max" else window.min())
+        assert result["value"] == extreme
+        assert data[tuple(result["index"])] == extreme
+
+    def test_empty_box_identity(self, service) -> None:
+        result = run(
+            service.query(
+                {"cube": "sales", "ranges": [[5, 2], None, None]}
+            )
+        )
+        assert result["value"] == 0
+
+    def test_empty_box_max_is_bad_request(self, service) -> None:
+        with pytest.raises(BadRequest):
+            run(
+                service.query(
+                    {
+                        "cube": "sales",
+                        "op": "max",
+                        "ranges": [[5, 2], None, None],
+                    }
+                )
+            )
+
+    def test_unknown_cube_and_bad_payloads(self, service) -> None:
+        with pytest.raises(UnknownResource):
+            run(service.query({"cube": "nope", "ranges": [None] * 3}))
+        with pytest.raises(BadRequest):
+            run(service.query({"cube": "sales", "ranges": [None]}))
+        with pytest.raises(BadRequest):
+            run(
+                service.query(
+                    {"cube": "sales", "op": "median", "ranges": [None] * 3}
+                )
+            )
+        with pytest.raises(BadRequest):
+            run(
+                service.query(
+                    {"cube": "sales", "ranges": [[0, 1, 2], None, None]}
+                )
+            )
+        with pytest.raises(BadRequest):
+            run(
+                service.query(
+                    {"cube": "sales", "ranges": [[0, 99], None, None]}
+                )
+            )
+
+
+class TestBatchSliceRollup:
+    def test_batch_matches_engine(self, service, data) -> None:
+        engine = RangeQueryEngine(data)
+        queries = [
+            [[0, 4], [1, 5], [2, 6]],
+            [[3, 3], None, [0, 0]],
+            [[5, 2], None, None],  # empty row -> identity
+        ]
+        result = run(
+            service.query_batch({"cube": "sales", "queries": queries})
+        )
+        lows = np.array([[0, 1, 2], [3, 0, 0], [5, 0, 0]])
+        highs = np.array([[4, 5, 6], [3, 7, 0], [2, 7, 6]])
+        expected = engine.sum_many(lows, highs)
+        assert result["values"] == expected.tolist()
+
+    def test_batch_validation(self, service) -> None:
+        with pytest.raises(BadRequest):
+            run(service.query_batch({"cube": "sales", "queries": []}))
+        tight = QueryService(ServeConfig(max_batch_rows=2))
+        tight.register_cube("c", np.ones((3, 3)))
+        with pytest.raises(BadRequest):
+            run(
+                tight.query_batch(
+                    {"cube": "c", "queries": [[None, None]] * 3}
+                )
+            )
+
+    def test_slice_fixes_dimensions(self, service, data) -> None:
+        result = run(
+            service.slice({"cube": "sales", "fixed": {"0": 3, "2": 5}})
+        )
+        assert result["value"] == int(data[3, :, 5].sum())
+
+    def test_slice_validation(self, service) -> None:
+        with pytest.raises(BadRequest):
+            run(service.slice({"cube": "sales", "fixed": {"9": 0}}))
+        with pytest.raises(BadRequest):
+            run(service.slice({"cube": "sales", "fixed": "nope"}))
+
+    def test_rollup_matches_numpy_groupby(self, service, data) -> None:
+        result = run(service.rollup({"cube": "sales", "dims": [1]}))
+        assert result["shape"] == [8]
+        assert result["values"] == data.sum(axis=(0, 2)).tolist()
+        two = run(service.rollup({"cube": "sales", "dims": [0, 2]}))
+        assert two["shape"] == [9, 7]
+        grid = np.asarray(two["values"]).reshape(9, 7)
+        np.testing.assert_array_equal(grid, data.sum(axis=1))
+
+    def test_rollup_average(self, service, data) -> None:
+        result = run(
+            service.rollup(
+                {"cube": "sales", "dims": [2], "op": "average"}
+            )
+        )
+        expected = data.mean(axis=(0, 1))
+        assert np.allclose(result["values"], expected)
+
+    def test_rollup_validation(self, service) -> None:
+        with pytest.raises(BadRequest):
+            run(service.rollup({"cube": "sales", "dims": []}))
+        with pytest.raises(BadRequest):
+            run(service.rollup({"cube": "sales", "dims": [0, 0]}))
+        with pytest.raises(BadRequest):
+            run(service.rollup({"cube": "sales", "dims": [7]}))
+        with pytest.raises(BadRequest):
+            run(
+                service.rollup(
+                    {"cube": "sales", "dims": [0], "op": "max"}
+                )
+            )
+        tight = QueryService(ServeConfig(max_rollup_cells=4))
+        tight.register_cube("c", np.ones((3, 3)))
+        with pytest.raises(BadRequest):
+            run(tight.rollup({"cube": "c", "dims": [0, 1]}))
+
+
+class TestUpdate:
+    def test_update_propagates_to_all_tiers(self, data) -> None:
+        from repro.optimizer.cuboid_selection import Materialization
+
+        service = QueryService(ServeConfig(coalesce_window_s=0.0))
+        service.register_cube(
+            "c", data, plan=[Materialization((0, 1), 1, 0.0)]
+        )
+
+        async def scenario() -> None:
+            await service.update(
+                {
+                    "cube": "c",
+                    "updates": [
+                        {"index": [1, 2, 3], "delta": 11},
+                        {"index": [0, 0, 0], "delta": -4},
+                        {"index": [1, 2, 3], "delta": 1},  # duplicate cell
+                    ],
+                }
+            )
+            shifted = data.copy()
+            shifted[1, 2, 3] += 12
+            shifted[0, 0, 0] -= 4
+            # Materialized tier (dims {0,1} constrained only).
+            m = await service.query(
+                {"cube": "c", "ranges": [[0, 4], [0, 4], None]}
+            )
+            assert m["tier"] == "materialized"
+            assert m["value"] == int(shifted[0:5, 0:5, :].sum())
+            # Indexed tier.
+            i = await service.query(
+                {"cube": "c", "ranges": [[0, 4], [0, 4], [0, 5]]}
+            )
+            assert i["tier"] == "indexed"
+            assert i["value"] == int(shifted[0:5, 0:5, 0:6].sum())
+            # Max tree absorbed the delta too.
+            x = await service.query(
+                {"cube": "c", "op": "max", "ranges": [1, 2, 3]}
+            )
+            assert x["value"] == int(shifted[1, 2, 3])
+
+        run(scenario())
+
+    def test_update_validation(self, service) -> None:
+        with pytest.raises(BadRequest):
+            run(service.update({"cube": "sales", "updates": []}))
+        with pytest.raises(BadRequest):
+            run(
+                service.update(
+                    {
+                        "cube": "sales",
+                        "updates": [{"index": [0, 0], "delta": 1}],
+                    }
+                )
+            )
+        with pytest.raises(BadRequest):
+            run(
+                service.update(
+                    {
+                        "cube": "sales",
+                        "updates": [{"index": [99, 0, 0], "delta": 1}],
+                    }
+                )
+            )
+        with pytest.raises(BadRequest):
+            run(
+                service.update(
+                    {
+                        "cube": "sales",
+                        "updates": [
+                            {"index": [0, 0, 0], "delta": "many"}
+                        ],
+                    }
+                )
+            )
+
+    def test_count_updates_keep_average_exact(self, data) -> None:
+        counts = np.full_like(data, 2)
+        service = QueryService(ServeConfig(coalesce_window_s=0.0))
+        service.register_cube("c", data, counts=counts)
+
+        async def scenario() -> None:
+            await service.update(
+                {
+                    "cube": "c",
+                    "updates": [{"index": [0, 0, 0], "delta": 10}],
+                    "count_updates": [
+                        {"index": [0, 0, 0], "delta": 3}
+                    ],
+                }
+            )
+            result = await service.query(
+                {"cube": "c", "op": "average", "ranges": [0, 0, 0]}
+            )
+            assert result["value"] == pytest.approx(
+                (float(data[0, 0, 0]) + 10) / 5.0
+            )
+
+        run(scenario())
+
+
+class TestRegistration:
+    def test_duplicate_and_bad_names(self, data) -> None:
+        service = QueryService()
+        service.register_cube("a", data)
+        with pytest.raises(ValueError):
+            service.register_cube("a", data)
+        with pytest.raises(ValueError):
+            service.register_cube("", data)
+        with pytest.raises(ValueError):
+            service.register_cube("a/b", data)
+
+    def test_prebuilt_engine_shape_check(self, data) -> None:
+        service = QueryService()
+        engine = RangeQueryEngine(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            service.register_cube("c", data, engine=engine)
+
+    def test_registration_copies_the_cube(self, data) -> None:
+        source = data.copy()
+        service = QueryService(ServeConfig(coalesce_window_s=0.0))
+        service.register_cube("c", source, engine=None)
+        source[0, 0, 0] += 1000  # caller-side mutation is invisible
+        result = run(
+            service.query({"cube": "c", "ranges": [0, 0, 0]})
+        )
+        assert result["value"] == int(data[0, 0, 0])
+
+    def test_describe_cubes(self, service) -> None:
+        catalog = service.describe_cubes()
+        assert catalog["sales"]["tiers"] == ["indexed", "fallback"]
+        assert catalog["sales"]["has_counts"]
+        assert catalog["sales"]["shape"] == [9, 8, 7]
+
+
+class TestLogbook:
+    def test_served_traffic_lands_in_advisor_format(
+        self, data, tmp_path
+    ) -> None:
+        path = tmp_path / "workload.json"
+        service = QueryService(
+            ServeConfig(coalesce_window_s=0.0, logbook_path=str(path))
+        )
+        service.register_cube("c", data)
+
+        async def scenario() -> None:
+            await service.query(
+                {"cube": "c", "ranges": [[1, 4], None, 2]}
+            )
+            await service.query(
+                {"cube": "c", "ranges": [[1, 4], None, 2]}
+            )  # cache hits are traffic too
+            await service.query_batch(
+                {
+                    "cube": "c",
+                    "queries": [
+                        [None, [2, 5], None],
+                        [[8, 0], None, None],  # empty: no signal
+                    ],
+                }
+            )
+            await service.close()
+
+        run(scenario())
+        log = QueryLog.load(path)
+        assert len(log) == 3  # two scalars + one non-empty batch row
+        first = log.queries[0]
+        assert first.specs[0].kind is SpecKind.RANGE
+        assert first.specs[1].kind is SpecKind.ALL
+        assert first.specs[2].kind is SpecKind.SINGLETON
+        # The §9 selector consumes it directly.
+        assert log.workloads()
+        assert log.length_matrix().shape[1] == 3
+
+    def test_no_logbook_by_default(self, service) -> None:
+        run(
+            service.query({"cube": "sales", "ranges": [None, None, None]})
+        )
+        assert service.cubes["sales"].logbook is None
+        assert service.save_logbooks() == []
+
+
+class TestStats:
+    def test_stats_surface(self, service, data) -> None:
+        async def scenario() -> None:
+            await service.query(
+                {"cube": "sales", "ranges": [[0, 4], None, None]}
+            )
+            await service.query(
+                {"cube": "sales", "ranges": [[0, 4], None, None]}
+            )
+
+        run(scenario())
+        stats = service.stats()
+        cube = stats["cubes"]["sales"]
+        assert cube["queries"] == 2
+        assert cube["generation"] == 0
+        assert cube["tiers"]["indexed"]["queries"] == 1
+        assert cube["access_counts"]["total"] > 0
+        assert stats["cache"]["hits"] == 1
+        assert stats["admission"]["completed"] == 2
