@@ -20,6 +20,7 @@ from repro.serving.client import ServingClient, ServingClientError
 from repro.serving.coalesce import COALESCIBLE, RequestCoalescer
 from repro.serving.errors import (
     BadRequest,
+    CubeInconsistent,
     Overloaded,
     QueryTimeout,
     ServingError,
@@ -33,6 +34,7 @@ from repro.serving.loadgen import (
     run_load,
 )
 from repro.serving.router import SCALAR_OPS, TIERS, TieredRouter
+from repro.serving.rwlock import ReadWriteLock
 from repro.serving.service import (
     QueryService,
     ServeConfig,
@@ -46,10 +48,12 @@ __all__ = [
     "AdmissionController",
     "BadRequest",
     "CacheKey",
+    "CubeInconsistent",
     "LoadReport",
     "Overloaded",
     "QueryService",
     "QueryTimeout",
+    "ReadWriteLock",
     "RequestCoalescer",
     "ResultCache",
     "ServeConfig",

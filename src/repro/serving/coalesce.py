@@ -21,7 +21,10 @@ batch tie-breaks may legitimately differ, so the service keeps them on
 the scalar path.
 
 Everything here runs on one event loop; state is only touched between
-``await`` points, so there are no locks.
+``await`` points, so there are no locks.  Batches execute as *detached*
+tasks: a waiter whose deadline expires is cancelled alone, while the
+batch runs to completion and resolves everyone else's futures — one
+impatient request must never strand its co-batched neighbours.
 """
 
 from __future__ import annotations
@@ -82,6 +85,7 @@ class RequestCoalescer:
         self.window_s = float(window_s)
         self.max_batch = int(max_batch)
         self._pending: dict[tuple[str, str], _PendingBatch] = {}
+        self._flush_tasks: set[asyncio.Task[None]] = set()
         self.submitted = 0
         self.batches = 0
         self.window_flushes = 0
@@ -119,15 +123,26 @@ class RequestCoalescer:
         if len(batch.boxes) >= self.max_batch:
             self.size_flushes += 1
             self._detach(key, batch)
-            await self._run_batch(batch)
+            # Detached, not awaited: if this submitter's deadline
+            # cancels it while the batch executes, the CancelledError
+            # must not abort the batch and strand every other waiter.
+            self._spawn_flush(batch)
         return await future
 
     async def flush_all(self) -> None:
-        """Execute every pending batch now (shutdown/test hook)."""
+        """Execute every pending batch now (shutdown/test hook).
+
+        Also drains flushes already in flight, so after this returns
+        every previously parked future is resolved.
+        """
         while self._pending:
             key, batch = next(iter(self._pending.items()))
             self._detach(key, batch)
             await self._run_batch(batch)
+        if self._flush_tasks:
+            await asyncio.gather(
+                *tuple(self._flush_tasks), return_exceptions=True
+            )
 
     def pending_rows(self) -> int:
         """Rows currently parked across all open batches."""
@@ -137,9 +152,20 @@ class RequestCoalescer:
         """Remove a batch from the pending map and disarm its timer."""
         if self._pending.get(key) is batch:
             del self._pending[key]
-        if batch.timer is not None:
-            batch.timer.cancel()
-            batch.timer = None
+        timer, batch.timer = batch.timer, None
+        # The window-flush path detaches from inside its own timer task;
+        # cancelling the current task would deliver CancelledError at
+        # the batch's next await and abandon every parked future.
+        if timer is not None and timer is not asyncio.current_task():
+            timer.cancel()
+
+    def _spawn_flush(self, batch: _PendingBatch) -> None:
+        """Run a batch as a detached task, kept referenced until done."""
+        task = asyncio.get_running_loop().create_task(
+            self._run_batch(batch)
+        )
+        self._flush_tasks.add(task)
+        task.add_done_callback(self._flush_tasks.discard)
 
     async def _window_flush(
         self, key: tuple[str, str], batch: _PendingBatch
@@ -149,14 +175,14 @@ class RequestCoalescer:
             return  # already flushed on size
         self.window_flushes += 1
         self._detach(key, batch)
-        await self._run_batch(batch)
+        self._spawn_flush(batch)
 
     async def _run_batch(self, batch: _PendingBatch) -> None:
         """Execute one batch and fan results (or the failure) back out.
 
         Never raises: outcomes travel exclusively through the parked
-        futures, so the size-flush path (where a submitter awaits this
-        directly) and the timer path behave identically.
+        futures, so the size-flush path, the timer path, and the
+        ``flush_all`` path behave identically.
         """
         self.batches += 1
         self.largest_batch = max(self.largest_batch, len(batch.boxes))
@@ -186,4 +212,5 @@ class RequestCoalescer:
             "size_flushes": self.size_flushes,
             "largest_batch": self.largest_batch,
             "pending_rows": self.pending_rows(),
+            "inflight_flushes": len(self._flush_tasks),
         }

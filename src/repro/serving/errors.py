@@ -62,3 +62,17 @@ class QueryTimeout(ServingError):
 
     status = 504
     code = "timeout"
+
+
+class CubeInconsistent(ServingError):
+    """An update failed partway and the cube's tiers may disagree.
+
+    Delta validation makes this unreachable for the failure modes the
+    service anticipates (dtype/overflow rejections happen before any
+    tier is touched), but if a tier structure still raises mid-apply the
+    cube is quarantined: better an explicit 500 on every request than
+    answers that depend on which tier a query happens to route to.
+    """
+
+    status = 500
+    code = "cube_inconsistent"

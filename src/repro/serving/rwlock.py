@@ -1,0 +1,83 @@
+"""An asyncio read/write lock for per-cube update serialization.
+
+The service mutates a cube's tiers in one place
+(:meth:`~repro.serving.service.QueryService.update`) but *reads* them
+from many: inline computations on the event loop, offloaded scans on
+the worker pool, and coalesced batch gathers.  Inline reads are safe by
+construction — the update runs synchronously between awaits — but an
+offloaded read is mid-flight in another thread while the event loop is
+free to apply an update, and could observe the tiers torn mid-batch
+(the engine updated, the base cube not yet).
+
+:class:`ReadWriteLock` closes that window: every tier computation runs
+under :meth:`read_locked` and every update under :meth:`write_locked`,
+so an update waits for in-flight reads to drain and reads started after
+an update begins wait for it to finish.  Writers are preferred — a
+waiting writer blocks *new* readers — so a steady read stream cannot
+starve updates.
+
+This is an asyncio-only primitive: all state transitions happen on the
+event loop under one :class:`asyncio.Condition`.  The offloaded work
+itself runs in a worker thread, but its read lock is acquired and
+released by the awaiting coroutine, which is what makes the accounting
+race-free without thread locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import AsyncIterator
+from contextlib import asynccontextmanager
+
+
+class ReadWriteLock:
+    """Many concurrent readers, one exclusive writer, writer-preferred."""
+
+    def __init__(self) -> None:
+        self._condition = asyncio.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @asynccontextmanager
+    async def read_locked(self) -> AsyncIterator[None]:
+        """Hold a shared read lock for the duration of the block."""
+        async with self._condition:
+            while self._writer_active or self._writers_waiting:
+                await self._condition.wait()
+            self._active_readers += 1
+        try:
+            yield
+        finally:
+            async with self._condition:
+                self._active_readers -= 1
+                if self._active_readers == 0:
+                    self._condition.notify_all()
+
+    @asynccontextmanager
+    async def write_locked(self) -> AsyncIterator[None]:
+        """Hold the exclusive write lock for the duration of the block."""
+        async with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    await self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            async with self._condition:
+                self._writer_active = False
+                self._condition.notify_all()
+
+    @property
+    def readers(self) -> int:
+        """Readers currently holding the lock (introspection/tests)."""
+        return self._active_readers
+
+    @property
+    def writing(self) -> bool:
+        """Whether a writer currently holds the lock."""
+        return self._writer_active

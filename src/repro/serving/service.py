@@ -21,7 +21,12 @@ Heavy computations (naive scans, large batches) are offloaded to a
 worker pool so the event loop keeps accepting requests; when a cube's
 engine resolves to the ``threaded`` execution kernel the service reuses
 *that* pool (:meth:`~repro.kernels.threaded.ThreadedKernel.executor`)
-instead of stacking a second one on top.
+instead of stacking a second one on top.  Every tier computation runs
+under its cube's :class:`~repro.serving.rwlock.ReadWriteLock` read lock
+and ``/update`` takes the write lock, so an offloaded read never
+observes an update torn mid-batch; cache entries are stamped with the
+generation snapshotted *before* the computation, so a raced entry is at
+worst conservatively stale, never stale-served.
 
 Everything answers are computed from the same code paths library users
 call directly, so served results are bit-identical to
@@ -56,10 +61,12 @@ from repro.serving.cache import ResultCache, cache_key
 from repro.serving.coalesce import COALESCIBLE, RequestCoalescer
 from repro.serving.errors import (
     BadRequest,
+    CubeInconsistent,
     QueryTimeout,
     UnknownResource,
 )
 from repro.serving.router import SCALAR_OPS, TieredRouter
+from repro.serving.rwlock import ReadWriteLock
 
 #: Sentinel distinguishing "build a default engine" from an explicit
 #: ``engine=None`` (register with no indexed tier).
@@ -122,6 +129,11 @@ class ServedCube:
     queries: int = 0
     updates_applied: int = 0
     logbook: QueryLog | None = None
+    #: False after an update failed mid-apply: the tiers may disagree,
+    #: so the service quarantines the cube (every request is refused).
+    healthy: bool = True
+    #: Serializes updates against in-flight offloaded/coalesced reads.
+    rwlock: ReadWriteLock = field(default_factory=ReadWriteLock)
     shape: tuple[int, ...] = field(init=False)
 
     def __post_init__(self) -> None:
@@ -249,6 +261,11 @@ class QueryService:
             raise UnknownResource(
                 f"unknown cube {name!r}; registered: "
                 f"{sorted(self.cubes) or 'none'}"
+            )
+        if not cube.healthy:
+            raise CubeInconsistent(
+                f"cube {name!r} is quarantined after a failed update; "
+                "re-register it to serve again"
             )
         return cube
 
@@ -379,6 +396,7 @@ class QueryService:
             cubes[name] = {
                 "shape": list(cube.shape),
                 "generation": cube.generation,
+                "healthy": cube.healthy,
                 "queries": cube.queries,
                 "updates_applied": cube.updates_applied,
                 "tiers": tier_stats.get(name, {}),
@@ -411,6 +429,7 @@ class QueryService:
                 "dtype": str(cube.base.dtype),
                 "tiers": tiers,
                 "generation": cube.generation,
+                "healthy": cube.healthy,
                 "has_counts": cube.counts is not None,
                 "operators": list(SCALAR_OPS),
             }
@@ -447,8 +466,16 @@ class QueryService:
         box: Box,
     ) -> dict:
         started = time.perf_counter()
+        # Snapshot the generation BEFORE any await: an /update landing
+        # during the coalescer window or an executor offload bumps
+        # ``cube.generation``, and stamping the post-update generation
+        # onto a value computed against pre-update data would poison
+        # the cache — the stale entry would pass every later generation
+        # check.  Stamped with the snapshot, a raced entry is at worst
+        # conservatively stale and evicts on its next lookup.
+        generation = cube.generation
         key = cache_key(cube.name, op, box)
-        hit, value = self.cache.get(key, cube.generation)
+        hit, value = self.cache.get(key, generation)
         if hit:
             tier = "cache"
         else:
@@ -464,7 +491,8 @@ class QueryService:
                     )
                 else:
                     work = self._scalar_work(tier, box)
-                    value = await self._run(
+                    value = await self._run_read(
+                        cube,
                         lambda: self.router.run_scalar(
                             cube, tier, op, rq, box
                         ),
@@ -475,7 +503,7 @@ class QueryService:
             self.router.record(
                 cube.name, tier, time.perf_counter() - started
             )
-            self.cache.put(key, cube.generation, value)
+            self.cache.put(key, generation, value)
         if cube.logbook is not None:
             cube.logbook.record_box(box)
         cube.queries += 1
@@ -484,7 +512,7 @@ class QueryService:
             "op": op,
             "tier": tier,
             "cached": hit,
-            "generation": cube.generation,
+            "generation": generation,
         }
         if op in ("max", "min"):
             index, scalar = value  # type: ignore[misc]
@@ -503,10 +531,12 @@ class QueryService:
         highs: np.ndarray,
     ) -> dict:
         started = time.perf_counter()
+        generation = cube.generation
         tier = self.router.choose_batch(cube, op)
         work = self._batch_work(tier, lows, highs)
         try:
-            result = await self._run(
+            result = await self._run_read(
+                cube,
                 lambda: self.router.run_batch(
                     cube, tier, op, lows, highs
                 ),
@@ -525,7 +555,7 @@ class QueryService:
             "cube": cube.name,
             "op": op,
             "tier": tier,
-            "generation": cube.generation,
+            "generation": generation,
         }
         if op in ("max", "min"):
             indices, values = result  # type: ignore[misc]
@@ -558,9 +588,11 @@ class QueryService:
         ).copy()
         lows[:, dims] = coords
         highs[:, dims] = coords
+        generation = cube.generation
         tier = self.router.choose_batch(cube, op)
         work = self._batch_work(tier, lows, highs)
-        values = await self._run(
+        values = await self._run_read(
+            cube,
             lambda: self.router.run_batch(cube, tier, op, lows, highs),
             work,
         )
@@ -575,7 +607,7 @@ class QueryService:
             "dims": list(dims),
             "shape": list(grid_shape),
             "values": np.asarray(values).tolist(),
-            "generation": cube.generation,
+            "generation": generation,
         }
 
     async def _apply_update(
@@ -584,6 +616,16 @@ class QueryService:
         updates: list[PointUpdate],
         count_updates: list[PointUpdate] | None,
     ) -> dict:
+        # Reject deltas the retained cubes cannot absorb BEFORE touching
+        # any tier: numpy 2.x raises at assignment time (e.g. a negative
+        # delta into an unsigned cube), and failing after the engine and
+        # cuboids already applied would leave the tiers permanently
+        # disagreeing.  The dry run replays the exact sequential
+        # ``base[index] += delta`` loop on throwaway one-cell copies.
+        _check_deltas_fit(cube.base, updates, "updates")
+        if count_updates is not None and cube.counts is not None:
+            _check_deltas_fit(cube.counts, count_updates, "count_updates")
+
         def run() -> None:
             if cube.engine is not None:
                 cube.engine.apply_updates(updates, count_updates)
@@ -595,16 +637,26 @@ class QueryService:
                 for update in count_updates:
                     cube.counts[update.index] += update.delta
 
-        try:
-            # Updates run inline on the event loop: they are the single
-            # writer, and keeping them off the pool means a read
-            # offloaded *before* this update still sees a consistent
-            # pre-update snapshot of every tier.
-            run()
-        except (ValueError, TypeError, OverflowError) as exc:
-            # OverflowError: numpy 2.x rejects e.g. negative deltas into
-            # unsigned cubes at assignment time.
-            raise BadRequest(str(exc)) from exc
+        # The write lock drains in-flight offloaded/coalesced reads
+        # first, so no reader can observe the tiers torn mid-batch; the
+        # mutation itself runs inline on the event loop, making this the
+        # single writer.
+        async with cube.rwlock.write_locked():
+            try:
+                run()
+            except Exception as exc:
+                # The dry run above makes anticipated dtype/overflow
+                # failures unreachable here; anything that still raises
+                # may have torn the tiers mid-batch, so quarantine the
+                # cube rather than serve answers that depend on which
+                # tier a query routes to.
+                cube.healthy = False
+                cube.generation += 1
+                self.cache.invalidate_cube(cube.name)
+                raise CubeInconsistent(
+                    f"update to cube {cube.name!r} failed mid-apply "
+                    f"({exc}); the cube is quarantined"
+                ) from exc
         cube.generation += 1
         cube.updates_applied += len(updates)
         self.cache.invalidate_cube(cube.name)
@@ -629,8 +681,8 @@ class QueryService:
         engine = cube.engine
         assert engine is not None
         work = self._batch_work("indexed", lows, highs)
-        values = await self._run(
-            lambda: getattr(engine, f"{op}_many")(lows, highs), work
+        values = await self._run_read(
+            cube, lambda: getattr(engine, f"{op}_many")(lows, highs), work
         )
         return list(np.asarray(values).tolist())
 
@@ -647,6 +699,19 @@ class QueryService:
             extents = np.maximum(highs - lows + 1, 0)
             return int(np.prod(extents, axis=1).sum())
         return len(lows) << lows.shape[1]
+
+    async def _run_read(
+        self, cube: ServedCube, fn: Callable[[], Any], work: int
+    ) -> Any:
+        """Run one tier computation under ``cube``'s read lock.
+
+        The lock is what lets :meth:`_apply_update` wait out reads that
+        were offloaded to the worker pool — without it, a scan still
+        running in a pool thread could observe the tiers torn while the
+        event loop applies an update mid-batch.
+        """
+        async with cube.rwlock.read_locked():
+            return await self._run(fn, work)
 
     async def _run(self, fn: Callable[[], Any], work: int) -> Any:
         """Run ``fn`` inline or on the worker pool, by estimated work."""
@@ -693,15 +758,22 @@ class QueryService:
     def save_logbooks(self) -> list[str]:
         """Write every cube's query log (§9 advisor workload format).
 
-        A single registered cube writes exactly ``logbook_path``; with
-        several cubes each writes ``<stem>-<cube><suffix>``.  Returns
-        the written paths.
+        A single cube with a logbook configured writes exactly
+        ``logbook_path``; with several, each writes
+        ``<stem>-<cube><suffix>``.  The decision is based on how many
+        cubes *carry* logbooks, not which received traffic — a
+        zero-query logbook still writes (``QueryLog`` is falsy when
+        empty, so the filter must be an ``is not None`` check), and in a
+        multi-cube service the bare path is never ambiguously claimed by
+        whichever cube happened to see load.  Returns the written paths.
         """
         path = self.config.logbook_path
         if path is None:
             return []
         logged = [
-            cube for cube in self.cubes.values() if cube.logbook
+            cube
+            for cube in self.cubes.values()
+            if cube.logbook is not None
         ]
         written = []
         if len(logged) == 1:
@@ -796,6 +868,35 @@ def _parse_region(
         raise BadRequest(str(exc)) from exc
     rq = None if specs is None else RangeQuery(tuple(specs))
     return rq, box
+
+
+def _check_deltas_fit(
+    target: np.ndarray,
+    updates: Sequence[PointUpdate],
+    what: str,
+) -> None:
+    """Dry-run ``target[index] += delta`` on one-cell copies.
+
+    Replays the update loop's exact in-place assignment semantics
+    (including numpy 2.x's OverflowError on e.g. a negative delta into
+    an unsigned dtype, with duplicate cells accumulating sequentially)
+    without touching ``target``, so a rejected batch leaves every tier
+    untouched and comes back as a clean 400.
+    """
+    staged: dict[tuple[int, ...], np.ndarray] = {}
+    for position, update in enumerate(updates):
+        probe = staged.get(update.index)
+        if probe is None:
+            probe = np.empty(1, dtype=target.dtype)
+            probe[0] = target[update.index]
+            staged[update.index] = probe
+        try:
+            probe[0] += update.delta
+        except (ValueError, TypeError, OverflowError) as exc:
+            raise BadRequest(
+                f"{what}[{position}]: delta {update.delta!r} cannot be "
+                f"applied to a cell of dtype {target.dtype}: {exc}"
+            ) from exc
 
 
 def _parse_updates(

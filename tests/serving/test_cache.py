@@ -176,6 +176,55 @@ def test_update_invalidates_coalesced_batch_path(
     asyncio.run(run())
 
 
+def test_racing_update_cannot_poison_the_cache() -> None:
+    """A value computed before an update must never be cached as fresh.
+
+    Regression: ``_answer_scalar`` re-read ``cube.generation`` *after*
+    awaiting the compute.  An /update landing during that await (the
+    coalescer window or an executor offload) bumped the generation
+    first, so a value computed against pre-update data was stored under
+    the post-update generation — undetectable by the generation check,
+    served as a fresh hit forever.  The fix stamps the generation
+    snapshotted before the compute.
+    """
+    service, data = _service(window=0.001)
+    ranges = [[0, 3], None, [0, 2]]
+    stale = int(data[0:4, :, 0:3].sum())
+    real_submit = service.coalescer.submit
+
+    async def racing_submit(cube_name, op, box):
+        # Simulate the race deterministically: the "computation" reads
+        # pre-update data, then the update lands before the caller
+        # resumes and stamps the cache.
+        await service.update(
+            {
+                "cube": cube_name,
+                "updates": [{"index": [1, 1, 1], "delta": 50}],
+            }
+        )
+        return stale
+
+    async def run() -> None:
+        service.coalescer.submit = racing_submit  # type: ignore[method-assign]
+        try:
+            raced = await service.query(
+                {"cube": "c", "op": "sum", "ranges": ranges}
+            )
+        finally:
+            service.coalescer.submit = real_submit  # type: ignore[method-assign]
+        assert raced["value"] == stale  # the raced answer itself
+        assert raced["generation"] == 0  # stamped with the snapshot
+        fresh = await service.query(
+            {"cube": "c", "op": "sum", "ranges": ranges}
+        )
+        assert not fresh["cached"]  # the raced entry stale-evicted
+        assert fresh["value"] == stale + 50
+        assert fresh["generation"] == 1
+
+    asyncio.run(run())
+    assert service.cache.stats()["stale_evictions"] >= 1
+
+
 def test_generation_survives_multiple_updates() -> None:
     service, data = _service()
 

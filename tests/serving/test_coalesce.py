@@ -144,6 +144,69 @@ def test_flush_all_drains_pending() -> None:
     assert coalescer.window_flushes == 0
 
 
+def test_cancelled_size_flush_submitter_does_not_strand_batch() -> None:
+    """One waiter's deadline must not abandon its co-batched neighbours.
+
+    Regression: the size-triggered flush ran ``await _run_batch`` inside
+    the submitting request's task, so cancelling that submitter
+    (``asyncio.wait_for`` deadline) aborted the batch mid-execution and
+    every other parked future hung until its own timeout.
+    """
+
+    async def run() -> int:
+        started = asyncio.Event()
+        release = asyncio.Event()
+
+        async def execute(cube, op, lows, highs):
+            started.set()
+            await release.wait()
+            return [int(lo.sum()) for lo in lows]
+
+        coalescer = RequestCoalescer(execute, window_s=30.0, max_batch=2)
+        survivor = asyncio.ensure_future(
+            coalescer.submit("c", "sum", box((1, 1)))
+        )
+        await asyncio.sleep(0)  # park the first row
+        doomed = asyncio.ensure_future(
+            coalescer.submit("c", "sum", box((2, 2)))
+        )
+        await started.wait()  # the batch of two is executing
+        doomed.cancel()
+        await asyncio.sleep(0)
+        release.set()
+        with pytest.raises(asyncio.CancelledError):
+            await doomed
+        return await asyncio.wait_for(survivor, timeout=2.0)
+
+    assert asyncio.run(run()) == 1
+
+
+def test_window_flush_survives_suspending_executor() -> None:
+    """The window timer must not cancel its own batch.
+
+    Regression: the timer's flush path cancelled the timer task (itself)
+    via ``_detach``; the pending self-cancellation was delivered at the
+    executor's first suspension point — exactly what a worker-pool
+    offload does — aborting the batch with every future unresolved.
+    """
+
+    async def execute(cube, op, lows, highs):
+        await asyncio.sleep(0)  # suspend, like run_in_executor does
+        return [int(lo.sum()) for lo in lows]
+
+    async def run() -> list:
+        coalescer = RequestCoalescer(execute, window_s=0.002, max_batch=64)
+        return await asyncio.wait_for(
+            asyncio.gather(
+                coalescer.submit("c", "sum", box((0, 0))),
+                coalescer.submit("c", "sum", box((4, 4))),
+            ),
+            timeout=2.0,
+        )
+
+    assert asyncio.run(run()) == [0, 4]
+
+
 def test_non_coalescible_op_rejected() -> None:
     coalescer = RequestCoalescer(Recorder(), window_s=0.001)
 

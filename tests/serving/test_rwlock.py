@@ -1,0 +1,105 @@
+"""Unit tests for the per-cube asyncio read/write lock."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serving.rwlock import ReadWriteLock
+
+
+def test_readers_share_writer_excludes() -> None:
+    async def run() -> None:
+        lock = ReadWriteLock()
+        entered = asyncio.Event()
+        release = asyncio.Event()
+
+        async def reader() -> None:
+            async with lock.read_locked():
+                entered.set()
+                await release.wait()
+
+        readers = [asyncio.ensure_future(reader()) for _ in range(3)]
+        await entered.wait()
+        await asyncio.sleep(0)
+        assert lock.readers == 3  # all three hold it concurrently
+
+        writer = asyncio.ensure_future(write_once(lock))
+        await asyncio.sleep(0.01)
+        assert not writer.done()  # writer blocked by active readers
+        assert not lock.writing
+
+        release.set()
+        await asyncio.gather(*readers)
+        await writer
+        assert lock.readers == 0 and not lock.writing
+
+    async def write_once(lock: ReadWriteLock) -> None:
+        async with lock.write_locked():
+            assert lock.writing
+            assert lock.readers == 0
+
+    asyncio.run(run())
+
+
+def test_writer_excludes_readers() -> None:
+    async def run() -> None:
+        lock = ReadWriteLock()
+        writing = asyncio.Event()
+        release = asyncio.Event()
+
+        async def writer() -> None:
+            async with lock.write_locked():
+                writing.set()
+                await release.wait()
+
+        async def reader() -> int:
+            async with lock.read_locked():
+                return 1
+
+        write_task = asyncio.ensure_future(writer())
+        await writing.wait()
+        read_task = asyncio.ensure_future(reader())
+        await asyncio.sleep(0.01)
+        assert not read_task.done()  # reader waits for the writer
+        release.set()
+        await write_task
+        assert await read_task == 1
+
+    asyncio.run(run())
+
+
+def test_waiting_writer_blocks_new_readers() -> None:
+    """Writer preference: a steady read stream cannot starve updates."""
+
+    async def run() -> list[str]:
+        lock = ReadWriteLock()
+        order: list[str] = []
+        reading = asyncio.Event()
+        release_first = asyncio.Event()
+
+        async def first_reader() -> None:
+            async with lock.read_locked():
+                reading.set()
+                await release_first.wait()
+            order.append("reader-1")
+
+        async def writer() -> None:
+            async with lock.write_locked():
+                order.append("writer")
+
+        async def late_reader() -> None:
+            async with lock.read_locked():
+                order.append("reader-2")
+
+        first = asyncio.ensure_future(first_reader())
+        await reading.wait()
+        write_task = asyncio.ensure_future(writer())
+        await asyncio.sleep(0.01)  # writer is now parked, waiting
+        late = asyncio.ensure_future(late_reader())
+        await asyncio.sleep(0.01)
+        assert not late.done()  # new reader queued behind the writer
+        release_first.set()
+        await asyncio.gather(first, write_task, late)
+        return order
+
+    assert asyncio.run(run()) == ["reader-1", "writer", "reader-2"]

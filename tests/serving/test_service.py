@@ -9,7 +9,11 @@ import pytest
 
 from repro.query import QueryLog, RangeQueryEngine
 from repro.query.ranges import SpecKind
-from repro.serving.errors import BadRequest, UnknownResource
+from repro.serving.errors import (
+    BadRequest,
+    CubeInconsistent,
+    UnknownResource,
+)
 from repro.serving.service import QueryService, ServeConfig
 
 
@@ -263,6 +267,187 @@ class TestUpdate:
                 )
             )
 
+    def test_rejected_update_leaves_every_tier_untouched(self) -> None:
+        """An inapplicable delta must 400 before any tier mutates.
+
+        Regression: the engine and cuboids had already absorbed the
+        batch when the base-cube assignment raised (numpy 2.x rejects a
+        negative delta into an unsigned cube), leaving the tiers
+        permanently disagreeing with no generation bump.
+        """
+        from repro.optimizer.cuboid_selection import Materialization
+
+        data = np.arange(1, 25, dtype=np.uint32).reshape(4, 3, 2)
+        service = QueryService(ServeConfig(coalesce_window_s=0.0))
+        service.register_cube(
+            "u", data, plan=[Materialization((0, 1), 1, 0.0)]
+        )
+
+        async def scenario() -> None:
+            with pytest.raises(BadRequest):
+                await service.update(
+                    {
+                        "cube": "u",
+                        "updates": [
+                            {"index": [0, 0, 0], "delta": 5},
+                            {"index": [1, 1, 1], "delta": -1000},
+                        ],
+                    }
+                )
+            cube = service.cubes["u"]
+            assert cube.generation == 0
+            assert cube.healthy
+            # Every tier still answers from the pristine cube,
+            # including the first update entry that was individually
+            # applicable.
+            materialized = await service.query(
+                {"cube": "u", "ranges": [[0, 3], [0, 2], None]}
+            )
+            assert materialized["tier"] == "materialized"
+            assert materialized["value"] == int(data.sum())
+            indexed = await service.query(
+                {"cube": "u", "ranges": [[0, 3], [0, 2], 0]}
+            )
+            assert indexed["tier"] == "indexed"
+            assert indexed["value"] == int(data[:, :, 0].sum())
+
+        run(scenario())
+
+    def test_delta_validation_mirrors_apply_semantics(self) -> None:
+        """The dry run accepts exactly what the apply loop accepts.
+
+        On an unsigned cube, positive duplicate deltas validate and
+        apply; a batch containing any negative delta is rejected up
+        front without mutating a single tier — even when the batch's
+        net effect would be representable — because that is precisely
+        when numpy's in-place assignment would raise mid-loop.
+        """
+        data = np.full((2, 2), 100, dtype=np.uint16)
+        service = QueryService(ServeConfig(coalesce_window_s=0.0))
+        service.register_cube("u", data, engine=None)
+
+        async def scenario() -> None:
+            result = await service.update(
+                {
+                    "cube": "u",
+                    "updates": [
+                        {"index": [0, 0], "delta": 30},
+                        {"index": [0, 0], "delta": 20},  # duplicate cell
+                    ],
+                }
+            )
+            assert result["applied"] == 2
+            value = await service.query({"cube": "u", "ranges": [0, 0]})
+            assert value["value"] == 150
+            # Nets to +30, but numpy raises on the -20 assignment.
+            with pytest.raises(BadRequest):
+                await service.update(
+                    {
+                        "cube": "u",
+                        "updates": [
+                            {"index": [1, 1], "delta": -20},
+                            {"index": [1, 1], "delta": 50},
+                        ],
+                    }
+                )
+            assert service.cubes["u"].generation == 1
+            untouched = await service.query(
+                {"cube": "u", "ranges": [1, 1]}
+            )
+            assert untouched["value"] == 100
+
+        run(scenario())
+
+    def test_mid_apply_failure_quarantines_the_cube(self, data) -> None:
+        """If a tier still fails mid-apply, the cube must stop serving.
+
+        The dry run catches dtype/overflow failures up front; anything
+        that slips past it may have torn the tiers, so the service
+        bumps the generation, drops the cube's cache entries, and
+        refuses further requests instead of answering inconsistently.
+        """
+        service = QueryService(ServeConfig(coalesce_window_s=0.0))
+        service.register_cube("c", data)
+
+        class Boom:
+            def apply_updates(self, updates):
+                raise RuntimeError("torn mid-batch")
+
+        service.cubes["c"].cuboids = Boom()  # type: ignore[assignment]
+
+        async def scenario() -> None:
+            with pytest.raises(CubeInconsistent):
+                await service.update(
+                    {
+                        "cube": "c",
+                        "updates": [{"index": [0, 0, 0], "delta": 1}],
+                    }
+                )
+            cube = service.cubes["c"]
+            assert not cube.healthy
+            assert cube.generation == 1  # stale cache entries cannot hit
+            with pytest.raises(CubeInconsistent):
+                await service.query({"cube": "c", "ranges": [0, 0, 0]})
+            assert service.stats()["cubes"]["c"]["healthy"] is False
+
+        run(scenario())
+
+    def test_update_waits_for_inflight_offloaded_read(self, data) -> None:
+        """A read running on the worker pool sees a consistent snapshot.
+
+        The per-cube read/write lock makes an update wait for offloaded
+        reads to drain (and vice versa), so a pool-thread scan can never
+        observe the tiers torn mid-update.
+        """
+        import threading
+
+        service = QueryService(
+            ServeConfig(coalesce_window_s=0.0, offload_cells=1)
+        )
+        service.register_cube("c", data, engine=None)
+        release = threading.Event()
+
+        async def scenario() -> None:
+            loop = asyncio.get_running_loop()
+            entered = asyncio.Event()
+            real = service.router.run_scalar
+
+            def slow(*args, **kwargs):
+                loop.call_soon_threadsafe(entered.set)
+                release.wait(timeout=10)
+                return real(*args, **kwargs)
+
+            service.router.run_scalar = slow  # type: ignore[method-assign]
+            try:
+                query_task = asyncio.ensure_future(
+                    service.query(
+                        {"cube": "c", "ranges": [None, None, None]}
+                    )
+                )
+                await entered.wait()  # the scan is mid-flight on the pool
+                update_task = asyncio.ensure_future(
+                    service.update(
+                        {
+                            "cube": "c",
+                            "updates": [{"index": [0, 0, 0], "delta": 9}],
+                        }
+                    )
+                )
+                await asyncio.sleep(0.05)
+                assert not update_task.done()  # writer waits for reader
+                release.set()
+                result = await query_task
+                assert result["value"] == int(data.sum())  # pre-update
+                await update_task
+            finally:
+                service.router.run_scalar = real  # type: ignore[method-assign]
+            fresh = await service.query(
+                {"cube": "c", "ranges": [None, None, None]}
+            )
+            assert fresh["value"] == int(data.sum()) + 9
+
+        run(scenario())
+
     def test_count_updates_keep_average_exact(self, data) -> None:
         counts = np.full_like(data, 2)
         service = QueryService(ServeConfig(coalesce_window_s=0.0))
@@ -360,6 +545,44 @@ class TestLogbook:
         # The §9 selector consumes it directly.
         assert log.workloads()
         assert log.length_matrix().shape[1] == 3
+
+    def test_logbooks_written_per_cube_even_without_traffic(
+        self, data, tmp_path
+    ) -> None:
+        """Every configured logbook writes, suffixed per cube.
+
+        Regression: the filter was ``if cube.logbook``, and ``QueryLog``
+        defines ``__len__`` — so a zero-query logbook was falsy and
+        silently skipped, and in a multi-cube service the single cube
+        that saw traffic claimed the bare ``logbook_path`` with no cube
+        suffix, making the file's attribution ambiguous.
+        """
+        path = tmp_path / "traffic.json"
+        service = QueryService(
+            ServeConfig(coalesce_window_s=0.0, logbook_path=str(path))
+        )
+        service.register_cube("hot", data)
+        service.register_cube("cold", data)
+        run(service.query({"cube": "hot", "ranges": [0, 0, 0]}))
+
+        written = service.save_logbooks()
+        assert sorted(written) == [
+            str(tmp_path / "traffic-cold.json"),
+            str(tmp_path / "traffic-hot.json"),
+        ]
+        assert len(QueryLog.load(tmp_path / "traffic-hot.json")) == 1
+        assert len(QueryLog.load(tmp_path / "traffic-cold.json")) == 0
+
+    def test_single_cube_empty_logbook_still_writes(
+        self, data, tmp_path
+    ) -> None:
+        path = tmp_path / "idle.json"
+        service = QueryService(
+            ServeConfig(coalesce_window_s=0.0, logbook_path=str(path))
+        )
+        service.register_cube("c", data)
+        assert service.save_logbooks() == [str(path)]
+        assert len(QueryLog.load(path)) == 0
 
     def test_no_logbook_by_default(self, service) -> None:
         run(
