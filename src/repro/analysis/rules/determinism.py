@@ -9,9 +9,12 @@ quietly breaks both.
 The serving layer is held to the same standard: its load generator
 (``repro.serving.loadgen``) feeds benchmark numbers and overload tests,
 and its worker pool sizes must not float with the host's core count.
+So is the optimizer: physical-design advice replayed from the same
+observer window must reproduce the same plan, or the adaptive
+controller's swap history becomes impossible to audit.
 
 The rule flags, inside ``src/repro/verify``, ``src/repro/kernels``,
-``src/repro/serving`` and ``benchmarks/``:
+``src/repro/serving``, ``src/repro/optimizer`` and ``benchmarks/``:
 
 * any draw from the numpy *global* stream (``np.random.<fn>`` other
   than constructing generators/bit-generators/seed-sequences),
@@ -61,12 +64,18 @@ class DeterminismRule(Rule):
 
     rule_id = "determinism"
     description = (
-        "repro/verify, repro/kernels, repro/serving and benchmarks must "
-        "not draw from unseeded global random streams or size worker "
-        "pools off the host's core count; seed every generator "
-        "explicitly and pin max_workers"
+        "repro/verify, repro/kernels, repro/serving, repro/optimizer "
+        "and benchmarks must not draw from unseeded global random "
+        "streams or size worker pools off the host's core count; seed "
+        "every generator explicitly and pin max_workers"
     )
-    scope = ("repro/verify", "repro/kernels", "repro/serving", "benchmarks")
+    scope = (
+        "repro/verify",
+        "repro/kernels",
+        "repro/serving",
+        "repro/optimizer",
+        "benchmarks",
+    )
 
     def check(self, context: LintContext) -> Iterator[Violation]:
         np_names = numpy_aliases(context.tree)

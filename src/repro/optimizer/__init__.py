@@ -1,11 +1,19 @@
 """Physical-design algorithms: cost model, dimension/cuboid/block choices."""
 
-from repro.optimizer.advisor import PhysicalDesign, advise
+from repro.optimizer.advisor import (
+    DesignDelta,
+    PhysicalDesign,
+    advise,
+    advise_from_snapshot,
+    re_advise,
+)
 from repro.optimizer.block_size import BlockSizeChoice, choose_block_size
 from repro.optimizer.cost_model import (
     ancestor_constrained_optimum,
     benefit_space_ratio,
+    blocked_update_cost,
     boundary_cells_per_surface,
+    design_build_cost,
     figure11_difference,
     materialization_benefit,
     materialization_space,
@@ -20,6 +28,7 @@ from repro.optimizer.cuboid_selection import (
     Materialization,
     SelectionResult,
     workloads_from_log,
+    workloads_from_weighted,
 )
 from repro.optimizer.materialize import (
     MaterializedCuboid,
@@ -38,18 +47,22 @@ __all__ = [
     "BlockSizeChoice",
     "CuboidSelector",
     "CuboidWorkload",
+    "DesignDelta",
     "Materialization",
     "MaterializedCuboid",
     "MaterializedCuboidSet",
     "PhysicalDesign",
     "SelectionResult",
     "advise",
+    "advise_from_snapshot",
     "active_range_lengths",
     "ancestor_constrained_optimum",
     "benefit_space_ratio",
+    "blocked_update_cost",
     "boundary_cells_per_surface",
     "brute_force_selection",
     "choose_block_size",
+    "design_build_cost",
     "exact_selection",
     "figure11_difference",
     "figure12_example",
@@ -59,7 +72,9 @@ __all__ = [
     "naive_cost",
     "optimal_block_size_real",
     "prefix_sum_cost",
+    "re_advise",
     "subset_cost",
     "tree_sum_cost",
     "workloads_from_log",
+    "workloads_from_weighted",
 ]

@@ -134,6 +134,60 @@ def materialization_space(cells: int, ndim: int, block_size: int) -> float:
     return cells / float(block_size) ** ndim
 
 
+def blocked_update_cost(
+    cells: int,
+    ndim: int,
+    block_size: int,
+    batch_size: float = 1.0,
+) -> float:
+    """Expected maintenance cost *per point update* of a blocked prefix sum.
+
+    The update-vs-query tradeoff the §5 batch machinery quantifies: a
+    point update must fold its delta into every cell of the packed array
+    ``P`` that dominates the updated cell — on average ``(N/b^d) / 2^d``
+    cells for a uniformly placed update (each coordinate dominates half
+    the blocks in expectation).  Coarser blocks therefore make updates
+    cheaper exactly as they make queries costlier, which is the tension
+    the online advisor trades off.
+
+    Buffered updates amortize: the blocked Theorem-2 algorithm first
+    contracts a batch of ``k`` updates block-wise and then partitions the
+    affected cells into at most ``∏_{j=0}^{d−1}(k+j)/d!`` delta-uniform
+    regions, so the whole batch writes each affected cell of ``P`` once —
+    total work never exceeds the array size ``N/b^d`` no matter how large
+    the batch.  Per update that caps the cost at ``(N/b^d)/k``.
+
+    Args:
+        cells: ``N`` — dense cell count of the cuboid.
+        ndim: ``d`` — the cuboid's dimensionality.
+        block_size: ``b`` — the structure's block size.
+        batch_size: ``k`` — average updates buffered per §5 batch; ``1``
+            models unbatched single-update maintenance.
+
+    Returns:
+        Expected element writes per update (the same access-count
+        currency as the query-cost formulas).
+    """
+    if block_size < 1:
+        raise ValueError(f"block size must be >= 1, got {block_size}")
+    if batch_size < 1:
+        raise ValueError(f"batch size must be >= 1, got {batch_size}")
+    array_cells = materialization_space(cells, ndim, block_size)
+    dominated = array_cells / 2.0**ndim
+    return min(dominated, array_cells / float(batch_size)) + 1.0
+
+
+def design_build_cost(cells: int, ndim: int, base_cells: int) -> float:
+    """Modeled one-off cost of materializing one cuboid prefix sum.
+
+    Building a chosen structure costs one pass over the base cube to
+    compute the group-by array (``N_base`` reads) plus ``d`` prefix
+    sweeps over the cuboid's ``N`` cells — the currency the advisor uses
+    to amortize a recommended swap against its expected gain.
+    """
+    return float(base_cells) + float(ndim) * float(cells)
+
+
 def benefit_space_ratio(
     stats: QueryStatistics,
     query_count: float,

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING
 
 from repro.cube.cuboid import CuboidKey, all_cuboids, is_ancestor
 from repro.optimizer.cost_model import (
+    blocked_update_cost,
     boundary_cells_per_surface,
     materialization_space,
 )
@@ -41,11 +42,16 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass(frozen=True)
 class CuboidWorkload:
-    """Aggregated query statistics for one cuboid of the log (§9)."""
+    """Aggregated query statistics for one cuboid of the log (§9).
+
+    ``query_count`` is ``N_Q`` — a plain tally for a batch log, or a
+    decay-weighted (fractional) tally when the workload comes from a
+    :class:`~repro.query.observer.WorkloadObserver` window.
+    """
 
     key: CuboidKey
     stats: QueryStatistics  # average lengths over the cuboid's dimensions
-    query_count: int
+    query_count: float
 
 
 @dataclass(frozen=True)
@@ -109,9 +115,28 @@ def workloads_from_log(
     *"Queries with ranges on dimensions d1 and d2 and all on dimension d3
     will be assigned to the cuboid <d1, d2>"* (§9).
     """
+    return workloads_from_weighted(
+        [(query, 1.0) for query in queries], shape
+    )
+
+
+def workloads_from_weighted(
+    weighted: Sequence[tuple[RangeQuery, float]],
+    shape: Sequence[int],
+) -> list[CuboidWorkload]:
+    """The weighted form of :func:`workloads_from_log`.
+
+    Each query carries a weight (the exponential-decay weight of a
+    :class:`~repro.query.observer.WorkloadObserver` window); bucket
+    statistics are weight-averaged and ``query_count`` becomes the
+    bucket's total weight, so recent traffic outvotes stale traffic in
+    exactly the proportion the observer's decay dictates.
+    """
     shape = tuple(int(n) for n in shape)
-    buckets: dict[CuboidKey, list[QueryStatistics]] = {}
-    for query in queries:
+    buckets: dict[CuboidKey, list[tuple[QueryStatistics, float]]] = {}
+    for query, weight in weighted:
+        if weight <= 0:
+            continue  # fully decayed entries carry no signal
         key = query.cuboid_key(shape)
         if not key:
             continue  # the all-cells singleton query needs no prefix sums
@@ -119,17 +144,18 @@ def workloads_from_log(
             float(query.specs[j].length(shape[j])) for j in key
         )
         buckets.setdefault(key, []).append(
-            QueryStatistics.from_lengths(lengths)
+            (QueryStatistics.from_lengths(lengths), float(weight))
         )
     workloads = []
-    for key, stats_list in sorted(buckets.items()):
+    for key, entries in sorted(buckets.items()):
+        total = sum(w for _, w in entries)
         mean = tuple(
-            sum(s.lengths[i] for s in stats_list) / len(stats_list)
+            sum(w * s.lengths[i] for s, w in entries) / total
             for i in range(len(key))
         )
         workloads.append(
             CuboidWorkload(
-                key, QueryStatistics.from_lengths(mean), len(stats_list)
+                key, QueryStatistics.from_lengths(mean), total
             )
         )
     return workloads
@@ -144,6 +170,14 @@ class CuboidSelector:
         space_limit: Budget in auxiliary cells.
         max_block: Largest block size considered in the per-cuboid scan.
         universe: Candidate cuboids; defaults to every non-empty cuboid.
+        update_weight: Expected point updates over the same horizon the
+            workload's query counts cover (a decay-weighted tally when
+            fed from an observer window).  Every materialized structure
+            pays Theorem-2 maintenance for every update, so a non-zero
+            weight penalizes fine blocks and marginal cuboids — the §5
+            update-vs-query tradeoff, folded into selection.
+        update_batch: Average updates buffered per §5 batch (amortizes
+            maintenance; ``1`` models unbatched updates).
     """
 
     def __init__(
@@ -153,11 +187,19 @@ class CuboidSelector:
         space_limit: float,
         max_block: int = 128,
         universe: Sequence[CuboidKey] | None = None,
+        update_weight: float = 0.0,
+        update_batch: float = 1.0,
     ) -> None:
         self.shape = tuple(int(n) for n in cube_shape)
         self.workloads = tuple(workloads)
         self.space_limit = float(space_limit)
         self.max_block = int(max_block)
+        self.update_weight = float(update_weight)
+        self.update_batch = float(update_batch)
+        if self.update_weight < 0:
+            raise ValueError(
+                f"update_weight must be >= 0, got {update_weight}"
+            )
         if universe is None:
             universe = all_cuboids(len(self.shape))
         # Only ancestors of some workload cuboid can ever help.
@@ -201,11 +243,36 @@ class CuboidSelector:
                 )
         return cost
 
+    def maintenance_cost(
+        self, solution: Sequence[Materialization]
+    ) -> float:
+        """Theorem-2 update cost of keeping a solution's structures fresh.
+
+        Every base-cube point update projects onto *every* materialized
+        cuboid (:meth:`MaterializedCuboidSet.apply_updates`), so each
+        structure pays :func:`blocked_update_cost` per expected update.
+        """
+        if self.update_weight <= 0:
+            return 0.0
+        return self.update_weight * sum(
+            blocked_update_cost(
+                self.cuboid_cells(m.key),
+                len(m.key),
+                m.block_size,
+                self.update_batch,
+            )
+            for m in solution
+        )
+
     def total_cost(self, solution: Sequence[Materialization]) -> float:
-        """Total workload cost under a solution set."""
-        return sum(
-            w.query_count * self._query_cost(w, solution)
-            for w in self.workloads
+        """Total workload cost (queries + update maintenance) under a
+        solution set."""
+        return (
+            sum(
+                w.query_count * self._query_cost(w, solution)
+                for w in self.workloads
+            )
+            + self.maintenance_cost(solution)
         )
 
     # -- the greedy core -------------------------------------------------
@@ -307,8 +374,44 @@ class CuboidSelector:
                     break
         return solution
 
+    def _seed_from(
+        self, initial: Sequence[Materialization]
+    ) -> list[Materialization]:
+        """A budget-feasible warm start derived from an incumbent plan.
+
+        Spaces are re-derived from the current shape (an incumbent built
+        under a different budget or model revision must not smuggle in
+        stale accounting), then members are dropped cheapest-loss-first
+        until the set fits the budget.
+        """
+        seeded = [
+            Materialization(
+                m.key,
+                m.block_size,
+                materialization_space(
+                    self.cuboid_cells(m.key), len(m.key), m.block_size
+                ),
+                m.prefix_dims,
+            )
+            for m in initial
+            if m.key and m.key[-1] < len(self.shape)
+        ]
+        while seeded and sum(m.space for m in seeded) > self.space_limit:
+            # Evict the member whose removal hurts the workload least.
+            best_victim = min(
+                range(len(seeded)),
+                key=lambda i: self.total_cost(
+                    seeded[:i] + seeded[i + 1 :]
+                ),
+            )
+            del seeded[best_victim]
+        return seeded
+
     def solve(
-        self, fine_tune: bool = True, spend_surplus: bool = True
+        self,
+        fine_tune: bool = True,
+        spend_surplus: bool = True,
+        initial: Sequence[Materialization] | None = None,
     ) -> SelectionResult:
         """Run greedy selection, the Figure 13 fine-tuning loop, and the
         surplus-spending refinement.
@@ -317,9 +420,14 @@ class CuboidSelector:
             fine_tune: Run the drop-and-refill loop of Figure 13.
             spend_surplus: Re-invest leftover budget into finer blocks
                 (set ``False`` for the paper-literal algorithm).
+            initial: Warm-start the greedy fill from an incumbent plan
+                (the online advisor's incremental mode): the fine-tuning
+                loop can then *drop* incumbents the current workload no
+                longer justifies instead of rebuilding from scratch.
         """
         baseline = self.total_cost([])
-        solution = self._greedy_fill([])
+        seed = [] if initial is None else self._seed_from(initial)
+        solution = self._greedy_fill(seed)
         if fine_tune:
             improved = True
             while improved:
@@ -328,6 +436,13 @@ class CuboidSelector:
                 for victim in list(solution):
                     trimmed = [m for m in solution if m is not victim]
                     trial = self._greedy_fill(trimmed)
+                    if spend_surplus:
+                        # Refilling cannot resize survivors, so a drop
+                        # whose payoff lies in *finer blocks* for what
+                        # remains (common when a warm-started incumbent
+                        # hogs the budget) is invisible without the
+                        # surplus pass inside the comparison.
+                        trial = self._spend_surplus(trial)
                     if self.total_cost(trial) < current_cost - 1e-9:
                         solution = trial
                         improved = True

@@ -28,6 +28,7 @@ from repro.optimizer.cuboid_selection import Materialization
 from repro.query.ranges import RangeQuery, SpecKind
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.batch_update import PointUpdate
     from repro.core.blocked import BlockedPrefixSumCube
     from repro.core.blocked_partial import BlockedPartialPrefixSumCube
     from repro.index.backend import ArrayBackend
@@ -66,6 +67,7 @@ class MaterializedCuboidSet:
         self.base = np.array(cube, copy=True)
         self.shape = tuple(int(n) for n in cube.shape)
         self.ndim = cube.ndim
+        self.plan: tuple[Materialization, ...] = tuple(plan)
         self.cuboids: list[MaterializedCuboid] = []
         for chosen in plan:
             if not chosen.key:

@@ -15,6 +15,10 @@ from repro.query.naive import (
     naive_range_sum,
     naive_sum_range,
 )
+from repro.query.observer import (
+    WorkloadObserver,
+    WorkloadSnapshot,
+)
 from repro.query.ranges import (
     RangeQuery,
     RangeSpec,
@@ -41,7 +45,9 @@ __all__ = [
     "RangeQueryEngine",
     "RangeSpec",
     "SpecKind",
+    "WorkloadObserver",
     "WorkloadProfile",
+    "WorkloadSnapshot",
     "average_statistics",
     "batch_max_index",
     "boxes_to_arrays",

@@ -8,7 +8,22 @@ traffic: wrap an engine's queries with :meth:`record`, then hand
 :meth:`length_matrix` to the §9.1 dimension-selection algorithms — the
 self-tuning loop *serve → log → re-tune → re-materialize*.
 
+Since the adaptive-advisor refactor, :class:`QueryLog` is a thin
+compatibility shim over :class:`~repro.query.observer.WorkloadObserver`
+configured for the legacy behaviour (unbounded retention, uniform
+weights).  Online consumers should use the observer directly — it
+bounds memory and re-weights toward recent traffic; the shim keeps the
+offline serialize/re-tune workflow and its JSON format stable.
+
 Logs serialize to plain JSON so tuning can run offline.
+
+.. note::
+   ``QueryLog`` deliberately has **no truth value**: it defines
+   ``__len__``, so ``if log:`` would silently mean "non-empty", and a
+   zero-traffic log would vanish from ``is it configured?`` checks (the
+   ``save_logbooks`` bug fixed in the serving layer's review).  ``bool``
+   on a log raises; write ``log is not None`` for presence and
+   ``log.has_entries()`` (or ``len(log)``) for traffic.
 """
 
 from __future__ import annotations
@@ -16,11 +31,12 @@ from __future__ import annotations
 import json
 import os
 from collections.abc import Sequence
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, NoReturn
 
 import numpy as np
 
 from repro._util import Box
+from repro.query.observer import WorkloadObserver
 from repro.query.ranges import RangeQuery, RangeSpec, SpecKind
 
 if TYPE_CHECKING:
@@ -35,23 +51,51 @@ class QueryLog:
     """
 
     def __init__(self, shape: Sequence[int]) -> None:
-        self.shape = tuple(int(n) for n in shape)
-        self._queries: list[RangeQuery] = []
+        self._observer = WorkloadObserver(
+            shape, capacity=None, decay=1.0
+        )
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Rank-domain shape the log validates queries against."""
+        return self._observer.shape
+
+    @property
+    def observer(self) -> WorkloadObserver:
+        """The backing observer (unbounded, uniform-weight)."""
+        return self._observer
 
     def __len__(self) -> int:
-        return len(self._queries)
+        return len(self._observer)
+
+    def __bool__(self) -> NoReturn:
+        """Refuse truthiness outright — it has two plausible meanings.
+
+        ``__len__`` made ``bool(log)`` mean "has entries", which reads
+        identically to the presence check ``if logbook:`` — the exact
+        confusion behind the ``save_logbooks`` zero-traffic bug.  Use
+        ``log is not None`` for presence, :meth:`has_entries` or
+        ``len(log)`` for traffic.
+        """
+        raise TypeError(
+            "QueryLog has no truth value: use 'log is not None' for "
+            "presence and 'log.has_entries()' or 'len(log)' for traffic"
+        )
+
+    def has_entries(self) -> bool:
+        """Whether any query has been recorded."""
+        return len(self._observer) > 0
 
     def record(self, query: RangeQuery) -> RangeQuery:
         """Append one query (validated against the shape); returns it so
         call sites can log and execute in one expression."""
-        if query.ndim != len(self.shape):
+        try:
+            return self._observer.observe_query(query)
+        except ValueError as exc:
+            # Preserve the legacy message's "log" wording.
             raise ValueError(
-                f"query has {query.ndim} dims, log expects "
-                f"{len(self.shape)}"
-            )
-        query.to_box(self.shape)  # validates every spec's bounds
-        self._queries.append(query)
-        return query
+                str(exc).replace("observer expects", "log expects")
+            ) from None
 
     def record_box(self, box: Box) -> RangeQuery | None:
         """Record a served box, recovering its all/singleton/range form.
@@ -63,20 +107,18 @@ class QueryLog:
         queries but carry no workload signal, so they are skipped
         (returns ``None``).
         """
-        if box.is_empty:
-            return None
-        return self.record(RangeQuery.from_box(box, self.shape))
+        return self._observer.observe_box(box)
 
     @property
     def queries(self) -> tuple[RangeQuery, ...]:
         """The recorded queries, oldest first."""
-        return tuple(self._queries)
+        return self._observer.queries
 
     def workloads(self) -> list[CuboidWorkload]:
         """Per-cuboid averaged statistics for the §9.2 selector."""
         from repro.optimizer.cuboid_selection import workloads_from_log
 
-        return workloads_from_log(self._queries, self.shape)
+        return workloads_from_log(self.queries, self.shape)
 
     def length_matrix(self) -> np.ndarray:
         """The §9.1 ``r_ij`` matrix for dimension selection."""
@@ -84,11 +126,11 @@ class QueryLog:
             active_range_lengths,
         )
 
-        return active_range_lengths(self._queries, self.shape)
+        return active_range_lengths(self.queries, self.shape)
 
     def clear(self) -> None:
         """Forget all recorded queries (e.g. after a re-tuning cycle)."""
-        self._queries.clear()
+        self._observer.clear()
 
     # ------------------------------------------------------------------
     # Persistence
@@ -100,7 +142,7 @@ class QueryLog:
             "shape": list(self.shape),
             "queries": [
                 [_spec_to_json(spec) for spec in query.specs]
-                for query in self._queries
+                for query in self.queries
             ],
         }
         return json.dumps(payload)

@@ -72,6 +72,7 @@ class QueryStatistics:
 
 def average_statistics(
     stats: Sequence[QueryStatistics],
+    weights: Sequence[float] | None = None,
 ) -> QueryStatistics:
     """Average per-dimension lengths across a set of query statistics.
 
@@ -79,13 +80,32 @@ def average_statistics(
     than the numbers for a single query."*  Averaging the side lengths (and
     deriving V and S from the averages) keeps the cost formulas well defined
     for a log of heterogeneous queries.
+
+    Args:
+        stats: The per-query statistics to average.
+        weights: Optional per-query weights (e.g. the exponential-decay
+            weights of a :class:`~repro.query.observer.WorkloadObserver`
+            window); ``None`` weights every query equally.  Weights must
+            be non-negative with a positive total.
     """
     if not stats:
         raise ValueError("cannot average an empty list of statistics")
     ndim = stats[0].ndim
     if any(s.ndim != ndim for s in stats):
         raise ValueError("all statistics must share the same dimensionality")
+    if weights is None:
+        weights = [1.0] * len(stats)
+    if len(weights) != len(stats):
+        raise ValueError(
+            f"{len(weights)} weights for {len(stats)} statistics"
+        )
+    if any(w < 0 for w in weights):
+        raise ValueError("weights must be non-negative")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive total")
     mean_lengths = tuple(
-        sum(s.lengths[j] for s in stats) / len(stats) for j in range(ndim)
+        sum(w * s.lengths[j] for s, w in zip(stats, weights)) / total
+        for j in range(ndim)
     )
     return QueryStatistics(mean_lengths)

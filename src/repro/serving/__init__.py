@@ -14,6 +14,7 @@ concurrent scalar queries into single kernel-backed batch gathers.
 See ``docs/SERVING.md`` for the tour.
 """
 
+from repro.serving.adaptive import AdaptiveController, SwapInFlight
 from repro.serving.admission import AdmissionController
 from repro.serving.cache import CacheKey, ResultCache, cache_key
 from repro.serving.client import ServingClient, ServingClientError
@@ -29,7 +30,9 @@ from repro.serving.errors import (
 )
 from repro.serving.http import ServingServer
 from repro.serving.loadgen import (
+    DriftPhase,
     LoadReport,
+    generate_drifting_requests,
     generate_requests,
     run_load,
 )
@@ -45,10 +48,12 @@ __all__ = [
     "COALESCIBLE",
     "SCALAR_OPS",
     "TIERS",
+    "AdaptiveController",
     "AdmissionController",
     "BadRequest",
     "CacheKey",
     "CubeInconsistent",
+    "DriftPhase",
     "LoadReport",
     "Overloaded",
     "QueryService",
@@ -62,10 +67,12 @@ __all__ = [
     "ServingClientError",
     "ServingError",
     "ServingServer",
+    "SwapInFlight",
     "TieredRouter",
     "UnknownResource",
     "Unsupported",
     "cache_key",
+    "generate_drifting_requests",
     "generate_requests",
     "run_load",
 ]

@@ -15,6 +15,7 @@ import sys
 
 import numpy as np
 
+from repro.serving.adaptive import AdaptiveController
 from repro.serving.http import ServingServer
 from repro.serving.service import QueryService, ServeConfig
 
@@ -77,6 +78,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-inflight", type=int, default=64)
     parser.add_argument("--max-queue", type=int, default=256)
     parser.add_argument("--timeout-s", type=float, default=30.0)
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="run the adaptive physical-design controller: re-plan "
+        "each cube from its live workload window and hot-swap "
+        "improved §9 plans with zero downtime",
+    )
+    parser.add_argument(
+        "--adaptive-interval-s",
+        type=float,
+        default=5.0,
+        help="seconds between adaptive advisory cycles (default 5)",
+    )
+    parser.add_argument(
+        "--adaptive-budget",
+        type=float,
+        default=None,
+        help="auxiliary-cell budget for adaptive plans "
+        "(default: each cube's own cell count)",
+    )
     return parser
 
 
@@ -88,6 +109,8 @@ async def _serve(args: argparse.Namespace) -> None:
         max_queue=args.max_queue,
         timeout_s=args.timeout_s,
         logbook_path=args.logbook,
+        adaptive_interval_s=args.adaptive_interval_s,
+        adaptive_space_budget=args.adaptive_budget,
     )
     service = QueryService(config)
     rng = np.random.default_rng(args.seed)
@@ -102,6 +125,15 @@ async def _serve(args: argparse.Namespace) -> None:
         )
     server = ServingServer(service, host=args.host, port=args.port)
     await server.start()
+    controller = None
+    if args.adaptive:
+        controller = AdaptiveController(service)
+        await controller.start()
+        print(
+            f"adaptive controller on (every "
+            f"{config.adaptive_interval_s:g}s; GET /design to inspect)",
+            file=sys.stderr,
+        )
     print(
         f"serving on http://{server.host}:{server.port} "
         f"(Ctrl-C to stop)",
@@ -112,6 +144,14 @@ async def _serve(args: argparse.Namespace) -> None:
     except asyncio.CancelledError:
         pass
     finally:
+        if controller is not None:
+            await controller.stop()
+            stats = controller.stats()
+            print(
+                f"adaptive controller: {stats['cycles']} cycles, "
+                f"{stats['swaps']} swaps, {stats['holds']} holds",
+                file=sys.stderr,
+            )
         await server.stop()
         if args.logbook:
             print(f"logbook written to {args.logbook}", file=sys.stderr)

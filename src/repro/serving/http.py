@@ -12,6 +12,8 @@ POST      ``/query_batch``  :meth:`QueryService.query_batch`
 POST      ``/slice``       :meth:`QueryService.slice`
 POST      ``/rollup``      :meth:`QueryService.rollup`
 POST      ``/update``      :meth:`QueryService.update`
+POST      ``/advise``      :meth:`QueryService.advise` (dry-run advisor)
+GET       ``/design``      :meth:`QueryService.describe_design`
 GET       ``/stats``       :meth:`QueryService.stats`
 GET       ``/cubes``       :meth:`QueryService.describe_cubes`
 GET       ``/healthz``     liveness probe
@@ -232,6 +234,8 @@ class ServingServer:
             return self.service.stats()
         if path == "/cubes":
             return self.service.describe_cubes()
+        if path == "/design":
+            return self.service.describe_design()
         raise UnknownResource(f"no GET endpoint {path!r}")
 
     async def _post(self, path: str, body: bytes) -> dict:
@@ -251,6 +255,8 @@ class ServingServer:
             return await self.service.rollup(payload)
         if path == "/update":
             return await self.service.update(payload)
+        if path == "/advise":
+            return await self.service.advise(payload)
         raise UnknownResource(f"no POST endpoint {path!r}")
 
     # ------------------------------------------------------------------

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -70,6 +71,125 @@ def generate_requests(
         payloads.append(
             {"cube": cube, "op": op, "ranges": ranges}
         )
+    return payloads
+
+
+@dataclass(frozen=True)
+class DriftPhase:
+    """One phase of a drifting workload (the adaptive loop's test load).
+
+    Attributes:
+        requests: Requests this phase emits before the next one starts.
+        hot_dims: Dimensions queries constrain with a proper sub-range
+            this phase; every other dimension is left at ``all``.  This
+            is what maps the phase's traffic onto one hot cuboid — a
+            phase shift moves the workload to a *different* cuboid,
+            which is exactly the drift a frozen §9 plan cannot follow.
+        update_fraction: Fraction of requests that are ``/update``
+            posts instead of queries (shifts the query/update mix the
+            Theorem-2 maintenance term responds to).
+        range_scale: Hot-dimension range length as a fraction of the
+            extent (drawn around this scale, so Table-1 statistics stay
+            phase-stable without being constant).
+        ops: Query operators drawn uniformly within the phase.
+    """
+
+    requests: int
+    hot_dims: tuple[int, ...]
+    update_fraction: float = 0.0
+    range_scale: float = 0.4
+    ops: tuple[str, ...] = ("sum",)
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if not 0.0 <= self.update_fraction <= 1.0:
+            raise ValueError(
+                f"update_fraction must be in [0, 1], "
+                f"got {self.update_fraction}"
+            )
+        if not 0.0 < self.range_scale <= 1.0:
+            raise ValueError(
+                f"range_scale must be in (0, 1], got {self.range_scale}"
+            )
+
+
+def generate_drifting_requests(
+    rng: np.random.Generator,
+    shape: tuple[int, ...],
+    phases: Sequence[DriftPhase],
+    *,
+    cube: str = "demo",
+    updates_per_request: int = 4,
+) -> list[dict]:
+    """A seeded multi-phase stream whose hot cuboid and update mix drift.
+
+    Each payload is *tagged* — ``{"path": ..., "body": ...}`` — so
+    :func:`run_load` can interleave ``/update`` posts with queries.
+    Query bodies constrain the phase's ``hot_dims`` with sub-ranges of
+    roughly ``range_scale`` of each extent and leave every other
+    dimension at ``all``; update bodies carry ``updates_per_request``
+    random point deltas.  Same ``rng`` seed + phases → same stream,
+    which is what lets ``benchmarks/bench_adaptive.py`` compare an
+    adaptive service against a frozen one on identical traffic.
+    """
+    for phase in phases:
+        for dim in phase.hot_dims:
+            if not 0 <= dim < len(shape):
+                raise ValueError(
+                    f"hot dim {dim} out of range for {len(shape)}-d cube"
+                )
+    payloads: list[dict] = []
+    for phase in phases:
+        hot = set(phase.hot_dims)
+        for _ in range(phase.requests):
+            if phase.update_fraction and (
+                rng.random() < phase.update_fraction
+            ):
+                updates = [
+                    {
+                        "index": [
+                            int(rng.integers(0, extent))
+                            for extent in shape
+                        ],
+                        "delta": int(rng.integers(1, 10)),
+                    }
+                    for _ in range(max(1, updates_per_request))
+                ]
+                payloads.append(
+                    {
+                        "path": "/update",
+                        "body": {"cube": cube, "updates": updates},
+                    }
+                )
+                continue
+            ranges: list[object] = []
+            for dim, extent in enumerate(shape):
+                if dim not in hot:
+                    ranges.append(None)
+                    continue
+                length = max(
+                    1,
+                    min(
+                        extent,
+                        int(
+                            round(
+                                phase.range_scale
+                                * extent
+                                * float(rng.uniform(0.5, 1.5))
+                            )
+                        ),
+                    ),
+                )
+                lo = int(rng.integers(0, extent - length + 1))
+                ranges.append([lo, lo + length - 1])
+            op = str(phase.ops[int(rng.integers(0, len(phase.ops)))])
+            payloads.append(
+                {
+                    "path": "/query",
+                    "body": {"cube": cube, "op": op, "ranges": ranges},
+                }
+            )
     return payloads
 
 
@@ -133,6 +253,12 @@ async def run_load(
     sees ``concurrency`` outstanding requests until the stream drains.
     Shed requests (429) and deadline expiries (504) are counted, not
     raised; only completed requests contribute latency samples.
+
+    Payloads come in two spellings: a plain ``/query`` body (what
+    :func:`generate_requests` emits) or the tagged
+    ``{"path": ..., "body": ...}`` form of
+    :func:`generate_drifting_requests`, which lets one stream mix
+    queries and ``/update`` posts.
     """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
@@ -150,9 +276,11 @@ async def run_load(
                     payload = queue.get_nowait()
                 except asyncio.QueueEmpty:
                     return
+                path = payload.get("path", "/query")
+                body = payload.get("body", payload)
                 started = time.perf_counter()
                 try:
-                    await client.request("POST", "/query", payload)
+                    await client.request("POST", path, body)
                 except ServingClientError as exc:
                     if exc.status == 429:
                         report.shed += 1

@@ -52,9 +52,13 @@ from repro.index.backend import ArrayBackend
 from repro.instrumentation import AccessCounter
 from repro.kernels.registry import resolve_kernel
 from repro.kernels.threaded import ThreadedKernel
+from repro.optimizer.advisor import DesignDelta, re_advise
+from repro.optimizer.cost_model import boundary_cells_per_surface
+from repro.optimizer.cuboid_selection import Materialization
 from repro.optimizer.materialize import MaterializedCuboidSet
 from repro.query.engine import RangeQueryEngine
 from repro.query.logbook import QueryLog
+from repro.query.observer import WorkloadObserver, WorkloadSnapshot
 from repro.query.ranges import RangeQuery, RangeSpec, canonical_box
 from repro.serving.admission import AdmissionController
 from repro.serving.cache import ResultCache, cache_key
@@ -99,6 +103,25 @@ class ServeConfig:
             traffic to a :class:`~repro.query.logbook.QueryLog` and
             :meth:`QueryService.save_logbooks` writes them next to this
             path (the §9 advisor workload format).
+        observer_capacity: Queries each cube's live
+            :class:`~repro.query.observer.WorkloadObserver` window
+            retains (the adaptive advisor's input); ``0`` disables
+            observation entirely.
+        observer_decay: Per-event decay of the observer window (``1.0``
+            weights all retained traffic equally).
+        adaptive_interval_s: Seconds between
+            :class:`~repro.serving.adaptive.AdaptiveController` advisory
+            cycles.
+        adaptive_space_budget: Auxiliary-cell budget the online advisor
+            plans under; ``None`` defaults to the cube's own cell count
+            (aux structures may use as much space as the base data).
+        adaptive_hysteresis: Minimum modeled cost ratio
+            (incumbent/candidate) before the controller actuates a swap.
+        adaptive_min_weight: Minimum decayed query weight a window needs
+            before re-planning is attempted.
+        adaptive_max_block: Largest block size the online advisor
+            considers (smaller than the offline default: each candidate
+            block size costs a selector pass per cycle).
     """
 
     coalesce_window_s: float = 0.002
@@ -112,6 +135,13 @@ class ServeConfig:
     max_rollup_cells: int = 1 << 16
     executor_workers: int | None = None
     logbook_path: str | None = None
+    observer_capacity: int = 4096
+    observer_decay: float = 0.995
+    adaptive_interval_s: float = 5.0
+    adaptive_space_budget: float | None = None
+    adaptive_hysteresis: float = 1.15
+    adaptive_min_weight: float = 8.0
+    adaptive_max_block: int = 64
 
 
 @dataclass
@@ -129,6 +159,15 @@ class ServedCube:
     queries: int = 0
     updates_applied: int = 0
     logbook: QueryLog | None = None
+    #: The live workload window the adaptive advisor plans from.
+    observer: WorkloadObserver | None = None
+    #: Audit trail of adaptive plan swaps (the ``/design`` view).
+    swap_history: list[dict] = field(default_factory=list)
+    #: Non-None while an adaptive rebuild is in flight: every update
+    #: applied to the live tiers is also recorded here so the freshly
+    #: built set can replay them before installation (the hot-swap
+    #: consistency protocol of :mod:`repro.serving.adaptive`).
+    pending_design_updates: list[PointUpdate] | None = None
     #: False after an update failed mid-apply: the tiers may disagree,
     #: so the service quarantines the cube (every request is refused).
     healthy: bool = True
@@ -138,6 +177,11 @@ class ServedCube:
 
     def __post_init__(self) -> None:
         self.shape = tuple(int(n) for n in self.base.shape)
+
+    @property
+    def plan(self) -> tuple[Materialization, ...]:
+        """The incumbent §9 plan (empty when nothing is materialized)."""
+        return () if self.cuboids is None else self.cuboids.plan
 
 
 class QueryService:
@@ -250,6 +294,12 @@ class QueryService:
         )
         if self.config.logbook_path is not None:
             served.logbook = QueryLog(served.shape)
+        if self.config.observer_capacity > 0:
+            served.observer = WorkloadObserver(
+                served.shape,
+                capacity=self.config.observer_capacity,
+                decay=self.config.observer_decay,
+            )
         self.cubes[name] = served
         return served
 
@@ -387,6 +437,157 @@ class QueryService:
             lambda: self._apply_update(cube, updates, count_updates)
         )
 
+    async def advise(self, payload: dict) -> dict:
+        """Dry-run the online advisor: ``{cube, ...overrides}`` → delta.
+
+        Re-plans from the cube's live observer window against the
+        incumbent plan and returns the full
+        :class:`~repro.optimizer.advisor.DesignDelta` accounting
+        *without actuating anything* — the operator's view of what the
+        :class:`~repro.serving.adaptive.AdaptiveController` would do
+        right now.  Optional overrides: ``space_budget``, ``hysteresis``,
+        ``max_block``, ``min_query_weight``.
+        """
+        cube = self._cube(payload.get("cube"))
+        if cube.observer is None:
+            raise BadRequest(
+                "cube has no workload observer "
+                "(service was configured with observer_capacity=0)"
+            )
+        space_budget = _parse_number(
+            payload.get("space_budget"), "space_budget", minimum=1.0
+        )
+        hysteresis = _parse_number(
+            payload.get("hysteresis"), "hysteresis", minimum=1.0
+        )
+        max_block = payload.get("max_block")
+        if max_block is not None:
+            max_block = _parse_int(max_block, "max_block")
+            if max_block < 1:
+                raise BadRequest("max_block must be >= 1")
+        min_query_weight = _parse_number(
+            payload.get("min_query_weight"),
+            "min_query_weight",
+            minimum=0.0,
+        )
+        snapshot = cube.observer.snapshot()
+        # The selector is pure CPU over the frozen snapshot — run it on
+        # the worker pool so a large candidate universe cannot stall
+        # the event loop.
+        loop = asyncio.get_running_loop()
+        delta = await loop.run_in_executor(
+            self._ensure_executor(),
+            lambda: self.plan_delta(
+                cube,
+                snapshot,
+                space_budget=space_budget,
+                hysteresis=hysteresis,
+                max_block=max_block,
+                min_query_weight=min_query_weight,
+            ),
+        )
+        return {
+            "cube": cube.name,
+            "window": snapshot.to_dict(),
+            "delta": delta.to_dict(),
+        }
+
+    def plan_delta(
+        self,
+        cube: ServedCube,
+        snapshot: WorkloadSnapshot,
+        *,
+        space_budget: float | None = None,
+        hysteresis: float | None = None,
+        max_block: int | None = None,
+        min_query_weight: float | None = None,
+    ) -> DesignDelta:
+        """Run :func:`~repro.optimizer.advisor.re_advise` for one cube.
+
+        ``None`` arguments fall back to the service config; a ``None``
+        configured budget defaults to the cube's own cell count.
+        """
+        cfg = self.config
+        budget = (
+            cfg.adaptive_space_budget
+            if space_budget is None
+            else space_budget
+        )
+        if budget is None:
+            budget = float(cube.base.size)
+        return re_advise(
+            snapshot,
+            cube.plan,
+            budget,
+            max_block=(
+                cfg.adaptive_max_block if max_block is None else max_block
+            ),
+            hysteresis=(
+                cfg.adaptive_hysteresis
+                if hysteresis is None
+                else hysteresis
+            ),
+            min_query_weight=(
+                cfg.adaptive_min_weight
+                if min_query_weight is None
+                else min_query_weight
+            ),
+        )
+
+    def describe_design(self) -> dict:
+        """The ``/design`` view: per-cube plan, window, swap history,
+        and predicted-vs-measured tier latency.
+
+        ``predicted_tier_cost`` is the §8 model's element-access count
+        for the window's *average* query per tier; ``measured_tier_avg_ms``
+        is the router's wall-clock accounting.  The currencies differ —
+        what should agree is the *ordering* (the model's cheapest tier
+        should be the measured-fastest), which is the check
+        ``docs/ADAPTIVE.md`` walks through.
+        """
+        tier_stats = self.router.stats()
+        out: dict[str, dict] = {}
+        for name, cube in sorted(self.cubes.items()):
+            snapshot = (
+                None
+                if cube.observer is None
+                else cube.observer.snapshot()
+            )
+            stats = None if snapshot is None else snapshot.statistics()
+            predicted: dict[str, float] = {}
+            if stats is not None:
+                predicted["fallback"] = stats.volume
+                if cube.engine is not None:
+                    predicted["indexed"] = 2.0 ** len(cube.shape)
+                if cube.plan:
+                    predicted["materialized"] = min(
+                        2.0 ** len(m.key)
+                        + stats.surface
+                        * boundary_cells_per_surface(m.block_size)
+                        for m in cube.plan
+                    )
+            measured = {
+                tier: snap["avg_ms"]
+                for tier, snap in tier_stats.get(name, {}).items()
+            }
+            out[name] = {
+                "plan": [
+                    {
+                        "key": list(m.key),
+                        "block_size": m.block_size,
+                        "space": m.space,
+                    }
+                    for m in cube.plan
+                ],
+                "generation": cube.generation,
+                "window": None if snapshot is None else snapshot.to_dict(),
+                "swap_history": list(cube.swap_history),
+                "swap_in_flight": cube.pending_design_updates is not None,
+                "predicted_tier_cost": predicted,
+                "measured_tier_avg_ms": measured,
+            }
+        return out
+
     def stats(self) -> dict:
         """The ``/stats`` snapshot: tiers, cache, admission, coalescer,
         and the index layer's element-access counters per cube."""
@@ -506,6 +707,8 @@ class QueryService:
             self.cache.put(key, generation, value)
         if cube.logbook is not None:
             cube.logbook.record_box(box)
+        if cube.observer is not None:
+            cube.observer.observe_box(box, op)
         cube.queries += 1
         response = {
             "cube": cube.name,
@@ -550,6 +753,9 @@ class QueryService:
         if cube.logbook is not None:
             for box in boxes:
                 cube.logbook.record_box(box)
+        if cube.observer is not None:
+            for box in boxes:
+                cube.observer.observe_box(box, op)
         cube.queries += len(boxes)
         response = {
             "cube": cube.name,
@@ -644,6 +850,12 @@ class QueryService:
         async with cube.rwlock.write_locked():
             try:
                 run()
+                # An adaptive rebuild snapshotted the base before this
+                # batch landed: record it for replay into the new set
+                # (same write lock as the swap's install, so ordering
+                # between recording and replay is total).
+                if cube.pending_design_updates is not None:
+                    cube.pending_design_updates.extend(updates)
             except Exception as exc:
                 # The dry run above makes anticipated dtype/overflow
                 # failures unreachable here; anything that still raises
@@ -659,6 +871,8 @@ class QueryService:
                 ) from exc
         cube.generation += 1
         cube.updates_applied += len(updates)
+        if cube.observer is not None:
+            cube.observer.observe_update(len(updates))
         self.cache.invalidate_cube(cube.name)
         return {
             "cube": cube.name,
@@ -810,6 +1024,20 @@ def _parse_int(value: object, what: str) -> int:
         raise BadRequest(
             f"{what} must be an integer, got {value!r}"
         ) from exc
+
+
+def _parse_number(
+    value: object, what: str, minimum: float
+) -> float | None:
+    """An optional numeric payload field (``None`` passes through)."""
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise BadRequest(f"{what} must be a number, got {value!r}")
+    number = float(value)
+    if number < minimum:
+        raise BadRequest(f"{what} must be >= {minimum:g}, got {number:g}")
+    return number
 
 
 def _parse_region(

@@ -1,0 +1,273 @@
+"""The online advisor: DesignDelta accounting, hysteresis, degradation.
+
+Satellite regression pinned here: a zero-traffic observer window must
+never let :func:`average_statistics`'s empty-input ``ValueError`` escape
+an advice path — ``re_advise`` returns a HOLD delta instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optimizer import (
+    CuboidSelector,
+    Materialization,
+    materialization_space,
+    re_advise,
+    workloads_from_weighted,
+)
+from repro.optimizer.advisor import DesignDelta, advise_from_snapshot
+from repro.query import WorkloadObserver
+from repro.query.ranges import RangeQuery, RangeSpec
+
+SHAPE = (32, 32, 8)
+
+
+def hot_01(lo: int = 2, length: int = 12) -> RangeQuery:
+    return RangeQuery(
+        (
+            RangeSpec.between(lo, lo + length - 1),
+            RangeSpec.between(lo, lo + length - 1),
+            RangeSpec.all(),
+        )
+    )
+
+
+def hot_2(lo: int = 1, length: int = 5) -> RangeQuery:
+    return RangeQuery(
+        (RangeSpec.all(), RangeSpec.all(), RangeSpec.between(lo, lo + length - 1))
+    )
+
+
+def window(queries, updates: int = 0, decay: float = 1.0):
+    observer = WorkloadObserver(SHAPE, capacity=None, decay=decay)
+    for query in queries:
+        observer.observe_query(query)
+    if updates:
+        observer.observe_update(updates)
+    return observer.snapshot()
+
+
+def member(key, block: int) -> Materialization:
+    cells = 1
+    for j in key:
+        cells *= SHAPE[j]
+    return Materialization(
+        key, block, materialization_space(cells, len(key), block)
+    )
+
+
+class TestGracefulDegradation:
+    def test_zero_traffic_returns_incumbent_without_raising(self) -> None:
+        incumbent = (member((0, 1), 2),)
+        delta = re_advise(
+            window([]), incumbent, space_budget=5000.0
+        )
+        assert delta.candidate == incumbent
+        assert delta.is_noop
+        assert not delta.should_swap
+        assert "no queries" in delta.reason
+
+    def test_below_threshold_window_holds(self) -> None:
+        delta = re_advise(
+            window([hot_01()]),
+            (),
+            space_budget=5000.0,
+            min_query_weight=10.0,
+        )
+        assert delta.is_noop and not delta.should_swap
+        assert "below" in delta.reason
+
+    def test_all_cells_only_traffic_holds(self) -> None:
+        full = RangeQuery.full(len(SHAPE))
+        delta = re_advise(
+            window([full] * 20), (), space_budget=5000.0
+        )
+        assert delta.is_noop and not delta.should_swap
+
+    def test_empty_statistics_error_cannot_escape(self) -> None:
+        # The raw stats helper still raises on empty input...
+        from repro.query.stats import average_statistics
+
+        with pytest.raises(ValueError):
+            average_statistics([])
+        # ...but the advice path over the same empty window does not.
+        re_advise(window([]), (), space_budget=100.0)
+
+
+class TestDeltaAccounting:
+    def test_cold_start_recommends_builds(self) -> None:
+        delta = re_advise(
+            window([hot_01()] * 50), (), space_budget=5000.0, max_block=16
+        )
+        assert delta.builds and not delta.drops
+        assert delta.should_swap
+        assert delta.gain > 0
+        assert delta.build_cost > 0
+        assert delta.improvement_ratio > 1.15
+
+    def test_recommendation_is_self_stable(self) -> None:
+        snapshot = window([hot_01()] * 50)
+        first = re_advise(snapshot, (), space_budget=5000.0, max_block=16)
+        second = re_advise(
+            snapshot, first.candidate, space_budget=5000.0, max_block=16
+        )
+        assert second.is_noop
+        assert not second.should_swap
+
+    def test_drift_produces_drops_and_builds(self) -> None:
+        before = re_advise(
+            window([hot_01()] * 50), (), space_budget=800.0, max_block=16
+        )
+        assert before.should_swap
+        # The workload moves wholesale to the ⟨d1, d2⟩ cuboid, with
+        # update churn: the stale ⟨d0, d1⟩ structure stops earning
+        # queries but keeps paying Theorem-2 maintenance, so
+        # fine-tuning drops it.
+        hot_12 = RangeQuery(
+            (
+                RangeSpec.all(),
+                RangeSpec.between(4, 15),
+                RangeSpec.between(1, 6),
+            )
+        )
+        drifted = window([hot_12] * 50, updates=20)
+        after = re_advise(
+            drifted, before.candidate, space_budget=800.0, max_block=16
+        )
+        assert after.should_swap
+        new_keys = {m.key for m in after.candidate}
+        assert (1, 2) in new_keys or (0, 1, 2) in new_keys
+        assert any(m.key == (0, 1) for m in after.drops)
+
+    def test_resize_detected_as_rebuild(self) -> None:
+        incumbent = (member((0, 1), 7),)
+        delta = re_advise(
+            window([hot_01()] * 50),
+            incumbent,
+            space_budget=(32 * 32) + 10.0,
+            max_block=8,
+        )
+        if delta.resizes:
+            old, new = delta.resizes[0]
+            assert old.key == new.key == (0, 1)
+            assert old.block_size != new.block_size
+            assert delta.build_cost > 0
+
+    def test_hysteresis_gates_marginal_swaps(self) -> None:
+        snapshot = window([hot_01()] * 50)
+        eager = re_advise(
+            snapshot, (), space_budget=5000.0, hysteresis=1.0001
+        )
+        reluctant = re_advise(
+            snapshot, (), space_budget=5000.0, hysteresis=1e9
+        )
+        assert eager.should_swap
+        assert not reluctant.should_swap
+        assert eager.candidate == reluctant.candidate
+
+    def test_hysteresis_below_one_rejected(self) -> None:
+        with pytest.raises(ValueError, match="hysteresis"):
+            re_advise(window([]), (), space_budget=10.0, hysteresis=0.5)
+
+    def test_to_dict_round_trips_json(self) -> None:
+        import json
+
+        delta = re_advise(
+            window([hot_01()] * 30), (), space_budget=5000.0, max_block=8
+        )
+        payload = delta.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["should_swap"] == delta.should_swap
+        assert payload["builds"]
+
+    def test_report_mentions_verdict(self) -> None:
+        delta = re_advise(
+            window([hot_01()] * 30), (), space_budget=5000.0, max_block=8
+        )
+        text = delta.report()
+        assert "SWAP" in text or "HOLD" in text
+
+
+class TestUpdateAwareness:
+    def test_update_heavy_window_prunes_the_plan(self) -> None:
+        queries = [hot_01()] * 10
+        quiet = re_advise(
+            window(queries), (), space_budget=50_000.0, max_block=16
+        )
+        churny = re_advise(
+            window(queries, updates=5000),
+            (),
+            space_budget=50_000.0,
+            max_block=16,
+            update_batch=1.0,
+        )
+        # Theorem-2 maintenance makes structures strictly less
+        # attractive under churn: never more materializations, and the
+        # modeled candidate cost now includes the update term.
+        assert len(churny.candidate) <= len(quiet.candidate)
+
+    def test_batching_amortizes_maintenance(self) -> None:
+        snapshot = window([hot_01()] * 10, updates=5000)
+        selector_kwargs = dict(space_budget=50_000.0, max_block=16)
+        unbatched = re_advise(snapshot, (), update_batch=1.0, **selector_kwargs)
+        batched = re_advise(snapshot, (), update_batch=64.0, **selector_kwargs)
+        assert len(batched.candidate) >= len(unbatched.candidate)
+
+
+class TestWeightedWorkloads:
+    def test_decay_shifts_the_bucket_average(self) -> None:
+        # Old traffic is long (length 20), new traffic short (length 4):
+        # with aggressive decay the bucket mean hugs the fresh length.
+        old = [hot_01(0, 20)] * 10
+        new = [hot_01(0, 4)] * 10
+        snap = window(old + new, decay=0.5)
+        (workload,) = [
+            w for w in snap.workloads() if w.key == (0, 1)
+        ]
+        assert workload.stats.lengths[0] == pytest.approx(4.0, abs=0.1)
+
+    def test_nonpositive_weights_are_skipped(self) -> None:
+        workloads = workloads_from_weighted(
+            [(hot_01(), 0.0), (hot_01(), -1.0)], SHAPE
+        )
+        assert workloads == []
+
+
+class TestAdviseFromSnapshot:
+    def test_full_pipeline_over_a_window(self) -> None:
+        design = advise_from_snapshot(
+            window([hot_01()] * 40), space_budget=5000.0, max_block=16
+        )
+        assert design.plan
+        assert 0 in design.range_heavy_dims
+        assert design.query_count == 40
+
+    def test_empty_window_raises_like_advise(self) -> None:
+        with pytest.raises(ValueError, match="at least one"):
+            advise_from_snapshot(window([]), space_budget=100.0)
+
+
+class TestSelectorWarmStart:
+    def test_seed_discards_stale_shape_members(self) -> None:
+        selector = CuboidSelector(
+            SHAPE,
+            workloads_from_weighted([(hot_01(), 1.0)], SHAPE),
+            space_limit=5000.0,
+            max_block=8,
+        )
+        stale = Materialization((0, 1, 5), 2, 123.0)  # dim 5 ∉ shape
+        seeded = selector._seed_from([stale, member((0, 1), 2)])
+        assert [m.key for m in seeded] == [(0, 1)]
+
+    def test_seed_respects_budget_by_cheapest_eviction(self) -> None:
+        selector = CuboidSelector(
+            SHAPE,
+            workloads_from_weighted([(hot_01(), 1.0)], SHAPE),
+            space_limit=300.0,
+            max_block=8,
+        )
+        seeded = selector._seed_from(
+            [member((0, 1), 2), member((0, 1, 2), 2)]
+        )
+        assert sum(m.space for m in seeded) <= 300.0

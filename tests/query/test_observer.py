@@ -1,0 +1,207 @@
+"""WorkloadObserver window semantics and the QueryLog shim contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._util import Box
+from repro.query import QueryLog, WorkloadObserver
+from repro.query.observer import UPDATE_OP
+from repro.query.ranges import RangeQuery, RangeSpec
+
+
+def q(lo: int, hi: int, extra: RangeSpec | None = None) -> RangeQuery:
+    specs = [RangeSpec.between(lo, hi)]
+    if extra is not None:
+        specs.append(extra)
+    else:
+        specs.append(RangeSpec.all())
+    return RangeQuery(tuple(specs))
+
+
+SHAPE = (16, 8)
+
+
+class TestRecording:
+    def test_returns_query_for_inline_use(self) -> None:
+        observer = WorkloadObserver(SHAPE)
+        query = q(1, 5)
+        assert observer.observe_query(query) is query
+        assert observer.queries == (query,)
+
+    def test_rejects_wrong_dimensionality(self) -> None:
+        observer = WorkloadObserver(SHAPE)
+        with pytest.raises(ValueError, match="observer expects"):
+            observer.observe_query(RangeQuery((RangeSpec.all(),)))
+
+    def test_rejects_out_of_bounds(self) -> None:
+        observer = WorkloadObserver(SHAPE)
+        with pytest.raises(ValueError):
+            observer.observe_query(q(0, 40))
+
+    def test_observe_box_skips_empty(self) -> None:
+        observer = WorkloadObserver(SHAPE)
+        assert observer.observe_box(Box((3, 2), (2, 2))) is None
+        assert len(observer) == 0
+        assert observer.queries_seen == 0
+
+    def test_observe_box_recovers_spec_kinds(self) -> None:
+        observer = WorkloadObserver(SHAPE)
+        recovered = observer.observe_box(Box((0, 3), (15, 3)))
+        assert recovered is not None
+        kinds = [spec.kind.name for spec in recovered.specs]
+        assert kinds == ["ALL", "SINGLETON"]
+
+    def test_update_counting(self) -> None:
+        observer = WorkloadObserver(SHAPE)
+        observer.observe_update(3)
+        assert observer.updates_seen == 3
+        assert observer.snapshot().update_weight == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            observer.observe_update(-1)
+
+
+class TestWindowing:
+    def test_capacity_bounds_retention(self) -> None:
+        observer = WorkloadObserver(SHAPE, capacity=4)
+        for i in range(10):
+            observer.observe_query(q(i, i + 1))
+        assert len(observer) == 4
+        # Oldest dropped: the ring keeps the last four lows (6..9).
+        lows = [query.specs[0].lo for query in observer.queries]
+        assert lows == [6, 7, 8, 9]
+        assert observer.queries_seen == 10
+
+    def test_unbounded_legacy_mode(self) -> None:
+        observer = WorkloadObserver(SHAPE, capacity=None, decay=1.0)
+        for i in range(100):
+            observer.observe_query(q(0, i % 8))
+        assert len(observer) == 100
+        weights = {w for _, w in observer.snapshot().queries}
+        assert weights == {1.0}
+
+    def test_decay_weights_age_with_events(self) -> None:
+        observer = WorkloadObserver(SHAPE, decay=0.5)
+        observer.observe_query(q(0, 1))
+        observer.observe_query(q(0, 2))
+        observer.observe_query(q(0, 3))
+        weights = [w for _, w in observer.snapshot().queries]
+        assert weights == pytest.approx([0.25, 0.5, 1.0])
+
+    def test_updates_age_queries_too(self) -> None:
+        observer = WorkloadObserver(SHAPE, decay=0.5)
+        observer.observe_query(q(0, 1))
+        observer.observe_update(2)  # two events: weight halves twice
+        (entry,) = observer.snapshot().queries
+        assert entry[1] == pytest.approx(0.25)
+
+    def test_op_mix_decays(self) -> None:
+        observer = WorkloadObserver(SHAPE, decay=0.5)
+        observer.observe_query(q(0, 1), op="sum")
+        observer.observe_query(q(0, 1), op="max")
+        snap = observer.snapshot()
+        assert snap.op_weights["sum"] == pytest.approx(0.5)
+        assert snap.op_weights["max"] == pytest.approx(1.0)
+
+    def test_invalid_parameters(self) -> None:
+        with pytest.raises(ValueError, match="capacity"):
+            WorkloadObserver(SHAPE, capacity=0)
+        with pytest.raises(ValueError, match="decay"):
+            WorkloadObserver(SHAPE, decay=0.0)
+        with pytest.raises(ValueError, match="decay"):
+            WorkloadObserver(SHAPE, decay=1.5)
+
+    def test_clear_resets_everything(self) -> None:
+        observer = WorkloadObserver(SHAPE, decay=0.9)
+        observer.observe_query(q(0, 1))
+        observer.observe_update()
+        observer.clear()
+        assert len(observer) == 0
+        snap = observer.snapshot()
+        assert not snap.has_queries()
+        assert snap.op_weights == {}
+        assert snap.queries_seen == 0 and snap.updates_seen == 0
+
+
+class TestSnapshot:
+    def test_snapshot_is_frozen_in_time(self) -> None:
+        observer = WorkloadObserver(SHAPE, decay=0.5)
+        observer.observe_query(q(0, 1))
+        snap = observer.snapshot()
+        observer.observe_query(q(0, 7))
+        assert len(snap.queries) == 1
+        assert snap.queries[0][1] == pytest.approx(1.0)
+
+    def test_statistics_none_on_empty_window(self) -> None:
+        snap = WorkloadObserver(SHAPE).snapshot()
+        assert snap.statistics() is None
+        assert not snap.has_queries()
+        assert snap.update_query_ratio == 0.0
+
+    def test_statistics_weighted_toward_recent(self) -> None:
+        observer = WorkloadObserver(SHAPE, decay=0.1)
+        observer.observe_query(q(0, 7))  # length 8, nearly decayed away
+        observer.observe_query(q(0, 1))  # length 2, fresh
+        stats = observer.snapshot().statistics()
+        assert stats is not None
+        # weights 0.1 and 1.0 → mean ≈ (0.8 + 2) / 1.1
+        assert stats.lengths[0] == pytest.approx(2.8 / 1.1)
+
+    def test_workloads_and_length_matrix(self) -> None:
+        observer = WorkloadObserver(SHAPE)
+        observer.observe_query(q(0, 3))
+        observer.observe_query(q(0, 3, RangeSpec.at(2)))
+        workloads = observer.snapshot().workloads()
+        assert sorted(w.key for w in workloads) == [(0,), (0, 1)]
+        matrix = observer.snapshot().length_matrix()
+        assert matrix.shape == (2, len(SHAPE))
+
+    def test_to_dict_is_json_ready(self) -> None:
+        import json
+
+        observer = WorkloadObserver(SHAPE, decay=0.9)
+        observer.observe_query(q(1, 4))
+        observer.observe_update()
+        payload = observer.snapshot().to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["op_weights"][UPDATE_OP] == pytest.approx(1.0)
+
+
+class TestQueryLogShim:
+    """The grow-forever QueryLog rides on the observer unchanged."""
+
+    def test_truthiness_is_a_type_error(self) -> None:
+        # The old footgun: an empty log is falsy, so ``if logbook:``
+        # silently skipped save/advise paths.  Presence and traffic are
+        # now explicit, and boolean coercion fails loudly.
+        log = QueryLog(SHAPE)
+        with pytest.raises(TypeError, match="has_entries"):
+            bool(log)
+        with pytest.raises(TypeError):
+            if log:  # pragma: no cover — raises before the branch
+                pass
+
+    def test_has_entries_and_len(self) -> None:
+        log = QueryLog(SHAPE)
+        assert not log.has_entries()
+        assert len(log) == 0
+        log.record(q(0, 3))
+        assert log.has_entries()
+        assert len(log) == 1
+
+    def test_record_rewrites_error_prefix(self) -> None:
+        log = QueryLog(SHAPE)
+        with pytest.raises(ValueError, match="log expects"):
+            log.record(RangeQuery((RangeSpec.all(),)))
+
+    def test_never_evicts(self) -> None:
+        log = QueryLog(SHAPE)
+        for i in range(5000):
+            log.record(q(0, i % 8))
+        assert len(log) == 5000
+
+    def test_observer_property_exposes_the_window(self) -> None:
+        log = QueryLog(SHAPE)
+        log.record(q(0, 3))
+        assert log.observer.queries_seen == 1
+        assert log.observer.capacity is None

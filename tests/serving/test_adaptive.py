@@ -1,0 +1,445 @@
+"""The adaptive controller: hot swaps under live traffic, bit for bit.
+
+The load-bearing guarantee: a plan swap is *invisible* in served
+answers.  Queries racing the swap (including coalesced batches running
+on pool threads) and updates landing mid-build must all come back
+exactly as an untouched reference engine answers them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.optimizer.materialize import MaterializedCuboidSet
+from repro.serving import (
+    AdaptiveController,
+    DriftPhase,
+    SwapInFlight,
+    generate_drifting_requests,
+)
+from repro.serving.service import QueryService, ServeConfig
+
+SHAPE = (24, 24, 8)
+
+
+def make_service(**overrides) -> QueryService:
+    config = ServeConfig(
+        coalesce_window_s=overrides.pop("coalesce_window_s", 0.0),
+        adaptive_min_weight=4.0,
+        observer_decay=overrides.pop("observer_decay", 1.0),
+        **overrides,
+    )
+    service = QueryService(config)
+    rng = np.random.default_rng(0xADA5)
+    service.register_cube(
+        "c", rng.integers(0, 50, size=SHAPE, dtype=np.int64)
+    )
+    return service
+
+
+def hot_payload(i: int) -> dict:
+    lo = i % 8
+    return {
+        "cube": "c",
+        "op": "sum",
+        "ranges": [[lo, lo + 11], [lo, lo + 11], None],
+    }
+
+
+async def drive_hot_traffic(service: QueryService, n: int = 40) -> None:
+    for i in range(n):
+        await service.query(hot_payload(i))
+
+
+def expected(service: QueryService, payload: dict) -> int:
+    base = service.cubes["c"].base
+    slices = tuple(
+        slice(None) if r is None else slice(r[0], r[1] + 1)
+        for r in payload["ranges"]
+    )
+    return int(base[slices].sum())
+
+
+class TestControllerCycle:
+    def test_step_swaps_once_then_holds(self) -> None:
+        async def main() -> None:
+            service = make_service()
+            controller = AdaptiveController(service)
+            await drive_hot_traffic(service)
+            first = await controller.step("c")
+            assert first is not None and first.should_swap
+            assert service.cubes["c"].plan
+            assert controller.swaps == 1
+            second = await controller.step("c")
+            assert second is not None and not second.should_swap
+            assert controller.holds == 1
+            assert len(service.cubes["c"].swap_history) == 1
+            await service.close()
+
+        asyncio.run(main())
+
+    def test_step_skips_unknown_and_quarantined(self) -> None:
+        async def main() -> None:
+            service = make_service()
+            controller = AdaptiveController(service)
+            assert await controller.step("nope") is None
+            service.cubes["c"].healthy = False
+            assert await controller.step("c") is None
+            await service.close()
+
+        asyncio.run(main())
+
+    def test_run_cycle_isolates_per_cube_failures(self) -> None:
+        async def main() -> None:
+            service = make_service()
+            await drive_hot_traffic(service)
+            controller = AdaptiveController(service, hysteresis=0.5)
+            deltas = await controller.run_cycle()
+            assert deltas == {}
+            assert controller.last_error is not None
+            assert controller.last_error.startswith("c:")
+            assert "hysteresis" in controller.last_error
+            assert controller.cycles == 1
+            await service.close()
+
+        asyncio.run(main())
+
+    def test_background_loop_start_stop(self) -> None:
+        async def main() -> None:
+            service = make_service()
+            async with AdaptiveController(
+                service, interval_s=0.01
+            ) as controller:
+                await drive_hot_traffic(service)
+                for _ in range(200):
+                    await asyncio.sleep(0.01)
+                    if controller.swaps:
+                        break
+            assert controller.swaps >= 1
+            assert not controller.stats()["running"]
+            await service.close()
+
+        asyncio.run(main())
+
+
+class TestHotSwapDifferential:
+    def test_answers_identical_across_mid_traffic_swap(self) -> None:
+        """Queries racing the swap agree exactly with direct numpy."""
+
+        async def main() -> None:
+            service = make_service(coalesce_window_s=0.002)
+            controller = AdaptiveController(service)
+            await drive_hot_traffic(service)
+
+            async def ask(i: int) -> None:
+                payload = hot_payload(i)
+                want = expected(service, payload)
+                result = await service.query(payload)
+                assert result["value"] == want, payload
+
+            # Fire a wave of concurrent queries (coalescer on) and the
+            # swap in the same gather: requests overlap the build, the
+            # write-locked install, and both plans' serving windows.
+            before = service.cubes["c"].generation
+            await asyncio.gather(
+                *(ask(i) for i in range(32)),
+                controller.step("c"),
+                *(ask(i) for i in range(32, 64)),
+            )
+            assert controller.swaps == 1
+            assert service.cubes["c"].generation == before + 1
+            # And the new plan serves the same numbers afterwards.
+            for i in range(16):
+                payload = hot_payload(i)
+                result = await service.query(payload)
+                assert result["value"] == expected(service, payload)
+            await service.close()
+
+        asyncio.run(main())
+
+    def test_updates_during_build_are_replayed(self) -> None:
+        """Deltas accepted while the new set builds appear in it."""
+
+        async def main() -> None:
+            service = make_service()
+            controller = AdaptiveController(service)
+            await drive_hot_traffic(service)
+            delta = service.plan_delta(
+                service.cubes["c"], service.cubes["c"].observer.snapshot()
+            )
+            assert delta.should_swap
+
+            build_started = asyncio.Event()
+            release_build = threading.Event()
+            loop = asyncio.get_running_loop()
+            real_build = MaterializedCuboidSet
+
+            class SlowBuild(MaterializedCuboidSet):
+                def __init__(self, *args, **kwargs):
+                    loop.call_soon_threadsafe(build_started.set)
+                    assert release_build.wait(10.0)
+                    real_build.__init__(self, *args, **kwargs)
+
+            import repro.serving.adaptive as adaptive_module
+
+            adaptive_module.MaterializedCuboidSet = SlowBuild
+            try:
+                cube = service.cubes["c"]
+                swap = asyncio.create_task(
+                    controller.actuate(cube, delta)
+                )
+                await build_started.wait()
+                assert cube.pending_design_updates is not None
+                # Updates land on the LIVE tiers while the build blocks.
+                await service.update(
+                    {
+                        "cube": "c",
+                        "updates": [
+                            {"index": [0, 0, 0], "delta": 7},
+                            {"index": [5, 5, 1], "delta": -3},
+                        ],
+                    }
+                )
+                assert len(cube.pending_design_updates) == 2
+                release_build.set()
+                await swap
+            finally:
+                adaptive_module.MaterializedCuboidSet = real_build
+            assert cube.pending_design_updates is None
+            assert cube.swap_history[-1]["replayed_updates"] == 2
+            # The materialized tier saw the mid-build deltas: a query
+            # covering the updated cells matches the mutated base.
+            payload = {
+                "cube": "c",
+                "op": "sum",
+                "ranges": [[0, 6], [0, 6], None],
+            }
+            result = await service.query(payload)
+            assert result["tier"] == "materialized"
+            assert result["value"] == expected(service, payload)
+            await service.close()
+
+        asyncio.run(main())
+
+    def test_second_actuation_while_building_is_refused(self) -> None:
+        async def main() -> None:
+            service = make_service()
+            controller = AdaptiveController(service)
+            await drive_hot_traffic(service)
+            cube = service.cubes["c"]
+            delta = service.plan_delta(cube, cube.observer.snapshot())
+            cube.pending_design_updates = []  # simulate in-flight build
+            with pytest.raises(SwapInFlight):
+                await controller.actuate(cube, delta)
+            cube.pending_design_updates = None
+            await service.close()
+
+        asyncio.run(main())
+
+    def test_failed_build_leaves_incumbent_serving(self) -> None:
+        async def main() -> None:
+            service = make_service()
+            controller = AdaptiveController(service)
+            await drive_hot_traffic(service)
+            cube = service.cubes["c"]
+            delta = service.plan_delta(cube, cube.observer.snapshot())
+
+            import repro.serving.adaptive as adaptive_module
+
+            real_build = MaterializedCuboidSet
+
+            def boom(*args, **kwargs):
+                raise RuntimeError("allocator on fire")
+
+            adaptive_module.MaterializedCuboidSet = boom
+            try:
+                with pytest.raises(RuntimeError, match="on fire"):
+                    await controller.actuate(cube, delta)
+            finally:
+                adaptive_module.MaterializedCuboidSet = real_build
+            assert cube.pending_design_updates is None
+            assert cube.cuboids is None  # incumbent (none) untouched
+            payload = hot_payload(0)
+            result = await service.query(payload)
+            assert result["value"] == expected(service, payload)
+            await service.close()
+
+        asyncio.run(main())
+
+
+class TestEndpoints:
+    def test_advise_dry_run_does_not_actuate(self) -> None:
+        async def main() -> None:
+            service = make_service()
+            await drive_hot_traffic(service)
+            out = await service.advise({"cube": "c"})
+            assert out["delta"]["should_swap"]
+            assert out["delta"]["builds"]
+            assert out["window"]["window_queries"] == 40
+            assert service.cubes["c"].plan == ()  # nothing happened
+            await service.close()
+
+        asyncio.run(main())
+
+    def test_advise_accepts_overrides_and_rejects_junk(self) -> None:
+        from repro.serving.errors import BadRequest
+
+        async def main() -> None:
+            service = make_service()
+            await drive_hot_traffic(service)
+            held = await service.advise(
+                {"cube": "c", "hysteresis": 1e9}
+            )
+            assert not held["delta"]["should_swap"]
+            with pytest.raises(BadRequest, match="hysteresis"):
+                await service.advise({"cube": "c", "hysteresis": 0.2})
+            with pytest.raises(BadRequest, match="space_budget"):
+                await service.advise(
+                    {"cube": "c", "space_budget": "lots"}
+                )
+            await service.close()
+
+        asyncio.run(main())
+
+    def test_design_view_reports_swap_history(self) -> None:
+        import json
+
+        async def main() -> None:
+            service = make_service()
+            controller = AdaptiveController(service)
+            await drive_hot_traffic(service)
+            await controller.step("c")
+            view = service.describe_design()["c"]
+            assert view["plan"]
+            assert len(view["swap_history"]) == 1
+            assert not view["swap_in_flight"]
+            assert view["predicted_tier_cost"]["materialized"] < (
+                view["predicted_tier_cost"]["fallback"]
+            )
+            json.dumps(view)  # wire-ready
+            await service.close()
+
+        asyncio.run(main())
+
+    def test_http_surface_serves_advise_and_design(self) -> None:
+        from repro.serving.client import ServingClient
+        from repro.serving.http import ServingServer
+
+        async def main() -> None:
+            service = make_service()
+            await drive_hot_traffic(service)
+            server = ServingServer(service)
+            await server.start()
+            client = ServingClient("127.0.0.1", server.port)
+            try:
+                await client.connect()
+                advised = await client.request(
+                    "POST", "/advise", {"cube": "c"}
+                )
+                assert advised["delta"]["should_swap"]
+                design = await client.request("GET", "/design")
+                assert "c" in design
+            finally:
+                await client.aclose()
+                await server.stop()
+
+        asyncio.run(main())
+
+
+class TestDriftingLoadgen:
+    PHASES = (
+        DriftPhase(requests=30, hot_dims=(0, 1)),
+        DriftPhase(
+            requests=30, hot_dims=(2,), update_fraction=0.3
+        ),
+    )
+
+    def test_stream_is_seeded_deterministic(self) -> None:
+        first = generate_drifting_requests(
+            np.random.default_rng(7), SHAPE, self.PHASES, cube="c"
+        )
+        second = generate_drifting_requests(
+            np.random.default_rng(7), SHAPE, self.PHASES, cube="c"
+        )
+        assert first == second
+        assert len(first) == 60
+
+    def test_phases_shape_the_traffic(self) -> None:
+        stream = generate_drifting_requests(
+            np.random.default_rng(7), SHAPE, self.PHASES, cube="c"
+        )
+        phase_one = stream[:30]
+        assert all(p["path"] == "/query" for p in phase_one)
+        for payload in phase_one:
+            ranges = payload["body"]["ranges"]
+            assert ranges[0] is not None and ranges[1] is not None
+            assert ranges[2] is None
+        phase_two = stream[30:]
+        updates = [p for p in phase_two if p["path"] == "/update"]
+        assert updates  # the mix shifted
+        for payload in updates:
+            assert payload["body"]["updates"]
+
+    def test_validation(self) -> None:
+        with pytest.raises(ValueError, match="hot dim"):
+            generate_drifting_requests(
+                np.random.default_rng(0),
+                SHAPE,
+                [DriftPhase(requests=1, hot_dims=(9,))],
+            )
+        with pytest.raises(ValueError, match="update_fraction"):
+            DriftPhase(requests=1, hot_dims=(0,), update_fraction=2.0)
+        with pytest.raises(ValueError, match="range_scale"):
+            DriftPhase(requests=1, hot_dims=(0,), range_scale=0.0)
+
+    def test_drift_over_http_triggers_adaptation(self) -> None:
+        from repro.serving import run_load
+        from repro.serving.http import ServingServer
+
+        async def main() -> None:
+            service = make_service(observer_decay=0.97)
+            controller = AdaptiveController(service)
+            server = ServingServer(service)
+            await server.start()
+            try:
+                rng = np.random.default_rng(11)
+                phase_one = generate_drifting_requests(
+                    rng,
+                    SHAPE,
+                    [DriftPhase(requests=60, hot_dims=(0, 1))],
+                    cube="c",
+                )
+                report = await run_load(
+                    "127.0.0.1", server.port, phase_one, concurrency=4
+                )
+                assert report.errors == 0 and report.shed == 0
+                first = await controller.step("c")
+                assert first is not None and first.should_swap
+
+                phase_two = generate_drifting_requests(
+                    rng,
+                    SHAPE,
+                    [
+                        DriftPhase(
+                            requests=120,
+                            hot_dims=(1, 2),
+                            update_fraction=0.1,
+                        )
+                    ],
+                    cube="c",
+                )
+                report = await run_load(
+                    "127.0.0.1", server.port, phase_two, concurrency=4
+                )
+                assert report.errors == 0
+                await controller.step("c")
+                history = service.cubes["c"].swap_history
+                assert len(history) >= 1
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
