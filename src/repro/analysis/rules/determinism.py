@@ -13,8 +13,14 @@ So is the optimizer: physical-design advice replayed from the same
 observer window must reproduce the same plan, or the adaptive
 controller's swap history becomes impossible to audit.
 
+The streaming builder (``repro.ingest``) joins the scope for the same
+reason as the optimizer: a streamed build must be replayable — the
+bit-identity contract against the in-memory reference is only testable
+when nothing in the ingest path draws from an ambient stream.
+
 The rule flags, inside ``src/repro/verify``, ``src/repro/kernels``,
-``src/repro/serving``, ``src/repro/optimizer`` and ``benchmarks/``:
+``src/repro/serving``, ``src/repro/optimizer``, ``src/repro/ingest``
+and ``benchmarks/``:
 
 * any draw from the numpy *global* stream (``np.random.<fn>`` other
   than constructing generators/bit-generators/seed-sequences),
@@ -64,16 +70,17 @@ class DeterminismRule(Rule):
 
     rule_id = "determinism"
     description = (
-        "repro/verify, repro/kernels, repro/serving, repro/optimizer "
-        "and benchmarks must not draw from unseeded global random "
-        "streams or size worker pools off the host's core count; seed "
-        "every generator explicitly and pin max_workers"
+        "repro/verify, repro/kernels, repro/serving, repro/optimizer, "
+        "repro/ingest and benchmarks must not draw from unseeded global "
+        "random streams or size worker pools off the host's core count; "
+        "seed every generator explicitly and pin max_workers"
     )
     scope = (
         "repro/verify",
         "repro/kernels",
         "repro/serving",
         "repro/optimizer",
+        "repro/ingest",
         "benchmarks",
     )
 

@@ -9,8 +9,10 @@ the backend before returning, on *every* return path.
 
 Statically, "backend-held storage" is the repo's known inventory of
 backend-materialized array attributes (``source``, ``prefix``,
-``blocked_prefix``, ``values``, ``positions``).  The rule triggers on
-public functions/methods named ``apply*`` that subscript-store into
+``blocked_prefix``, ``values``, ``positions``, and the streaming
+builder's ``cells`` accumulators).  The rule triggers on public
+functions/methods named ``apply*`` or ``finalize*`` (the ingest
+pipeline's public mutation boundary) that subscript-store into
 ``self.<attr>[...]`` or ``<param>.<attr>[...]`` (one level of local
 view aliasing like ``view = self.prefix[i]; view[...] = x`` is
 tracked), and then requires a ``*.flush()`` call to precede every
@@ -26,10 +28,16 @@ from collections.abc import Iterator
 from repro.analysis.engine import LintContext, Rule, Violation
 
 #: Attribute names the backends materialize (see ``index/backend.py``
-#: call sites): mutating one of these must be followed by a flush.
+#: call sites, plus the ``repro.ingest`` accumulators' ``cells``):
+#: mutating one of these must be followed by a flush.
 BACKED_ARRAY_ATTRS = frozenset(
-    {"source", "prefix", "blocked_prefix", "values", "positions"}
+    {"source", "prefix", "blocked_prefix", "values", "positions", "cells"}
 )
+
+#: Public function-name prefixes that mark a mutation boundary: update
+#: entry points (``apply*``) and the streaming builder's finalize sweeps
+#: (``finalize*``).
+_TRIGGER_PREFIXES = ("apply", "finalize")
 
 
 class MemmapFlushRule(Rule):
@@ -37,9 +45,9 @@ class MemmapFlushRule(Rule):
 
     rule_id = "memmap-flush"
     description = (
-        "public apply* functions that mutate backend-held arrays "
-        "(source/prefix/blocked_prefix/values/positions) must call "
-        "backend.flush() on every return path"
+        "public apply*/finalize* functions that mutate backend-held "
+        "arrays (source/prefix/blocked_prefix/values/positions/cells) "
+        "must call backend.flush() on every return path"
     )
 
     def check(self, context: LintContext) -> Iterator[Violation]:
@@ -47,7 +55,7 @@ class MemmapFlushRule(Rule):
             if not isinstance(node, ast.FunctionDef):
                 continue
             if node.name.startswith("_") or not node.name.startswith(
-                "apply"
+                _TRIGGER_PREFIXES
             ):
                 continue
             yield from self._check_function(context, node)

@@ -97,6 +97,8 @@ class ExtendedDataCube:
             )
             self.cells[cell] += delta
             writes += 1
+        # This `cells` is the extended cube's plain in-memory ndarray,
+        # never backend-materialized.  cubelint: allow[memmap-flush]
         return writes
 
     def range_sum(

@@ -15,6 +15,7 @@ interchangeable (see ``docs/ARCHITECTURE.md``):
 
 from repro.index.backend import (
     MEMORY_BACKEND,
+    AdoptingBackend,
     ArrayBackend,
     MemmapBackend,
     MemoryBackend,
@@ -38,6 +39,7 @@ from repro.index.registry import (
 )
 
 __all__ = [
+    "AdoptingBackend",
     "ArrayBackend",
     "IndexInfo",
     "IndexSpec",

@@ -18,10 +18,32 @@ same values through the same in-place kernels, only the allocation call
 differs.  ``tests/index/test_backend.py`` asserts this for every
 registered dense structure.
 
-Backends hand out arrays; they do not track or free them.  A
-:class:`MemmapBackend`'s spill directory is owned by the caller (use a
+Allocation lifecycle
+--------------------
+
+A backend hands out arrays and tracks the *live* ones — those whose
+spill files it still owns.  :meth:`ArrayBackend.release` retires every
+live allocation at once: spill files are deleted and tracking is
+dropped, so a superseded build (an adaptive hot-swap's old plan, an
+aborted ingest) stops holding disk and handles.  Releasing never closes
+a mapping that user code may still reference — closing the ``mmap``
+under a live ``ndarray`` is a segfault, not an error — so the mapped
+memory itself is reclaimed by ordinary refcounting the moment the last
+array reference dies.  Callers that want a bounded lifetime they can
+release as a unit take a :meth:`ArrayBackend.subscope`.
+
+Zero-size allocations cannot be memory-mapped (``mmap`` of zero bytes is
+an OS error), so :class:`MemmapBackend` hands out ordinary heap arrays
+for them.  These *degenerate* arrays are part of the backend's contract:
+they appear in ``describe()['degenerate']`` but never in
+:attr:`~MemmapBackend.spill_files`, so any consumer that persists or
+reopens a structure from its spill files alone (rather than from
+``state_dict()``) must account for them explicitly.
+
+A :class:`MemmapBackend`'s spill directory is owned by the caller (use a
 ``tempfile.TemporaryDirectory`` for scratch builds, a durable path for
-servable ones — the files double as the persisted form).
+servable ones — the files double as the persisted form); ``release()``
+only ever deletes the files the backend itself created.
 """
 
 from __future__ import annotations
@@ -61,6 +83,28 @@ class ArrayBackend:
     def flush(self) -> None:
         """Push pending writes to stable storage (no-op in memory)."""
 
+    def release(self) -> int:
+        """Retire every live allocation; returns how many were released.
+
+        File-backed backends delete their spill files and drop handle
+        tracking; the mapped memory itself is freed when the last array
+        reference dies (the mapping is never force-closed — see the
+        module docstring).  In-memory backends have nothing to retire.
+        The backend stays usable: later :meth:`empty` calls allocate
+        fresh arrays.
+        """
+        return 0
+
+    def subscope(self, tag: str) -> ArrayBackend:
+        """A backend for one bounded allocation lifetime.
+
+        Arrays a build allocates through a subscope can be retired as a
+        unit with :meth:`release` without touching sibling builds that
+        share the parent.  The default (in-memory) implementation has no
+        tracked resources, so the backend itself is its own subscope.
+        """
+        return self
+
     def describe(self) -> dict[str, Any]:
         """A plain-dict summary (used by ``Index.describe()``)."""
         return {"backend": type(self).__name__}
@@ -89,7 +133,9 @@ class MemmapBackend(ArrayBackend):
             directory.
 
     Each allocation gets a fresh, sequence-numbered file, so rebuilding a
-    structure never aliases a live array from the previous build.
+    structure never aliases a live array from the previous build; the
+    rebuild's predecessor is reclaimed with :meth:`release` (on its own
+    :meth:`subscope`) rather than by accumulating forever.
     """
 
     def __init__(self, directory: str | os.PathLike[str], tag: str = "repro") -> None:
@@ -97,8 +143,17 @@ class MemmapBackend(ArrayBackend):
         self.directory.mkdir(parents=True, exist_ok=True)
         self.tag = str(tag)
         self._sequence = itertools.count()
-        self._allocated: list[Path] = []
-        self._arrays: list[np.memmap] = []
+        #: Live allocations only: ``release()`` empties this, so flushes
+        #: and spill accounting never touch superseded builds.
+        self._live: dict[Path, np.memmap] = {}
+        #: Names of zero-size allocations that fell back to the heap —
+        #: invisible to ``spill_files`` by necessity, reported by
+        #: ``describe()`` by contract.
+        self._degenerate: list[str] = []
+        #: Subscope directories this instance has handed out, so two
+        #: children with the same tag never share (and overwrite) one
+        #: spill directory.
+        self._children: set[Path] = set()
 
     def _path_for(self, name: str) -> Path:
         safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", name) or "array"
@@ -111,43 +166,161 @@ class MemmapBackend(ArrayBackend):
     ) -> np.ndarray:
         shape = tuple(int(n) for n in shape)
         if int(np.prod(shape)) == 0:
-            # mmap cannot map zero bytes; a heap array is equivalent here.
+            # mmap cannot map zero bytes; a heap array is equivalent here
+            # but has no spill file — tracked so describe() reports it.
+            self._degenerate.append(str(name))
             return np.empty(shape, dtype=np.dtype(dtype))
         path = self._path_for(name)
-        self._allocated.append(path)
         array = np.lib.format.open_memmap(
             path, mode="w+", dtype=np.dtype(dtype), shape=shape
         )
-        self._arrays.append(array)
+        self._live[path] = array
         return array
 
     def flush(self) -> None:
-        """Sync every live memmap's dirty pages to its spill file.
+        """Sync every *live* memmap's dirty pages to its spill file.
 
         Structures call this at the end of ``apply_updates``: in-place
         deltas otherwise sit in the page cache only, so reading a spill
         file by path (``save_index``, another process) can observe the
-        pre-update bytes.
+        pre-update bytes.  Released arrays are not flushed — their files
+        are gone, and re-flushing every array ever allocated made each
+        update batch O(total builds) instead of O(live arrays).
         """
-        for array in self._arrays:
+        for array in self._live.values():
             array.flush()
+
+    def release(self) -> int:
+        """Delete every live spill file and drop its handle tracking.
+
+        Safe while the arrays are still mapped (POSIX unlink); the
+        mapping's memory is returned when the last array reference dies.
+        Degenerate (zero-size, heap-backed) allocations are retired from
+        the ``describe()`` accounting at the same time.  Returns the
+        number of spill files released.
+        """
+        released = len(self._live)
+        for path in self._live:
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+        self._live.clear()
+        self._degenerate.clear()
+        return released
+
+    def subscope(self, tag: str) -> MemmapBackend:
+        """A child backend spilling into ``directory/tag``.
+
+        Releasing the child deletes only the child's files; the parent's
+        live arrays are untouched.  Used by the serving layer to give
+        each adaptive plan build its own reclaimable spill scope.  Asking
+        the same parent for the same tag twice yields *distinct*
+        directories (a numeric suffix disambiguates) — each child has its
+        own filename sequence, so sharing a directory would let a second
+        build overwrite the first's live files.
+        """
+        safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", str(tag)) or "scope"
+        child = self.directory / safe
+        suffix = 0
+        while child in self._children:
+            suffix += 1
+            child = self.directory / f"{safe}-{suffix}"
+        self._children.add(child)
+        return MemmapBackend(child, tag=self.tag)
 
     @property
     def spill_files(self) -> tuple[Path, ...]:
-        """Paths of every array file this backend has handed out."""
-        return tuple(self._allocated)
+        """Paths of every *live* array file (released files are gone)."""
+        return tuple(self._live)
+
+    @property
+    def live_arrays(self) -> int:
+        """How many handed-out arrays this backend still tracks."""
+        return len(self._live)
 
     @property
     def spilled_bytes(self) -> int:
-        """Total bytes currently on disk across spill files."""
-        return sum(p.stat().st_size for p in self._allocated if p.exists())
+        """Total bytes currently on disk across live spill files."""
+        return sum(p.stat().st_size for p in self._live if p.exists())
 
     def describe(self) -> dict[str, Any]:
         return {
             "backend": type(self).__name__,
             "directory": str(self.directory),
-            "files": len(self._allocated),
+            "files": len(self._live),
+            "degenerate": len(self._degenerate),
         }
+
+
+class AdoptingBackend(ArrayBackend):
+    """Wrap a backend so :meth:`materialize` adopts instead of copying.
+
+    Structure constructors call ``backend.materialize("source", cube)``
+    to take a defensive copy of their input.  When the caller *already
+    owns* the array — a streaming-ingest accumulator that just finished
+    its one-pass build, a spill file being reopened by
+    :func:`repro.io.open_index` — that copy would double the footprint
+    (and, out of core, the disk) for nothing.  An adopting backend hands
+    the array straight through, records it for :meth:`flush` when it is
+    file-backed, and delegates every fresh allocation to the wrapped
+    backend.
+
+    Only use it when handing a structure arrays nobody else will mutate:
+    adoption deliberately removes the copy that normally isolates the
+    structure from its caller.
+    """
+
+    def __init__(self, inner: ArrayBackend) -> None:
+        self.inner = inner
+        self._adopted: list[np.ndarray] = []
+
+    def empty(
+        self, name: str, shape: Sequence[int], dtype: object
+    ) -> np.ndarray:
+        return self.inner.empty(name, shape, dtype)
+
+    def materialize(self, name: str, array: np.ndarray) -> np.ndarray:
+        adopted = np.asarray(array)
+        if _backing_memmap(adopted) is not None:
+            self._adopted.append(adopted)
+        return adopted
+
+    def flush(self) -> None:
+        for array in self._adopted:
+            backing = _backing_memmap(array)
+            if backing is not None:
+                backing.flush()
+        self.inner.flush()
+
+    def release(self) -> int:
+        self._adopted.clear()
+        return self.inner.release()
+
+    def subscope(self, tag: str) -> ArrayBackend:
+        return self.inner.subscope(tag)
+
+    def describe(self) -> dict[str, Any]:
+        description = dict(self.inner.describe())
+        description["adopted"] = len(self._adopted)
+        return description
+
+
+def _backing_memmap(array: np.ndarray | None) -> np.memmap | None:
+    """The file-backed memmap an array views, if any.
+
+    Walks the ``.base`` chain: ``np.asarray(memmap)`` and slicing both
+    return plain ``ndarray`` views whose buffer is still the mapped
+    file.  Returns the underlying :class:`np.memmap` (the object that
+    knows its ``filename`` and can ``flush()``), or ``None`` for heap
+    arrays.
+    """
+    seen: object = array
+    while isinstance(seen, np.ndarray):
+        if isinstance(seen, np.memmap) and getattr(seen, "filename", None):
+            return seen
+        seen = seen.base
+    return None
 
 
 #: Shared default backend — heap allocation, the pre-registry behaviour.

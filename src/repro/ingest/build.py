@@ -1,0 +1,223 @@
+"""Driving a streaming build end to end: absorb, finalize, assemble.
+
+:func:`ingest` is the tentpole path — **one pass** over the record
+stream fills every accumulator (:mod:`repro.ingest.accumulate`), then
+each cuboid's finalize step runs the ordinary registry construction over
+its cells *in place* (through an :class:`~repro.index.AdoptingBackend`,
+so no accumulator is copied) and the results assemble into a servable
+:class:`~repro.optimizer.materialize.MaterializedCuboidSet`.
+
+:func:`ingest_per_scan` is the honest baseline the paper-era pipeline
+implies: one full pass over the source per accumulated array (the base
+plus each cuboid), ``k + 1`` scans in total.  ``benchmarks/
+bench_ingest.py`` races the two.
+
+Failure atomicity: any error mid-stream (malformed batch, out-of-range
+record, a source that dies halfway) releases every accumulator scope
+before re-raising, so an aborted ingest leaves no partial spill files
+behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from collections.abc import Callable, Iterable
+from typing import Any
+
+from repro.index.backend import (
+    AdoptingBackend,
+    ArrayBackend,
+    MemmapBackend,
+)
+from repro.ingest.accumulate import (
+    CuboidAccumulator,
+    MultiCuboidAccumulator,
+    validate_batch,
+)
+from repro.ingest.batches import RecordBatch
+from repro.ingest.plan import IngestPlan
+from repro.optimizer.materialize import MaterializedCuboidSet
+
+
+@dataclass
+class IngestResult:
+    """A finished streaming build.
+
+    Attributes:
+        cuboid_set: The servable set (its own backend is the cuboid
+            scope, so ``cuboid_set.release()`` retires the structures
+            without deleting the base cube's spill file).
+        plan: The plan that was executed.
+        backend: The *root* backend holding the base accumulator.
+        rows: Records absorbed.
+        batches: Batches absorbed.
+        spilled: Whether the build went through a
+            :class:`~repro.index.MemmapBackend`.
+    """
+
+    cuboid_set: MaterializedCuboidSet
+    plan: IngestPlan
+    backend: ArrayBackend
+    rows: int
+    batches: int
+    spilled: bool
+
+    def release(self) -> int:
+        """Tear down the entire build: structures, base, spill files."""
+        released = self.cuboid_set.release()
+        return released + self.backend.release()
+
+    def describe(self) -> dict[str, Any]:
+        """A plain-dict summary for CLIs and logs."""
+        return {
+            "rows": self.rows,
+            "batches": self.batches,
+            "shape": list(self.plan.shape),
+            "cuboids": [list(c.key) for c in self.plan.cuboids],
+            "spilled": self.spilled,
+            "accumulator_bytes": self.plan.accumulator_bytes(),
+            "backend": self.backend.describe(),
+        }
+
+
+def _finalize(
+    accumulator: MultiCuboidAccumulator,
+) -> tuple[MaterializedCuboidSet, AdoptingBackend]:
+    """Build each cuboid's structure over its cells, without copying.
+
+    The adopting backend hands the accumulated cells straight to the
+    structure constructor (``materialize`` becomes adoption) while any
+    *fresh* arrays a structure needs — a blocked-partial's positions,
+    say — still allocate in the cuboid scope, so everything the finished
+    set owns releases as one unit.
+    """
+    plan = accumulator.plan
+    adopting = AdoptingBackend(accumulator.cuboid_scope)
+    structures = [
+        chosen.index_spec().build(acc.cells, backend=adopting)
+        for chosen, acc in zip(plan.cuboids, accumulator.cuboids)
+    ]
+    cuboid_set = MaterializedCuboidSet.from_accumulated(
+        accumulator.base, plan.cuboids, structures, backend=adopting
+    )
+    return cuboid_set, adopting
+
+
+def ingest(
+    batches: Iterable[RecordBatch],
+    plan: IngestPlan,
+    backend: ArrayBackend | None = None,
+) -> IngestResult:
+    """One pass over ``batches`` → a servable materialized cuboid set.
+
+    Args:
+        batches: Record batches (e.g. from
+            :func:`repro.ingest.open_batches`).  Consumed exactly once.
+        plan: What to build.
+        backend: Root array backend; ``None`` lets the plan's memory
+            model choose (spilling through a memmap when the
+            accumulators outgrow ``plan.budget_bytes``).
+    """
+    accumulator = MultiCuboidAccumulator(plan, backend)
+    try:
+        for batch in batches:
+            accumulator.absorb(batch)
+        cuboid_set, adopting = _finalize(accumulator)
+        accumulator.backend.flush()
+        adopting.flush()
+    except BaseException:
+        accumulator.release()
+        raise
+    return IngestResult(
+        cuboid_set=cuboid_set,
+        plan=plan,
+        backend=accumulator.backend,
+        rows=accumulator.rows,
+        batches=accumulator.batches,
+        spilled=isinstance(accumulator.backend, MemmapBackend),
+    )
+
+
+def ingest_per_scan(
+    batch_source: Callable[[], Iterable[RecordBatch]],
+    plan: IngestPlan,
+    backend: ArrayBackend | None = None,
+) -> IngestResult:
+    """The ``k + 1``-scan baseline: one full source pass per array.
+
+    Re-opens the source once for the base cube and once per cuboid —
+    what building each structure independently costs when the cube never
+    fits in memory and every build must go back to the records.  Exists
+    for ``benchmarks/bench_ingest.py``; production code wants
+    :func:`ingest`.
+
+    Args:
+        batch_source: Zero-argument callable yielding a *fresh* batch
+            iterator per call (a file path re-opened each time).
+        plan: What to build.
+        backend: Root backend, as for :func:`ingest`.
+    """
+    root = plan.make_backend() if backend is None else backend
+    scope = root.subscope("cuboids")
+    try:
+        base = CuboidAccumulator(
+            "base", tuple(range(plan.ndim)), plan.shape, plan.base_dtype, root
+        )
+        rows = 0
+        batches = 0
+        for batch in batch_source():
+            base.absorb(validate_batch(batch, plan), batch.values)
+            rows += batch.rows
+            batches += 1
+        adopting = AdoptingBackend(scope)
+        structures = []
+        for chosen in plan.cuboids:
+            dtype = (
+                plan.base_dtype
+                if len(chosen.key) == plan.ndim
+                else plan.group_dtype
+            )
+            name = "cuboid-" + "-".join(str(j) for j in chosen.key)
+            acc = CuboidAccumulator(
+                name, chosen.key, plan.cuboid_shape(chosen.key), dtype, scope
+            )
+            for batch in batch_source():
+                acc.absorb(validate_batch(batch, plan), batch.values)
+            structures.append(
+                chosen.index_spec().build(acc.cells, backend=adopting)
+            )
+        cuboid_set = MaterializedCuboidSet.from_accumulated(
+            base.cells, plan.cuboids, structures, backend=adopting
+        )
+        root.flush()
+        adopting.flush()
+    except BaseException:
+        scope.release()
+        root.release()
+        raise
+    return IngestResult(
+        cuboid_set=cuboid_set,
+        plan=plan,
+        backend=root,
+        rows=rows,
+        batches=batches,
+        spilled=isinstance(root, MemmapBackend),
+    )
+
+
+def in_memory_reference(
+    batches: Iterable[RecordBatch], plan: IngestPlan
+) -> MaterializedCuboidSet:
+    """The non-streaming reference: densify, then ``__init__`` as usual.
+
+    Materializes the full base cube in memory and lets
+    :class:`MaterializedCuboidSet` compute every group-by with
+    ``base.sum(axis=dropped)`` — the differential oracle the ingest
+    tests compare streamed builds against, bit for bit (integer
+    measures).
+    """
+    dense_plan = replace(plan, cuboids=(), budget_bytes=None)
+    accumulator = MultiCuboidAccumulator(dense_plan, backend=None)
+    for batch in batches:
+        accumulator.absorb(batch)
+    return MaterializedCuboidSet(accumulator.base, plan.cuboids)

@@ -67,6 +67,7 @@ class MaterializedCuboidSet:
         self.base = np.array(cube, copy=True)
         self.shape = tuple(int(n) for n in cube.shape)
         self.ndim = cube.ndim
+        self.backend = backend
         self.plan: tuple[Materialization, ...] = tuple(plan)
         self.cuboids: list[MaterializedCuboid] = []
         for chosen in plan:
@@ -88,6 +89,67 @@ class MaterializedCuboidSet:
             self.cuboids.append(
                 MaterializedCuboid(chosen.key, structure)
             )
+
+    @classmethod
+    def from_accumulated(
+        cls,
+        base: np.ndarray,
+        plan: Sequence[Materialization],
+        structures: Sequence[BlockedPrefixSumCube | BlockedPartialPrefixSumCube],
+        backend: ArrayBackend | None = None,
+    ) -> MaterializedCuboidSet:
+        """Assemble a set whose structures were built elsewhere.
+
+        The streaming ingest builder (:mod:`repro.ingest`) accumulates
+        every cuboid's group-by cells in one pass over the record stream
+        and finalizes each structure in place; this constructor adopts
+        those structures — and the base cube, *without* the defensive
+        copy ``__init__`` takes — so an out-of-core build never holds a
+        second ``N``-cell array.
+
+        Args:
+            base: The accumulated base cube (adopted as-is; for spilled
+                ingests this is a memmap).
+            plan: The materializations, aligned with ``structures``.
+            structures: One built structure per plan entry.
+            backend: The backend the accumulators were allocated
+                through; retained so :meth:`release` can reclaim the
+                whole build.
+        """
+        plan = tuple(plan)
+        if len(plan) != len(structures):
+            raise ValueError(
+                f"{len(plan)} materializations but {len(structures)} "
+                "built structures"
+            )
+        base = np.asarray(base)
+        self = cls.__new__(cls)
+        self.base = base
+        self.shape = tuple(int(n) for n in base.shape)
+        self.ndim = base.ndim
+        self.backend = backend
+        self.plan = plan
+        self.cuboids = [
+            MaterializedCuboid(chosen.key, structure)
+            for chosen, structure in zip(plan, structures)
+        ]
+        return self
+
+    def release(self) -> int:
+        """Retire this set's backend-held arrays (spill files, handles).
+
+        Drops the structures (so the mapped memory can be reclaimed by
+        refcounting) and releases the backend the set was built through.
+        Only call on a set whose backend is *not* shared with live
+        structures — the serving layer builds every set through its own
+        :meth:`~repro.index.ArrayBackend.subscope` precisely so a
+        superseded plan can be reclaimed without touching the engine's
+        arrays.  Returns the number of spill files released.
+        """
+        self.cuboids.clear()
+        if self.backend is None:
+            return 0
+        return self.backend.release()
 
     @property
     def storage_cells(self) -> int:

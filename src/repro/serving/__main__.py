@@ -5,6 +5,13 @@ seeded demo cubes (or whatever shapes you pass via ``--cube``) and
 serves until interrupted.  ``--logbook PATH`` records all served
 traffic in the §9 advisor workload format and writes it on shutdown —
 the *serve → log → re-tune* loop's first leg.
+
+``--ingest NAME=PATH`` registers a cube built by the streaming
+ingestion subsystem (:mod:`repro.ingest`) from a CSV/Arrow/Parquet
+fact file instead of seeded random data; ``--ingest-cuboids`` /
+``--ingest-budget-mb`` / ``--ingest-spill`` forward to the ingest
+plan, and an over-budget build spills through a memmap and is served
+straight from its spill files (the base cube is adopted, not copied).
 """
 
 from __future__ import annotations
@@ -62,6 +69,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for the demo cubes' data (default 0)",
     )
     parser.add_argument(
+        "--ingest",
+        action="append",
+        metavar="NAME=PATH",
+        default=None,
+        help="register a cube ingested from a data file (CSV always; "
+        "Arrow/Parquet with pyarrow), e.g. sales=facts.csv "
+        "(repeatable)",
+    )
+    parser.add_argument(
+        "--ingest-cuboids",
+        metavar="KEYS",
+        default="",
+        help='§9 cuboids to accumulate during ingest, e.g. "0,1;1,2"',
+    )
+    parser.add_argument(
+        "--ingest-budget-mb",
+        type=float,
+        default=None,
+        help="accumulator budget for ingested cubes; exceeding it "
+        "spills to --ingest-spill",
+    )
+    parser.add_argument(
+        "--ingest-spill",
+        metavar="DIR",
+        default=None,
+        help="spill directory for over-budget ingests",
+    )
+    parser.add_argument(
         "--logbook",
         metavar="PATH",
         default=None,
@@ -101,6 +136,65 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _register_ingested(
+    service: QueryService,
+    name: str,
+    path: str,
+    args: argparse.Namespace,
+) -> None:
+    """Build one cube from a fact file and register the result.
+
+    Spilled builds register with ``cuboid_set=`` so the memmap base is
+    adopted without a copy; the ingest's root backend becomes the
+    cube's design backend, letting adaptive swaps reclaim superseded
+    plans into the same spill directory.
+    """
+    from repro.ingest import (
+        IngestPlan,
+        infer_shape,
+        ingest,
+        open_batches,
+        plan_cuboids,
+    )
+
+    shape = infer_shape(open_batches(path))
+    keys = [
+        tuple(int(p) for p in group.split(","))
+        for group in args.ingest_cuboids.split(";")
+        if group.strip()
+    ]
+    plan = IngestPlan(
+        shape=shape,
+        cuboids=plan_cuboids(shape, keys),
+        budget_bytes=(
+            None
+            if args.ingest_budget_mb is None
+            else int(args.ingest_budget_mb * (1 << 20))
+        ),
+        spill_directory=args.ingest_spill,
+    )
+    result = ingest(open_batches(path), plan)
+    extra: dict = {}
+    if result.spilled:
+        # No indexed tier for an out-of-core cube: the engine's default
+        # structures would copy the whole base back onto the heap.  The
+        # materialized cuboids (plus the fallback scan over the mapped
+        # base) serve it.
+        extra["engine"] = None
+    service.register_cube(
+        name,
+        cuboid_set=result.cuboid_set,
+        backend=result.backend,
+        **extra,
+    )
+    print(
+        f"ingested cube {name!r} from {path}: shape={shape}, "
+        f"{result.rows} rows, {len(plan.cuboids)} cuboids, "
+        f"spilled={result.spilled}",
+        file=sys.stderr,
+    )
+
+
 async def _serve(args: argparse.Namespace) -> None:
     config = ServeConfig(
         coalesce_window_s=args.coalesce_window_ms / 1e3,
@@ -114,7 +208,7 @@ async def _serve(args: argparse.Namespace) -> None:
     )
     service = QueryService(config)
     rng = np.random.default_rng(args.seed)
-    cubes = args.cube or [("demo", (32, 32, 16))]
+    cubes = args.cube or ([] if args.ingest else [("demo", (32, 32, 16))])
     for name, shape in cubes:
         data = rng.integers(0, 100, size=shape, dtype=np.int64)
         service.register_cube(name, data)
@@ -123,6 +217,13 @@ async def _serve(args: argparse.Namespace) -> None:
             f"dtype=int64 (seeded)",
             file=sys.stderr,
         )
+    for spec in args.ingest or []:
+        name, _, path = spec.partition("=")
+        if not name or not path:
+            raise SystemExit(
+                f"--ingest spec {spec!r} must look like name=path.csv"
+            )
+        _register_ingested(service, name, path, args)
     server = ServingServer(service, host=args.host, port=args.port)
     await server.start()
     controller = None

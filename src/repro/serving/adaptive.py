@@ -208,15 +208,29 @@ class AdaptiveController:
             cube.pending_design_updates = []
         started = time.perf_counter()
         loop = asyncio.get_running_loop()
+        # Each rebuild allocates through its own subscope of the cube's
+        # design backend, so the plan it supersedes can be released
+        # (spill files deleted, handle tracking dropped) the moment the
+        # swap lands — without per-swap scoping, a long-lived adaptive
+        # service leaks one plan's worth of memmap handles and on-disk
+        # bytes per swap.
+        build_backend = None
+        if cube.design_backend is not None:
+            cube.design_generation += 1
+            build_backend = cube.design_backend.subscope(
+                f"design-g{cube.design_generation}"
+            )
         try:
             candidate = await loop.run_in_executor(
                 self.service._ensure_executor(),
                 lambda: MaterializedCuboidSet(
-                    base_snapshot, delta.candidate
+                    base_snapshot, delta.candidate, backend=build_backend
                 ),
             )
         except BaseException:
             cube.pending_design_updates = None
+            if build_backend is not None:
+                build_backend.release()
             raise
         build_s = time.perf_counter() - started
         async with cube.rwlock.write_locked():
@@ -224,9 +238,15 @@ class AdaptiveController:
             if pending:
                 candidate.apply_updates(pending)
             cube.pending_design_updates = None
+            superseded = cube.cuboids
             cube.cuboids = candidate
             cube.generation += 1
             self.service.cache.invalidate_cube(cube.name)
+        # Reclaim the superseded plan outside the write lock: release
+        # only unlinks files and drops references (readers that raced
+        # the swap keep their mapped pages until their refs die), so it
+        # needs no exclusion.
+        released_files = 0 if superseded is None else superseded.release()
         self.swaps += 1
         cube.swap_history.append(
             {
@@ -234,6 +254,7 @@ class AdaptiveController:
                 "generation": cube.generation,
                 "build_s": build_s,
                 "replayed_updates": len(pending),
+                "released_files": released_files,
                 "plan": [
                     {"key": list(m.key), "block_size": m.block_size}
                     for m in delta.candidate

@@ -168,6 +168,13 @@ class ServedCube:
     #: built set can replay them before installation (the hot-swap
     #: consistency protocol of :mod:`repro.serving.adaptive`).
     pending_design_updates: list[PointUpdate] | None = None
+    #: Root array backend for adaptive rebuilds.  Each swap builds its
+    #: candidate through ``design_backend.subscope(f"design-g{n}")`` so
+    #: the superseded set's spill files can be reclaimed without
+    #: touching the engine's (or the base cube's) arrays.
+    design_backend: ArrayBackend | None = None
+    #: Monotone counter naming those per-swap subscopes.
+    design_generation: int = 0
     #: False after an update failed mid-apply: the tiers may disagree,
     #: so the service quarantines the cube (every request is refused).
     healthy: bool = True
@@ -217,7 +224,7 @@ class QueryService:
     def register_cube(
         self,
         name: str,
-        cube: np.ndarray,
+        cube: np.ndarray | None = None,
         *,
         engine: RangeQueryEngine | None = _UNSET,
         sum_index: object = None,
@@ -227,6 +234,7 @@ class QueryService:
         counts: np.ndarray | None = None,
         backend: ArrayBackend | None = None,
         plan: Sequence[object] | None = None,
+        cuboid_set: MaterializedCuboidSet | None = None,
         fallback: bool = True,
         kernel: object | None = None,
     ) -> ServedCube:
@@ -235,7 +243,11 @@ class QueryService:
         Args:
             name: URL-safe cube name (non-empty, no ``/``).
             cube: The measure cube; copied, so later caller-side
-                mutation cannot silently diverge the tiers.
+                mutation cannot silently diverge the tiers.  May be
+                omitted when ``cuboid_set`` is given — the set's own
+                base cube is then *adopted without a copy*, which is how
+                an out-of-core :func:`repro.ingest.ingest` build (whose
+                base is a memmap) goes straight into serving.
             engine: A prebuilt :class:`RangeQueryEngine` to serve from
                 (it must cover the same data, and ``counts`` should
                 match what it was built with), or ``None`` for no
@@ -244,9 +256,15 @@ class QueryService:
             sum_index / sum_params / max_index / max_params / kernel:
                 Forwarded to the default-built engine.
             counts: Optional record-count cube (AVERAGE denominators).
-            backend: Array backend for built structures.
+            backend: Array backend for built structures.  Also retained
+                as the cube's *design backend*: adaptive rebuilds
+                allocate through per-swap subscopes of it so superseded
+                plans can be reclaimed (spill files deleted) on swap.
             plan: §9 materializations; builds the tier-1
                 :class:`MaterializedCuboidSet` when given.
+            cuboid_set: A prebuilt tier-1 set to adopt instead of
+                building one from ``plan`` (mutually exclusive with
+                ``plan``), e.g. ``IngestResult.cuboid_set``.
             fallback: Keep the naive base-scan tier (tier 2's safety
                 net); disable to make uncovered operators a 422.
         """
@@ -254,7 +272,27 @@ class QueryService:
             raise ValueError(f"cube name {name!r} must be non-empty, no '/'")
         if name in self.cubes:
             raise ValueError(f"cube {name!r} is already registered")
-        base = np.array(cube, copy=True)
+        if plan is not None and cuboid_set is not None:
+            raise ValueError(
+                "pass either plan= (build here) or cuboid_set= "
+                "(adopt a prebuilt set), not both"
+            )
+        if cube is None:
+            if cuboid_set is None:
+                raise ValueError(
+                    "register_cube needs a cube array (or a cuboid_set "
+                    "whose base to adopt)"
+                )
+            base = np.asarray(cuboid_set.base)
+        else:
+            base = np.array(cube, copy=True)
+            if cuboid_set is not None and (
+                tuple(cuboid_set.shape) != base.shape
+            ):
+                raise ValueError(
+                    f"cuboid_set shape {cuboid_set.shape} does not "
+                    f"match cube shape {base.shape}"
+                )
         held_counts = (
             None if counts is None else np.array(counts, copy=True)
         )
@@ -280,9 +318,17 @@ class QueryService:
                     f"shape {base.shape}"
                 )
             counter = engine.counter
-        cuboids = None
+        cuboids = cuboid_set
         if plan is not None:
-            cuboids = MaterializedCuboidSet(base, plan, backend=backend)
+            # The initial plan gets its own subscope (generation 0) just
+            # like every adaptive rebuild will, so a later swap can
+            # release it without touching the engine's arrays.
+            plan_backend = (
+                None if backend is None else backend.subscope("design-g0")
+            )
+            cuboids = MaterializedCuboidSet(
+                base, plan, backend=plan_backend
+            )
         served = ServedCube(
             name=name,
             base=base,
@@ -291,6 +337,7 @@ class QueryService:
             cuboids=cuboids,
             counter=counter,
             fallback=fallback,
+            design_backend=backend,
         )
         if self.config.logbook_path is not None:
             served.logbook = QueryLog(served.shape)

@@ -27,3 +27,8 @@ def apply_view_updates(structure, updates):
     for node, value in updates:
         view[node] = value  # aliased backend array
     return len(updates)  # VIOLATION: alias mutation without flush
+
+
+def finalize_cuboid(accumulator, table):
+    accumulator.cells[...] = table
+    return accumulator.cells  # VIOLATION: finalize sweep without flush

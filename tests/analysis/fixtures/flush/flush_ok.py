@@ -43,5 +43,18 @@ def apply_batch_to_raw(prefix, updates):
 def apply_bookkeeping(registry, updates):
     # Subscript stores into non-backed attributes are out of scope.
     for key, value in updates:
-        registry.cells[key] = value
+        registry.entries[key] = value
     return len(updates)
+
+
+def finalize_cuboid(accumulator, table):
+    # Ingest finalize sweeps are mutation boundaries too (PR 9): a
+    # flushed one is compliant.
+    accumulator.cells[...] = table
+    accumulator.backend.flush()
+    return accumulator.cells
+
+
+def finalize_report(accumulator):
+    # finalize* with no backed-array mutation never needs a flush.
+    return {"rows": accumulator.rows}

@@ -17,6 +17,7 @@ def test_flags_every_unflushed_return_path():
         "apply_updates": 2,  # both return statements
         "apply_assignments": 1,
         "apply_view_updates": 1,  # via the local view alias
+        "finalize_cuboid": 1,  # ingest finalize sweeps are boundaries
     }
 
 

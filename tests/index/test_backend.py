@@ -90,6 +90,156 @@ class TestBackendBasics:
         assert info["files"] == 1
 
 
+class TestMemmapLifecycle:
+    """The allocation-lifecycle contract: release, live-only flush,
+    degenerate accounting, and subscope isolation."""
+
+    def test_release_deletes_files_and_drops_tracking(self, tmp_path):
+        backend = MemmapBackend(tmp_path, tag="t")
+        arrays = [backend.empty(f"a{i}", (64,), np.int64) for i in range(3)]
+        for arr in arrays:
+            arr[...] = 1
+        files = backend.spill_files
+        assert backend.live_arrays == 3
+        assert backend.release() == 3
+        assert backend.live_arrays == 0
+        assert backend.spill_files == ()
+        assert backend.spilled_bytes == 0
+        assert not any(path.exists() for path in files)
+        # POSIX unlink-while-mapped: the arrays stay readable until the
+        # last reference dies; release must never close the mapping.
+        assert int(arrays[0].sum()) == 64
+
+    def test_backend_usable_after_release(self, tmp_path):
+        backend = MemmapBackend(tmp_path)
+        backend.empty("a", (8,), np.int64)
+        backend.release()
+        fresh = backend.empty("b", (8,), np.int64)
+        fresh[...] = 3
+        assert backend.live_arrays == 1
+        assert np.array_equal(np.load(backend.spill_files[0]), fresh)
+
+    def test_release_tolerates_already_deleted_files(self, tmp_path):
+        backend = MemmapBackend(tmp_path)
+        backend.empty("a", (8,), np.int64)
+        backend.spill_files[0].unlink()
+        assert backend.release() == 1
+
+    def test_flush_touches_live_arrays_only(self, tmp_path, monkeypatch):
+        """Flush is O(live arrays), not O(every array ever allocated)."""
+        backend = MemmapBackend(tmp_path)
+        flushed = []
+        original = np.memmap.flush
+
+        def counting_flush(self):
+            flushed.append(self)
+            original(self)
+
+        monkeypatch.setattr(np.memmap, "flush", counting_flush)
+        for i in range(5):
+            backend.empty(f"gen{i}", (16,), np.int64)
+        backend.release()
+        survivor = backend.empty("live", (16,), np.int64)
+        survivor[...] = 9
+        backend.flush()
+        assert len(flushed) == 1
+        assert flushed[0] is survivor
+
+    def test_degenerate_allocations_reported(self, tmp_path):
+        """Zero-size heap fallbacks are invisible to spill_files by
+        necessity but must show up in describe() by contract."""
+        backend = MemmapBackend(tmp_path)
+        backend.empty("empty", (0, 5), np.int64)
+        backend.empty("real", (4,), np.int64)
+        info = backend.describe()
+        assert info["files"] == 1
+        assert info["degenerate"] == 1
+        assert backend.release() == 1
+        assert backend.describe()["degenerate"] == 0
+
+    def test_memory_backend_release_is_noop(self):
+        backend = MemoryBackend()
+        arr = backend.empty("a", (4,), np.int64)
+        assert backend.release() == 0
+        assert arr.shape == (4,)
+
+    def test_subscope_release_leaves_parent_untouched(self, tmp_path):
+        parent = MemmapBackend(tmp_path)
+        kept = parent.empty("base", (32,), np.int64)
+        kept[...] = 5
+        child = parent.subscope("build")
+        child.empty("aux", (32,), np.int64)
+        assert child.directory != parent.directory
+        assert child.release() == 1
+        assert parent.live_arrays == 1
+        assert parent.spill_files[0].exists()
+        assert np.array_equal(np.load(parent.spill_files[0]), kept)
+
+    def test_same_tag_subscopes_get_distinct_directories(self, tmp_path):
+        parent = MemmapBackend(tmp_path)
+        first = parent.subscope("cuboids")
+        second = parent.subscope("cuboids")
+        assert first.directory != second.directory
+        a = first.empty("x", (4,), np.int64)
+        b = second.empty("x", (4,), np.int64)
+        a[...] = 1
+        b[...] = 2
+        # Without distinct directories the second allocation would have
+        # overwritten the first's spill file (fresh sequence counters).
+        assert np.array_equal(np.load(first.spill_files[0]), a)
+        assert np.array_equal(np.load(second.spill_files[0]), b)
+
+    def test_memory_backend_subscope_is_self(self):
+        backend = MemoryBackend()
+        assert backend.subscope("anything") is backend
+
+
+class TestAdoptingBackend:
+    def test_materialize_adopts_without_copy(self, tmp_path):
+        from repro.index.backend import AdoptingBackend
+
+        inner = MemmapBackend(tmp_path)
+        cells = inner.empty("cells", (8,), np.int64)
+        cells[...] = 3
+        adopting = AdoptingBackend(inner)
+        adopted = adopting.materialize("source", cells)
+        assert adopted.base is cells or adopted is cells
+        cells[0] = 99
+        assert adopted[0] == 99  # same buffer, no defensive copy
+        assert adopting.describe()["adopted"] == 1
+
+    def test_flush_reaches_adopted_memmaps(self, tmp_path):
+        from repro.index.backend import AdoptingBackend
+
+        inner = MemmapBackend(tmp_path)
+        cells = inner.empty("cells", (8,), np.int64)
+        adopting = AdoptingBackend(inner)
+        view = adopting.materialize("source", np.asarray(cells))
+        view[...] = 42
+        adopting.flush()
+        assert np.array_equal(np.load(inner.spill_files[0]), view)
+
+    def test_release_delegates(self, tmp_path):
+        from repro.index.backend import AdoptingBackend
+
+        inner = MemmapBackend(tmp_path)
+        cells = inner.empty("cells", (8,), np.int64)
+        adopting = AdoptingBackend(inner)
+        adopting.materialize("source", cells)
+        assert adopting.release() == 1
+        assert inner.live_arrays == 0
+        assert adopting.describe()["adopted"] == 0
+
+    def test_heap_arrays_pass_through_untracked(self):
+        from repro.index.backend import AdoptingBackend
+
+        adopting = AdoptingBackend(MemoryBackend())
+        source = np.arange(6)
+        adopted = adopting.materialize("source", source)
+        assert adopted is source
+        assert adopting.describe()["adopted"] == 0
+
+
 class TestMemmapEquivalence:
     @pytest.mark.parametrize("name", DENSE_SUM)
     @pytest.mark.parametrize("ndim", [1, 2, 3, 4])

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -441,5 +442,136 @@ class TestDriftingLoadgen:
                 assert len(history) >= 1
             finally:
                 await server.stop()
+
+        asyncio.run(main())
+
+
+class TestSwapResourceReclamation:
+    """The memmap-leak regression: N hot swaps on a spill-backed cube
+    must not accumulate spill files, on-disk bytes, or live mappings —
+    each swap releases the plan it supersedes."""
+
+    @staticmethod
+    def _spill_state(root) -> tuple[int, int]:
+        files = sorted(root.rglob("*.npy"))
+        return len(files), sum(p.stat().st_size for p in files)
+
+    @staticmethod
+    def _mapped_spill_segments(root) -> int:
+        import gc
+
+        gc.collect()
+        maps = Path("/proc/self/maps")
+        if not maps.exists():  # pragma: no cover - non-Linux
+            return 0
+        return sum(
+            1
+            for line in maps.read_text().splitlines()
+            if str(root) in line
+        )
+
+    def test_swaps_stabilize_handles_and_disk(self, tmp_path) -> None:
+        from repro.index.backend import MemmapBackend
+        from repro.optimizer.advisor import DesignDelta
+        from repro.optimizer.cuboid_selection import Materialization
+
+        spill = tmp_path / "design"
+        plans = [
+            (Materialization((0, 1), 4, 36.0),),
+            (
+                Materialization((1, 2), 4, 24.0),
+                Materialization((0,), 8, 3.0),
+            ),
+        ]
+
+        async def main() -> None:
+            service = QueryService(ServeConfig(coalesce_window_s=0.0))
+            rng = np.random.default_rng(0xCAFE)
+            data = rng.integers(0, 50, size=SHAPE, dtype=np.int64)
+            backend = MemmapBackend(spill)
+            service.register_cube(
+                "c", data, backend=backend, plan=plans[0], engine=None
+            )
+            cube = service.cubes["c"]
+            controller = AdaptiveController(service)
+            payload = {
+                "cube": "c",
+                "op": "sum",
+                "ranges": [[2, 13], [1, 9], None],
+            }
+            want = expected(service, payload)
+            states: dict[int, list] = {0: [], 1: []}
+            for i in range(6):
+                candidate = plans[(i + 1) % 2]
+                delta = DesignDelta(
+                    shape=SHAPE,
+                    incumbent=cube.plan,
+                    candidate=candidate,
+                    incumbent_cost=1000.0,
+                    candidate_cost=10.0,
+                    build_cost=1.0,
+                    hysteresis=1.0,
+                )
+                await controller.actuate(cube, delta)
+                # Served answers unaffected by the swap.
+                response = await service.query(payload)
+                assert response["value"] == want
+                # Every surviving spill file belongs to the *current*
+                # generation's subscope — nothing from older plans.
+                current = f"design-g{cube.design_generation}"
+                for path in spill.rglob("*.npy"):
+                    assert current in str(path), path
+                states[(i + 1) % 2].append(
+                    (
+                        self._spill_state(spill),
+                        self._mapped_spill_segments(spill),
+                    )
+                )
+            # Same plan -> same file count, same bytes, same number of
+            # live mappings, every time it is re-installed: nothing
+            # accumulates across swaps.
+            for parity in (0, 1):
+                assert len(set(states[parity])) == 1, states[parity]
+            history = cube.swap_history
+            assert all(h["released_files"] > 0 for h in history[1:])
+            await service.close()
+
+        asyncio.run(main())
+
+    def test_failed_build_releases_its_scope(self, tmp_path) -> None:
+        from repro.index.backend import MemmapBackend
+        from repro.optimizer.advisor import DesignDelta
+        from repro.optimizer.cuboid_selection import Materialization
+
+        async def main() -> None:
+            service = QueryService(ServeConfig(coalesce_window_s=0.0))
+            rng = np.random.default_rng(7)
+            data = rng.integers(0, 50, size=SHAPE, dtype=np.int64)
+            spill = tmp_path / "design"
+            service.register_cube(
+                "c",
+                data,
+                backend=MemmapBackend(spill),
+                plan=[Materialization((0, 1), 4, 36.0)],
+                engine=None,
+            )
+            cube = service.cubes["c"]
+            controller = AdaptiveController(service)
+            before = self._spill_state(spill)
+            bad = DesignDelta(
+                shape=SHAPE,
+                incumbent=cube.plan,
+                # Key beyond the cube's dimensionality: the build raises.
+                candidate=(Materialization((0, 7), 4, 1.0),),
+                incumbent_cost=10.0,
+                candidate_cost=1.0,
+                build_cost=0.1,
+                hysteresis=1.0,
+            )
+            with pytest.raises(ValueError):
+                await controller.actuate(cube, bad)
+            assert cube.pending_design_updates is None
+            assert self._spill_state(spill) == before
+            await service.close()
 
         asyncio.run(main())

@@ -225,3 +225,132 @@ class TestFormatSafety:
         np.savez(path, stuff=np.zeros(3))
         with pytest.raises(ValueError, match="not a repro"):
             load_prefix_sum(path)
+
+
+class TestManifestRoundtrip:
+    """Zero-copy persistence: spill files + JSON manifest, reopened by
+    mapping the same files rather than copying."""
+
+    @pytest.mark.parametrize("name", sorted(REGISTRY_CASES))
+    def test_roundtrip_every_registry_case(self, name, rng, tmp_path):
+        from repro.index.backend import MemmapBackend
+        from repro.io import open_index, save_index_manifest
+
+        params, dtype = REGISTRY_CASES[name]
+        cube = make_cube((11, 8), rng).astype(dtype)
+        backend = MemmapBackend(tmp_path / "spill")
+        original = create_index(name, cube, backend=backend, **params)
+        manifest = save_index_manifest(
+            original, tmp_path / f"{name}.manifest.json"
+        )
+        restored = open_index(manifest)
+        assert type(restored) is type(original)
+        for key, value in original.state_dict().items():
+            got = restored.state_dict()[key]
+            if isinstance(value, np.ndarray):
+                assert value.dtype == got.dtype, key
+                assert np.array_equal(
+                    np.asarray(value), np.asarray(got)
+                ), key
+            else:
+                assert value == got, key
+
+    def test_reopen_maps_the_same_files(self, rng, tmp_path):
+        """The zero-copy contract: reopened arrays are backed by the
+        original spill files, not copies."""
+        from repro.index.backend import MemmapBackend, _backing_memmap
+        from repro.io import open_index, save_index_manifest
+
+        cube = make_cube((16, 12), rng)
+        backend = MemmapBackend(tmp_path / "spill")
+        original = create_index("prefix_sum", cube, backend=backend)
+        manifest = save_index_manifest(original, tmp_path / "m.json")
+        restored = open_index(manifest)
+        backing = _backing_memmap(restored.prefix)
+        assert backing is not None
+        assert str(backing.filename).startswith(str(tmp_path / "spill"))
+
+    def test_reopened_structure_answers_and_updates(self, rng, tmp_path):
+        from repro.core.batch_update import PointUpdate
+        from repro.index.backend import MemmapBackend
+        from repro.io import open_index, save_index_manifest
+
+        cube = make_cube((14, 10), rng)
+        backend = MemmapBackend(tmp_path / "spill")
+        original = create_index(
+            "blocked_prefix_sum", cube, backend=backend, block_size=4
+        )
+        manifest = save_index_manifest(original, tmp_path / "m.json")
+        restored = open_index(manifest)
+        box = random_box(cube.shape, rng)
+        assert restored.range_sum(box) == naive_range_sum(cube, box)
+        restored.apply_updates([PointUpdate((3, 3), 17)])
+        mutated = cube.copy()
+        mutated[3, 3] += 17
+        assert restored.range_sum(box) == naive_range_sum(mutated, box)
+
+    def test_readonly_mode(self, rng, tmp_path):
+        from repro.index.backend import MemmapBackend
+        from repro.io import open_index, save_index_manifest
+
+        cube = make_cube((9, 9), rng)
+        backend = MemmapBackend(tmp_path / "spill")
+        original = create_index("prefix_sum", cube, backend=backend)
+        manifest = save_index_manifest(original, tmp_path / "m.json")
+        restored = open_index(manifest, mode="r")
+        assert np.array_equal(
+            np.asarray(restored.prefix), np.asarray(original.prefix)
+        )
+
+    def test_manifest_is_relocatable(self, rng, tmp_path):
+        """Manifest + spill dir move together as one bundle."""
+        import shutil
+
+        from repro.index.backend import MemmapBackend
+        from repro.io import open_index, save_index_manifest
+
+        bundle = tmp_path / "bundle"
+        bundle.mkdir()
+        cube = make_cube((8, 8), rng)
+        backend = MemmapBackend(bundle / "spill")
+        original = create_index("prefix_sum", cube, backend=backend)
+        save_index_manifest(original, bundle / "m.json")
+        moved = tmp_path / "elsewhere"
+        shutil.move(str(bundle), str(moved))
+        restored = open_index(moved / "m.json")
+        assert np.array_equal(
+            np.asarray(restored.prefix), original.prefix
+        )
+
+    def test_heap_structure_is_rejected(self, rng, tmp_path):
+        """Only *tiny* metadata arrays may live inline; a real cell
+        array without a spill file means the structure was built on the
+        heap and belongs in save_index() instead."""
+        from repro.io import save_index_manifest
+
+        cube = make_cube((64, 64), rng)  # well past the inline cutoff
+        original = create_index("prefix_sum", cube)
+        with pytest.raises(ValueError, match="not file-backed"):
+            save_index_manifest(original, tmp_path / "m.json")
+
+    def test_mismatched_spill_file_is_rejected(self, rng, tmp_path):
+        from repro.index.backend import MemmapBackend
+        from repro.io import open_index, save_index_manifest
+
+        cube = make_cube((8, 8), rng)
+        backend = MemmapBackend(tmp_path / "spill")
+        original = create_index("prefix_sum", cube, backend=backend)
+        manifest = save_index_manifest(original, tmp_path / "m.json")
+        # Corrupt one referenced file with a different-shaped array.
+        victim = backend.spill_files[0]
+        np.save(victim.with_suffix(""), np.zeros(3, dtype=np.int8))
+        with pytest.raises(ValueError, match="does not match"):
+            open_index(manifest)
+
+    def test_non_manifest_file_is_rejected(self, tmp_path):
+        from repro.io import open_index
+
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{\"hello\": 1}\n")
+        with pytest.raises(ValueError, match="not an index manifest"):
+            open_index(bogus)
