@@ -218,12 +218,17 @@ class MemmapBackend(ArrayBackend):
         the same parent for the same tag twice yields *distinct*
         directories (a numeric suffix disambiguates) — each child has its
         own filename sequence, so sharing a directory would let a second
-        build overwrite the first's live files.
+        build overwrite the first's live files.  Disambiguation consults
+        the *disk* as well as this instance's bookkeeping: a second
+        backend over the same durable directory (or a process restart)
+        must not hand out a child whose directory already holds spill
+        files — its fresh filename sequence would silently overwrite
+        them, possibly the persisted form a manifest is serving.
         """
         safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", str(tag)) or "scope"
         child = self.directory / safe
         suffix = 0
-        while child in self._children:
+        while child in self._children or child.exists():
             suffix += 1
             child = self.directory / f"{safe}-{suffix}"
         self._children.add(child)

@@ -79,7 +79,7 @@ def _persist(result: IngestResult, directory: Path) -> dict[str, object]:
             save_index(cuboid.structure, target)
         record[name] = str(target)
     if result.spilled:
-        backend = result.backend
+        backend = result.base_backend
         assert isinstance(backend, MemmapBackend)
         record["base"] = [str(p) for p in backend.spill_files]
     summary = directory / "ingest.json"

@@ -11,10 +11,12 @@ accumulator (:mod:`repro.ingest.build`).
 All accumulators are allocated through an
 :class:`~repro.index.ArrayBackend`, so a plan over budget spills its
 cells to ``.npy`` files and the scatter writes stream through the page
-cache.  The base accumulator lives in the root backend; cuboid cells go
-through ``backend.subscope("cuboids")`` so a finished
+cache.  The base accumulator lives in ``backend.subscope("base")`` and
+cuboid cells in ``backend.subscope("cuboids")``: a finished
 :class:`~repro.optimizer.materialize.MaterializedCuboidSet` can retire
-its structures without deleting the base cube's spill file.
+its structures without deleting the base cube's spill file, and an
+aborted build can release everything it allocated without touching
+sibling builds that share the caller's root backend.
 
 Aggregation is SUM — the same aggregate
 :class:`~repro.optimizer.materialize.MaterializedCuboidSet` computes
@@ -100,12 +102,21 @@ class MultiCuboidAccumulator:
 
     def __init__(self, plan: IngestPlan, backend: ArrayBackend | None = None) -> None:
         self.plan = plan
+        #: Whether this build created its root backend (via the plan's
+        #: memory model) or was handed one the caller may be sharing
+        #: with other builds — releasing a shared root would unlink
+        #: *their* live spill files too.
+        self.owns_backend = backend is None
         self.backend = plan.make_backend() if backend is None else backend
         #: Cuboid cells (and later their finalize structures) live in a
         #: child scope so the finished set can be retired independently
         #: of the base accumulator.
         self.cuboid_scope = self.backend.subscope("cuboids")
-        self.base = self.backend.empty("base", plan.shape, plan.base_dtype)
+        #: The base accumulator gets its own child scope as well, so the
+        #: abort path can tear this build down without ever calling
+        #: ``release()`` on a root backend it does not own.
+        self.base_scope = self.backend.subscope("base")
+        self.base = self.base_scope.empty("base", plan.shape, plan.base_dtype)
         self.base[...] = 0
         self._base_flat = self.base.reshape(-1)
         self.cuboids: list[CuboidAccumulator] = []
@@ -138,8 +149,22 @@ class MultiCuboidAccumulator:
         self.rows += batch.rows
         self.batches += 1
 
+    def flush(self) -> None:
+        """Sync every accumulator scope's dirty pages to disk."""
+        self.cuboid_scope.flush()
+        self.base_scope.flush()
+        self.backend.flush()
+
     def release(self) -> int:
-        """Tear the whole build down (abort path): both scopes."""
+        """Tear this build down (abort path): its own scopes only.
+
+        A caller-provided root backend may be shared with sibling
+        builds, so only the scopes *this* accumulator created are
+        released; the root itself is released only when this build made
+        it (``backend=None`` → :meth:`IngestPlan.make_backend`).
+        """
         self.cuboids.clear()
-        released = self.cuboid_scope.release()
-        return released + self.backend.release()
+        released = self.cuboid_scope.release() + self.base_scope.release()
+        if self.owns_backend:
+            released += self.backend.release()
+        return released

@@ -48,7 +48,11 @@ class IngestResult:
             scope, so ``cuboid_set.release()`` retires the structures
             without deleting the base cube's spill file).
         plan: The plan that was executed.
-        backend: The *root* backend holding the base accumulator.
+        backend: The *root* backend the build allocated through.  Both
+            accumulator scopes are children of it, so it doubles as the
+            served cube's design backend.
+        base_backend: The child scope holding the base accumulator's
+            spill file (``backend.subscope("base")``).
         rows: Records absorbed.
         batches: Batches absorbed.
         spilled: Whether the build went through a
@@ -58,14 +62,19 @@ class IngestResult:
     cuboid_set: MaterializedCuboidSet
     plan: IngestPlan
     backend: ArrayBackend
+    base_backend: ArrayBackend
     rows: int
     batches: int
     spilled: bool
 
     def release(self) -> int:
-        """Tear down the entire build: structures, base, spill files."""
+        """Tear down this build: structures, base, spill files.
+
+        Releases only the scopes the build created — never the root
+        backend, which the caller may share with sibling builds.
+        """
         released = self.cuboid_set.release()
-        return released + self.backend.release()
+        return released + self.base_backend.release()
 
     def describe(self) -> dict[str, Any]:
         """A plain-dict summary for CLIs and logs."""
@@ -77,6 +86,7 @@ class IngestResult:
             "spilled": self.spilled,
             "accumulator_bytes": self.plan.accumulator_bytes(),
             "backend": self.backend.describe(),
+            "base_backend": self.base_backend.describe(),
         }
 
 
@@ -123,7 +133,7 @@ def ingest(
         for batch in batches:
             accumulator.absorb(batch)
         cuboid_set, adopting = _finalize(accumulator)
-        accumulator.backend.flush()
+        accumulator.flush()
         adopting.flush()
     except BaseException:
         accumulator.release()
@@ -132,6 +142,7 @@ def ingest(
         cuboid_set=cuboid_set,
         plan=plan,
         backend=accumulator.backend,
+        base_backend=accumulator.base_scope,
         rows=accumulator.rows,
         batches=accumulator.batches,
         spilled=isinstance(accumulator.backend, MemmapBackend),
@@ -157,11 +168,17 @@ def ingest_per_scan(
         plan: What to build.
         backend: Root backend, as for :func:`ingest`.
     """
+    owns_root = backend is None
     root = plan.make_backend() if backend is None else backend
     scope = root.subscope("cuboids")
+    base_scope = root.subscope("base")
     try:
         base = CuboidAccumulator(
-            "base", tuple(range(plan.ndim)), plan.shape, plan.base_dtype, root
+            "base",
+            tuple(range(plan.ndim)),
+            plan.shape,
+            plan.base_dtype,
+            base_scope,
         )
         rows = 0
         batches = 0
@@ -189,16 +206,23 @@ def ingest_per_scan(
         cuboid_set = MaterializedCuboidSet.from_accumulated(
             base.cells, plan.cuboids, structures, backend=adopting
         )
+        base_scope.flush()
         root.flush()
         adopting.flush()
     except BaseException:
+        # Same ownership rule as MultiCuboidAccumulator.release():
+        # retire only the scopes this build created; a caller-provided
+        # root may hold sibling builds' live arrays.
         scope.release()
-        root.release()
+        base_scope.release()
+        if owns_root:
+            root.release()
         raise
     return IngestResult(
         cuboid_set=cuboid_set,
         plan=plan,
         backend=root,
+        base_backend=base_scope,
         rows=rows,
         batches=batches,
         spilled=isinstance(root, MemmapBackend),

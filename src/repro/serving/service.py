@@ -264,7 +264,12 @@ class QueryService:
                 :class:`MaterializedCuboidSet` when given.
             cuboid_set: A prebuilt tier-1 set to adopt instead of
                 building one from ``plan`` (mutually exclusive with
-                ``plan``), e.g. ``IngestResult.cuboid_set``.
+                ``plan``), e.g. ``IngestResult.cuboid_set``.  Like
+                ``engine=``, it must cover the same data as ``cube``;
+                when both are passed, registration verifies the set's
+                base equals the cube cell-for-cell and rejects a
+                mismatch (when only ``cuboid_set`` is passed its base
+                is adopted, so they cannot disagree).
             fallback: Keep the naive base-scan tier (tier 2's safety
                 net); disable to make uncovered operators a 422.
         """
@@ -286,13 +291,23 @@ class QueryService:
             base = np.asarray(cuboid_set.base)
         else:
             base = np.array(cube, copy=True)
-            if cuboid_set is not None and (
-                tuple(cuboid_set.shape) != base.shape
-            ):
-                raise ValueError(
-                    f"cuboid_set shape {cuboid_set.shape} does not "
-                    f"match cube shape {base.shape}"
+            if cuboid_set is not None:
+                if tuple(cuboid_set.shape) != base.shape:
+                    raise ValueError(
+                        f"cuboid_set shape {cuboid_set.shape} does not "
+                        f"match cube shape {base.shape}"
+                    )
+                expected = np.asarray(cuboid_set.base)
+                equal_nan = (
+                    base.dtype.kind == "f" and expected.dtype.kind == "f"
                 )
+                if not np.array_equal(base, expected, equal_nan=equal_nan):
+                    raise ValueError(
+                        "cuboid_set was built over different data than "
+                        "cube= — the tiers would silently disagree; "
+                        "register with cuboid_set= alone to adopt the "
+                        "set's own base"
+                    )
         held_counts = (
             None if counts is None else np.array(counts, copy=True)
         )
@@ -884,8 +899,17 @@ class QueryService:
                 cube.engine.apply_updates(updates, count_updates)
             if cube.cuboids is not None:
                 cube.cuboids.apply_updates(updates)
-            for update in updates:
-                cube.base[update.index] += update.delta
+            # An adopted base (register_cube(cuboid_set=...) with no
+            # cube=) IS the set's own base array, which apply_updates
+            # above already incremented — writing it again here would
+            # double every delta in the fallback tier.  The aliasing is
+            # re-checked per batch because a hot swap installs a set
+            # built from a snapshot *copy*, un-sharing the base.
+            if cube.cuboids is None or not np.may_share_memory(
+                cube.base, cube.cuboids.base
+            ):
+                for update in updates:
+                    cube.base[update.index] += update.delta
             if count_updates is not None and cube.counts is not None:
                 for update in count_updates:
                     cube.counts[update.index] += update.delta

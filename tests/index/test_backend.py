@@ -189,6 +189,22 @@ class TestMemmapLifecycle:
         assert np.array_equal(np.load(first.spill_files[0]), a)
         assert np.array_equal(np.load(second.spill_files[0]), b)
 
+    def test_subscope_avoids_on_disk_collisions(self, tmp_path):
+        """Two backends over the same durable directory (a restart, or
+        two processes) must not share a child directory: the second's
+        fresh filename sequence would silently overwrite the first's
+        spill files — possibly the persisted form a manifest serves."""
+        first = MemmapBackend(tmp_path)
+        child = first.subscope("scope")
+        kept = child.empty("x", (3,), np.int64)
+        kept[...] = np.arange(3)
+        reopened = MemmapBackend(tmp_path)
+        other = reopened.subscope("scope")
+        assert other.directory != child.directory
+        fresh = other.empty("x", (3,), np.int64)
+        fresh[...] = 9
+        assert np.array_equal(np.load(child.spill_files[0]), kept)
+
     def test_memory_backend_subscope_is_self(self):
         backend = MemoryBackend()
         assert backend.subscope("anything") is backend

@@ -179,7 +179,9 @@ class TestBudgetAndSpill:
         result = ingest(batches_from_cube(cube), plan)
         assert result.spilled
         assert isinstance(result.backend, MemmapBackend)
-        assert result.backend.live_arrays == 1  # the base accumulator
+        assert isinstance(result.base_backend, MemmapBackend)
+        assert result.base_backend.live_arrays == 1  # the base accumulator
+        assert result.backend.live_arrays == 0  # scopes hold everything
 
     def test_under_budget_stays_in_memory(self, cube):
         plan = IngestPlan(
@@ -243,6 +245,44 @@ class TestFailureAtomicity:
         with pytest.raises(OSError, match="disk went away"):
             ingest(dying_stream(), plan)
         assert not list(spill.rglob("*.npy"))
+
+    def test_abort_spares_sibling_arrays_on_shared_backend(
+        self, cube, tmp_path
+    ):
+        """An aborted ingest on a caller-provided backend releases only
+        its own scopes — never sibling builds' live spill files."""
+        backend = MemmapBackend(tmp_path / "spill")
+        sibling = backend.empty("sibling", (4,), np.int64)
+        sibling[...] = 7
+        plan = IngestPlan(
+            shape=cube.shape,
+            cuboids=plan_cuboids(cube.shape, [(0, 1)], 4),
+        )
+        with pytest.raises(IngestError, match="outside cube shape"):
+            ingest(self.bad_stream(cube), plan, backend)
+        assert backend.live_arrays == 1
+        survivor = backend.spill_files[0]
+        assert survivor.exists()
+        assert np.array_equal(np.load(survivor), sibling)
+        leftovers = [
+            p
+            for p in (tmp_path / "spill").rglob("*.npy")
+            if p != survivor
+        ]
+        assert not leftovers
+
+    def test_per_scan_abort_spares_sibling_arrays(self, cube, tmp_path):
+        backend = MemmapBackend(tmp_path / "spill")
+        sibling = backend.empty("sibling", (4,), np.int64)
+        sibling[...] = 3
+        plan = IngestPlan(
+            shape=cube.shape,
+            cuboids=plan_cuboids(cube.shape, [(0, 1)], 4),
+        )
+        with pytest.raises(IngestError, match="outside cube shape"):
+            ingest_per_scan(lambda: self.bad_stream(cube), plan, backend)
+        assert backend.live_arrays == 1
+        assert np.array_equal(np.load(backend.spill_files[0]), sibling)
 
     def test_dimension_mismatch(self):
         plan = IngestPlan(shape=(4, 4))

@@ -234,6 +234,93 @@ class TestUpdate:
 
         run(scenario())
 
+    def test_adopted_base_update_applies_once(self) -> None:
+        """register_cube(cuboid_set=...) with no cube= adopts the set's
+        own base array; the set's apply_updates already writes it, so
+        the service must not add each delta a second time — the
+        fallback tier would permanently diverge from the materialized
+        one after the first update."""
+        from repro.ingest import (
+            IngestPlan,
+            batches_from_cube,
+            ingest,
+            plan_cuboids,
+        )
+        from repro.optimizer.materialize import MaterializedCuboidSet
+
+        rng = np.random.default_rng(0xADD)
+        data = rng.integers(0, 50, size=(6, 5, 4)).astype(np.int64)
+        plan = IngestPlan(
+            shape=data.shape,
+            cuboids=plan_cuboids(data.shape, [(0, 1)], 2),
+        )
+        result = ingest(batches_from_cube(data), plan)
+        service = QueryService(ServeConfig(coalesce_window_s=0.0))
+        served = service.register_cube(
+            "ingested",
+            cuboid_set=result.cuboid_set,
+            engine=None,
+            backend=result.backend,
+        )
+        assert np.may_share_memory(served.base, result.cuboid_set.base)
+        shifted = data.copy()
+
+        async def push(index, delta) -> None:
+            await service.update(
+                {
+                    "cube": "ingested",
+                    "updates": [{"index": list(index), "delta": delta}],
+                }
+            )
+            shifted[index] += delta
+
+        async def check_tiers_agree() -> None:
+            # Dims {0, 1} constrained only → the materialized cuboid.
+            m = await service.query(
+                {"cube": "ingested", "ranges": [[0, 4], [1, 3], None]}
+            )
+            assert m["tier"] == "materialized"
+            assert m["value"] == int(shifted[0:5, 1:4, :].sum())
+            # Dim 2 constrained → no covering cuboid, no engine → the
+            # base-scan fallback over the shared array.
+            f = await service.query(
+                {"cube": "ingested", "ranges": [None, None, [1, 2]]}
+            )
+            assert f["tier"] == "fallback"
+            assert f["value"] == int(shifted[:, :, 1:3].sum())
+
+        async def scenario() -> None:
+            await push((1, 2, 3), 11)
+            await check_tiers_agree()
+            assert served.base[1, 2, 3] == shifted[1, 2, 3]
+            # A hot swap installs a set built from a snapshot *copy*:
+            # the base un-shares and the service must resume writing it.
+            served.cuboids = MaterializedCuboidSet(
+                np.asarray(served.base), plan.cuboids
+            )
+            assert not np.may_share_memory(
+                served.base, served.cuboids.base
+            )
+            await push((0, 0, 0), -4)
+            await check_tiers_agree()
+            assert served.base[0, 0, 0] == shifted[0, 0, 0]
+
+        run(scenario())
+
+    def test_cuboid_set_over_different_data_rejected(self, data) -> None:
+        """cube= plus cuboid_set= must cover the same data; a set built
+        over different cells would silently diverge tier answers."""
+        from repro.optimizer.cuboid_selection import Materialization
+        from repro.optimizer.materialize import MaterializedCuboidSet
+
+        plan = [Materialization((0, 1), 1, 0.0)]
+        service = QueryService(ServeConfig(coalesce_window_s=0.0))
+        stale = MaterializedCuboidSet(data + 1, plan)
+        with pytest.raises(ValueError, match="different data"):
+            service.register_cube("c", data, cuboid_set=stale)
+        matching = MaterializedCuboidSet(data, plan)
+        service.register_cube("c", data, cuboid_set=matching)
+
     def test_update_validation(self, service) -> None:
         with pytest.raises(BadRequest):
             run(service.update({"cube": "sales", "updates": []}))
