@@ -13,6 +13,7 @@ import argparse
 import json
 import os
 import sys
+import time
 from collections.abc import Sequence
 from pathlib import Path
 
@@ -22,7 +23,7 @@ from repro.analysis.baseline import (
     partition_baseline,
     write_baseline,
 )
-from repro.analysis.engine import run_paths
+from repro.analysis.engine import Rule, Violation, run_paths
 from repro.analysis.rules import default_rules, rules_by_id
 
 
@@ -40,9 +41,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github", "sarif"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text); 'github' emits workflow-"
+        "command annotations, 'sarif' a SARIF 2.1.0 log",
+    )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fail (exit 1) when the lint run takes longer than this "
+        "wall-clock bound — CI's guard against interprocedural-pass "
+        "latency creep",
     )
     parser.add_argument(
         "--select",
@@ -95,6 +106,87 @@ def _resolve_baseline(argument: str | None) -> Path | None:
     return default if default.exists() else None
 
 
+def _escape_workflow_data(value: str) -> str:
+    """Escape a workflow-command *message* (data) segment."""
+    return (
+        value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def _escape_workflow_property(value: str) -> str:
+    """Escape a workflow-command *property* value (file=, title=...)."""
+    return (
+        _escape_workflow_data(value).replace(":", "%3A").replace(",", "%2C")
+    )
+
+
+def _print_github(violations: Sequence[Violation]) -> None:
+    """GitHub Actions workflow commands: inline PR annotations for free."""
+    for v in violations:
+        print(
+            f"::error file={_escape_workflow_property(v.path)},"
+            f"line={v.line},col={v.col + 1},"
+            f"title={_escape_workflow_property(f'cubelint {v.rule_id}')}"
+            f"::{_escape_workflow_data(v.message)}"
+        )
+
+
+def _sarif_payload(
+    violations: Sequence[Violation], rules: Sequence[Rule]
+) -> dict:
+    """A minimal-but-valid SARIF 2.1.0 log (one run, one result/violation)."""
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "cubelint",
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": [
+                            {
+                                "id": rule.rule_id,
+                                "shortDescription": {
+                                    "text": rule.description
+                                },
+                            }
+                            for rule in rules
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": v.rule_id,
+                        "level": "error",
+                        "message": {"text": v.message},
+                        "partialFingerprints": (
+                            {"cubelint/v2": v.fingerprint}
+                            if v.fingerprint
+                            else {}
+                        ),
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {"uri": v.path},
+                                    "region": {
+                                        "startLine": v.line,
+                                        "startColumn": v.col + 1,
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for v in violations
+                ],
+            }
+        ],
+    }
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -111,7 +203,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(exc, file=sys.stderr)
         return 2
 
+    started = time.monotonic()
     report = run_paths(args.paths, rules)
+    elapsed = time.monotonic() - started
     baseline_path = _resolve_baseline(args.baseline)
 
     if args.write_baseline:
@@ -135,6 +229,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             },
         }
         print(json.dumps(payload, indent=2))
+    elif args.format == "sarif":
+        print(json.dumps(_sarif_payload(new, rules), indent=2))
+    elif args.format == "github":
+        _print_github(new)
+        print(
+            f"cubelint: {len(new)} violation(s) in {report.files} file(s)"
+        )
     else:
         for violation in new:
             print(violation.format())
@@ -149,6 +250,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         if extras:
             summary += f" ({', '.join(extras)})"
         print(summary)
+
+    if args.time_budget is not None and elapsed > args.time_budget:
+        print(
+            f"cubelint: analysis took {elapsed:.2f}s, over the "
+            f"--time-budget of {args.time_budget:.2f}s",
+            file=sys.stderr,
+        )
+        return 1
 
     return 1 if new else 0
 

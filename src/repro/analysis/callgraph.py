@@ -1,0 +1,452 @@
+"""Project-wide symbol table and call graph for cubelint rules.
+
+The per-file rules of PR 4 see one ``ast.Module`` at a time; the
+production-invariant rules of this layer (lock discipline, ownership
+transfer, async offloading) need to answer questions like *"is this
+nested function only ever called under the write lock?"* or *"does the
+lambda passed here run under a read guard inside the helper?"* — which
+require resolving calls across function, class, and module boundaries.
+
+:class:`Project` is that resolution layer:
+
+* every linted file is registered as a :class:`ModuleInfo` under its
+  dotted module name (``src/repro/serving/service.py`` →
+  ``repro.serving.service``), with its import table, module-level
+  functions, and classes (methods included, ``async def`` and decorated
+  definitions alike);
+* :meth:`Project.resolve_call` maps one ``ast.Call`` back to the
+  :class:`FunctionInfo` it invokes, handling plain names (enclosing
+  nested scopes first, then module scope, then imports), ``self.method``
+  / ``cls.method`` bound calls (walking declared base classes),
+  ``module.attr`` chains through import aliases, and
+  ``ClassName.method`` qualified calls;
+* :meth:`Project.callers` inverts the edge set, so a rule can ask for
+  every call site of a nested helper and check each site's context.
+
+Resolution is deliberately *optimistic and partial*: anything dynamic
+(``getattr``, callables stored in data structures, calls on values of
+unknown class) resolves to ``None``, and rules must treat an unresolved
+call as "no information", never as a violation.  Import targets are
+matched by exact dotted name first and then by unique dotted-suffix, so
+a fixture tree living under ``tests/analysis/fixtures/repro/serving``
+still resolves ``from repro.serving.x import helper``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Project",
+    "module_name_for_path",
+]
+
+
+def module_name_for_path(path: str) -> str:
+    """The dotted module name a file path denotes.
+
+    ``src``-rooted layouts drop the leading ``src`` component (the
+    repo's packaging convention); ``__init__.py`` names the package
+    itself.  Paths are taken as POSIX (the engine normalizes).
+    """
+    parts = list(PurePosixPath(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    while parts and parts[0] in (".", "/", "src"):
+        parts.pop(0)
+    return ".".join(part for part in parts if part not in ("", "/"))
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition, project-qualified."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    path: str
+    cls: ClassInfo | None = None
+    parent: FunctionInfo | None = None
+    decorators: tuple[str, ...] = ()
+
+    @property
+    def is_async(self) -> bool:
+        """Whether this is an ``async def`` coroutine function."""
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+    @property
+    def is_method(self) -> bool:
+        """Whether the definition sits directly inside a class body."""
+        return self.cls is not None and self.parent is None
+
+    def parameters(self) -> list[str]:
+        """Positional parameter names, in order (``self`` included)."""
+        args = self.node.args
+        return [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: its methods and declared bases."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    path: str
+    bases: tuple[str, ...] = ()
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module: imports, functions, classes."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    #: Local binding → absolute dotted target (``np`` → ``numpy``,
+    #: ``ingest`` → ``repro.ingest.build.ingest``).
+    imports: dict[str, str] = field(default_factory=dict)
+    #: Module-level functions by bare name.
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Classes by bare name.
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+
+    def package(self) -> str:
+        """The dotted package this module lives in."""
+        return self.name.rpartition(".")[0]
+
+
+class Project:
+    """The symbol table + call graph over a set of parsed modules."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.by_path: dict[str, ModuleInfo] = {}
+        #: Every function in the project by fully qualified name.
+        self.functions: dict[str, FunctionInfo] = {}
+        #: Enclosing function of every AST node (populated per module).
+        self._enclosing: dict[ast.AST, FunctionInfo] = {}
+        self._callers: dict[str, list[tuple[FunctionInfo, ast.Call]]] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, sources: Iterable[tuple[str, ast.Module]]) -> Project:
+        """Index ``(path, tree)`` pairs into a resolvable project."""
+        project = cls()
+        for path, tree in sources:
+            project.add_module(path, tree)
+        return project
+
+    def add_module(self, path: str, tree: ast.Module) -> ModuleInfo:
+        """Register one parsed file (idempotent per path)."""
+        existing = self.by_path.get(path)
+        if existing is not None:
+            return existing
+        name = module_name_for_path(path)
+        module = ModuleInfo(name=name, path=path, tree=tree)
+        self._collect_imports(module)
+        self._collect_definitions(module)
+        self.modules[name] = module
+        self.by_path[path] = module
+        self._callers = None
+        return module
+
+    def _collect_imports(self, module: ModuleInfo) -> None:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    module.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    # Relative import: climb from the module's package.
+                    package_parts = module.package().split(".")
+                    if node.level - 1:
+                        package_parts = package_parts[: -(node.level - 1)]
+                    prefix = ".".join(p for p in package_parts if p)
+                    base = f"{prefix}.{base}" if base else prefix
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    module.imports[local] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+
+    def _collect_definitions(self, module: ModuleInfo) -> None:
+        def visit_function(
+            node: ast.FunctionDef | ast.AsyncFunctionDef,
+            prefix: str,
+            cls: ClassInfo | None,
+            parent: FunctionInfo | None,
+        ) -> FunctionInfo:
+            qualname = f"{prefix}.{node.name}"
+            info = FunctionInfo(
+                qualname=qualname,
+                module=module.name,
+                name=node.name,
+                node=node,
+                path=module.path,
+                cls=cls,
+                parent=parent,
+                decorators=tuple(
+                    name
+                    for name in (
+                        _dotted(d.func) if isinstance(d, ast.Call) else _dotted(d)
+                        for d in node.decorator_list
+                    )
+                    if name is not None
+                ),
+            )
+            self.functions[qualname] = info
+            # Visit nested definitions FIRST so their subtrees are
+            # claimed by the innermost function — enclosing_function()
+            # must answer "the nearest def", not the outermost one.
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    visit_function(stmt, qualname, None, info)
+                elif isinstance(stmt, ast.ClassDef):
+                    visit_class(stmt, qualname)
+            for child in ast.walk(node):
+                if child is not node and child not in self._enclosing:
+                    self._enclosing[child] = info
+            return info
+
+        def visit_class(node: ast.ClassDef, prefix: str) -> None:
+            qualname = f"{prefix}.{node.name}"
+            info = ClassInfo(
+                qualname=qualname,
+                module=module.name,
+                name=node.name,
+                node=node,
+                path=module.path,
+                bases=tuple(
+                    name
+                    for name in (_dotted(b) for b in node.bases)
+                    if name is not None
+                ),
+            )
+            module.classes.setdefault(node.name, info)
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info.methods[stmt.name] = visit_function(
+                        stmt, qualname, info, None
+                    )
+                elif isinstance(stmt, ast.ClassDef):
+                    visit_class(stmt, qualname)
+
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                module.functions[stmt.name] = visit_function(
+                    stmt, module.name, None, None
+                )
+            elif isinstance(stmt, ast.ClassDef):
+                visit_class(stmt, module.name)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def module_for(self, path: str) -> ModuleInfo | None:
+        """The module registered for ``path`` (POSIX), if any."""
+        return self.by_path.get(path)
+
+    def enclosing_function(self, node: ast.AST) -> FunctionInfo | None:
+        """The innermost function definition containing ``node``."""
+        return self._enclosing.get(node)
+
+    def find_module(self, dotted: str) -> ModuleInfo | None:
+        """A module by exact dotted name, else by unique dotted suffix."""
+        exact = self.modules.get(dotted)
+        if exact is not None:
+            return exact
+        matches = [
+            m
+            for name, m in self.modules.items()
+            if name == dotted or name.endswith("." + dotted)
+        ]
+        return matches[0] if len(matches) == 1 else None
+
+    def resolve_name(self, dotted: str) -> FunctionInfo | ClassInfo | None:
+        """Resolve an absolute dotted name to a function or class.
+
+        Tries the longest module prefix first, then interprets the
+        remainder as ``func`` or ``Class[.method]`` within it.
+        """
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            module = self.find_module(".".join(parts[:cut]))
+            if module is None:
+                continue
+            rest = parts[cut:]
+            if not rest:
+                return None
+            if rest[0] in module.functions and len(rest) == 1:
+                return module.functions[rest[0]]
+            cls = module.classes.get(rest[0])
+            if cls is not None:
+                if len(rest) == 1:
+                    return cls
+                if len(rest) == 2:
+                    return self._method_on(cls, rest[1])
+            return None
+        return None
+
+    def _method_on(self, cls: ClassInfo, name: str) -> FunctionInfo | None:
+        """A method by name, walking declared bases (linearized, cycle-safe)."""
+        seen: set[str] = set()
+        queue: list[ClassInfo] = [cls]
+        while queue:
+            current = queue.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            if name in current.methods:
+                return current.methods[name]
+            module = self.modules.get(current.module)
+            for base in current.bases:
+                resolved = self._resolve_class_name(base, module)
+                if resolved is not None:
+                    queue.append(resolved)
+        return None
+
+    def _resolve_class_name(
+        self, dotted: str, module: ModuleInfo | None
+    ) -> ClassInfo | None:
+        if module is not None:
+            head, _, rest = dotted.partition(".")
+            local = module.classes.get(dotted)
+            if local is not None:
+                return local
+            target = module.imports.get(head)
+            if target is not None:
+                dotted = f"{target}.{rest}" if rest else target
+        resolved = self.resolve_name(dotted)
+        return resolved if isinstance(resolved, ClassInfo) else None
+
+    # ------------------------------------------------------------------
+    # Call resolution
+    # ------------------------------------------------------------------
+
+    def resolve_call(
+        self, call: ast.Call, module: ModuleInfo
+    ) -> FunctionInfo | None:
+        """The function a call invokes, or ``None`` when unknowable.
+
+        A call that resolves to a *class* returns its ``__init__`` when
+        one is defined (constructor calls are calls too), else ``None``.
+        """
+        resolved = self._resolve_target(call.func, module)
+        if isinstance(resolved, ClassInfo):
+            return self._method_on(resolved, "__init__")
+        return resolved
+
+    def _resolve_target(
+        self, func: ast.expr, module: ModuleInfo
+    ) -> FunctionInfo | ClassInfo | None:
+        if isinstance(func, ast.Name):
+            return self._resolve_bare_name(func, module)
+        if not isinstance(func, ast.Attribute):
+            return None
+        dotted = _dotted(func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in ("self", "cls") and rest and "." not in rest:
+            enclosing = self.enclosing_function(func)
+            while enclosing is not None and enclosing.cls is None:
+                enclosing = enclosing.parent
+            if enclosing is not None and enclosing.cls is not None:
+                return self._method_on(enclosing.cls, rest)
+            return None
+        # ClassName.method within the same module.
+        cls = module.classes.get(head)
+        if cls is not None and rest and "." not in rest:
+            return self._method_on(cls, rest)
+        # Imported module / imported name attribute chains.
+        target = module.imports.get(head)
+        if target is not None:
+            return self.resolve_name(f"{target}.{rest}" if rest else target)
+        return None
+
+    def _resolve_bare_name(
+        self, name: ast.Name, module: ModuleInfo
+    ) -> FunctionInfo | ClassInfo | None:
+        # Nested function in an enclosing scope wins over module scope.
+        enclosing = self.enclosing_function(name)
+        while enclosing is not None:
+            candidate = self.functions.get(f"{enclosing.qualname}.{name.id}")
+            if candidate is not None:
+                return candidate
+            enclosing = enclosing.parent
+        if name.id in module.functions:
+            return module.functions[name.id]
+        if name.id in module.classes:
+            return module.classes[name.id]
+        target = module.imports.get(name.id)
+        if target is not None:
+            return self.resolve_name(target)
+        return None
+
+    # ------------------------------------------------------------------
+    # Call graph edges
+    # ------------------------------------------------------------------
+
+    def iter_calls(self, module: ModuleInfo) -> Iterator[tuple[ast.Call, FunctionInfo | None]]:
+        """Every call in ``module`` with its enclosing function (if any)."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield node, self.enclosing_function(node)
+
+    def callers(
+        self, target: FunctionInfo
+    ) -> Sequence[tuple[FunctionInfo, ast.Call]]:
+        """Resolved call sites of ``target`` across the project.
+
+        Each entry is ``(calling function, call node)``; call sites at
+        module level (outside any function) are omitted — rules that
+        need them can walk the module themselves.
+        """
+        if self._callers is None:
+            edges: dict[str, list[tuple[FunctionInfo, ast.Call]]] = {}
+            for module in self.modules.values():
+                for call, enclosing in self.iter_calls(module):
+                    if enclosing is None:
+                        continue
+                    resolved = self.resolve_call(call, module)
+                    if resolved is None:
+                        continue
+                    edges.setdefault(resolved.qualname, []).append(
+                        (enclosing, call)
+                    )
+            self._callers = edges
+        return tuple(self._callers.get(target.qualname, ()))
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))

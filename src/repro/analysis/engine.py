@@ -11,6 +11,7 @@ comment-only line).
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
 import re
 import tokenize
@@ -18,6 +19,8 @@ from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import ClassVar
+
+from repro.analysis.callgraph import Project
 
 #: Matches the suppression directive inside a comment token.
 _ALLOW_RE = re.compile(r"cubelint:\s*allow\[([^\]]*)\]")
@@ -35,6 +38,10 @@ class Violation:
     col: int
     rule_id: str
     message: str
+    #: Context hash of the flagged statement's source (baseline identity
+    #: that survives the statement moving to a different line).  Empty
+    #: when no statement source was available.
+    fingerprint: str = field(default="", compare=False)
 
     def format(self) -> str:
         """The canonical one-line human rendering."""
@@ -48,7 +55,31 @@ class Violation:
             "col": self.col,
             "rule": self.rule_id,
             "message": self.message,
+            "fingerprint": self.fingerprint,
         }
+
+
+def statement_fingerprint(
+    lines: Sequence[str], node: ast.AST
+) -> str:
+    """A content hash of the statement spanning ``node``.
+
+    Hashes the flagged statement's source lines with per-line leading and
+    trailing whitespace stripped, so re-indenting or moving the statement
+    keeps its identity while editing it does not.  Used for baseline
+    keys (``path:rule-id:h<hash>``): line-keyed baselines silently
+    un-grandfather (or mask) findings whenever unrelated code above them
+    shifts.
+    """
+    start = int(getattr(node, "lineno", 0))
+    end = int(getattr(node, "end_lineno", start) or start)
+    if start < 1 or start > len(lines):
+        return ""
+    snippet = "\n".join(
+        line.strip() for line in lines[start - 1 : min(end, len(lines))]
+    )
+    digest = hashlib.sha256(snippet.encode("utf-8")).hexdigest()
+    return digest[:16]
 
 
 @dataclass
@@ -59,9 +90,15 @@ class LintContext:
     source: str
     tree: ast.Module
     lines: Sequence[str] = field(default_factory=tuple)
+    #: Project-wide symbol table / call graph when the engine linted a
+    #: whole tree; ``None`` for standalone single-file lints.  Rules that
+    #: need interprocedural answers call :meth:`project_view`.
+    project: Project | None = None
 
     @classmethod
-    def from_source(cls, path: str, source: str) -> LintContext:
+    def from_source(
+        cls, path: str, source: str, project: Project | None = None
+    ) -> LintContext:
         """Parse ``source`` once and package it for the rules.
 
         Raises:
@@ -73,7 +110,19 @@ class LintContext:
             source=source,
             tree=tree,
             lines=tuple(source.splitlines()),
+            project=project,
         )
+
+    def project_view(self) -> Project:
+        """The project this file belongs to, or a single-file fallback.
+
+        Single-file lints (tests, editor integrations) still get working
+        intraprocedural-plus-local-methods resolution: a project built
+        from just this module.
+        """
+        if self.project is None:
+            self.project = Project.build([(self.path, self.tree)])
+        return self.project
 
 
 class Rule:
@@ -110,6 +159,7 @@ class Rule:
             col=int(getattr(node, "col_offset", 0)) + 1,
             rule_id=self.rule_id,
             message=message,
+            fingerprint=statement_fingerprint(context.lines, node),
         )
 
 
@@ -175,12 +225,30 @@ def _is_suppressed(
 
 
 def lint_source(
-    path: str, source: str, rules: Sequence[Rule]
+    path: str,
+    source: str,
+    rules: Sequence[Rule],
+    project: Project | None = None,
 ) -> LintReport:
-    """Lint one in-memory module with every applicable rule."""
+    """Lint one in-memory module with every applicable rule.
+
+    When ``project`` already indexed this path, its parsed tree is
+    reused — rules compare AST nodes by identity against the project's
+    symbol table, so the context must expose the *same* tree object.
+    """
     report = LintReport(files=1)
+    indexed = project.module_for(path) if project is not None else None
     try:
-        context = LintContext.from_source(path, source)
+        if indexed is not None:
+            context = LintContext(
+                path=path,
+                source=source,
+                tree=indexed.tree,
+                lines=tuple(source.splitlines()),
+                project=project,
+            )
+        else:
+            context = LintContext.from_source(path, source, project=project)
     except SyntaxError as exc:
         report.violations.append(
             Violation(
@@ -206,11 +274,15 @@ def lint_source(
     return report
 
 
-def lint_file(path: Path | str, rules: Sequence[Rule]) -> LintReport:
+def lint_file(
+    path: Path | str,
+    rules: Sequence[Rule],
+    project: Project | None = None,
+) -> LintReport:
     """Lint one file from disk."""
     file_path = Path(path)
     source = file_path.read_text(encoding="utf-8")
-    return lint_source(file_path.as_posix(), source, rules)
+    return lint_source(file_path.as_posix(), source, rules, project=project)
 
 
 def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
@@ -226,9 +298,32 @@ def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
 def run_paths(
     paths: Iterable[Path | str], rules: Sequence[Rule]
 ) -> LintReport:
-    """Lint every Python file under ``paths`` and merge the reports."""
+    """Lint every Python file under ``paths`` and merge the reports.
+
+    Parses every file once up front and builds one project-wide
+    :class:`Project` (symbol table + call graph) shared by all files, so
+    interprocedural rules resolve calls across module boundaries instead
+    of seeing each file in isolation.  Unparseable files stay out of the
+    project; their syntax errors are reported per-file as before.
+    """
+    files = list(iter_python_files(paths))
+    sources: dict[Path, str] = {}
+    parsed: list[tuple[str, ast.Module]] = []
+    for file_path in files:
+        source = file_path.read_text(encoding="utf-8")
+        sources[file_path] = source
+        posix = file_path.as_posix()
+        try:
+            parsed.append((posix, ast.parse(source, filename=posix)))
+        except SyntaxError:
+            continue  # lint_source re-parses and reports the error
+    project = Project.build(parsed)
     total = LintReport()
-    for file_path in iter_python_files(paths):
-        total.extend(lint_file(file_path, rules))
+    for file_path in files:
+        total.extend(
+            lint_source(
+                file_path.as_posix(), sources[file_path], rules, project
+            )
+        )
     total.violations.sort()
     return total

@@ -1,0 +1,504 @@
+"""Ownership and escape tracking along function exit paths.
+
+The dataflow skeleton behind the ``backend-lifecycle`` rule (and any
+future resource-discipline rule): given a predicate that recognizes
+*acquisition* calls (``make_backend()``, ``.subscope(...)``), classify
+each local binding's ownership and check every exit path of the
+function for a leak or an ownership violation.
+
+Ownership states
+----------------
+
+``OWNED``
+    The local was bound to an acquisition's result in this function —
+    releasing it is this function's job unless it *escapes* (transfers
+    ownership out).
+``BORROWED``
+    The local aliases a function parameter: the caller owns it.
+    Releasing a borrowed resource is always a violation — the shipped
+    bug class (PR 9 review): an aborted ingest released a
+    caller-provided root backend and unlinked sibling builds' live
+    spill files.
+``MAYBE``
+    Conditionally one or the other (``root = plan.make_backend() if
+    backend is None else backend``).  Releasing it is legal only behind
+    a *guard* — an ``if`` whose test is a plain flag name (the
+    ``owns_root`` idiom) or an identity test — which is how the fixed
+    code records which arm was taken.
+
+Escape events (ownership transfer out of the function)
+------------------------------------------------------
+
+* returned (the name appears anywhere in a ``return`` expression);
+* stored on an object (``self.x = name``, ``obj.attr = Foo(name)``) or
+  into a container (``d[k] = name``);
+* passed as an argument to any call (optimistically: constructors and
+  sinks like ``IngestResult(backend=root)`` take ownership; a linter
+  that guessed otherwise would drown the tree in false positives).
+
+Exit paths
+----------
+
+Every ``return`` statement, the implicit end of the function, every
+``raise`` in the main body, and every ``raise`` inside an ``except``
+handler.  Handler exits are the subtle ones: an escape *inside the
+``try`` body* does not satisfy them — the exception may have fired
+before the escape ran — so only events dominating the ``try`` itself or
+inside the handler (or its ``finally``) count.  This is exactly the
+discipline ``repro/ingest/build.py`` and ``repro/serving/adaptive.py``
+follow since their PR 9 review fixes.
+
+Satisfaction uses textual block dominance (an event in a preceding
+statement of an enclosing block, scanned into compound statements
+optimistically), the same approximation the ``memmap-flush`` rule has
+used since PR 4.  It is deliberately optimistic: rules built on it flag
+only what is provably wrong under the approximation.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+
+__all__ = [
+    "Acquisition",
+    "BorrowedRelease",
+    "Leak",
+    "Ownership",
+    "OwnershipReport",
+    "analyze_function",
+]
+
+AnyFunction = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+class Ownership(enum.Enum):
+    """Who is responsible for releasing a tracked local."""
+
+    OWNED = "owned"
+    BORROWED = "borrowed"
+    MAYBE = "maybe"
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    """One tracked local binding: name, site, ownership state."""
+
+    name: str
+    node: ast.stmt
+    state: Ownership
+
+
+@dataclass(frozen=True)
+class Leak:
+    """An exit path reached with an owned resource neither released
+    nor escaped."""
+
+    acquisition: Acquisition
+    exit_node: ast.AST
+    #: ``"return"``, ``"end"``, ``"raise"`` or ``"handler-raise"``.
+    kind: str
+
+
+@dataclass(frozen=True)
+class BorrowedRelease:
+    """A ``release()`` on a caller-owned (or unguarded maybe-owned)
+    resource."""
+
+    acquisition: Acquisition
+    node: ast.Call
+    guarded: bool
+
+
+@dataclass
+class OwnershipReport:
+    """Everything the dataflow found in one function."""
+
+    acquisitions: list[Acquisition]
+    leaks: list[Leak]
+    borrowed_releases: list[BorrowedRelease]
+
+
+def analyze_function(
+    func: AnyFunction,
+    is_acquisition: Callable[[ast.Call], bool],
+    release_attrs: frozenset[str] = frozenset({"release"}),
+) -> OwnershipReport:
+    """Run the ownership dataflow over one function."""
+    analysis = _FunctionAnalysis(func, is_acquisition, release_attrs)
+    return analysis.run()
+
+
+# ----------------------------------------------------------------------
+# Implementation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Event:
+    """A release or escape of one tracked name at one statement."""
+
+    name: str
+    node: ast.AST
+    kind: str  # "release" | "escape"
+    guarded: bool = False
+
+
+class _FunctionAnalysis:
+    def __init__(
+        self,
+        func: AnyFunction,
+        is_acquisition: Callable[[ast.Call], bool],
+        release_attrs: frozenset[str],
+    ) -> None:
+        self.func = func
+        self.is_acquisition = is_acquisition
+        self.release_attrs = release_attrs
+        self.params = {
+            a.arg
+            for a in (
+                func.args.posonlyargs + func.args.args + func.args.kwonlyargs
+            )
+        } - {"self", "cls"}
+        self.parents = _parent_map(func)
+        self.acquisitions: dict[str, Acquisition] = {}
+        self.events: list[_Event] = []
+        self.borrowed_releases: list[BorrowedRelease] = []
+
+    def run(self) -> OwnershipReport:
+        self._collect_acquisitions()
+        self._collect_events()
+        leaks = list(self._find_leaks()) if self.acquisitions else []
+        return OwnershipReport(
+            acquisitions=list(self.acquisitions.values()),
+            leaks=leaks,
+            borrowed_releases=self.borrowed_releases,
+        )
+
+    # -- acquisition classification -------------------------------------
+
+    def _collect_acquisitions(self) -> None:
+        for node in _own_statements(self.func):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                # ``self.scope = backend.subscope(...)`` stores the
+                # resource on an object at birth — ownership lives with
+                # the object, not this function's exit paths.
+                continue
+            state = self._classify(node.value)
+            if state is None:
+                # Rebinding a tracked name to something unrelated ends
+                # tracking conservatively (``x = None`` reset idiom).
+                continue
+            self.acquisitions[target.id] = Acquisition(
+                name=target.id, node=node, state=state
+            )
+
+    def _classify(self, value: ast.expr) -> Ownership | None:
+        if isinstance(value, ast.Call) and self.is_acquisition(value):
+            return Ownership.OWNED
+        if isinstance(value, ast.Name) and value.id in self.params:
+            # A bare alias of a parameter is only interesting once it is
+            # released; track it as BORROWED so that release is flagged.
+            return Ownership.BORROWED
+        if isinstance(value, ast.IfExp):
+            return self._mixed(value.body, value.orelse)
+        if isinstance(value, ast.BoolOp) and len(value.values) == 2:
+            return self._mixed(value.values[0], value.values[1])
+        return None
+
+    def _mixed(self, left: ast.expr, right: ast.expr) -> Ownership | None:
+        def kind(node: ast.expr) -> str:
+            if isinstance(node, ast.Call) and self.is_acquisition(node):
+                return "acquired"
+            if isinstance(node, ast.Name) and node.id in self.params:
+                return "param"
+            if isinstance(node, ast.Constant) and node.value is None:
+                return "none"
+            return "other"
+
+        kinds = {kind(left), kind(right)}
+        if kinds == {"acquired", "param"}:
+            return Ownership.MAYBE
+        if "acquired" in kinds:
+            return Ownership.OWNED
+        if "param" in kinds:
+            return Ownership.BORROWED
+        return None
+
+    # -- event collection -----------------------------------------------
+
+    def _collect_events(self) -> None:
+        names = set(self.acquisitions)
+        for node in _own_statements(self.func):
+            release = self._release_of(node, names)
+            if release is not None:
+                name, call = release
+                guarded = self._is_guarded(call)
+                self.events.append(_Event(name, node, "release", guarded))
+                acq = self.acquisitions[name]
+                if acq.state is not Ownership.OWNED and not guarded:
+                    # A guard (``if owns_root:`` / ``if x is not None:``)
+                    # is how code records which arm of a conditional
+                    # acquisition it took — unguarded release of a
+                    # maybe/borrowed binding is the cross-release bug.
+                    self.borrowed_releases.append(
+                        BorrowedRelease(acq, call, guarded)
+                    )
+                continue
+            for name in self._escapes_of(node, names):
+                self.events.append(_Event(name, node, "escape"))
+        # Releasing a *parameter* directly (never locally rebound) is the
+        # clearest form of the caller-owned violation.
+        for node in _own_statements(self.func):
+            if isinstance(node, ast.Call):
+                name = _released_name(node, self.release_attrs)
+                if name in self.params and name not in self.acquisitions:
+                    if self._is_guarded(node):
+                        continue
+                    acq = Acquisition(
+                        name=str(name),
+                        node=self.func,
+                        state=Ownership.BORROWED,
+                    )
+                    self.borrowed_releases.append(
+                        BorrowedRelease(acq, node, guarded=False)
+                    )
+
+    def _release_of(
+        self, node: ast.AST, names: set[str]
+    ) -> tuple[str, ast.Call] | None:
+        if isinstance(node, ast.Call):
+            name = _released_name(node, self.release_attrs)
+            if name is not None and name in names:
+                return name, node
+        return None
+
+    def _escapes_of(self, node: ast.AST, names: set[str]) -> Iterator[str]:
+        if isinstance(node, ast.Return) and node.value is not None:
+            yield from _names_in(node.value, names)
+        elif isinstance(node, ast.Assign):
+            stored = any(
+                isinstance(t, (ast.Attribute, ast.Subscript))
+                for t in node.targets
+            )
+            if stored:
+                yield from _names_in(node.value, names)
+        elif isinstance(node, ast.Call):
+            if _released_name(node, self.release_attrs) is not None:
+                return
+            for arg in list(node.args) + [k.value for k in node.keywords]:
+                yield from _names_in(arg, names)
+
+    def _is_guarded(self, call: ast.Call) -> bool:
+        """Whether a release sits under an ownership-flag conditional.
+
+        Accepted guards: ``if flag:`` / ``if not flag:`` on a plain
+        local name, and identity tests (``if x is not None:``) — the two
+        idioms the fixed PR 9 code uses (``if owns_root:`` /
+        ``if build_backend is not None:``).
+        """
+        current: ast.AST | None = call
+        while current is not None and current is not self.func:
+            parent = self.parents.get(current)
+            if isinstance(parent, ast.If) and current in parent.body:
+                test = parent.test
+                if isinstance(test, ast.Name):
+                    return True
+                if isinstance(test, ast.UnaryOp) and isinstance(
+                    test.operand, ast.Name
+                ):
+                    return True
+                if isinstance(test, ast.Compare) and isinstance(
+                    test.left, ast.Name
+                ):
+                    return True
+            current = parent
+        return False
+
+    # -- exit-path analysis ---------------------------------------------
+
+    def _find_leaks(self) -> Iterator[Leak]:
+        for exit_node, kind in self._exits():
+            in_handler = _enclosing_handler(exit_node, self.parents)
+            for acq in self.acquisitions.values():
+                if acq.state is Ownership.BORROWED:
+                    continue  # the caller's problem, not a leak here
+                if kind != "end" and not _precedes(acq.node, exit_node):
+                    # A raise/return textually before the acquisition
+                    # cannot leak it; the fall-through exit (anchored at
+                    # the def line) always can.
+                    continue
+                if self._satisfied(acq, exit_node, kind, in_handler):
+                    continue
+                yield Leak(acquisition=acq, exit_node=exit_node, kind=kind)
+
+    def _exits(self) -> Iterator[tuple[ast.AST, str]]:
+        for node in _own_statements(self.func):
+            if isinstance(node, ast.Return):
+                yield node, "return"
+            elif isinstance(node, ast.Raise):
+                handler = _enclosing_handler(node, self.parents)
+                yield node, ("handler-raise" if handler else "raise")
+        if self._can_fall_off_end():
+            yield self.func, "end"
+
+    def _can_fall_off_end(self) -> bool:
+        return not any(
+            isinstance(stmt, (ast.Return, ast.Raise))
+            for stmt in _unconditional(self.func.body)
+        )
+
+    def _satisfied(
+        self,
+        acq: Acquisition,
+        exit_node: ast.AST,
+        kind: str,
+        handler: ast.ExceptHandler | None,
+    ) -> bool:
+        events = [e for e in self.events if e.name == acq.name]
+        if kind == "return":
+            if isinstance(exit_node, ast.Return) and exit_node.value is not None:
+                if any(True for _ in _names_in(exit_node.value, {acq.name})):
+                    return True
+            return any(
+                _dominates(e.node, exit_node, self.func, self.parents)
+                for e in events
+            )
+        if kind == "end":
+            return bool(events)
+        if kind == "raise":
+            return any(
+                _dominates(e.node, exit_node, self.func, self.parents)
+                for e in events
+            )
+        # handler-raise: only events inside this handler chain (its body
+        # before the raise, or the try's finally) or dominating the try
+        # statement itself are trustworthy.
+        assert handler is not None
+        try_stmt = self.parents.get(handler)
+        for event in events:
+            if _within(event.node, handler) and _precedes(
+                event.node, exit_node
+            ):
+                return True
+            if isinstance(try_stmt, ast.Try):
+                if any(_within(event.node, s) for s in try_stmt.finalbody):
+                    return True
+                if _dominates(event.node, try_stmt, self.func, self.parents):
+                    return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# AST plumbing
+# ----------------------------------------------------------------------
+
+
+def _own_statements(func: AnyFunction) -> Iterator[ast.AST]:
+    """Walk the function body, skipping nested function/lambda subtrees.
+
+    The nested def/lambda node itself is yielded (it is a statement of
+    this function) but its body is not entered: a ``return`` inside a
+    closure is not an exit of the enclosing function.
+    """
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        for child in ast.iter_child_nodes(node):
+            stack.append(child)
+
+
+def _parent_map(func: AnyFunction) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(func):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _released_name(call: ast.Call, release_attrs: frozenset[str]) -> str | None:
+    """``x`` for a call ``x.release()``-shaped call, else ``None``."""
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in release_attrs
+        and isinstance(func.value, ast.Name)
+    ):
+        return func.value.id
+    return None
+
+
+def _names_in(node: ast.expr, names: set[str]) -> Iterator[str]:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id in names:
+            if isinstance(child.ctx, ast.Load):
+                yield child.id
+
+
+def _within(node: ast.AST, container: ast.AST) -> bool:
+    return node is container or any(node is c for c in ast.walk(container))
+
+
+def _precedes(before: ast.AST, after: ast.AST) -> bool:
+    before_line = getattr(before, "lineno", 0)
+    after_line = getattr(after, "lineno", 1 << 30)
+    return bool(before_line <= after_line)
+
+
+def _enclosing_handler(
+    node: ast.AST, parents: dict[ast.AST, ast.AST]
+) -> ast.ExceptHandler | None:
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(current, ast.ExceptHandler):
+            return current
+        current = parents.get(current)
+    return None
+
+
+def _dominates(
+    event_node: ast.AST,
+    exit_node: ast.AST,
+    func: AnyFunction,
+    parents: dict[ast.AST, ast.AST],
+) -> bool:
+    """Whether ``event_node`` sits in a statement textually dominating
+    ``exit_node``: a preceding sibling in some enclosing block (scanned
+    into compound statements optimistically), walking up to ``func``."""
+    current: ast.AST = exit_node
+    while current is not func:
+        parent = parents.get(current)
+        if parent is None:
+            break
+        for _, value in ast.iter_fields(parent):
+            if not isinstance(value, list) or current not in value:
+                continue
+            index = value.index(current)
+            for stmt in value[:index]:
+                if _within(event_node, stmt):
+                    return True
+        current = parent
+    return False
+
+
+def _unconditional(body: list[ast.stmt]) -> list[ast.stmt]:
+    """Statements that always execute (``try``/``with`` expanded)."""
+    out: list[ast.stmt] = []
+    for stmt in body:
+        out.append(stmt)
+        if isinstance(stmt, ast.Try):
+            out.extend(_unconditional(stmt.body))
+            out.extend(_unconditional(stmt.finalbody))
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            out.extend(_unconditional(stmt.body))
+    return out

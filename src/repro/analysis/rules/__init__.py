@@ -9,11 +9,15 @@ CLI, suppression and baseline machinery pick it up automatically.
 from __future__ import annotations
 
 from repro.analysis.engine import Rule
+from repro.analysis.rules.async_blocking import AsyncBlockingRule
+from repro.analysis.rules.backend_lifecycle import BackendLifecycleRule
 from repro.analysis.rules.box_validation import BoxValidationRule
 from repro.analysis.rules.determinism import DeterminismRule
 from repro.analysis.rules.dtype_safety import DtypeSafetyRule
+from repro.analysis.rules.lock_discipline import LockDisciplineRule
 from repro.analysis.rules.memmap_flush import MemmapFlushRule
 from repro.analysis.rules.registry_contract import RegistryContractRule
+from repro.analysis.rules.task_tracking import TaskTrackingRule
 
 _RULE_CLASSES: tuple[type[Rule], ...] = (
     DtypeSafetyRule,
@@ -21,14 +25,22 @@ _RULE_CLASSES: tuple[type[Rule], ...] = (
     RegistryContractRule,
     MemmapFlushRule,
     DeterminismRule,
+    BackendLifecycleRule,
+    AsyncBlockingRule,
+    LockDisciplineRule,
+    TaskTrackingRule,
 )
 
 __all__ = [
+    "AsyncBlockingRule",
+    "BackendLifecycleRule",
     "BoxValidationRule",
     "DeterminismRule",
     "DtypeSafetyRule",
+    "LockDisciplineRule",
     "MemmapFlushRule",
     "RegistryContractRule",
+    "TaskTrackingRule",
     "default_rules",
     "rules_by_id",
 ]

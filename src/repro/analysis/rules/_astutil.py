@@ -92,16 +92,21 @@ def iter_calls(node: ast.AST) -> Iterator[ast.Call]:
 def walk_function_body(
     func: ast.FunctionDef | ast.AsyncFunctionDef,
 ) -> Iterator[ast.AST]:
-    """Walk a function's own statements, skipping nested function defs."""
+    """Walk a function's own statements, skipping nested function defs.
+
+    Nested ``def``/``async def``/``lambda`` nodes are yielded (they are
+    statements of this function) but never descended into — their
+    bodies run on a different schedule and belong to them.
+    """
     stack: list[ast.AST] = list(func.body)
     while stack:
         node = stack.pop()
         yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
         for child in ast.iter_child_nodes(node):
-            if isinstance(
-                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
-            ):
-                continue
             stack.append(child)
 
 

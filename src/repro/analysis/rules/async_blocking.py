@@ -1,0 +1,113 @@
+"""async-blocking: no blocking calls directly inside serving coroutines.
+
+The serving layer runs on a single event loop; one blocking call in a
+coroutine stalls *every* in-flight request — the exact regression class
+PR 7's review caught (a large numpy gather executed inline in
+``_answer_scalar`` froze the loop for the duration of the scan).  The
+offload architecture is explicit: heavy tier computations go through
+``ServingService._run`` (which routes big work to
+``loop.run_in_executor``), and anything handed to the executor lives in
+a lambda or nested function — which this rule deliberately does not
+descend into, so properly offloaded work is allowed by construction.
+
+Flagged when called *directly* in an ``async def`` of ``repro/serving``:
+
+* ``time.sleep`` (use ``asyncio.sleep``);
+* the ``open`` builtin and ``Path`` file I/O methods (``read_text``,
+  ``write_text``, ``read_bytes``, ``write_bytes``) — use an executor;
+* ``.result()`` on futures — awaiting is the non-blocking form;
+* numpy bulk/gather operations above the kernel layer (``np.take``,
+  ``np.sum``, ``np.einsum``, ``np.dot``, ``np.matmul``, ``np.sort``,
+  ``np.argsort``, ``np.cumsum``, ``np.cumprod`` and ufunc
+  ``add.at``/``reduce``/``reduceat``/``accumulate``) — these scale with
+  cube volume; cheap shape arithmetic (``np.prod`` on a dims tuple,
+  ``np.arange``, ``np.zeros``) is not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import LintContext, Rule, Violation
+from repro.analysis.rules._astutil import (
+    dotted_name,
+    numpy_aliases,
+    walk_function_body,
+)
+
+#: Volume-scaling numpy entry points (``np.<name>(...)``).
+BLOCKING_NUMPY = frozenset(
+    {
+        "take",
+        "sum",
+        "einsum",
+        "dot",
+        "matmul",
+        "sort",
+        "argsort",
+        "cumsum",
+        "cumprod",
+    }
+)
+
+#: Blocking ufunc methods (``np.add.at(...)``, ``np.maximum.reduce(...)``).
+UFUNC_METHODS = frozenset({"at", "reduce", "reduceat", "accumulate"})
+
+#: Blocking ``Path`` / file-object methods.
+FILE_IO_ATTRS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+
+class AsyncBlockingRule(Rule):
+    """Serving coroutines must offload blocking work, not run it inline."""
+
+    rule_id = "async-blocking"
+    description = (
+        "no blocking calls (numpy gathers, file I/O, time.sleep, "
+        ".result()) directly in a repro/serving coroutine — offload via "
+        "run_in_executor helpers"
+    )
+    scope = ("repro/serving",)
+
+    def check(self, context: LintContext) -> Iterator[Violation]:
+        aliases = numpy_aliases(context.tree)
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for child in walk_function_body(node):
+                if not isinstance(child, ast.Call):
+                    continue
+                reason = self._blocking_reason(child, aliases)
+                if reason is not None:
+                    yield self.violation(
+                        context,
+                        child,
+                        f"{reason} directly in coroutine {node.name!r} "
+                        "blocks the event loop; await the async form or "
+                        "offload via run_in_executor",
+                    )
+
+    def _blocking_reason(
+        self, call: ast.Call, aliases: set[str]
+    ) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            return "builtin open()"
+        dotted = dotted_name(func)
+        if dotted == "time.sleep":
+            return "time.sleep()"
+        if isinstance(func, ast.Attribute):
+            if func.attr == "result" and not call.args and not call.keywords:
+                return "Future.result()"
+            if func.attr in FILE_IO_ATTRS:
+                return f"file I/O ({func.attr}())"
+        if dotted is not None and aliases:
+            parts = dotted.split(".")
+            if parts[0] in aliases:
+                if len(parts) == 2 and parts[1] in BLOCKING_NUMPY:
+                    return f"numpy bulk operation {parts[1]}()"
+                if len(parts) == 3 and parts[2] in UFUNC_METHODS:
+                    return f"numpy ufunc method {parts[1]}.{parts[2]}()"
+        return None

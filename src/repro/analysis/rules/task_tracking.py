@@ -1,0 +1,144 @@
+"""task-tracking: every ``create_task`` result retained or awaited.
+
+The event loop keeps only a *weak* reference to tasks: a task whose
+handle is dropped can be garbage-collected mid-flight, silently
+cancelling the work (the PR 7 review caught exactly this — coalescer
+flush tasks vanishing under memory pressure; the fix keeps them in
+``self._flush_tasks`` with a done-callback discard).
+
+A ``create_task(...)`` call is compliant when its result is
+
+* awaited (``await create_task(...)``),
+* stored on an object or into a container (``self._task = ...``,
+  ``batch.timer = ...``, ``tasks[k] = ...``),
+* bound to a local that is actually *used* later (registered in a set,
+  cancelled, returned...),
+* passed directly to another call (``tasks.append(create_task(...))``),
+* returned, or
+* spawned on an ``asyncio.TaskGroup`` receiver (the group owns it).
+
+Flagged: a bare ``create_task(...)`` expression statement, and a local
+binding never read again.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import LintContext, Rule, Violation
+from repro.analysis.rules._astutil import terminal_name
+
+
+class TaskTrackingRule(Rule):
+    """``asyncio.create_task`` handles must be kept alive."""
+
+    rule_id = "task-tracking"
+    description = (
+        "asyncio.create_task results must be retained (attribute/"
+        "container store, tracked local) or awaited — untracked tasks "
+        "are GC-cancellable"
+    )
+    scope = ("repro/serving",)
+
+    def check(self, context: LintContext) -> Iterator[Violation]:
+        for func in ast.walk(context.tree):
+            if not isinstance(
+                func, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            yield from self._check_function(context, func)
+
+    def _check_function(
+        self,
+        context: LintContext,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Violation]:
+        parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(func):
+            for child in ast.iter_child_nodes(node):
+                parents.setdefault(child, node)
+        group_names = _taskgroup_receivers(func)
+        for call in ast.walk(func):
+            if not isinstance(call, ast.Call):
+                continue
+            if terminal_name(call.func) != "create_task":
+                continue
+            if _receiver_name(call.func) in group_names:
+                continue  # the TaskGroup owns its children
+            parent = parents.get(call)
+            if isinstance(parent, ast.Await):
+                continue
+            if isinstance(parent, ast.Call) and call in (
+                list(parent.args) + [k.value for k in parent.keywords]
+            ):
+                continue  # handed to append()/add()/gather(...)
+            if isinstance(parent, ast.Return):
+                continue
+            if isinstance(parent, ast.Expr):
+                yield self.violation(
+                    context,
+                    call,
+                    "create_task() result is discarded — the event loop "
+                    "holds only a weak reference, so the task can be "
+                    "garbage-collected mid-flight; retain the handle",
+                )
+                continue
+            if isinstance(parent, ast.Assign):
+                targets = [
+                    t.id for t in parent.targets if isinstance(t, ast.Name)
+                ]
+                if len(targets) == len(parent.targets) and not (
+                    self._used_later(func, parent)
+                ):
+                    bound = ", ".join(repr(t) for t in targets)
+                    yield self.violation(
+                        context,
+                        call,
+                        f"create_task() handle is bound to {bound} but "
+                        "never used afterwards — an unused local keeps "
+                        "the task alive no longer than no binding at "
+                        "all once the frame exits; track or await it",
+                    )
+
+    def _used_later(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        assign: ast.Assign,
+    ) -> bool:
+        names = {t.id for t in assign.targets if isinstance(t, ast.Name)}
+        boundary = int(getattr(assign, "end_lineno", assign.lineno))
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in names
+                and node.lineno > boundary
+            ):
+                return True
+        return False
+
+
+def _taskgroup_receivers(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    """Names bound by ``async with asyncio.TaskGroup() as tg:``."""
+    names: set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if (
+                isinstance(expr, ast.Call)
+                and terminal_name(expr.func) == "TaskGroup"
+                and isinstance(item.optional_vars, ast.Name)
+            ):
+                names.add(item.optional_vars.id)
+    return names
+
+
+def _receiver_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id
+    return None

@@ -940,11 +940,15 @@ class QueryService:
                     f"update to cube {cube.name!r} failed mid-apply "
                     f"({exc}); the cube is quarantined"
                 ) from exc
-        cube.generation += 1
-        cube.updates_applied += len(updates)
+            # Bump and invalidate BEFORE the write lock drops: a reader
+            # admitted between unlock and a later bump would snapshot
+            # the old generation over the new tiers and cache a stale
+            # answer that passes every subsequent generation check.
+            cube.generation += 1
+            cube.updates_applied += len(updates)
+            self.cache.invalidate_cube(cube.name)
         if cube.observer is not None:
             cube.observer.observe_update(len(updates))
-        self.cache.invalidate_cube(cube.name)
         return {
             "cube": cube.name,
             "applied": len(updates),

@@ -1,0 +1,41 @@
+"""Seeded backend-lifecycle violations (fixture; never imported).
+
+Each function reproduces one shape of the PR 9 review bugs: leaking an
+acquired scope on an exception path, releasing a conditionally-owned
+root without its ownership guard, and releasing a caller-provided
+backend outright.
+"""
+
+
+def leaks_on_exception(plan, batches, consume, result):
+    root = plan.make_backend()
+    scope = root.subscope("cuboids")
+    try:
+        consume(batches, scope)
+    except BaseException:
+        # Neither root nor scope is released before the re-raise: both
+        # acquisitions leak their spill files on the abort path.
+        raise
+    return result(root, scope)
+
+
+def releases_callers_root(plan, backend, build):
+    root = plan.make_backend() if backend is None else backend
+    try:
+        build(root)
+    except BaseException:
+        # Unguarded release of a maybe-owned binding: when the caller
+        # passed ``backend``, this unlinks sibling builds' live arrays.
+        root.release()
+        raise
+    return root
+
+
+def releases_parameter(backend):
+    backend.release()
+    return None
+
+
+def leaks_to_fall_through(plan):
+    scope = plan.make_backend()
+    scope.empty("cells", (4, 4), "f8")

@@ -1,0 +1,57 @@
+"""Compliant backend lifecycles (fixture; never imported).
+
+Mirrors the real ``repro.ingest`` / ``repro.serving`` idioms the
+``backend-lifecycle`` rule must not flag: handler-path release plus
+transfer-by-return, the ``owns_root`` guard, identity-test guards,
+attribute-store acquisition, and container-store transfer.
+"""
+
+
+def releases_then_transfers(plan, build):
+    scope = plan.make_backend()
+    try:
+        build(scope)
+    except BaseException:
+        scope.release()
+        raise
+    return scope
+
+
+def guarded_conditional_owner(plan, backend, build, result):
+    owns_root = backend is None
+    root = plan.make_backend() if backend is None else backend
+    scope = root.subscope("cuboids")
+    try:
+        build(root, scope)
+    except BaseException:
+        scope.release()
+        if owns_root:
+            root.release()
+        raise
+    return result(root, scope)
+
+
+def identity_guarded_release(maker, run):
+    backend = None
+    if maker is not None:
+        backend = maker.make_backend()
+    try:
+        run(backend)
+    except BaseException:
+        if backend is not None:
+            backend.release()
+        raise
+    return backend
+
+
+class Holder:
+    """Attribute-target acquisitions transfer ownership at birth."""
+
+    def __init__(self, plan):
+        self.backend = plan.make_backend()
+        self.scope = self.backend.subscope("cells")
+
+
+def transfers_via_store(plan, registry):
+    scope = plan.make_backend()
+    registry["scope"] = scope

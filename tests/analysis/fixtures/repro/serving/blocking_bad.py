@@ -1,0 +1,26 @@
+"""Seeded async-blocking violations (fixture; never imported)."""
+
+import time
+
+import numpy as np
+
+
+class Service:
+    async def answer(self, box):
+        time.sleep(0.1)
+        values = np.take(self.base, box)
+        np.add.at(self.base, box, 1)
+        fut = self.pool.submit(self.work)
+        return fut.result(), values
+
+    async def aggregate(self, lows, highs):
+        return np.sum(self.base[lows:highs])
+
+
+async def reads_config(path):
+    with open(path) as fh:
+        return fh.read()
+
+
+async def writes_snapshot(path, payload):
+    path.write_text(payload)

@@ -1,0 +1,32 @@
+"""Compliant serving coroutines (fixture; never imported).
+
+Blocking work offloaded through ``run_in_executor`` lambdas or nested
+helpers is allowed by construction — the rule does not descend into
+them — and cheap shape arithmetic is not a gather.
+"""
+
+import asyncio
+
+import numpy as np
+
+
+class Service:
+    async def answer(self, box):
+        await asyncio.sleep(0.01)
+        loop = asyncio.get_running_loop()
+        values = await loop.run_in_executor(
+            None, lambda: np.take(self.base, box)
+        )
+        cells = int(np.prod(self.shape))
+        return values, cells
+
+    async def offloaded_helper(self, box):
+        def gather():
+            np.add.at(self.base, box, 1)
+            return np.sum(self.base)
+
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, gather)
+
+    def sync_gather(self, box):
+        return np.take(self.base, box)

@@ -1,0 +1,22 @@
+"""Seeded lock-discipline violations (fixture; never imported)."""
+
+
+class Service:
+    async def unlocked_read(self, cube, box):
+        return self.router.run_scalar(cube, "sum", box)
+
+    async def unlocked_apply(self, cube, updates):
+        cube.engine.apply_updates(updates)
+
+    async def invalidates_outside(self, cube, updates):
+        async with cube.rwlock.write_locked():
+            cube.engine.apply_updates(updates)
+            cube.generation += 1
+        self.cache.invalidate_cube(cube.name)
+
+    async def late_bump(self, cube):
+        cube.generation += 1
+
+    async def forgets_bump(self, cube, updates):
+        async with cube.rwlock.write_locked():
+            cube.engine.apply_updates(updates)

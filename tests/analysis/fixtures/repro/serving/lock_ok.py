@@ -1,0 +1,32 @@
+"""Compliant lock usage (fixture; never imported).
+
+Exercises every protection the rule recognizes: lexical read/write
+blocks, the guard-helper pattern (a lambda handed to a callee that only
+invokes it under the read lock), and the nested-closure pattern (a
+``def run()`` whose only call site sits inside the write block) — the
+two interprocedural shapes ``ServingService`` uses in production.
+"""
+
+
+class Service:
+    async def lexical_read(self, cube, box):
+        async with cube.rwlock.read_locked():
+            return self.router.run_batch(cube, "sum", box)
+
+    async def guarded_read(self, cube, box):
+        return await self._run_read(
+            cube, lambda: self.router.run_scalar(cube, "sum", box)
+        )
+
+    async def _run_read(self, cube, fn):
+        async with cube.rwlock.read_locked():
+            return fn()
+
+    async def apply(self, cube, updates):
+        def run():
+            cube.engine.apply_updates(updates)
+
+        async with cube.rwlock.write_locked():
+            run()
+            cube.generation += 1
+            self.cache.invalidate_cube(cube.name)

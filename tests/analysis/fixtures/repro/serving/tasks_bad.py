@@ -1,0 +1,16 @@
+"""Seeded task-tracking violations (fixture; never imported)."""
+
+import asyncio
+
+
+class Spawner:
+    def fire_and_forget(self):
+        asyncio.create_task(self._loop())
+
+    def unused_local(self, coro):
+        task = asyncio.create_task(coro)
+        self.spawned += 1
+
+
+async def detached(coro, loop):
+    loop.create_task(coro)

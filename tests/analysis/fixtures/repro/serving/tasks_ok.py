@@ -1,0 +1,29 @@
+"""Compliant create_task usage (fixture; never imported)."""
+
+import asyncio
+
+
+class Spawner:
+    def retained_attribute(self):
+        self._task = asyncio.create_task(self._loop())
+
+    def tracked_local(self, coro):
+        task = asyncio.create_task(coro)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
+
+    async def awaited(self, coro):
+        return await asyncio.create_task(coro)
+
+    async def grouped(self, coros):
+        async with asyncio.TaskGroup() as tg:
+            for coro in coros:
+                tg.create_task(coro)
+
+    def appended(self, coro, tasks):
+        tasks.append(asyncio.create_task(coro))
+        return tasks
+
+    def stored_in_map(self, key, coro, loop):
+        self.timers[key] = loop.create_task(coro)

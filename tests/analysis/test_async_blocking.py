@@ -1,0 +1,30 @@
+"""async-blocking: event-loop stalls in serving coroutines."""
+
+from __future__ import annotations
+
+from repro.analysis.rules.async_blocking import AsyncBlockingRule
+
+from tests.analysis.conftest import lint_fixture, rule_lines
+
+RULE_ID = AsyncBlockingRule.rule_id
+
+
+def test_bad_fixture_flags_every_blocking_call():
+    report = lint_fixture("repro/serving/blocking_bad.py", AsyncBlockingRule())
+    # 10: time.sleep, 11: np.take gather, 12: np.add.at scatter,
+    # 14: fut.result(), 17: np.sum gather, 21: open(), 26: write_text.
+    assert rule_lines(report, RULE_ID) == [10, 11, 12, 14, 17, 21, 26]
+
+
+def test_ok_fixture_is_clean():
+    """Offloaded lambdas/nested helpers and shape arithmetic pass."""
+    report = lint_fixture("repro/serving/blocking_ok.py", AsyncBlockingRule())
+    assert report.violations == []
+
+
+def test_out_of_scope_layer_is_ignored():
+    """The same gathers are fine below the serving layer — kernels are
+    *supposed* to be synchronous numpy."""
+    rule = AsyncBlockingRule()
+    assert not rule.applies_to("src/repro/kernels/dense.py")
+    assert rule.applies_to("src/repro/serving/service.py")

@@ -1,0 +1,201 @@
+"""The project symbol table / call graph: resolution and edges."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import Project, module_name_for_path
+
+
+def _build(**files: str) -> Project:
+    """Build a project from ``{posix_path: source}`` (dots become /)."""
+    return Project.build(
+        (path, ast.parse(source, filename=path))
+        for path, source in files.items()
+    )
+
+
+def _call_named(module, name: str) -> ast.Call:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            target = node.func
+            attr = (
+                target.attr
+                if isinstance(target, ast.Attribute)
+                else getattr(target, "id", None)
+            )
+            if attr == name:
+                return node
+    raise AssertionError(f"no call to {name}")
+
+
+class TestModuleNames:
+    def test_src_prefix_dropped(self):
+        assert (
+            module_name_for_path("src/repro/serving/service.py")
+            == "repro.serving.service"
+        )
+
+    def test_init_names_the_package(self):
+        assert (
+            module_name_for_path("src/repro/serving/__init__.py")
+            == "repro.serving"
+        )
+
+    def test_non_src_tree_keeps_all_parts(self):
+        assert (
+            module_name_for_path("tests/analysis/fixtures/repro/a.py")
+            == "tests.analysis.fixtures.repro.a"
+        )
+
+
+class TestResolution:
+    def test_cross_module_import_resolution(self):
+        project = _build(
+            **{
+                "src/repro/a.py": "def helper():\n    pass\n",
+                "src/repro/b.py": (
+                    "from repro.a import helper\n"
+                    "def caller():\n    helper()\n"
+                ),
+            }
+        )
+        module = project.module_for("src/repro/b.py")
+        resolved = project.resolve_call(_call_named(module, "helper"), module)
+        assert resolved is not None
+        assert resolved.qualname == "repro.a.helper"
+
+    def test_relative_import_resolution(self):
+        project = _build(
+            **{
+                "src/repro/pkg/a.py": "def helper():\n    pass\n",
+                "src/repro/pkg/b.py": (
+                    "from .a import helper\ndef caller():\n    helper()\n"
+                ),
+            }
+        )
+        module = project.module_for("src/repro/pkg/b.py")
+        resolved = project.resolve_call(_call_named(module, "helper"), module)
+        assert resolved is not None
+        assert resolved.qualname == "repro.pkg.a.helper"
+
+    def test_dotted_suffix_matches_fixture_trees(self):
+        """A fixture living under tests/.../repro/serving still resolves
+        ``from repro.serving.x import helper``."""
+        project = _build(
+            **{
+                "tests/fx/repro/serving/x.py": "def helper():\n    pass\n",
+                "tests/fx/repro/serving/y.py": (
+                    "from repro.serving.x import helper\n"
+                    "def caller():\n    helper()\n"
+                ),
+            }
+        )
+        module = project.module_for("tests/fx/repro/serving/y.py")
+        resolved = project.resolve_call(_call_named(module, "helper"), module)
+        assert resolved is not None
+        assert resolved.name == "helper"
+
+    def test_self_method_resolution_walks_bases(self):
+        project = _build(
+            **{
+                "src/repro/m.py": (
+                    "class Base:\n"
+                    "    def helper(self):\n        pass\n"
+                    "class Child(Base):\n"
+                    "    async def caller(self):\n        self.helper()\n"
+                ),
+            }
+        )
+        module = project.module_for("src/repro/m.py")
+        resolved = project.resolve_call(_call_named(module, "helper"), module)
+        assert resolved is not None
+        assert resolved.qualname == "repro.m.Base.helper"
+        assert resolved.is_method
+
+    def test_nested_scope_wins_over_module_scope(self):
+        project = _build(
+            **{
+                "src/repro/m.py": (
+                    "def run():\n    pass\n"
+                    "def outer():\n"
+                    "    def run():\n        pass\n"
+                    "    run()\n"
+                ),
+            }
+        )
+        module = project.module_for("src/repro/m.py")
+        resolved = project.resolve_call(_call_named(module, "run"), module)
+        assert resolved is not None
+        assert resolved.qualname == "repro.m.outer.run"
+
+    def test_class_call_resolves_to_init(self):
+        project = _build(
+            **{
+                "src/repro/m.py": (
+                    "class Holder:\n"
+                    "    def __init__(self):\n        pass\n"
+                    "def make():\n    return Holder()\n"
+                ),
+            }
+        )
+        module = project.module_for("src/repro/m.py")
+        resolved = project.resolve_call(_call_named(module, "Holder"), module)
+        assert resolved is not None
+        assert resolved.qualname == "repro.m.Holder.__init__"
+
+    def test_dynamic_call_resolves_to_none(self):
+        project = _build(
+            **{"src/repro/m.py": "def f(cb):\n    cb().then()\n"}
+        )
+        module = project.module_for("src/repro/m.py")
+        resolved = project.resolve_call(_call_named(module, "then"), module)
+        assert resolved is None
+
+
+class TestEnclosingAndCallers:
+    def test_enclosing_function_is_innermost(self):
+        project = _build(
+            **{
+                "src/repro/m.py": (
+                    "async def outer():\n"
+                    "    def inner():\n"
+                    "        work()\n"
+                    "    inner()\n"
+                ),
+            }
+        )
+        module = project.module_for("src/repro/m.py")
+        call = _call_named(module, "work")
+        owner = project.enclosing_function(call)
+        assert owner is not None
+        assert owner.qualname == "repro.m.outer.inner"
+
+    def test_callers_inverts_edges_across_modules(self):
+        project = _build(
+            **{
+                "src/repro/a.py": "def helper():\n    pass\n",
+                "src/repro/b.py": (
+                    "from repro.a import helper\n"
+                    "def one():\n    helper()\n"
+                    "def two():\n    helper()\n"
+                ),
+            }
+        )
+        helper = project.functions["repro.a.helper"]
+        sites = project.callers(helper)
+        assert sorted(caller.name for caller, _ in sites) == ["one", "two"]
+
+    def test_async_and_decorated_defs_are_indexed(self):
+        project = _build(
+            **{
+                "src/repro/m.py": (
+                    "import functools\n"
+                    "@functools.lru_cache\n"
+                    "async def cached():\n    pass\n"
+                ),
+            }
+        )
+        info = project.functions["repro.m.cached"]
+        assert info.is_async
+        assert "functools.lru_cache" in info.decorators

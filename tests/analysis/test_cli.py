@@ -42,9 +42,33 @@ def test_seeded_fixtures_fail_with_locations(in_tmp_cwd, capsys):
         "registry-contract",
         "memmap-flush",
         "determinism",
+        "backend-lifecycle",
+        "async-blocking",
+        "lock-discipline",
+        "task-tracking",
     ):
         assert f"[{rule_id}]" in out
     assert "dtype_bad.py:10:" in out
+
+
+@pytest.mark.parametrize(
+    ("rule_id", "fixture"),
+    [
+        ("backend-lifecycle", "repro/ingest/lifecycle_bad.py"),
+        ("async-blocking", "repro/serving/blocking_bad.py"),
+        ("lock-discipline", "repro/serving/lock_bad.py"),
+        ("task-tracking", "repro/serving/tasks_bad.py"),
+    ],
+)
+def test_each_new_rule_fails_on_its_seeded_fixture(
+    in_tmp_cwd, capsys, rule_id, fixture
+):
+    """Per-rule self-test: the CI job runs exactly this per rule."""
+    code = main([str(FIXTURES), "--select", rule_id, "--format", "json"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert {v["rule"] for v in payload["violations"]} == {rule_id}
+    assert any(fixture in v["path"] for v in payload["violations"])
 
 
 def test_json_format_payload(in_tmp_cwd, capsys):
@@ -55,7 +79,14 @@ def test_json_format_payload(in_tmp_cwd, capsys):
     assert payload["counts"]["violations"] > 0
     assert payload["counts"]["suppressed"] >= 1
     sample = payload["violations"][0]
-    assert set(sample) == {"path", "line", "col", "rule", "message"}
+    assert set(sample) == {
+        "path",
+        "line",
+        "col",
+        "rule",
+        "message",
+        "fingerprint",
+    }
     rules_seen = {v["rule"] for v in payload["violations"]}
     assert "dtype-safety" in rules_seen
     assert "determinism" in rules_seen
@@ -105,8 +136,65 @@ def test_list_rules(in_tmp_cwd, capsys):
         "registry-contract",
         "memmap-flush",
         "determinism",
+        "backend-lifecycle",
+        "async-blocking",
+        "lock-discipline",
+        "task-tracking",
     ):
         assert rule_id in out
+
+
+def test_github_format_emits_workflow_commands(in_tmp_cwd, capsys):
+    code = main(
+        [str(FIXTURES / "repro/serving/tasks_bad.py"), "--format", "github"]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    lines = [line for line in out.splitlines() if line.startswith("::error ")]
+    assert len(lines) == 3
+    assert "file=" in lines[0]
+    assert ",line=8," in lines[0]
+    assert "title=cubelint task-tracking" in lines[0]
+
+
+def test_sarif_format_is_valid_minimal_log(in_tmp_cwd, capsys):
+    code = main(
+        [str(FIXTURES / "repro/serving/lock_bad.py"), "--format", "sarif"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["version"] == "2.1.0"
+    run_obj = payload["runs"][0]
+    assert run_obj["tool"]["driver"]["name"] == "cubelint"
+    rule_ids = {r["id"] for r in run_obj["tool"]["driver"]["rules"]}
+    assert "lock-discipline" in rule_ids
+    results = run_obj["results"]
+    assert len(results) == 5
+    sample = results[0]
+    assert sample["ruleId"] == "lock-discipline"
+    region = sample["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] >= 1
+    assert sample["partialFingerprints"]["cubelint/v2"]
+
+
+def test_time_budget_overrun_fails(in_tmp_cwd, capsys):
+    code = main(
+        [
+            str(FIXTURES / "repro/core/dtype_ok.py"),
+            "--time-budget",
+            "0.0000001",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "over the --time-budget" in captured.err
+
+
+def test_time_budget_generous_passes(in_tmp_cwd):
+    code = main(
+        [str(FIXTURES / "repro/core/dtype_ok.py"), "--time-budget", "300"]
+    )
+    assert code == 0
 
 
 def test_module_entry_point_subprocess(tmp_path):

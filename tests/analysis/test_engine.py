@@ -66,6 +66,49 @@ class TestSuppressions:
         report = lint_source("x.py", source, [FlagEveryCall()])
         assert len(report.violations) == 1
 
+    def test_suppression_inside_decorated_async_def(self):
+        source = (
+            "@decorate(arg)\n"
+            "async def handler():\n"
+            "    f()  # cubelint: allow[flag-call]\n"
+            "    g()\n"
+        )
+        report = lint_source("x.py", source, [FlagEveryCall()])
+        # decorate(arg) on line 1 and g() on line 4 still flag.
+        assert [v.line for v in report.violations] == [1, 4]
+        assert report.suppressed == 1
+
+    def test_suppression_inside_nested_async_def(self):
+        source = (
+            "async def outer():\n"
+            "    async def inner():\n"
+            "        # cubelint: allow[flag-call]\n"
+            "        f()\n"
+            "    g()\n"
+        )
+        report = lint_source("x.py", source, [FlagEveryCall()])
+        assert [v.line for v in report.violations] == [5]
+        assert report.suppressed == 1
+
+    def test_suppression_on_multiline_statement_anchor_line(self):
+        """The directive lands on the statement's *first* line — where
+        the violation anchors — even when the call spans several."""
+        source = (
+            "f(  # cubelint: allow[flag-call]\n"
+            "    1,\n"
+            "    2,\n"
+            ")\n"
+        )
+        report = lint_source("x.py", source, [FlagEveryCall()])
+        assert report.violations == []
+        assert report.suppressed == 1
+
+    def test_directive_on_multiline_continuation_does_not_suppress(self):
+        source = "f(\n    1,  # cubelint: allow[flag-call]\n)\n"
+        report = lint_source("x.py", source, [FlagEveryCall()])
+        assert len(report.violations) == 1
+        assert report.suppressed == 0
+
 
 class TestScopeAndErrors:
     def test_scoped_rule_skips_out_of_scope_files(self):
@@ -94,6 +137,7 @@ class TestScopeAndErrors:
             "col": 5,
             "rule": "demo",
             "message": "msg",
+            "fingerprint": "",
         }
 
 

@@ -1,0 +1,207 @@
+"""The ownership/escape dataflow behind backend-lifecycle."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.ownership import Ownership, analyze_function
+
+
+def _is_acquisition(call: ast.Call) -> bool:
+    return isinstance(call.func, ast.Attribute) and call.func.attr in (
+        "make_backend",
+        "subscope",
+    )
+
+
+def _analyze(source: str):
+    tree = ast.parse(source)
+    func = next(
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return analyze_function(func, _is_acquisition)
+
+
+class TestClassification:
+    def test_direct_acquisition_is_owned(self):
+        report = _analyze(
+            "def f(plan):\n"
+            "    root = plan.make_backend()\n"
+            "    root.release()\n"
+        )
+        (acq,) = report.acquisitions
+        assert acq.state is Ownership.OWNED
+
+    def test_param_alias_is_borrowed(self):
+        report = _analyze(
+            "def f(backend):\n    root = backend\n    root.release()\n"
+        )
+        (acq,) = report.acquisitions
+        assert acq.state is Ownership.BORROWED
+
+    def test_conditional_acquisition_is_maybe(self):
+        report = _analyze(
+            "def f(plan, backend):\n"
+            "    root = plan.make_backend() if backend is None else backend\n"
+            "    return root\n"
+        )
+        (acq,) = report.acquisitions
+        assert acq.state is Ownership.MAYBE
+
+
+class TestLeaks:
+    def test_handler_raise_leaks_unreleased_scope(self):
+        report = _analyze(
+            "def f(plan, go):\n"
+            "    scope = plan.make_backend()\n"
+            "    try:\n"
+            "        go(scope)\n"
+            "    except BaseException:\n"
+            "        raise\n"
+            "    return scope\n"
+        )
+        assert [leak.kind for leak in report.leaks] == ["handler-raise"]
+
+    def test_try_body_escape_does_not_satisfy_handler_exit(self):
+        """Passing the scope to a call inside ``try`` is no release on
+        the abort path — the exception may fire before the call runs."""
+        report = _analyze(
+            "def f(plan, sink):\n"
+            "    scope = plan.make_backend()\n"
+            "    try:\n"
+            "        sink(scope)\n"
+            "        more()\n"
+            "    except BaseException:\n"
+            "        raise\n"
+        )
+        assert any(leak.kind == "handler-raise" for leak in report.leaks)
+
+    def test_handler_release_satisfies_handler_exit(self):
+        report = _analyze(
+            "def f(plan, go):\n"
+            "    scope = plan.make_backend()\n"
+            "    try:\n"
+            "        go(scope)\n"
+            "    except BaseException:\n"
+            "        scope.release()\n"
+            "        raise\n"
+            "    return scope\n"
+        )
+        assert report.leaks == []
+        assert report.borrowed_releases == []
+
+    def test_finally_release_satisfies_handler_exit(self):
+        report = _analyze(
+            "def f(plan, go):\n"
+            "    scope = plan.make_backend()\n"
+            "    try:\n"
+            "        go(scope)\n"
+            "    except BaseException:\n"
+            "        raise\n"
+            "    finally:\n"
+            "        scope.release()\n"
+        )
+        assert report.leaks == []
+
+    def test_fall_through_end_leaks(self):
+        report = _analyze(
+            "def f(plan):\n"
+            "    scope = plan.make_backend()\n"
+            "    scope.empty('x', (2, 2), 'f8')\n"
+        )
+        assert [leak.kind for leak in report.leaks] == ["end"]
+
+    def test_return_of_resource_is_a_transfer(self):
+        report = _analyze(
+            "def f(plan):\n"
+            "    scope = plan.make_backend()\n"
+            "    return scope\n"
+        )
+        assert report.leaks == []
+
+    def test_attribute_store_is_a_transfer(self):
+        report = _analyze(
+            "def f(self, plan):\n"
+            "    scope = plan.make_backend()\n"
+            "    self.scope = scope\n"
+        )
+        assert report.leaks == []
+
+    def test_raise_before_acquisition_cannot_leak(self):
+        report = _analyze(
+            "def f(plan, bad):\n"
+            "    if bad:\n"
+            "        raise ValueError(bad)\n"
+            "    scope = plan.make_backend()\n"
+            "    return scope\n"
+        )
+        assert report.leaks == []
+
+
+class TestBorrowedReleases:
+    def test_unguarded_maybe_release_is_flagged(self):
+        report = _analyze(
+            "def f(plan, backend, go):\n"
+            "    root = plan.make_backend() if backend is None else backend\n"
+            "    try:\n"
+            "        go(root)\n"
+            "    except BaseException:\n"
+            "        root.release()\n"
+            "        raise\n"
+            "    return root\n"
+        )
+        (bad,) = report.borrowed_releases
+        assert bad.acquisition.state is Ownership.MAYBE
+        assert not bad.guarded
+
+    def test_flag_guard_forgives_maybe_release(self):
+        report = _analyze(
+            "def f(plan, backend, go):\n"
+            "    owns_root = backend is None\n"
+            "    root = plan.make_backend() if backend is None else backend\n"
+            "    try:\n"
+            "        go(root)\n"
+            "    except BaseException:\n"
+            "        if owns_root:\n"
+            "            root.release()\n"
+            "        raise\n"
+            "    return root\n"
+        )
+        assert report.borrowed_releases == []
+        assert report.leaks == []
+
+    def test_identity_guard_forgives_release(self):
+        report = _analyze(
+            "def f(maker, go):\n"
+            "    backend = None\n"
+            "    if maker is not None:\n"
+            "        backend = maker.make_backend()\n"
+            "    try:\n"
+            "        go(backend)\n"
+            "    except BaseException:\n"
+            "        if backend is not None:\n"
+            "            backend.release()\n"
+            "        raise\n"
+            "    return backend\n"
+        )
+        assert report.borrowed_releases == []
+
+    def test_direct_parameter_release_is_flagged(self):
+        report = _analyze(
+            "def f(backend):\n    backend.release()\n"
+        )
+        (bad,) = report.borrowed_releases
+        assert bad.acquisition.state is Ownership.BORROWED
+        assert bad.acquisition.name == "backend"
+
+    def test_nested_def_statements_are_not_this_functions(self):
+        """A release inside a nested closure belongs to the closure."""
+        report = _analyze(
+            "def f(backend):\n"
+            "    def cleanup():\n"
+            "        backend.release()\n"
+            "    return cleanup\n"
+        )
+        assert report.borrowed_releases == []

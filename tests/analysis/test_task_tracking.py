@@ -1,0 +1,23 @@
+"""task-tracking: create_task handles must be retained or awaited."""
+
+from __future__ import annotations
+
+from repro.analysis.rules.task_tracking import TaskTrackingRule
+
+from tests.analysis.conftest import lint_fixture, rule_lines
+
+RULE_ID = TaskTrackingRule.rule_id
+
+
+def test_bad_fixture_flags_dropped_handles():
+    report = lint_fixture("repro/serving/tasks_bad.py", TaskTrackingRule())
+    # 8: bare expression; 11: local never read again; 16: bare expression
+    # on a loop-bound create_task.
+    assert rule_lines(report, RULE_ID) == [8, 11, 16]
+
+
+def test_ok_fixture_is_clean():
+    """Attribute stores, tracked locals, awaits, TaskGroup children,
+    and container stores all retain the handle."""
+    report = lint_fixture("repro/serving/tasks_ok.py", TaskTrackingRule())
+    assert report.violations == []

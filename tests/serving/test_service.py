@@ -559,6 +559,35 @@ class TestUpdate:
 
         run(scenario())
 
+    def test_generation_bump_and_invalidation_hold_write_lock(
+        self, service, data
+    ) -> None:
+        """The bump and cache invalidation must land before the write
+        lock drops: a reader admitted between unlock and a later bump
+        would cache a stale answer under the new generation."""
+        cube = service.cubes["sales"]
+        observed: list[tuple[bool, int]] = []
+        real_invalidate = service.cache.invalidate_cube
+
+        def spying_invalidate(name: str) -> int:
+            observed.append((cube.rwlock.writing, cube.generation))
+            return real_invalidate(name)
+
+        service.cache.invalidate_cube = spying_invalidate  # type: ignore[method-assign]
+        before = cube.generation
+        try:
+            run(
+                service.update(
+                    {
+                        "cube": "sales",
+                        "updates": [{"index": [0, 0, 0], "delta": 5}],
+                    }
+                )
+            )
+        finally:
+            service.cache.invalidate_cube = real_invalidate  # type: ignore[method-assign]
+        assert observed == [(True, before + 1)]
+
 
 class TestRegistration:
     def test_duplicate_and_bad_names(self, data) -> None:
